@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+rendered rows, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces the full set of reproduced tables.  The matrix scale applied to the
+twelve large evaluation matrices is controlled by the ``REPRO_BENCH_SCALE``
+environment variable (default 0.02, i.e. 2% of the published non-zero
+counts); set it to 1.0 to regenerate the experiments at full published size.
+"""
+
+import os
+
+import pytest
+
+
+def _scale_from_env() -> float:
+    value = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+    if not 0.0 < value <= 1.0:
+        raise ValueError("REPRO_BENCH_SCALE must be in (0, 1]")
+    return value
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    """Linear NNZ scale applied to the published matrix sizes."""
+    return _scale_from_env()
+
+
+@pytest.fixture(scope="session")
+def collection_count() -> int:
+    """Matrices in the SuiteSparse-like sweep (paper: 2,519)."""
+    return int(os.environ.get("REPRO_BENCH_COLLECTION", "400"))
+
+
+def emit(title: str, text: str) -> None:
+    """Print a rendered experiment table under a clear banner."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")

@@ -1,0 +1,70 @@
+"""Benchmarks: ablation studies of the design choices DESIGN.md calls out.
+
+* index coalescing on/off (capacity vs padding),
+* x-segment length W sweep,
+* reordering window T sweep,
+* HBM channel scaling HA sweep.
+"""
+
+import pytest
+
+from repro.eval.experiments import (
+    render_channel_scaling_sweep,
+    render_coalescing_ablation,
+    render_reorder_window_sweep,
+    render_segment_width_sweep,
+    run_channel_scaling_sweep,
+    run_coalescing_ablation,
+    run_reorder_window_sweep,
+    run_segment_width_sweep,
+)
+
+from conftest import emit
+
+
+def test_ablation_index_coalescing(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_coalescing_ablation, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    emit("Ablation — index coalescing", render_coalescing_ablation(result))
+    # Coalescing doubles the on-chip row capacity (Eq. 3)...
+    assert result.capacity_gain == pytest.approx(2.0)
+    # ...which is what lets all twelve evaluation matrices fit on chip.
+    assert len(result.supported_matrices_with) == 12
+    assert len(result.supported_matrices_without) < 12
+    # The stricter conflict rule can only add padding, never remove it.
+    assert result.padding_cost >= 1.0
+
+
+def test_ablation_segment_length(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        run_segment_width_sweep, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    emit("Ablation — x-segment length W", render_segment_width_sweep(rows))
+    assert len(rows) == 4
+    # BRAM cost grows linearly with W while throughput saturates.
+    brams = [r["relative_bram"] for r in rows]
+    assert brams == sorted(brams)
+    best = max(r["gflops"] for r in rows)
+    worst = min(r["gflops"] for r in rows)
+    assert best / worst < 3.0
+
+
+def test_ablation_reorder_window(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        run_reorder_window_sweep, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    emit("Ablation — reordering window T", render_reorder_window_sweep(rows))
+    slots = [r["compute_slots"] for r in rows]
+    assert slots == sorted(slots)
+
+
+def test_ablation_channel_scaling(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        run_channel_scaling_sweep, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    emit("Ablation — HBM channel scaling HA", render_channel_scaling_sweep(rows))
+    gflops = [r["gflops"] for r in rows]
+    assert gflops == sorted(gflops)
+    # Scaling 4 -> 24 channels should give a clear (though sub-linear) speedup.
+    assert gflops[-1] / gflops[0] > 2.0

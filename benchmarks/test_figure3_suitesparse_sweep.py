@@ -1,0 +1,37 @@
+"""Benchmark: Figure 3 and Section 4.3 — Serpens-A16 versus a Tesla K80.
+
+Sweeps the synthetic SuiteSparse-like collection (NNZ from 1e3 to ~9e7) on
+the Serpens shape model and the K80 roofline model, prints the NNZ-bucketed
+throughput series plus the Section 4.3 aggregates, and asserts the paper's
+qualitative findings.
+"""
+
+from repro.eval.experiments import render_figure3, run_figure3
+
+from conftest import emit
+
+
+def test_figure3_suitesparse_sweep(benchmark, collection_count):
+    result = benchmark.pedantic(
+        run_figure3,
+        kwargs={"count": collection_count, "seed": 2022},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"Figure 3 — SuiteSparse-like sweep ({collection_count} matrices)",
+        render_figure3(result),
+    )
+
+    # Paper: 2.10x-2.31x geomean throughput advantage for Serpens.
+    assert result.geomean_throughput_ratio() > 1.5
+    # Paper: 4.06x bandwidth efficiency and 6.25x energy efficiency advantages.
+    bw = result.geomean_bandwidth_efficiency()
+    energy = result.geomean_energy_efficiency()
+    assert bw["Serpens"] / bw["K80"] > 2.5
+    assert energy["Serpens"] / energy["K80"] > 4.0
+    # The K80 keeps the higher absolute peak (46.43 vs 29.12 GFLOP/s in the paper).
+    peaks = result.peak_gflops()
+    assert peaks["K80"] > peaks["Serpens"]
+    # Serpens wins the clear majority of matrices.
+    assert result.win_fraction() > 0.55

@@ -1,0 +1,36 @@
+"""Benchmarks: Tables 1-3 — design parameters, accelerator specs, matrix suite.
+
+These tables are descriptive; the benchmark times how long the library takes
+to derive them from its own objects and prints the reproduced rows.
+"""
+
+from repro.eval.experiments import (
+    render_table1,
+    render_table2,
+    render_table3,
+    run_table3,
+)
+
+from conftest import emit
+
+
+def test_table1_design_parameters(benchmark):
+    text = benchmark(render_table1)
+    emit("Table 1 — Serpens design parameters", text)
+    assert "16/24" in text
+
+
+def test_table2_accelerator_specifications(benchmark):
+    text = benchmark(render_table2)
+    emit("Table 2 — evaluated accelerator specifications", text)
+    assert "223 MHz" in text and "Tesla K80" in text
+
+
+def test_table3_matrix_suite(benchmark, collection_count):
+    result = benchmark.pedantic(
+        run_table3, kwargs={"collection_count": collection_count}, rounds=1, iterations=1
+    )
+    text = render_table3(result)
+    emit("Table 3 — evaluated matrices", text)
+    assert "hollywood" in text
+    assert result.collection_summary["count"] == collection_count

@@ -1,0 +1,37 @@
+"""Benchmark: Table 4 — Sextans / GraphLily / Serpens-A16 on twelve large matrices.
+
+Prints execution time, GFLOP/s, MTEPS, bandwidth efficiency and energy
+efficiency per matrix plus the geomean and improvement rows, and asserts the
+paper's qualitative findings (Serpens wins the geomean by roughly the
+published factor; Sextans cannot run G7 and G9-G12).
+"""
+
+from repro.eval.experiments import render_table4, run_table4
+
+from conftest import emit
+
+
+def test_table4_main_comparison(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_table4, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    emit(f"Table 4 — twelve large matrices (scale={bench_scale})", render_table4(result))
+
+    improvement = result.improvement_over("GraphLily", "Serpens-A16")
+    # Paper: 1.91x geomean MTEPS improvement over GraphLily.
+    assert 1.4 < improvement < 3.2
+
+    unsupported = {
+        r.matrix_name for r in result.reports["Sextans"] if not r.supported
+    }
+    assert unsupported == {"G7", "G9", "G10", "G11", "G12"}
+
+    bandwidth_improvement = result.improvement_over(
+        "GraphLily", "Serpens-A16", "bandwidth_efficiency"
+    )
+    energy_improvement = result.improvement_over(
+        "GraphLily", "Serpens-A16", "energy_efficiency"
+    )
+    # Paper: 1.99x bandwidth efficiency and 1.71x energy efficiency.
+    assert bandwidth_improvement > 1.4
+    assert energy_improvement > 1.2

@@ -1,0 +1,37 @@
+"""Benchmark: Table 6 — FPGA resource utilisation on the U280.
+
+The Serpens row comes from the calibrated resource model (Eqs. 1-2 plus the
+logic model); the baselines are the published bitstream utilisations.  The
+assertions encode the paper's observations: Serpens uses less LUT/FF/DSP/URAM
+than GraphLily but more BRAM, and far less than Sextans overall.
+"""
+
+import pytest
+
+from repro.eval.experiments import render_table6, run_table6
+from repro.serpens import SERPENS_A16, estimate_resources
+
+from conftest import emit
+
+
+def test_table6_resource_utilisation(benchmark):
+    result = benchmark(run_table6)
+    emit("Table 6 — resource utilisation on a Xilinx U280", render_table6(result))
+
+    assert result.serpens_uses_less_than("GraphLily", "lut")
+    assert result.serpens_uses_less_than("GraphLily", "ff")
+    assert result.serpens_uses_less_than("GraphLily", "uram")
+    assert result.serpens_uses_less_than("Sextans", "dsp")
+    assert result.serpens_uses_less_than("Sextans", "bram36")
+    # Serpens deliberately spends more BRAM than GraphLily on parallel x copies.
+    assert not result.serpens_uses_less_than("GraphLily", "bram36")
+
+
+def test_table6_serpens_calibration(benchmark):
+    usage = benchmark(estimate_resources, SERPENS_A16)
+    # Published Table 6 row: 173K LUT, 327K FF, 720 DSP, 655 BRAM, 384 URAM.
+    assert usage.uram == 384
+    assert usage.dsp == pytest.approx(720, rel=0.05)
+    assert usage.lut == pytest.approx(173_000, rel=0.05)
+    assert usage.ff == pytest.approx(327_000, rel=0.05)
+    assert usage.bram36 == pytest.approx(655, rel=0.05)

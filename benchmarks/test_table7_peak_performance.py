@@ -1,0 +1,28 @@
+"""Benchmark: Table 7 — peak SpMV performance versus other accelerators.
+
+Serpens-A16 / A24 peaks are measured from the performance model over the
+twelve large matrices; the external systems (Du et al., Sadi et al., SparseP)
+are published constants.  The paper's point: Serpens-A24 has the highest peak
+and Serpens-A16 beats the others while using less memory bandwidth than Sadi
+et al. and SparseP.
+"""
+
+from repro.eval.experiments import render_table7, run_table7
+
+from conftest import emit
+
+
+def test_table7_peak_performance(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_table7, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    emit(f"Table 7 — peak performance comparison (scale={bench_scale})", render_table7(result))
+
+    a16 = result.peak_of("Serpens-A16")
+    a24 = result.peak_of("Serpens-A24")
+    assert a24 > a16
+    # Serpens-A24 has the highest peak of every system in the table.
+    assert a24 >= max(row["peak_gflops"] for row in result.rows)
+    # Serpens-A16 beats SparseP despite having ~6.5x less bandwidth.
+    assert a16 > result.peak_of("SparseP [13] (PIM)")
+    assert result.bandwidth_of("Serpens-A16") < result.bandwidth_of("SparseP [13] (PIM)")

@@ -1,0 +1,24 @@
+"""Benchmark: Table 8 — scaling Serpens to 24 sparse-matrix HBM channels.
+
+Runs Serpens-A24 (270 MHz) and GraphLily across the twelve large matrices and
+prints per-matrix GFLOP/s plus the improvement over GraphLily.  The paper's
+headline: up to 60.55 GFLOP/s and up to 3.79x over GraphLily.
+"""
+
+from repro.eval.experiments import render_table8, run_table8
+
+from conftest import emit
+
+
+def test_table8_serpens_a24(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        run_table8, kwargs={"scale": bench_scale}, rounds=1, iterations=1
+    )
+    emit(f"Table 8 — Serpens-A24 scaling (scale={bench_scale})", render_table8(result))
+
+    # Scaling up channels improves on every matrix compared with GraphLily.
+    improvements = result.improvements()
+    assert len(improvements) == 12
+    assert result.max_improvement > 2.0
+    # The A24 peak clearly exceeds the A16-class throughput range.
+    assert result.peak_gflops > 40.0

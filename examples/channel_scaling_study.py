@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Scalability study: how Serpens throughput scales with HBM channels.
+
+Reproduces the spirit of the paper's Section 4.4 (Table 8) as a runnable
+study: the sparse-matrix channel allocation HA is swept from 4 to 24 on a
+hollywood-like power-law graph and a ML_Laplace-like banded matrix, printing
+modeled throughput, utilized bandwidth and bandwidth efficiency for each
+point, plus the A24-vs-GraphLily headline comparison.
+
+Run with::
+
+    python examples/channel_scaling_study.py
+"""
+
+from repro.baselines import GraphLilyModel
+from repro.eval import get_matrix_spec
+from repro.eval.reporting import format_table
+from repro.serpens import SERPENS_A16, SERPENS_A24, SerpensAccelerator
+
+#: Fraction of the published matrix sizes to generate (keeps the study quick;
+#: raise toward 1.0 for full-size runs).
+SCALE = 0.05
+
+#: Sparse-channel allocations to sweep; 24 runs at the paper's 270 MHz.
+CHANNEL_SWEEP = (4, 8, 12, 16, 20, 24)
+
+
+def sweep_matrix(graph_id: str) -> str:
+    spec = get_matrix_spec(graph_id)
+    matrix = spec.materialize(scale=SCALE)
+    rows = []
+    for channels in CHANNEL_SWEEP:
+        frequency = 270.0 if channels >= 24 else None
+        config = SERPENS_A16.scaled_channels(channels, frequency_mhz=frequency)
+        report = SerpensAccelerator(config).estimate(matrix, spec.graph_id)
+        rows.append(
+            [
+                channels,
+                f"{config.frequency_mhz:.0f}",
+                f"{config.utilized_bandwidth_gbps:.0f}",
+                f"{report.gflops:.2f}",
+                f"{report.bandwidth_efficiency:.2f}",
+            ]
+        )
+    return format_table(
+        ["HA", "MHz", "Bandwidth (GB/s)", "GFLOP/s", "MTEPS/(GB/s)"],
+        rows,
+        title=f"{spec.graph_id} ({spec.name}), scale={SCALE}",
+    )
+
+
+def main() -> None:
+    print("Channel scaling study (paper Section 4.4)\n")
+    for graph_id in ("G11", "G5"):
+        print(sweep_matrix(graph_id))
+        print()
+
+    print("Headline comparison: Serpens-A24 vs GraphLily on G4 (TSOPF_RS_b2383)")
+    spec = get_matrix_spec("G4")
+    matrix = spec.materialize(scale=SCALE)
+    a24 = SerpensAccelerator(SERPENS_A24).estimate(matrix, spec.graph_id)
+    a16 = SerpensAccelerator(SERPENS_A16).estimate(matrix, spec.graph_id)
+    graphlily = GraphLilyModel().run_spmv(matrix, spec.graph_id)
+    print(f"  Serpens-A16 : {a16.gflops:.2f} GFLOP/s")
+    print(f"  Serpens-A24 : {a24.gflops:.2f} GFLOP/s")
+    print(f"  GraphLily   : {graphlily.gflops:.2f} GFLOP/s")
+    print(f"  A24 / GraphLily improvement: {a24.mteps / graphlily.mteps:.2f}x "
+          f"(paper reports up to 3.79x across G1-G12)")
+
+
+if __name__ == "__main__":
+    main()

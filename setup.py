@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The pyproject.toml metadata is authoritative; this file exists so the package
+can be installed in environments whose packaging toolchain predates PEP 660
+editable installs (no ``wheel`` package available, offline build isolation).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Serpens: an HBM-based accelerator for general-purpose "
+        "SpMV (DAC 2022), as a cycle-accurate Python simulator"
+    ),
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.20"],
+)

@@ -1,0 +1,18 @@
+"""Application-level workloads built on the SpMV primitive.
+
+These are the three domains the paper's introduction motivates: iterative
+linear solvers (scientific computing), graph analytics (see
+:mod:`repro.graph`) and sparse neural-network inference.
+"""
+
+from .solvers import SolveResult, conjugate_gradient, jacobi
+from .sparse_nn import SparseLayer, SparseMLP, prune_dense_weights
+
+__all__ = [
+    "SolveResult",
+    "conjugate_gradient",
+    "jacobi",
+    "SparseLayer",
+    "SparseMLP",
+    "prune_dense_weights",
+]

@@ -1,0 +1,153 @@
+"""Sparse neural-network inference built on SpMV.
+
+The third application domain in the paper's introduction is "inference of
+sparse neural networks": after magnitude pruning, a fully-connected layer's
+weight matrix is sparse and a single-sample forward pass is a chain of SpMV
+calls.  This module provides a small pruned-MLP abstraction whose forward
+pass issues every layer through the general ``y = alpha * W x + beta * y``
+primitive, so the examples can run the same network on the golden kernel and
+on the Serpens simulator and compare both results and projected time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..formats import COOMatrix
+from ..generators import random_uniform
+from ..spmv import spmv
+
+__all__ = ["SparseLayer", "SparseMLP", "prune_dense_weights"]
+
+SpMVCallable = Callable[[COOMatrix, np.ndarray, Optional[np.ndarray], float, float], np.ndarray]
+
+
+def _default_spmv(matrix: COOMatrix, x: np.ndarray, y, alpha: float, beta: float) -> np.ndarray:
+    return spmv(matrix, x, y, alpha, beta)
+
+
+def prune_dense_weights(weights: np.ndarray, keep_fraction: float) -> COOMatrix:
+    """Magnitude-prune a dense weight matrix to the top ``keep_fraction`` entries."""
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2:
+        raise ValueError("weights must be a 2-D array")
+    keep = max(1, int(round(weights.size * keep_fraction)))
+    threshold = np.partition(np.abs(weights).ravel(), -keep)[-keep]
+    mask = np.abs(weights) >= threshold
+    rows, cols = np.nonzero(mask)
+    return COOMatrix(weights.shape[0], weights.shape[1], rows, cols, weights[rows, cols])
+
+
+@dataclass
+class SparseLayer:
+    """One pruned fully-connected layer: ``out = activation(W x + b)``."""
+
+    weights: COOMatrix
+    bias: np.ndarray
+    activation: str = "relu"
+
+    def __post_init__(self) -> None:
+        self.bias = np.asarray(self.bias, dtype=np.float64)
+        if self.bias.shape != (self.weights.num_rows,):
+            raise ValueError(
+                f"bias length {self.bias.shape} does not match "
+                f"{self.weights.num_rows} output units"
+            )
+        if self.activation not in ("relu", "linear", "sigmoid"):
+            raise ValueError(f"unsupported activation {self.activation!r}")
+
+    @property
+    def input_size(self) -> int:
+        """Input feature dimension."""
+        return self.weights.num_cols
+
+    @property
+    def output_size(self) -> int:
+        """Output feature dimension."""
+        return self.weights.num_rows
+
+    @property
+    def nnz(self) -> int:
+        """Remaining (unpruned) weights."""
+        return self.weights.nnz
+
+    def forward(self, x: np.ndarray, spmv_fn: SpMVCallable = _default_spmv) -> np.ndarray:
+        """Apply the layer to one input vector via the SpMV hook.
+
+        The bias add is expressed through the SpMV ``beta`` term:
+        ``W x + 1.0 * bias``.
+        """
+        pre_activation = spmv_fn(self.weights, x, self.bias, 1.0, 1.0)
+        if self.activation == "relu":
+            return np.maximum(pre_activation, 0.0)
+        if self.activation == "sigmoid":
+            return 1.0 / (1.0 + np.exp(-pre_activation))
+        return pre_activation
+
+
+@dataclass
+class SparseMLP:
+    """A chain of pruned fully-connected layers."""
+
+    layers: List[SparseLayer] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for prev, nxt in zip(self.layers, self.layers[1:]):
+            if prev.output_size != nxt.input_size:
+                raise ValueError(
+                    f"layer output size {prev.output_size} does not feed "
+                    f"layer input size {nxt.input_size}"
+                )
+
+    @classmethod
+    def random(
+        cls,
+        layer_sizes: Sequence[int],
+        density: float = 0.1,
+        seed: int = 0,
+    ) -> "SparseMLP":
+        """A random pruned MLP with the given layer sizes and weight density."""
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least an input and an output size")
+        if not 0.0 < density <= 1.0:
+            raise ValueError("density must be in (0, 1]")
+        rng = np.random.default_rng(seed)
+        layers = []
+        for i, (fan_in, fan_out) in enumerate(zip(layer_sizes, layer_sizes[1:])):
+            nnz = max(1, int(round(fan_in * fan_out * density)))
+            weights = random_uniform(fan_out, fan_in, nnz, seed=seed + i)
+            # Kaiming-style scaling keeps activations in a sensible range.
+            scale = np.sqrt(2.0 / max(fan_in * density, 1.0))
+            weights = COOMatrix(
+                weights.num_rows,
+                weights.num_cols,
+                weights.rows,
+                weights.cols,
+                weights.values * scale,
+            )
+            bias = rng.uniform(-0.01, 0.01, size=fan_out)
+            activation = "relu" if i < len(layer_sizes) - 2 else "linear"
+            layers.append(SparseLayer(weights=weights, bias=bias, activation=activation))
+        return cls(layers=layers)
+
+    @property
+    def total_nnz(self) -> int:
+        """Total unpruned weights across all layers."""
+        return sum(layer.nnz for layer in self.layers)
+
+    @property
+    def num_spmv_calls(self) -> int:
+        """SpMV invocations per single-sample forward pass (one per layer)."""
+        return len(self.layers)
+
+    def forward(self, x: np.ndarray, spmv_fn: SpMVCallable = _default_spmv) -> np.ndarray:
+        """Single-sample forward pass through every layer."""
+        activation = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            activation = layer.forward(activation, spmv_fn)
+        return activation

@@ -1,0 +1,17 @@
+"""Baseline accelerator models the paper compares Serpens against."""
+
+from .cpu import CPUReference
+from .gpu import K80Config, K80Model
+from .graphlily import GraphLilyConfig, GraphLilyModel, bank_conflict_efficiency
+from .sextans import SextansConfig, SextansModel
+
+__all__ = [
+    "CPUReference",
+    "K80Config",
+    "K80Model",
+    "GraphLilyConfig",
+    "GraphLilyModel",
+    "bank_conflict_efficiency",
+    "SextansConfig",
+    "SextansModel",
+]

@@ -1,0 +1,206 @@
+"""Performance model of Sextans running SpMV (the paper's FPGA SpMM baseline).
+
+Sextans (FPGA'22) is an HBM accelerator for sparse-matrix *dense-matrix*
+multiplication.  Its design decisions, reproduced here, are what make it
+slower than Serpens on SpMV:
+
+* **Channel allocation** — 8 HBM channels stream the sparse matrix and 20
+  stream the two dense matrices (B and C), because in SpMM all three operands
+  are large.  For SpMV the dense operands are tiny, so 12 of those channels
+  do almost nothing while the sparse stream is starved of bandwidth: Sextans
+  processes at most ``8 channels x 8 elements`` per cycle versus Serpens'
+  ``16 x 8``.
+* **SpMM-mode execution** — the smallest supported dense width is ``N = 8``,
+  so an SpMV runs as an SpMM with eight right-hand sides and only the first
+  output column is kept.  Each non-zero therefore triggers eight
+  multiply-accumulates worth of dense traffic even though seven are wasted.
+* **On-chip output capacity** — the shared dense-element buffers cap the
+  number of output rows; matrices beyond the cap (G7 and G9–G12 in the
+  paper's Table 4) are reported as unsupported rather than simulated, exactly
+  as the paper does.
+
+Clock, bandwidth and power figures come from the paper's Table 2 (197 MHz,
+417 GB/s utilized, 52 W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..formats import COOMatrix
+from ..metrics import SEXTANS_POWER, ExecutionReport
+from ..preprocess import PartitionParams, partition_statistics
+from ..serpens.cycle_model import estimate_hazard_slots
+
+__all__ = ["SextansConfig", "SextansModel"]
+
+#: FP32 values carried by one 512-bit vector word.
+_FLOATS_PER_WORD = 16
+
+
+@dataclass(frozen=True)
+class SextansConfig:
+    """Design parameters of the Sextans accelerator (FPGA'22, Table 5 here).
+
+    Attributes
+    ----------
+    num_sparse_channels:
+        HBM channels streaming the sparse matrix (8).
+    num_dense_channels:
+        HBM channels streaming the dense B and C matrices (20 combined).
+    pes_per_channel:
+        PEs fed by one sparse channel (8, matching the 512-bit bus).
+    spmm_width:
+        Minimum supported dense width N; SpMV runs as SpMM with this N.
+    frequency_mhz:
+        Achieved clock (197 MHz).
+    max_output_rows:
+        On-chip output-row capacity in SpMV mode; larger matrices are
+        unsupported.  Calibrated between G8 (434K rows, supported) and G10
+        (576K rows, unsupported).
+    efficiency:
+        Sustained fraction of the peak element rate (HBM efficiency and
+        pipeline stalls folded together).
+    dsp_latency:
+        Accumulation hazard window of its out-of-order scheduler.
+    """
+
+    name: str = "Sextans"
+    num_sparse_channels: int = 8
+    num_dense_channels: int = 20
+    pes_per_channel: int = 8
+    spmm_width: int = 8
+    frequency_mhz: float = 197.0
+    hbm_channel_bandwidth_gbps: float = 14.375
+    max_output_rows: int = 524_288
+    efficiency: float = 0.82
+    dsp_latency: int = 4
+
+    @property
+    def total_channels(self) -> int:
+        """All HBM channels the design occupies (sparse + dense + instruction)."""
+        return self.num_sparse_channels + self.num_dense_channels + 1
+
+    @property
+    def utilized_bandwidth_gbps(self) -> float:
+        """Utilized bandwidth (~417 GB/s in the paper's Table 2)."""
+        return self.total_channels * self.hbm_channel_bandwidth_gbps
+
+    @property
+    def total_pes(self) -> int:
+        """Sparse processing elements: 8 channels x 8 lanes."""
+        return self.num_sparse_channels * self.pes_per_channel
+
+
+class SextansModel:
+    """Analytic performance model of Sextans in SpMV and SpMM modes."""
+
+    def __init__(self, config: Optional[SextansConfig] = None):
+        self.config = config or SextansConfig()
+
+    # ------------------------------------------------------------------
+    # Capability
+    # ------------------------------------------------------------------
+    def supports(self, matrix: COOMatrix) -> bool:
+        """Whether the output vector fits Sextans' on-chip buffers."""
+        return matrix.num_rows <= self.config.max_output_rows
+
+    def _partition_params(self) -> PartitionParams:
+        # Sextans shares one sparse element with 8 dense columns and keeps a
+        # row-granularity accumulation buffer (no index coalescing).
+        return PartitionParams(
+            num_channels=self.config.num_sparse_channels,
+            pes_per_channel=self.config.pes_per_channel,
+            segment_width=8192,
+            urams_per_pe=8,
+            uram_depth=4096,
+            dsp_latency=self.config.dsp_latency,
+            coalesce_rows=False,
+        )
+
+    # ------------------------------------------------------------------
+    # SpMV (the paper's Table 4 configuration: N = 8, keep first column)
+    # ------------------------------------------------------------------
+    def run_spmv(self, matrix: COOMatrix, matrix_name: str = "matrix") -> ExecutionReport:
+        """Estimate an SpMV executed as an N=8 SpMM (paper Section 4.1.2)."""
+        cfg = self.config
+        if not self.supports(matrix):
+            return ExecutionReport(
+                accelerator=cfg.name,
+                matrix_name=matrix_name,
+                num_rows=matrix.num_rows,
+                num_cols=matrix.num_cols,
+                nnz=matrix.nnz,
+                cycles=0,
+                frequency_mhz=cfg.frequency_mhz,
+                seconds=float("nan"),
+                bandwidth_gbps=cfg.utilized_bandwidth_gbps,
+                power_watts=SEXTANS_POWER.measured(),
+                supported=False,
+            )
+        return self._run(matrix, matrix_name, dense_width=cfg.spmm_width)
+
+    def run_spmm(
+        self, matrix: COOMatrix, dense_width: int, matrix_name: str = "matrix"
+    ) -> ExecutionReport:
+        """Estimate a genuine SpMM with ``dense_width`` right-hand sides.
+
+        Used by the Table 5 comparison (SpMM N=16 on TSOPF_RS_b2383_c1),
+        where Sextans beats Serpens because its dense-element sharing pays
+        off.
+        """
+        if dense_width < self.config.spmm_width:
+            raise ValueError(
+                f"Sextans supports dense widths >= {self.config.spmm_width}"
+            )
+        return self._run(matrix, matrix_name, dense_width=dense_width)
+
+    def _run(self, matrix: COOMatrix, matrix_name: str, dense_width: int) -> ExecutionReport:
+        cfg = self.config
+        params = self._partition_params()
+
+        if matrix.nnz:
+            stats = partition_statistics(matrix, params)
+            compute_slots = max(
+                stats.total_compute_slots(), estimate_hazard_slots(matrix, params)
+            )
+        else:
+            compute_slots = 0
+
+        # Sextans shares one sparse element with `spmm_width` dense elements
+        # per PE per cycle; wider dense matrices are processed in multiple
+        # passes over the sparse stream (N = 16 takes two passes).
+        passes = -(-dense_width // cfg.spmm_width)
+        compute_cycles = passes * compute_slots / cfg.efficiency
+
+        # Dense matrix streaming: B is K x N, C is read and written M x N,
+        # spread across the dense channels (16 floats per channel per cycle).
+        dense_words = (
+            matrix.num_cols * dense_width + 2 * matrix.num_rows * dense_width
+        ) / _FLOATS_PER_WORD
+        dense_cycles = dense_words / cfg.num_dense_channels
+
+        total_cycles = int(round(compute_cycles + dense_cycles + 3_000))
+        bytes_moved = 8 * matrix.nnz + 4 * dense_width * (
+            matrix.num_cols + 2 * matrix.num_rows
+        )
+        return ExecutionReport(
+            accelerator=cfg.name,
+            matrix_name=matrix_name,
+            num_rows=matrix.num_rows,
+            num_cols=matrix.num_cols,
+            nnz=matrix.nnz,
+            cycles=total_cycles,
+            frequency_mhz=cfg.frequency_mhz,
+            bandwidth_gbps=cfg.utilized_bandwidth_gbps,
+            power_watts=SEXTANS_POWER.measured(),
+            bytes_moved=bytes_moved,
+            extra={
+                "dense_width": float(dense_width),
+                "compute_cycles": float(compute_cycles),
+                "dense_cycles": float(dense_cycles),
+            },
+        )

@@ -1,0 +1,203 @@
+"""Command-line interface for regenerating the paper's tables and figures.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli list
+    python -m repro.cli table4 --scale 0.05
+    python -m repro.cli figure3 --count 500
+    python -m repro.cli all --scale 0.02 --output results.txt
+
+Each experiment prints the same rows the paper's corresponding table or
+figure reports, rendered as an aligned text table.  ``--scale`` shrinks the
+synthetic stand-ins of the twelve large matrices (1.0 reproduces the
+published sizes; smaller values run proportionally faster while preserving
+the relative comparisons).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from .eval.experiments import (
+    render_channel_scaling_sweep,
+    render_coalescing_ablation,
+    render_figure2,
+    render_figure3,
+    render_reorder_window_sweep,
+    render_segment_width_sweep,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    render_table6,
+    render_table7,
+    render_table8,
+    run_channel_scaling_sweep,
+    run_coalescing_ablation,
+    run_figure2,
+    run_figure3,
+    run_reorder_window_sweep,
+    run_segment_width_sweep,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+    run_table7,
+    run_table8,
+)
+
+__all__ = ["main", "EXPERIMENTS", "run_experiment"]
+
+
+def _table1(args: argparse.Namespace) -> str:
+    return render_table1()
+
+
+def _table2(args: argparse.Namespace) -> str:
+    return render_table2()
+
+
+def _table3(args: argparse.Namespace) -> str:
+    return render_table3(run_table3(collection_count=args.count, seed=args.seed))
+
+
+def _table4(args: argparse.Namespace) -> str:
+    return render_table4(run_table4(scale=args.scale))
+
+
+def _table5(args: argparse.Namespace) -> str:
+    return render_table5(run_table5(scale=args.scale))
+
+
+def _table6(args: argparse.Namespace) -> str:
+    return render_table6(run_table6())
+
+
+def _table7(args: argparse.Namespace) -> str:
+    return render_table7(run_table7(scale=args.scale))
+
+
+def _table8(args: argparse.Namespace) -> str:
+    return render_table8(run_table8(scale=args.scale))
+
+
+def _figure2(args: argparse.Namespace) -> str:
+    return render_figure2(run_figure2())
+
+
+def _figure3(args: argparse.Namespace) -> str:
+    return render_figure3(run_figure3(count=args.count, seed=args.seed))
+
+
+def _ablation_coalescing(args: argparse.Namespace) -> str:
+    return render_coalescing_ablation(run_coalescing_ablation(scale=args.scale))
+
+
+def _ablation_segment(args: argparse.Namespace) -> str:
+    return render_segment_width_sweep(run_segment_width_sweep(scale=args.scale))
+
+
+def _ablation_window(args: argparse.Namespace) -> str:
+    return render_reorder_window_sweep(run_reorder_window_sweep(scale=args.scale))
+
+
+def _ablation_channels(args: argparse.Namespace) -> str:
+    return render_channel_scaling_sweep(run_channel_scaling_sweep(scale=args.scale))
+
+
+#: Registry of experiment name -> (description, runner).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": ("Serpens design parameters", _table1),
+    "table2": ("Evaluated accelerator specifications", _table2),
+    "table3": ("Evaluated matrices and collection statistics", _table3),
+    "table4": ("Main comparison on twelve large matrices", _table4),
+    "table5": ("Design comparison and SpMV/SpMM cross-over", _table5),
+    "table6": ("FPGA resource utilisation", _table6),
+    "table7": ("Peak performance versus other SpMV accelerators", _table7),
+    "table8": ("Serpens-A24 channel scaling", _table8),
+    "figure2": ("Non-zero reordering example", _figure2),
+    "figure3": ("SuiteSparse-scale sweep versus the K80", _figure3),
+    "ablation-coalescing": ("Index coalescing ablation", _ablation_coalescing),
+    "ablation-segment": ("Segment length sweep", _ablation_segment),
+    "ablation-window": ("Reordering window sweep", _ablation_window),
+    "ablation-channels": ("HBM channel scaling sweep", _ablation_channels),
+}
+
+
+def run_experiment(name: str, args: argparse.Namespace) -> str:
+    """Run one registered experiment and return its rendered table."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; see 'list'")
+    __, runner = EXPERIMENTS[name]
+    return runner(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the evaluation tables and figures of the Serpens paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment to run: one of %s, 'all', or 'list'" % ", ".join(EXPERIMENTS),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.02,
+        help="linear NNZ scale for the twelve large matrices (default 0.02; 1.0 = published sizes)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=400,
+        help="matrices in the SuiteSparse-like collection sweep (paper uses 2519)",
+    )
+    parser.add_argument("--seed", type=int, default=2022, help="collection sampling seed")
+    parser.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="also write the rendered tables to this file",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, __) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if any(name not in EXPERIMENTS for name in names):
+        parser.error(f"unknown experiment {args.experiment!r}; use 'list' to see options")
+
+    outputs = []
+    for name in names:
+        start = time.perf_counter()
+        rendered = run_experiment(name, args)
+        elapsed = time.perf_counter() - start
+        header = f"### {name} ({EXPERIMENTS[name][0]}) — {elapsed:.1f}s"
+        block = f"{header}\n\n{rendered}\n"
+        print(block)
+        outputs.append(block)
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write("\n".join(outputs))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

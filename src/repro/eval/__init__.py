@@ -1,0 +1,29 @@
+"""Evaluation harness: matrix specs, accelerator wiring and experiment runners."""
+
+from .accelerators import (
+    AcceleratorSpec,
+    AcceleratorUnderTest,
+    build_accelerators,
+    table2_specs,
+)
+from .matrices import (
+    TSOPF_RS_B2383_C1,
+    TWELVE_LARGE_MATRICES,
+    MatrixSpec,
+    get_matrix_spec,
+)
+from .reporting import format_float, format_table, render_report_table
+
+__all__ = [
+    "AcceleratorSpec",
+    "AcceleratorUnderTest",
+    "build_accelerators",
+    "table2_specs",
+    "MatrixSpec",
+    "TWELVE_LARGE_MATRICES",
+    "TSOPF_RS_B2383_C1",
+    "get_matrix_spec",
+    "format_table",
+    "format_float",
+    "render_report_table",
+]

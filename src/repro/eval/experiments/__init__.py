@@ -1,0 +1,73 @@
+"""Experiment runners, one per table / figure of the paper's evaluation."""
+
+from .ablations import (
+    CoalescingAblation,
+    render_channel_scaling_sweep,
+    render_coalescing_ablation,
+    render_reorder_window_sweep,
+    render_segment_width_sweep,
+    run_channel_scaling_sweep,
+    run_coalescing_ablation,
+    run_reorder_window_sweep,
+    run_segment_width_sweep,
+)
+from .figure2 import Figure2Result, figure2_example_matrix, render_figure2, run_figure2
+from .figure3 import Figure3Result, render_figure3, run_figure3
+from .table123 import (
+    Table3Result,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_table2,
+    run_table3,
+    table1_parameters,
+)
+from .table4 import Table4Result, render_table4, run_table4
+from .table5 import Table5Result, design_comparison_rows, render_table5, run_table5
+from .table6 import PUBLISHED_BASELINE_RESOURCES, Table6Result, render_table6, run_table6
+from .table7 import EXTERNAL_ACCELERATORS, Table7Result, render_table7, run_table7
+from .table8 import Table8Result, render_table8, run_table8
+
+__all__ = [
+    "table1_parameters",
+    "render_table1",
+    "run_table2",
+    "render_table2",
+    "Table3Result",
+    "run_table3",
+    "render_table3",
+    "Table4Result",
+    "run_table4",
+    "render_table4",
+    "Table5Result",
+    "run_table5",
+    "render_table5",
+    "design_comparison_rows",
+    "Table6Result",
+    "run_table6",
+    "render_table6",
+    "PUBLISHED_BASELINE_RESOURCES",
+    "Table7Result",
+    "run_table7",
+    "render_table7",
+    "EXTERNAL_ACCELERATORS",
+    "Table8Result",
+    "run_table8",
+    "render_table8",
+    "Figure2Result",
+    "run_figure2",
+    "render_figure2",
+    "figure2_example_matrix",
+    "Figure3Result",
+    "run_figure3",
+    "render_figure3",
+    "CoalescingAblation",
+    "run_coalescing_ablation",
+    "render_coalescing_ablation",
+    "run_segment_width_sweep",
+    "render_segment_width_sweep",
+    "run_reorder_window_sweep",
+    "render_reorder_window_sweep",
+    "run_channel_scaling_sweep",
+    "render_channel_scaling_sweep",
+]

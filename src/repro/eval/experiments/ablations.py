@@ -1,0 +1,264 @@
+"""Ablation studies of Serpens' design choices.
+
+The paper motivates three design decisions that these ablations quantify:
+
+* **Index coalescing** (Section 3.4) — packing two consecutive rows into one
+  72-bit URAM entry doubles the on-chip row capacity (Eq. 3) at the price of
+  a stricter reordering constraint.  The ablation reports both effects: the
+  largest supported matrix and the hazard-padding overhead, with coalescing
+  on and off.
+* **Segment length W** (Section 3.2) — longer x segments amortise the x
+  streaming cost but require more BRAM; shorter segments increase the number
+  of passes.  The sweep reports modeled throughput across W.
+* **Reordering window T** — the DSP accumulation latency determines how far
+  apart same-entry elements must sit; the sweep shows padding overhead
+  growing with T, which is why the out-of-order reordering matters at all.
+* **HBM channel scaling HA** (Section 4.4) — throughput versus the number of
+  sparse-matrix channels, the study behind Table 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ...formats import COOMatrix
+from ...preprocess import PartitionParams, partition_statistics
+from ...serpens import SERPENS_A16, SerpensAccelerator, SerpensConfig, estimate_hazard_slots
+from ..matrices import TWELVE_LARGE_MATRICES, MatrixSpec, get_matrix_spec
+from ..reporting import format_table
+
+__all__ = [
+    "CoalescingAblation",
+    "run_coalescing_ablation",
+    "render_coalescing_ablation",
+    "run_segment_width_sweep",
+    "render_segment_width_sweep",
+    "run_reorder_window_sweep",
+    "render_reorder_window_sweep",
+    "run_channel_scaling_sweep",
+    "render_channel_scaling_sweep",
+]
+
+#: Default NNZ scale, matching the Table 4 runner.
+DEFAULT_SCALE = 0.02
+
+
+# ----------------------------------------------------------------------
+# Index coalescing
+# ----------------------------------------------------------------------
+@dataclass
+class CoalescingAblation:
+    """Effect of index coalescing on capacity and padding."""
+
+    matrix_name: str
+    max_rows_with: int
+    max_rows_without: int
+    compute_slots_with: int
+    compute_slots_without: int
+    supported_matrices_with: List[str]
+    supported_matrices_without: List[str]
+
+    @property
+    def capacity_gain(self) -> float:
+        """Row-capacity multiplier provided by coalescing (2.0 by design)."""
+        return self.max_rows_with / self.max_rows_without
+
+    @property
+    def padding_cost(self) -> float:
+        """Relative slot increase caused by the stricter conflict rule."""
+        return self.compute_slots_with / max(self.compute_slots_without, 1)
+
+
+def run_coalescing_ablation(
+    matrix: Optional[COOMatrix] = None,
+    matrix_name: str = "G6",
+    scale: float = DEFAULT_SCALE,
+    config: SerpensConfig = SERPENS_A16,
+) -> CoalescingAblation:
+    """Quantify the capacity/padding trade-off of index coalescing."""
+    if matrix is None:
+        spec = get_matrix_spec(matrix_name)
+        matrix = spec.materialize(scale=scale)
+        matrix_name = spec.graph_id
+
+    with_coalescing = config
+    without_coalescing = replace(config, coalesce_rows=False)
+
+    slots_with = estimate_hazard_slots(matrix, with_coalescing.to_partition_params())
+    slots_without = estimate_hazard_slots(matrix, without_coalescing.to_partition_params())
+
+    supported_with = [
+        spec.graph_id
+        for spec in TWELVE_LARGE_MATRICES
+        if spec.num_rows <= with_coalescing.max_rows
+    ]
+    supported_without = [
+        spec.graph_id
+        for spec in TWELVE_LARGE_MATRICES
+        if spec.num_rows <= without_coalescing.max_rows
+    ]
+    return CoalescingAblation(
+        matrix_name=matrix_name,
+        max_rows_with=with_coalescing.max_rows,
+        max_rows_without=without_coalescing.max_rows,
+        compute_slots_with=slots_with,
+        compute_slots_without=slots_without,
+        supported_matrices_with=supported_with,
+        supported_matrices_without=supported_without,
+    )
+
+
+def render_coalescing_ablation(result: CoalescingAblation) -> str:
+    """Render the coalescing ablation as text."""
+    rows = [
+        ["On-chip row capacity", result.max_rows_with, result.max_rows_without],
+        [
+            "Supported large matrices (of 12)",
+            len(result.supported_matrices_with),
+            len(result.supported_matrices_without),
+        ],
+        [
+            f"Compute slots on {result.matrix_name}",
+            result.compute_slots_with,
+            result.compute_slots_without,
+        ],
+    ]
+    return format_table(
+        ["Quantity", "With coalescing", "Without coalescing"],
+        rows,
+        title="Index coalescing ablation",
+    )
+
+
+# ----------------------------------------------------------------------
+# Segment width sweep
+# ----------------------------------------------------------------------
+def run_segment_width_sweep(
+    widths: Sequence[int] = (2048, 4096, 8192, 16384),
+    matrix_spec: Optional[MatrixSpec] = None,
+    scale: float = DEFAULT_SCALE,
+) -> List[Dict[str, float]]:
+    """Modeled throughput and BRAM cost for a sweep of x-segment lengths."""
+    spec = matrix_spec if matrix_spec is not None else get_matrix_spec("G5")
+    matrix = spec.materialize(scale=scale)
+    rows = []
+    for width in widths:
+        config = SerpensConfig(name=f"Serpens-W{width}", segment_width=width)
+        report = SerpensAccelerator(config).estimate(matrix, spec.graph_id)
+        # Each PE pair shares a BRAM copy of the segment; 16 FP32 values per
+        # BRAM18K pair means the per-channel BRAM cost grows linearly with W.
+        bram_words = width / 8192.0
+        rows.append(
+            {
+                "segment_width": float(width),
+                "gflops": report.gflops,
+                "time_ms": report.milliseconds,
+                "relative_bram": bram_words,
+            }
+        )
+    return rows
+
+
+def render_segment_width_sweep(rows: List[Dict[str, float]]) -> str:
+    """Render the W sweep as text."""
+    table = [
+        [int(r["segment_width"]), r["gflops"], r["time_ms"], r["relative_bram"]]
+        for r in rows
+    ]
+    return format_table(
+        ["Segment width W", "GFLOP/s", "Time (ms)", "Relative BRAM for x copies"],
+        table,
+        title="Segment length ablation",
+    )
+
+
+# ----------------------------------------------------------------------
+# Reordering window sweep
+# ----------------------------------------------------------------------
+def run_reorder_window_sweep(
+    windows: Sequence[int] = (1, 2, 4, 8, 16),
+    matrix_spec: Optional[MatrixSpec] = None,
+    scale: float = DEFAULT_SCALE,
+) -> List[Dict[str, float]]:
+    """Padding overhead as a function of the accumulation latency T."""
+    spec = matrix_spec if matrix_spec is not None else get_matrix_spec("G1")
+    matrix = spec.materialize(scale=scale)
+    base_params = SERPENS_A16.to_partition_params()
+    ideal = partition_statistics(matrix, base_params).total_compute_slots()
+    rows = []
+    for window in windows:
+        params = PartitionParams(
+            num_channels=base_params.num_channels,
+            pes_per_channel=base_params.pes_per_channel,
+            segment_width=base_params.segment_width,
+            urams_per_pe=base_params.urams_per_pe,
+            uram_depth=base_params.uram_depth,
+            dsp_latency=window,
+            coalesce_rows=base_params.coalesce_rows,
+        )
+        slots = estimate_hazard_slots(matrix, params)
+        rows.append(
+            {
+                "window": float(window),
+                "compute_slots": float(slots),
+                "overhead_vs_balanced": slots / max(ideal, 1),
+            }
+        )
+    return rows
+
+
+def render_reorder_window_sweep(rows: List[Dict[str, float]]) -> str:
+    """Render the T sweep as text."""
+    table = [
+        [int(r["window"]), int(r["compute_slots"]), r["overhead_vs_balanced"]]
+        for r in rows
+    ]
+    return format_table(
+        ["DSP latency T", "Compute slots", "Slots / balanced slots"],
+        table,
+        title="Reordering window ablation",
+    )
+
+
+# ----------------------------------------------------------------------
+# Channel scaling sweep (generalisation of Table 8)
+# ----------------------------------------------------------------------
+def run_channel_scaling_sweep(
+    channel_counts: Sequence[int] = (4, 8, 16, 24),
+    matrix_spec: Optional[MatrixSpec] = None,
+    scale: float = DEFAULT_SCALE,
+    frequency_by_channels: Optional[Dict[int, float]] = None,
+) -> List[Dict[str, float]]:
+    """Modeled throughput versus the sparse-matrix channel allocation HA."""
+    spec = matrix_spec if matrix_spec is not None else get_matrix_spec("G6")
+    matrix = spec.materialize(scale=scale)
+    frequencies = frequency_by_channels or {24: 270.0}
+    rows = []
+    for channels in channel_counts:
+        config = SERPENS_A16.scaled_channels(
+            channels, frequency_mhz=frequencies.get(channels)
+        )
+        report = SerpensAccelerator(config).estimate(matrix, spec.graph_id)
+        rows.append(
+            {
+                "channels": float(channels),
+                "gflops": report.gflops,
+                "bandwidth_gbps": config.utilized_bandwidth_gbps,
+                "bandwidth_efficiency": report.bandwidth_efficiency,
+            }
+        )
+    return rows
+
+
+def render_channel_scaling_sweep(rows: List[Dict[str, float]]) -> str:
+    """Render the HA sweep as text."""
+    table = [
+        [int(r["channels"]), r["gflops"], r["bandwidth_gbps"], r["bandwidth_efficiency"]]
+        for r in rows
+    ]
+    return format_table(
+        ["Sparse channels HA", "GFLOP/s", "Utilized bandwidth (GB/s)", "MTEPS/(GB/s)"],
+        table,
+        title="HBM channel scaling ablation",
+    )

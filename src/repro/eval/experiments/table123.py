@@ -1,0 +1,125 @@
+"""Experiments: Tables 1–3 — design parameters, accelerator specs, matrices.
+
+These three tables are descriptive rather than measured, but reproducing them
+from the library's own objects is a useful consistency check: Table 1 must
+fall out of :class:`SerpensConfig`, Table 2 out of the accelerator models'
+configurations, and Table 3 out of the matrix specs and the synthetic
+SuiteSparse-like collection statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ...generators import sample_collection
+from ...serpens import SERPENS_A16, SERPENS_A24, SerpensConfig
+from ..accelerators import AcceleratorSpec, table2_specs
+from ..matrices import TWELVE_LARGE_MATRICES, MatrixSpec
+from ..reporting import format_table
+
+__all__ = [
+    "table1_parameters",
+    "render_table1",
+    "run_table2",
+    "render_table2",
+    "Table3Result",
+    "run_table3",
+    "render_table3",
+]
+
+
+# ----------------------------------------------------------------------
+# Table 1: design parameters
+# ----------------------------------------------------------------------
+def table1_parameters(config: SerpensConfig = SERPENS_A16) -> Dict[str, object]:
+    """The design-parameter row of the paper's Table 1."""
+    return {
+        "hbm_channels": f"{SERPENS_A16.num_sparse_channels}/{SERPENS_A24.num_sparse_channels}",
+        "pes_per_channel": config.pes_per_channel,
+        "bram18k_per_pe_group": 128,
+        "urams_per_pe": config.urams_per_pe,
+        "memory_bus_bits": 512,
+        "data_bits": 32,
+        "index_bits": 32,
+        "instruction_bits": 32,
+    }
+
+
+def render_table1(config: SerpensConfig = SERPENS_A16) -> str:
+    """Render Table 1 as text."""
+    params = table1_parameters(config)
+    rows = [[key, value] for key, value in params.items()]
+    return format_table(["Parameter", "Value"], rows, title="Serpens design parameters")
+
+
+# ----------------------------------------------------------------------
+# Table 2: accelerator specifications
+# ----------------------------------------------------------------------
+def run_table2(config: SerpensConfig = SERPENS_A16) -> List[AcceleratorSpec]:
+    """The specification rows of Table 2."""
+    return table2_specs(config)
+
+
+def render_table2(config: SerpensConfig = SERPENS_A16) -> str:
+    """Render Table 2 as text."""
+    specs = run_table2(config)
+    rows = [
+        [
+            spec.name,
+            f"{spec.frequency_mhz:.0f} MHz",
+            f"{spec.bandwidth_gbps:.0f} GB/s ({spec.bandwidth_kind})",
+            f"{spec.power_watts:.0f} W",
+        ]
+        for spec in specs
+    ]
+    return format_table(
+        ["Accelerator", "Frequency", "Bandwidth", "Power"],
+        rows,
+        title="Specification of the evaluated accelerators",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 3: evaluated matrices
+# ----------------------------------------------------------------------
+@dataclass
+class Table3Result:
+    """The matrix list plus the SuiteSparse-like collection summary."""
+
+    matrices: List[MatrixSpec]
+    collection_summary: Dict[str, float]
+
+
+def run_table3(collection_count: int = 2519, seed: int = 2022) -> Table3Result:
+    """Collect Table 3: the twelve large matrices and collection statistics."""
+    collection = sample_collection(collection_count, seed)
+    return Table3Result(
+        matrices=list(TWELVE_LARGE_MATRICES),
+        collection_summary=collection.summary(),
+    )
+
+
+def render_table3(result: Table3Result) -> str:
+    """Render Table 3 as text."""
+    matrix_rows = [
+        [spec.graph_id, spec.name, spec.num_rows, spec.nnz, spec.kind, spec.source]
+        for spec in result.matrices
+    ]
+    matrices = format_table(
+        ["ID", "Matrix", "#Vertices", "#Edges", "Synthetic kind", "Source"],
+        matrix_rows,
+        title="Twelve large matrices/graphs",
+    )
+    summary = result.collection_summary
+    collection = format_table(
+        ["Quantity", "Value"],
+        [
+            ["Number of matrices", summary["count"]],
+            ["NNZ range", f"{summary['nnz_min']:,} - {summary['nnz_max']:,}"],
+            ["Row/column range", f"{summary['dim_min']:,} - {summary['dim_max']:,}"],
+            ["Geomean density", f"{summary['geomean_density']:.2e}"],
+        ],
+        title="SuiteSparse-like collection",
+    )
+    return matrices + "\n\n" + collection

@@ -1,0 +1,144 @@
+"""Experiment: Table 4 — Sextans, GraphLily and Serpens on twelve large matrices.
+
+For every matrix G1–G12 the runner materialises the synthetic stand-in,
+evaluates the three FPGA accelerator models, and tabulates execution time,
+throughput (GFLOP/s and MTEPS), bandwidth efficiency and energy efficiency,
+closing with the geomean row and the Serpens-over-GraphLily improvement the
+paper reports (1.91x geomean throughput in the original).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ...metrics import ExecutionReport, geomean, geomean_metric
+from ...serpens import SERPENS_A16, SerpensConfig
+from ..accelerators import AcceleratorUnderTest, build_accelerators
+from ..matrices import TWELVE_LARGE_MATRICES, MatrixSpec
+from ..reporting import format_table
+
+__all__ = ["Table4Result", "run_table4", "render_table4"]
+
+#: Default linear NNZ scale applied to the published matrix sizes so the full
+#: sweep runs in seconds.  All models see the same scaled matrix, so relative
+#: comparisons are preserved; pass ``scale=1.0`` for full-size runs.
+DEFAULT_SCALE = 0.05
+
+_METRICS = ("milliseconds", "gflops", "mteps", "bandwidth_efficiency", "energy_efficiency")
+
+
+@dataclass
+class Table4Result:
+    """All per-matrix reports plus the aggregate rows."""
+
+    scale: float
+    matrices: List[MatrixSpec]
+    reports: Dict[str, List[ExecutionReport]] = field(default_factory=dict)
+
+    def geomeans(self, metric: str) -> Dict[str, float]:
+        """Geomean of one metric per accelerator (supported matrices only)."""
+        return {
+            name: geomean_metric(reports, metric)
+            for name, reports in self.reports.items()
+        }
+
+    def improvement_over(self, baseline: str, ours: str, metric: str = "mteps") -> float:
+        """Geomean improvement of ``ours`` over ``baseline`` on one metric."""
+        base = geomean_metric(self.reports[baseline], metric)
+        mine = geomean_metric(self.reports[ours], metric)
+        return mine / base if base else float("nan")
+
+    def per_matrix_improvement(
+        self, baseline: str, ours: str, metric: str = "mteps"
+    ) -> Dict[str, float]:
+        """Per-matrix improvement ratios (the paper's "Improvement" rows)."""
+        base_by_name = {r.matrix_name: r for r in self.reports[baseline]}
+        ratios = {}
+        for report in self.reports[ours]:
+            base = base_by_name.get(report.matrix_name)
+            if base is None or not base.supported or not report.supported:
+                continue
+            base_value = getattr(base, metric)
+            ratios[report.matrix_name] = (
+                getattr(report, metric) / base_value if base_value else float("nan")
+            )
+        return ratios
+
+
+def run_table4(
+    scale: float = DEFAULT_SCALE,
+    serpens_config: SerpensConfig = SERPENS_A16,
+    matrices: Optional[Sequence[MatrixSpec]] = None,
+    accelerators: Optional[Sequence[AcceleratorUnderTest]] = None,
+) -> Table4Result:
+    """Run the Table 4 comparison.
+
+    Parameters
+    ----------
+    scale:
+        Linear NNZ scale applied to every matrix (see module docstring).
+    serpens_config:
+        The Serpens build to evaluate (A16 for Table 4, A24 for Table 8).
+    matrices:
+        Override for the matrix list (tests use a short list).
+    accelerators:
+        Override for the accelerator list.
+    """
+    matrices = list(matrices if matrices is not None else TWELVE_LARGE_MATRICES)
+    accelerators = list(
+        accelerators if accelerators is not None else build_accelerators(serpens_config)
+    )
+    result = Table4Result(scale=scale, matrices=matrices)
+    for accel in accelerators:
+        result.reports[accel.name] = []
+
+    for spec in matrices:
+        matrix = spec.materialize(scale=scale)
+        for accel in accelerators:
+            # Support is judged against the *published* full-size shape, so a
+            # scaled-down stand-in cannot hide a capacity limitation (the
+            # paper's Sextans cannot run G7 and G9-G12).
+            if not accel.supports_rows(spec.num_rows) or not accel.supports(matrix):
+                report = accel.unsupported_report(
+                    spec.graph_id, spec.num_rows, spec.num_cols, spec.nnz
+                )
+            else:
+                report = accel.run(matrix, spec.graph_id)
+            result.reports[accel.name].append(report)
+    return result
+
+
+def render_table4(result: Table4Result, reference: str = "GraphLily") -> str:
+    """Render the result in the layout of the paper's Table 4."""
+    blocks = []
+    metric_titles = {
+        "milliseconds": "Execution Time (ms)",
+        "gflops": "Throughput (GFLOP/s)",
+        "mteps": "Throughput (MTEPS)",
+        "bandwidth_efficiency": "Bandwidth Efficiency (MTEPS / (GB/s))",
+        "energy_efficiency": "Energy Efficiency (MTEPS / W)",
+    }
+    matrix_ids = [spec.graph_id for spec in result.matrices]
+    serpens_names = [n for n in result.reports if n.startswith("Serpens")]
+    serpens_name = serpens_names[0] if serpens_names else None
+
+    for metric in _METRICS:
+        headers = ["Accelerator", *matrix_ids, "GMN"]
+        rows = []
+        for name, reports in result.reports.items():
+            cells: List[object] = [name]
+            for report in reports:
+                cells.append(getattr(report, metric) if report.supported else None)
+            supported_values = [getattr(r, metric) for r in reports if r.supported]
+            cells.append(geomean(supported_values) if supported_values else None)
+            rows.append(cells)
+        if serpens_name and reference in result.reports and metric != "milliseconds":
+            ratios = result.per_matrix_improvement(reference, serpens_name, metric)
+            improvement_row: List[object] = ["Improvement"]
+            for spec in result.matrices:
+                improvement_row.append(ratios.get(spec.graph_id))
+            improvement_row.append(result.improvement_over(reference, serpens_name, metric))
+            rows.append(improvement_row)
+        blocks.append(format_table(headers, rows, title=metric_titles[metric]))
+    return "\n\n".join(blocks)

@@ -1,0 +1,171 @@
+"""Experiment: Table 5 — design comparison and the SpMV/SpMM latency cross-over.
+
+The paper's Table 5 has two halves:
+
+* a qualitative comparison of the three accelerators' design choices
+  (channel allocation, out-of-order non-zero scheduling, sparse-element
+  sharing, index coalescing, which kernel each is fast at), and
+* a quantitative illustration on ``TSOPF_RS_b2383_c1``: Serpens wins SpMV
+  (0.535 ms vs 1.44 ms in the paper) while Sextans wins SpMM with N = 16
+  (2.87 ms vs 8.56 ms), demonstrating that each design is specialised for its
+  own kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ...baselines import SextansModel
+from ...serpens import SERPENS_A16, SerpensAccelerator, SerpensConfig
+from ..matrices import TSOPF_RS_B2383_C1, MatrixSpec
+from ..reporting import format_table
+
+__all__ = ["Table5Result", "design_comparison_rows", "run_table5", "render_table5"]
+
+#: Default NNZ scale for the quantitative half (see table4.DEFAULT_SCALE).
+DEFAULT_SCALE = 0.05
+
+
+@dataclass
+class Table5Result:
+    """Latencies of the SpMV / SpMM cross-over plus the design rows."""
+
+    scale: float
+    spec: MatrixSpec
+    serpens_spmv_ms: float
+    sextans_spmv_ms: float
+    serpens_spmm_n16_ms: float
+    sextans_spmm_n16_ms: float
+    design_rows: List[Dict[str, str]]
+
+    @property
+    def spmv_speedup_of_serpens(self) -> float:
+        """How much faster Serpens runs SpMV than Sextans."""
+        return self.sextans_spmv_ms / self.serpens_spmv_ms
+
+    @property
+    def spmm_speedup_of_sextans(self) -> float:
+        """How much faster Sextans runs SpMM (N=16) than Serpens."""
+        return self.serpens_spmm_n16_ms / self.sextans_spmm_n16_ms
+
+
+def design_comparison_rows() -> List[Dict[str, str]]:
+    """The qualitative design-comparison half of Table 5."""
+    return [
+        {
+            "accelerator": "Serpens",
+            "kernel": "SpMV",
+            "channels_sparse": "16/24",
+            "channels_dense": "1/1",
+            "channels_instr": "1",
+            "ooo_nz": "Yes",
+            "sharing_sparse": "No",
+            "index_coalescing": "Yes",
+            "perf_spmv_spmm": "High/Low",
+        },
+        {
+            "accelerator": "Sextans",
+            "kernel": "SpMM",
+            "channels_sparse": "8",
+            "channels_dense": "4/8",
+            "channels_instr": "1",
+            "ooo_nz": "Yes",
+            "sharing_sparse": "Yes",
+            "index_coalescing": "No",
+            "perf_spmv_spmm": "Low/High",
+        },
+        {
+            "accelerator": "GraphLily",
+            "kernel": "Graph",
+            "channels_sparse": "16",
+            "channels_dense": "1/1",
+            "channels_instr": "-",
+            "ooo_nz": "No",
+            "sharing_sparse": "No",
+            "index_coalescing": "No",
+            "perf_spmv_spmm": "-/-",
+        },
+    ]
+
+
+def run_table5(
+    scale: float = DEFAULT_SCALE,
+    serpens_config: SerpensConfig = SERPENS_A16,
+    spmm_width: int = 16,
+) -> Table5Result:
+    """Run the SpMV / SpMM cross-over on the TSOPF_RS_b2383_c1 stand-in."""
+    spec = TSOPF_RS_B2383_C1
+    matrix = spec.materialize(scale=scale)
+
+    serpens = SerpensAccelerator(serpens_config)
+    sextans = SextansModel()
+
+    serpens_spmv = serpens.estimate(matrix, spec.name, model="detailed")
+    sextans_spmv = sextans.run_spmv(matrix, spec.name)
+
+    # Serpens runs an SpMM with N right-hand sides as N back-to-back SpMVs.
+    serpens_spmm_ms = serpens_spmv.milliseconds * spmm_width
+    sextans_spmm = sextans.run_spmm(matrix, dense_width=spmm_width, matrix_name=spec.name)
+
+    return Table5Result(
+        scale=scale,
+        spec=spec,
+        serpens_spmv_ms=serpens_spmv.milliseconds,
+        sextans_spmv_ms=sextans_spmv.milliseconds,
+        serpens_spmm_n16_ms=serpens_spmm_ms,
+        sextans_spmm_n16_ms=sextans_spmm.milliseconds,
+        design_rows=design_comparison_rows(),
+    )
+
+
+def render_table5(result: Table5Result) -> str:
+    """Render both halves of Table 5 as text."""
+    design_headers = [
+        "Accelerator",
+        "Kernel",
+        "#Ch. Sparse A",
+        "#Ch. Dense B/C (X/Y)",
+        "#Ch. Instr.",
+        "OoO NZ",
+        "Sharing Sparse A",
+        "Index Coalescing",
+        "Perf SpMV/SpMM",
+    ]
+    design_rows = [
+        [
+            row["accelerator"],
+            row["kernel"],
+            row["channels_sparse"],
+            row["channels_dense"],
+            row["channels_instr"],
+            row["ooo_nz"],
+            row["sharing_sparse"],
+            row["index_coalescing"],
+            row["perf_spmv_spmm"],
+        ]
+        for row in result.design_rows
+    ]
+    design = format_table(design_headers, design_rows, title="Design comparison")
+
+    latency_headers = ["Kernel", "Serpens (ms)", "Sextans (ms)", "Winner"]
+    latency_rows = [
+        [
+            "SpMV",
+            result.serpens_spmv_ms,
+            result.sextans_spmv_ms,
+            "Serpens" if result.serpens_spmv_ms < result.sextans_spmv_ms else "Sextans",
+        ],
+        [
+            "SpMM (N=16)",
+            result.serpens_spmm_n16_ms,
+            result.sextans_spmm_n16_ms,
+            "Serpens" if result.serpens_spmm_n16_ms < result.sextans_spmm_n16_ms else "Sextans",
+        ],
+    ]
+    latency = format_table(
+        latency_headers,
+        latency_rows,
+        title=f"SpMV vs SpMM latency on {result.spec.name} (scale={result.scale})",
+    )
+    return design + "\n\n" + latency

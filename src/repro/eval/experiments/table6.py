@@ -1,0 +1,79 @@
+"""Experiment: Table 6 — FPGA resource utilisation on the U280.
+
+Serpens' usage comes from this package's resource model (Eqs. 1–2 plus the
+calibrated logic model); the Sextans and GraphLily rows are the utilisations
+published for their bitstreams (we model their performance, not their RTL, so
+their resource numbers are reproduced as published constants and marked as
+such).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ...serpens import SERPENS_A16, SerpensConfig, U280_AVAILABLE, estimate_resources
+from ..reporting import format_table
+
+__all__ = ["Table6Result", "run_table6", "render_table6", "PUBLISHED_BASELINE_RESOURCES"]
+
+#: Published utilisation of the baseline bitstreams on the same U280 board
+#: (paper Table 6); reproduced as constants because we model the baselines'
+#: performance, not their RTL.
+PUBLISHED_BASELINE_RESOURCES: Dict[str, Dict[str, int]] = {
+    "Sextans": {"lut": 331_000, "ff": 594_000, "dsp": 3_233, "bram36": 1_238, "uram": 768},
+    "GraphLily": {"lut": 390_000, "ff": 493_000, "dsp": 723, "bram36": 417, "uram": 512},
+}
+
+
+@dataclass
+class Table6Result:
+    """Absolute usage and fractional utilisation per accelerator."""
+
+    usage: Dict[str, Dict[str, int]]
+    utilisation: Dict[str, Dict[str, float]]
+
+    def serpens_uses_less_than(self, baseline: str, resource: str) -> bool:
+        """Whether the Serpens build uses less of ``resource`` than a baseline."""
+        serpens_key = next(k for k in self.usage if k.startswith("Serpens"))
+        return self.usage[serpens_key][resource] < self.usage[baseline][resource]
+
+
+def run_table6(serpens_config: SerpensConfig = SERPENS_A16) -> Table6Result:
+    """Collect the resource table for the three accelerators."""
+    serpens_usage = estimate_resources(serpens_config)
+    usage: Dict[str, Dict[str, int]] = {
+        "Sextans": dict(PUBLISHED_BASELINE_RESOURCES["Sextans"]),
+        "GraphLily": dict(PUBLISHED_BASELINE_RESOURCES["GraphLily"]),
+        serpens_config.name: serpens_usage.as_dict(),
+    }
+    utilisation = {
+        name: {
+            "lut": values["lut"] / U280_AVAILABLE.lut,
+            "ff": values["ff"] / U280_AVAILABLE.ff,
+            "dsp": values["dsp"] / U280_AVAILABLE.dsp,
+            "bram36": values["bram36"] / U280_AVAILABLE.bram36,
+            "uram": values["uram"] / U280_AVAILABLE.uram,
+        }
+        for name, values in usage.items()
+    }
+    return Table6Result(usage=usage, utilisation=utilisation)
+
+
+def render_table6(result: Table6Result) -> str:
+    """Render the Table 6 layout: absolute counts with percentages."""
+    headers = ["Accelerator", "LUT", "FF", "DSP", "BRAM", "URAM"]
+    rows: List[List[str]] = []
+    for name, values in result.usage.items():
+        util = result.utilisation[name]
+        rows.append(
+            [
+                name,
+                f"{values['lut'] / 1000:.0f}K ({util['lut'] * 100:.0f}%)",
+                f"{values['ff'] / 1000:.0f}K ({util['ff'] * 100:.0f}%)",
+                f"{values['dsp']} ({util['dsp'] * 100:.0f}%)",
+                f"{values['bram36']} ({util['bram36'] * 100:.0f}%)",
+                f"{values['uram']} ({util['uram'] * 100:.0f}%)",
+            ]
+        )
+    return format_table(headers, rows, title="Resource utilisation on a Xilinx U280")

@@ -1,0 +1,91 @@
+"""Experiment: Table 8 — scaling Serpens to 24 sparse-matrix HBM channels.
+
+Section 4.4 scales the sparse-matrix channel allocation from 16 to 24
+(placed with TAPA + AutoBridge at 270 MHz) and reports, per matrix, the
+Serpens-A24 throughput in GFLOP/s and its improvement over GraphLily.  The
+paper's headline: up to 60.55 GFLOP/s and up to 3.79x over GraphLily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ...baselines import GraphLilyModel
+from ...metrics import ExecutionReport
+from ...serpens import SERPENS_A24, SerpensAccelerator, SerpensConfig
+from ..matrices import TWELVE_LARGE_MATRICES, MatrixSpec
+from ..reporting import format_table
+
+__all__ = ["Table8Result", "run_table8", "render_table8"]
+
+#: Default NNZ scale (matches table4.DEFAULT_SCALE).
+DEFAULT_SCALE = 0.05
+
+
+@dataclass
+class Table8Result:
+    """Per-matrix Serpens-A24 throughput and improvement over GraphLily."""
+
+    scale: float
+    serpens_reports: List[ExecutionReport]
+    graphlily_reports: List[ExecutionReport]
+
+    def gflops(self) -> Dict[str, float]:
+        """Serpens-A24 GFLOP/s per matrix."""
+        return {r.matrix_name: r.gflops for r in self.serpens_reports}
+
+    def improvements(self) -> Dict[str, float]:
+        """Throughput improvement over GraphLily per matrix."""
+        base = {r.matrix_name: r for r in self.graphlily_reports}
+        return {
+            r.matrix_name: r.mteps / base[r.matrix_name].mteps
+            for r in self.serpens_reports
+            if r.matrix_name in base and base[r.matrix_name].mteps > 0
+        }
+
+    @property
+    def peak_gflops(self) -> float:
+        """Highest Serpens-A24 throughput over the matrix set."""
+        return max(self.gflops().values())
+
+    @property
+    def max_improvement(self) -> float:
+        """Largest per-matrix improvement over GraphLily."""
+        return max(self.improvements().values())
+
+
+def run_table8(
+    scale: float = DEFAULT_SCALE,
+    serpens_config: SerpensConfig = SERPENS_A24,
+    matrices: Optional[Sequence[MatrixSpec]] = None,
+) -> Table8Result:
+    """Run Serpens-A24 and GraphLily across the twelve large matrices."""
+    matrices = list(matrices if matrices is not None else TWELVE_LARGE_MATRICES)
+    serpens = SerpensAccelerator(serpens_config)
+    graphlily = GraphLilyModel()
+
+    serpens_reports = []
+    graphlily_reports = []
+    for spec in matrices:
+        matrix = spec.materialize(scale=scale)
+        serpens_reports.append(serpens.estimate(matrix, spec.graph_id, model="detailed"))
+        graphlily_reports.append(graphlily.run_spmv(matrix, spec.graph_id))
+    return Table8Result(
+        scale=scale,
+        serpens_reports=serpens_reports,
+        graphlily_reports=graphlily_reports,
+    )
+
+
+def render_table8(result: Table8Result) -> str:
+    """Render the Table 8 layout."""
+    gflops = result.gflops()
+    improvements = result.improvements()
+    headers = ["Matrix", "Serpens-A24 (GFLOP/s)", "Improvement over GraphLily"]
+    rows = [
+        [name, gflops[name], improvements.get(name)]
+        for name in gflops
+    ]
+    rows.append(["Peak / Max", result.peak_gflops, result.max_improvement])
+    return format_table(headers, rows, title="Serpens-A24 scaling (24 HBM channels)")

@@ -1,0 +1,81 @@
+"""Plain-text table rendering for the experiment runners.
+
+Every experiment returns structured data (dictionaries / dataclasses); this
+module turns that data into aligned text tables so the benchmark harness can
+print output that reads like the paper's tables.  No third-party tabulation
+dependency is used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_float", "render_report_table"]
+
+Cell = Union[str, int, float, bool, None]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Compact float formatting used across all tables."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        magnitude = abs(value)
+        if magnitude >= 1000 or (0 < magnitude < 0.01):
+            return f"{value:.{digits}g}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _render_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return format_float(cell)
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned, pipe-separated text table."""
+    rendered_rows: List[List[str]] = [[_render_cell(c) for c in row] for row in rows]
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_line([str(h) for h in headers]))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def render_report_table(
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Sequence[str],
+    title: Optional[str] = None,
+    column_labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render a list of dictionaries selecting and ordering the given columns."""
+    labels = column_labels or {}
+    headers = [labels.get(col, col) for col in columns]
+    table_rows = [[row.get(col) for col in columns] for row in rows]
+    return format_table(headers, table_rows, title=title)

@@ -1,0 +1,24 @@
+"""Sparse matrix formats used throughout the Serpens reproduction.
+
+The accelerator pipeline consumes :class:`COOMatrix` streams; the CPU and GPU
+baselines consume :class:`CSRMatrix`; the segment partitioner uses
+:class:`CSCMatrix` views.  Matrix Market I/O is provided so users with real
+SuiteSparse downloads can feed them straight into the simulator.
+"""
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+from .csc import CSCMatrix
+from .ell import ELLMatrix, HybridMatrix
+from .matrix_market import MatrixMarketError, read_matrix_market, write_matrix_market
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "ELLMatrix",
+    "HybridMatrix",
+    "MatrixMarketError",
+    "read_matrix_market",
+    "write_matrix_market",
+]

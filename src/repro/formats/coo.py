@@ -1,0 +1,307 @@
+"""Coordinate (COO) sparse matrix container.
+
+The COO format stores each non-zero as an ``(row, column, value)`` triple.  It
+is the natural interchange format for the Serpens preprocessing pipeline
+because the accelerator consumes a *stream* of non-zero elements: the
+preprocessor reorders and pads that stream, and the simulator replays it.
+
+The container is intentionally lightweight: three parallel numpy arrays plus
+the matrix shape.  All heavy transformations (sorting, deduplication,
+conversions) return new objects so the inputs are never mutated in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["COOMatrix"]
+
+
+@dataclass
+class COOMatrix:
+    """A sparse matrix in coordinate format.
+
+    Parameters
+    ----------
+    num_rows, num_cols:
+        Matrix dimensions ``M`` and ``K`` in the paper's notation.
+    rows, cols:
+        Integer arrays of row / column indices, one entry per non-zero.
+    values:
+        Floating-point array of non-zero values, same length as ``rows``.
+    sorted_by:
+        Optional marker recording the ordering of the triples: ``"row"``,
+        ``"col"``, or ``None`` (unknown / unsorted).
+    """
+
+    num_rows: int
+    num_cols: int
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+    sorted_by: Optional[str] = field(default=None, compare=False)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.cols = np.asarray(self.cols, dtype=np.int64)
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if not (len(self.rows) == len(self.cols) == len(self.values)):
+            raise ValueError(
+                "rows, cols and values must have identical lengths, got "
+                f"{len(self.rows)}, {len(self.cols)}, {len(self.values)}"
+            )
+        if self.num_rows < 0 or self.num_cols < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        if len(self.rows) > 0:
+            if self.rows.min(initial=0) < 0 or self.cols.min(initial=0) < 0:
+                raise ValueError("negative indices are not allowed")
+            if self.rows.max(initial=-1) >= self.num_rows:
+                raise ValueError(
+                    f"row index {int(self.rows.max())} out of bounds for "
+                    f"{self.num_rows} rows"
+                )
+            if self.cols.max(initial=-1) >= self.num_cols:
+                raise ValueError(
+                    f"column index {int(self.cols.max())} out of bounds for "
+                    f"{self.num_cols} columns"
+                )
+
+    @classmethod
+    def from_triples(
+        cls,
+        num_rows: int,
+        num_cols: int,
+        triples: Sequence[Tuple[int, int, float]],
+    ) -> "COOMatrix":
+        """Build a matrix from an iterable of ``(row, col, value)`` triples."""
+        if len(triples) == 0:
+            return cls.empty(num_rows, num_cols)
+        rows, cols, values = zip(*triples)
+        return cls(num_rows, num_cols, np.array(rows), np.array(cols), np.array(values))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, tolerance: float = 0.0) -> "COOMatrix":
+        """Extract the non-zero structure of a dense 2-D array.
+
+        Entries with absolute value less than or equal to ``tolerance`` are
+        treated as zero and dropped.
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 2:
+            raise ValueError("from_dense expects a 2-D array")
+        mask = np.abs(dense) > tolerance
+        rows, cols = np.nonzero(mask)
+        return cls(dense.shape[0], dense.shape[1], rows, cols, dense[rows, cols])
+
+    @classmethod
+    def empty(cls, num_rows: int, num_cols: int) -> "COOMatrix":
+        """An all-zero matrix with the given shape."""
+        return cls(
+            num_rows,
+            num_cols,
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            sorted_by="row",
+        )
+
+    @classmethod
+    def identity(cls, n: int) -> "COOMatrix":
+        """The ``n`` by ``n`` identity matrix."""
+        idx = np.arange(n, dtype=np.int64)
+        return cls(n, n, idx, idx.copy(), np.ones(n), sorted_by="row")
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Matrix shape as ``(num_rows, num_cols)``."""
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero entries."""
+        return int(len(self.values))
+
+    @property
+    def density(self) -> float:
+        """Fraction of entries that are non-zero (0 for an empty shape)."""
+        cells = self.num_rows * self.num_cols
+        return self.nnz / cells if cells else 0.0
+
+    def nnz_per_row(self) -> np.ndarray:
+        """Histogram of non-zeros per row (length ``num_rows``)."""
+        return np.bincount(self.rows, minlength=self.num_rows).astype(np.int64)
+
+    def nnz_per_col(self) -> np.ndarray:
+        """Histogram of non-zeros per column (length ``num_cols``)."""
+        return np.bincount(self.cols, minlength=self.num_cols).astype(np.int64)
+
+    def iter_triples(self) -> Iterator[Tuple[int, int, float]]:
+        """Yield ``(row, col, value)`` triples in storage order."""
+        for r, c, v in zip(self.rows, self.cols, self.values):
+            yield int(r), int(c), float(v)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, float]]:
+        return self.iter_triples()
+
+    def __len__(self) -> int:
+        return self.nnz
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"COOMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"density={self.density:.2e}, sorted_by={self.sorted_by!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def copy(self) -> "COOMatrix":
+        """A deep copy of the matrix."""
+        return COOMatrix(
+            self.num_rows,
+            self.num_cols,
+            self.rows.copy(),
+            self.cols.copy(),
+            self.values.copy(),
+            sorted_by=self.sorted_by,
+        )
+
+    def sorted_by_row(self) -> "COOMatrix":
+        """Return a copy sorted by (row, col)."""
+        order = np.lexsort((self.cols, self.rows))
+        return COOMatrix(
+            self.num_rows,
+            self.num_cols,
+            self.rows[order],
+            self.cols[order],
+            self.values[order],
+            sorted_by="row",
+        )
+
+    def sorted_by_col(self) -> "COOMatrix":
+        """Return a copy sorted by (col, row)."""
+        order = np.lexsort((self.rows, self.cols))
+        return COOMatrix(
+            self.num_rows,
+            self.num_cols,
+            self.rows[order],
+            self.cols[order],
+            self.values[order],
+            sorted_by="col",
+        )
+
+    def deduplicated(self) -> "COOMatrix":
+        """Merge duplicate ``(row, col)`` entries by summing their values."""
+        if self.nnz == 0:
+            return self.copy()
+        keys = self.rows * self.num_cols + self.cols
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        values = self.values[order]
+        unique_keys, start = np.unique(keys, return_index=True)
+        summed = np.add.reduceat(values, start)
+        rows = unique_keys // self.num_cols
+        cols = unique_keys % self.num_cols
+        return COOMatrix(self.num_rows, self.num_cols, rows, cols, summed, sorted_by="row")
+
+    def without_explicit_zeros(self) -> "COOMatrix":
+        """Drop entries whose stored value is exactly zero."""
+        mask = self.values != 0.0
+        return COOMatrix(
+            self.num_rows,
+            self.num_cols,
+            self.rows[mask],
+            self.cols[mask],
+            self.values[mask],
+            sorted_by=self.sorted_by,
+        )
+
+    def transpose(self) -> "COOMatrix":
+        """The transposed matrix (rows and columns swapped)."""
+        return COOMatrix(
+            self.num_cols,
+            self.num_rows,
+            self.cols.copy(),
+            self.rows.copy(),
+            self.values.copy(),
+            sorted_by=None,
+        )
+
+    def scaled(self, alpha: float) -> "COOMatrix":
+        """Return ``alpha * A``."""
+        return COOMatrix(
+            self.num_rows,
+            self.num_cols,
+            self.rows.copy(),
+            self.cols.copy(),
+            self.values * float(alpha),
+            sorted_by=self.sorted_by,
+        )
+
+    def column_slice(self, col_start: int, col_end: int) -> "COOMatrix":
+        """Entries whose column index lies in ``[col_start, col_end)``.
+
+        The returned matrix keeps the original shape; only the set of stored
+        entries shrinks.  This is exactly the operation the segment
+        partitioner performs when splitting the matrix by x-vector segment.
+        """
+        if col_start < 0 or col_end < col_start:
+            raise ValueError("invalid column slice bounds")
+        mask = (self.cols >= col_start) & (self.cols < col_end)
+        return COOMatrix(
+            self.num_rows,
+            self.num_cols,
+            self.rows[mask],
+            self.cols[mask],
+            self.values[mask],
+            sorted_by=None,
+        )
+
+    def row_slice(self, row_start: int, row_end: int) -> "COOMatrix":
+        """Entries whose row index lies in ``[row_start, row_end)``."""
+        if row_start < 0 or row_end < row_start:
+            raise ValueError("invalid row slice bounds")
+        mask = (self.rows >= row_start) & (self.rows < row_end)
+        return COOMatrix(
+            self.num_rows,
+            self.num_cols,
+            self.rows[mask],
+            self.cols[mask],
+            self.values[mask],
+            sorted_by=None,
+        )
+
+    # ------------------------------------------------------------------
+    # Dense conversion and arithmetic used by tests
+    # ------------------------------------------------------------------
+    def to_dense(self) -> np.ndarray:
+        """Materialise the matrix as a dense 2-D numpy array."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        np.add.at(dense, (self.rows, self.cols), self.values)
+        return dense
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Plain ``A @ x`` computed directly from the triples."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.num_cols,):
+            raise ValueError(
+                f"vector length {x.shape} does not match {self.num_cols} columns"
+            )
+        y = np.zeros(self.num_rows, dtype=np.float64)
+        np.add.at(y, self.rows, self.values * x[self.cols])
+        return y
+
+    def allclose(self, other: "COOMatrix", rtol: float = 1e-9, atol: float = 1e-12) -> bool:
+        """Structural and numerical equality modulo ordering and duplicates."""
+        if self.shape != other.shape:
+            return False
+        return np.allclose(self.to_dense(), other.to_dense(), rtol=rtol, atol=atol)

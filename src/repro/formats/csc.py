@@ -1,0 +1,151 @@
+"""Compressed Sparse Column (CSC) matrix container.
+
+CSC is the column-major twin of CSR.  Serpens streams the matrix column-
+segment by column-segment (all non-zeros touching one x-vector segment are
+processed together), so a column-oriented view is the natural intermediate
+when the preprocessor partitions the matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from .coo import COOMatrix
+
+__all__ = ["CSCMatrix"]
+
+
+@dataclass
+class CSCMatrix:
+    """A sparse matrix in compressed sparse column format.
+
+    Attributes
+    ----------
+    num_rows, num_cols:
+        Matrix dimensions.
+    indptr:
+        Column pointer array of length ``num_cols + 1``.
+    indices:
+        Row indices, one entry per non-zero.
+    data:
+        Non-zero values, parallel to ``indices``.
+    """
+
+    num_rows: int
+    num_cols: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        if len(self.indptr) != self.num_cols + 1:
+            raise ValueError(
+                f"indptr must have length num_cols + 1 = {self.num_cols + 1}, "
+                f"got {len(self.indptr)}"
+            )
+        if len(self.indices) != len(self.data):
+            raise ValueError("indices and data must have identical lengths")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.data):
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_rows
+        ):
+            raise ValueError("row index out of bounds")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSCMatrix":
+        """Convert a :class:`COOMatrix` (duplicates are summed)."""
+        merged = coo.deduplicated() if coo.nnz else coo
+        order = np.lexsort((merged.rows, merged.cols))
+        rows = merged.rows[order]
+        cols = merged.cols[order]
+        vals = merged.values[order]
+        indptr = np.zeros(coo.num_cols + 1, dtype=np.int64)
+        counts = np.bincount(cols, minlength=coo.num_cols)
+        indptr[1:] = np.cumsum(counts)
+        return cls(coo.num_rows, coo.num_cols, indptr, rows, vals)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
+        """Convert a dense 2-D array."""
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Matrix shape as ``(num_rows, num_cols)``."""
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return int(len(self.data))
+
+    def col(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Row indices and values of column ``j``."""
+        if not 0 <= j < self.num_cols:
+            raise IndexError(f"column {j} out of range for {self.num_cols} columns")
+        start, end = self.indptr[j], self.indptr[j + 1]
+        return self.indices[start:end], self.data[start:end]
+
+    def col_lengths(self) -> np.ndarray:
+        """Number of non-zeros in each column."""
+        return np.diff(self.indptr)
+
+    def iter_cols(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(col_index, row_indices, values)`` for every column."""
+        for j in range(self.num_cols):
+            rows, vals = self.col(j)
+            yield j, rows, vals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    # ------------------------------------------------------------------
+    # Conversions and arithmetic
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        """Convert back to coordinate format (column-sorted)."""
+        cols = np.repeat(np.arange(self.num_cols, dtype=np.int64), np.diff(self.indptr))
+        return COOMatrix(
+            self.num_rows,
+            self.num_cols,
+            self.indices.copy(),
+            cols,
+            self.data.copy(),
+            sorted_by="col",
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array."""
+        return self.to_coo().to_dense()
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Plain ``A @ x`` by scaling columns of A with entries of x."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.num_cols,):
+            raise ValueError(
+                f"vector length {x.shape} does not match {self.num_cols} columns"
+            )
+        cols = np.repeat(np.arange(self.num_cols, dtype=np.int64), np.diff(self.indptr))
+        products = self.data * x[cols]
+        y = np.zeros(self.num_rows, dtype=np.float64)
+        np.add.at(y, self.indices, products)
+        return y
+
+    def transpose(self) -> "CSCMatrix":
+        """The transposed matrix, still in CSC layout."""
+        return CSCMatrix.from_coo(self.to_coo().transpose())

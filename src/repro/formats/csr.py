@@ -1,0 +1,152 @@
+"""Compressed Sparse Row (CSR) matrix container.
+
+CSR is the format consumed by the CPU reference SpMV and by the GPU baseline
+(cuSPARSE ``csrmv`` operates on CSR).  The container mirrors the classic
+three-array layout: ``indptr`` (row pointer), ``indices`` (column indices),
+``data`` (values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from .coo import COOMatrix
+
+__all__ = ["CSRMatrix"]
+
+
+@dataclass
+class CSRMatrix:
+    """A sparse matrix in compressed sparse row format.
+
+    Attributes
+    ----------
+    num_rows, num_cols:
+        Matrix dimensions.
+    indptr:
+        Row pointer array of length ``num_rows + 1``; row ``i`` occupies
+        positions ``indptr[i]:indptr[i + 1]`` of ``indices`` and ``data``.
+    indices:
+        Column indices, one entry per non-zero.
+    data:
+        Non-zero values, parallel to ``indices``.
+    """
+
+    num_rows: int
+    num_cols: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indptr = np.asarray(self.indptr, dtype=np.int64)
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        if len(self.indptr) != self.num_rows + 1:
+            raise ValueError(
+                f"indptr must have length num_rows + 1 = {self.num_rows + 1}, "
+                f"got {len(self.indptr)}"
+            )
+        if len(self.indices) != len(self.data):
+            raise ValueError("indices and data must have identical lengths")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.data):
+            raise ValueError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(self.indices) and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_cols
+        ):
+            raise ValueError("column index out of bounds")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        """Convert a :class:`COOMatrix` (duplicates are summed)."""
+        merged = coo.deduplicated() if coo.nnz else coo
+        order = np.lexsort((merged.cols, merged.rows))
+        rows = merged.rows[order]
+        cols = merged.cols[order]
+        vals = merged.values[order]
+        indptr = np.zeros(coo.num_rows + 1, dtype=np.int64)
+        counts = np.bincount(rows, minlength=coo.num_rows)
+        indptr[1:] = np.cumsum(counts)
+        return cls(coo.num_rows, coo.num_cols, indptr, cols, vals)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        """Convert a dense 2-D array."""
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Matrix shape as ``(num_rows, num_cols)``."""
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return int(len(self.data))
+
+    def row(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Column indices and values of row ``i``."""
+        if not 0 <= i < self.num_rows:
+            raise IndexError(f"row {i} out of range for {self.num_rows} rows")
+        start, end = self.indptr[i], self.indptr[i + 1]
+        return self.indices[start:end], self.data[start:end]
+
+    def row_lengths(self) -> np.ndarray:
+        """Number of non-zeros in each row."""
+        return np.diff(self.indptr)
+
+    def iter_rows(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(row_index, column_indices, values)`` for every row."""
+        for i in range(self.num_rows):
+            cols, vals = self.row(i)
+            yield i, cols, vals
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"
+
+    # ------------------------------------------------------------------
+    # Conversions and arithmetic
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        """Convert back to coordinate format (row-sorted)."""
+        rows = np.repeat(np.arange(self.num_rows, dtype=np.int64), np.diff(self.indptr))
+        return COOMatrix(
+            self.num_rows,
+            self.num_cols,
+            rows,
+            self.indices.copy(),
+            self.data.copy(),
+            sorted_by="row",
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array."""
+        return self.to_coo().to_dense()
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Plain ``A @ x`` using vectorised segment sums."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.num_cols,):
+            raise ValueError(
+                f"vector length {x.shape} does not match {self.num_cols} columns"
+            )
+        products = self.data * x[self.indices]
+        y = np.zeros(self.num_rows, dtype=np.float64)
+        rows = np.repeat(np.arange(self.num_rows, dtype=np.int64), np.diff(self.indptr))
+        np.add.at(y, rows, products)
+        return y
+
+    def transpose(self) -> "CSRMatrix":
+        """The transposed matrix, still in CSR layout."""
+        return CSRMatrix.from_coo(self.to_coo().transpose())

@@ -1,0 +1,202 @@
+"""ELLPACK (ELL) and hybrid ELL/COO sparse formats.
+
+ELL pads every row to the same number of entries and stores column indices
+and values as dense ``(num_rows, width)`` arrays.  GPUs like the K80 love the
+format (perfectly coalesced accesses) *until* a few long rows blow up the
+padding — which is exactly the pathology the paper's power-law graphs
+exhibit, and one of the structural reasons a CSR-based csrmv underperforms on
+them.  The hybrid (HYB) format caps the ELL width and spills the long-row
+tails to a COO part, the strategy cuSPARSE's hybmv uses.
+
+These formats let the GPU baseline discussion be made concrete (padding
+factors, spill fractions) and give the test suite another independent SpMV
+implementation to cross-check the golden kernel against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .coo import COOMatrix
+from .csr import CSRMatrix
+
+__all__ = ["ELLMatrix", "HybridMatrix"]
+
+
+@dataclass
+class ELLMatrix:
+    """A sparse matrix in ELLPACK layout.
+
+    Attributes
+    ----------
+    num_rows, num_cols:
+        Matrix dimensions.
+    indices:
+        Column indices, shape ``(num_rows, width)``; padded slots hold 0.
+    data:
+        Values, shape ``(num_rows, width)``; padded slots hold 0.0.
+    width:
+        Entries stored per row (the maximum row length at construction).
+    """
+
+    num_rows: int
+    num_cols: int
+    indices: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.data = np.asarray(self.data, dtype=np.float64)
+        if self.indices.shape != self.data.shape:
+            raise ValueError("indices and data must have identical shapes")
+        if self.indices.ndim != 2 or self.indices.shape[0] != self.num_rows:
+            raise ValueError(
+                f"ELL arrays must have shape (num_rows, width), got {self.indices.shape}"
+            )
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= max(self.num_cols, 1)
+        ):
+            raise ValueError("column index out of bounds")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, width: int = None) -> "ELLMatrix":
+        """Convert a COO matrix; ``width`` defaults to the longest row."""
+        csr = CSRMatrix.from_coo(coo)
+        row_lengths = csr.row_lengths()
+        max_len = int(row_lengths.max()) if len(row_lengths) else 0
+        width = max_len if width is None else width
+        if width < max_len:
+            raise ValueError(
+                f"width {width} is smaller than the longest row ({max_len}); "
+                "use HybridMatrix to cap the width"
+            )
+        indices = np.zeros((coo.num_rows, width), dtype=np.int64)
+        data = np.zeros((coo.num_rows, width), dtype=np.float64)
+        for i in range(coo.num_rows):
+            cols, vals = csr.row(i)
+            indices[i, : len(cols)] = cols
+            data[i, : len(vals)] = vals
+        return cls(coo.num_rows, coo.num_cols, indices, data)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Matrix shape."""
+        return (self.num_rows, self.num_cols)
+
+    @property
+    def width(self) -> int:
+        """Stored entries per row."""
+        return self.indices.shape[1] if self.indices.ndim == 2 else 0
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-padding entries."""
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def stored_entries(self) -> int:
+        """Total stored slots including padding."""
+        return int(self.data.size)
+
+    @property
+    def padding_factor(self) -> float:
+        """Stored slots per real non-zero (1.0 = no padding)."""
+        return self.stored_entries / self.nnz if self.nnz else 0.0
+
+    # ------------------------------------------------------------------
+    # Conversion and arithmetic
+    # ------------------------------------------------------------------
+    def to_coo(self) -> COOMatrix:
+        """Convert back to COO (padding dropped)."""
+        mask = self.data != 0.0
+        rows = np.nonzero(mask)[0]
+        return COOMatrix(
+            self.num_rows,
+            self.num_cols,
+            rows,
+            self.indices[mask],
+            self.data[mask],
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array."""
+        return self.to_coo().to_dense()
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Plain ``A @ x`` with the padded layout (column-major traversal)."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.num_cols,):
+            raise ValueError(
+                f"vector length {x.shape} does not match {self.num_cols} columns"
+            )
+        if self.width == 0:
+            return np.zeros(self.num_rows)
+        return (self.data * x[self.indices]).sum(axis=1)
+
+
+@dataclass
+class HybridMatrix:
+    """cuSPARSE-style hybrid format: a width-capped ELL part plus a COO tail."""
+
+    ell: ELLMatrix
+    tail: COOMatrix
+
+    @classmethod
+    def from_coo(cls, coo: COOMatrix, ell_width: int) -> "HybridMatrix":
+        """Split a matrix into an ELL part of ``ell_width`` and a COO tail."""
+        if ell_width < 0:
+            raise ValueError("ell_width must be non-negative")
+        csr = CSRMatrix.from_coo(coo)
+        ell_indices = np.zeros((coo.num_rows, ell_width), dtype=np.int64)
+        ell_data = np.zeros((coo.num_rows, ell_width), dtype=np.float64)
+        tail_rows, tail_cols, tail_vals = [], [], []
+        for i in range(coo.num_rows):
+            cols, vals = csr.row(i)
+            head = min(len(cols), ell_width)
+            ell_indices[i, :head] = cols[:head]
+            ell_data[i, :head] = vals[:head]
+            if len(cols) > ell_width:
+                tail_rows.extend([i] * (len(cols) - ell_width))
+                tail_cols.extend(cols[ell_width:].tolist())
+                tail_vals.extend(vals[ell_width:].tolist())
+        ell = ELLMatrix(coo.num_rows, coo.num_cols, ell_indices, ell_data)
+        tail = COOMatrix(
+            coo.num_rows,
+            coo.num_cols,
+            np.array(tail_rows, dtype=np.int64),
+            np.array(tail_cols, dtype=np.int64),
+            np.array(tail_vals, dtype=np.float64),
+        )
+        return cls(ell=ell, tail=tail)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Matrix shape."""
+        return self.ell.shape
+
+    @property
+    def nnz(self) -> int:
+        """Total non-zeros across the ELL and COO parts."""
+        return self.ell.nnz + self.tail.nnz
+
+    @property
+    def spill_fraction(self) -> float:
+        """Fraction of non-zeros that fell into the COO tail."""
+        return self.tail.nnz / self.nnz if self.nnz else 0.0
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Plain ``A @ x`` combining both parts."""
+        return self.ell.matvec(x) + self.tail.matvec(np.asarray(x, dtype=np.float64))
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise as a dense array."""
+        return self.ell.to_dense() + self.tail.to_dense()

@@ -1,0 +1,133 @@
+"""Matrix Market (``.mtx``) reader and writer.
+
+SuiteSparse distributes matrices in the Matrix Market exchange format, so a
+reproduction that wants to run on *real* SuiteSparse downloads (when a user has
+them locally) needs an I/O layer.  Only the ``matrix coordinate`` flavour is
+supported — that covers every SuiteSparse sparse matrix — with ``real``,
+``integer`` and ``pattern`` fields and ``general`` / ``symmetric`` /
+``skew-symmetric`` symmetries.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO, Iterable, List, Tuple, Union
+
+import numpy as np
+
+from .coo import COOMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market", "MatrixMarketError"]
+
+
+class MatrixMarketError(ValueError):
+    """Raised when a Matrix Market file is malformed or unsupported."""
+
+
+_SUPPORTED_FIELDS = {"real", "integer", "pattern"}
+_SUPPORTED_SYMMETRIES = {"general", "symmetric", "skew-symmetric"}
+
+
+def _open_text(path: Union[str, Path]) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt")
+    return open(path, "r")
+
+
+def _parse_header(line: str) -> Tuple[str, str, str]:
+    parts = line.strip().split()
+    if len(parts) != 5 or parts[0] != "%%MatrixMarket" or parts[1].lower() != "matrix":
+        raise MatrixMarketError(f"not a MatrixMarket matrix header: {line.strip()!r}")
+    layout, field, symmetry = parts[2].lower(), parts[3].lower(), parts[4].lower()
+    if layout != "coordinate":
+        raise MatrixMarketError(f"unsupported layout {layout!r}; only 'coordinate' is supported")
+    if field not in _SUPPORTED_FIELDS:
+        raise MatrixMarketError(f"unsupported field {field!r}")
+    if symmetry not in _SUPPORTED_SYMMETRIES:
+        raise MatrixMarketError(f"unsupported symmetry {symmetry!r}")
+    return layout, field, symmetry
+
+
+def read_matrix_market(path: Union[str, Path]) -> COOMatrix:
+    """Read a ``.mtx`` (optionally ``.mtx.gz``) file into a :class:`COOMatrix`.
+
+    Symmetric and skew-symmetric matrices are expanded to their full general
+    form, which is what every accelerator model in this package consumes.
+    """
+    with _open_text(path) as handle:
+        header = handle.readline()
+        if not header:
+            raise MatrixMarketError("empty file")
+        __, field, symmetry = _parse_header(header)
+
+        size_line = ""
+        for line in handle:
+            stripped = line.strip()
+            if stripped and not stripped.startswith("%"):
+                size_line = stripped
+                break
+        if not size_line:
+            raise MatrixMarketError("missing size line")
+        try:
+            num_rows, num_cols, nnz = (int(tok) for tok in size_line.split())
+        except ValueError as exc:
+            raise MatrixMarketError(f"malformed size line: {size_line!r}") from exc
+
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("%"):
+                continue
+            tokens = stripped.split()
+            if field == "pattern":
+                if len(tokens) < 2:
+                    raise MatrixMarketError(f"malformed entry: {stripped!r}")
+                r, c = int(tokens[0]), int(tokens[1])
+                v = 1.0
+            else:
+                if len(tokens) < 3:
+                    raise MatrixMarketError(f"malformed entry: {stripped!r}")
+                r, c = int(tokens[0]), int(tokens[1])
+                v = float(tokens[2])
+            rows.append(r - 1)
+            cols.append(c - 1)
+            vals.append(v)
+
+    if len(rows) != nnz:
+        raise MatrixMarketError(
+            f"header promises {nnz} entries but file contains {len(rows)}"
+        )
+
+    rows_arr = np.array(rows, dtype=np.int64)
+    cols_arr = np.array(cols, dtype=np.int64)
+    vals_arr = np.array(vals, dtype=np.float64)
+
+    if symmetry in ("symmetric", "skew-symmetric"):
+        off_diag = rows_arr != cols_arr
+        mirror_sign = -1.0 if symmetry == "skew-symmetric" else 1.0
+        rows_arr = np.concatenate([rows_arr, cols_arr[off_diag]])
+        cols_arr = np.concatenate([cols_arr, rows_arr[: nnz][off_diag]])
+        vals_arr = np.concatenate([vals_arr, mirror_sign * vals_arr[off_diag]])
+
+    return COOMatrix(num_rows, num_cols, rows_arr, cols_arr, vals_arr)
+
+
+def write_matrix_market(
+    path: Union[str, Path],
+    matrix: COOMatrix,
+    comments: Iterable[str] = (),
+) -> None:
+    """Write a :class:`COOMatrix` as a ``coordinate real general`` file."""
+    path = Path(path)
+    sorted_matrix = matrix.sorted_by_row()
+    with open(path, "w") as handle:
+        handle.write("%%MatrixMarket matrix coordinate real general\n")
+        for comment in comments:
+            handle.write(f"% {comment}\n")
+        handle.write(f"{matrix.num_rows} {matrix.num_cols} {matrix.nnz}\n")
+        for r, c, v in sorted_matrix.iter_triples():
+            handle.write(f"{r + 1} {c + 1} {v!r}\n")

@@ -1,0 +1,43 @@
+"""Synthetic sparse matrix generators.
+
+These stand in for the SNAP / OGB / SuiteSparse matrices evaluated in the
+paper: uniform random matrices, R-MAT power-law graphs, banded / block /
+Laplacian structured matrices, and a sampler producing a SuiteSparse-like
+collection for the Figure 3 sweep.
+"""
+
+from .random_uniform import (
+    random_diagonal_dominant,
+    random_uniform,
+    random_with_dense_rows,
+)
+from .rmat import rmat_adjacency, rmat_edges, rmat_graph
+from .structured import (
+    banded_matrix,
+    block_sparse_matrix,
+    laplacian_2d,
+    laplacian_3d,
+    tridiagonal,
+)
+from .suite import (
+    CollectionEntry,
+    SuiteSparseLikeCollection,
+    sample_collection,
+)
+
+__all__ = [
+    "random_uniform",
+    "random_with_dense_rows",
+    "random_diagonal_dominant",
+    "rmat_graph",
+    "rmat_edges",
+    "rmat_adjacency",
+    "banded_matrix",
+    "block_sparse_matrix",
+    "laplacian_2d",
+    "laplacian_3d",
+    "tridiagonal",
+    "CollectionEntry",
+    "SuiteSparseLikeCollection",
+    "sample_collection",
+]

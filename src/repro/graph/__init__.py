@@ -1,0 +1,5 @@
+"""Graph kernels built on (generalized) SpMV: BFS, SSSP and PageRank."""
+
+from .algorithms import IterationTrace, bfs_levels, pagerank, sssp_distances
+
+__all__ = ["IterationTrace", "bfs_levels", "sssp_distances", "pagerank"]

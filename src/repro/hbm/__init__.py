@@ -1,0 +1,43 @@
+"""High-bandwidth-memory and board-level memory system models."""
+
+from .channel import (
+    DDR4_CHANNEL,
+    HBM_CHANNEL,
+    ChannelConfig,
+    MemoryChannel,
+    RandomAccessError,
+)
+from .stack import (
+    BoardMemorySystem,
+    ChannelAllocationError,
+    HBMStack,
+    U280_NUM_HBM_CHANNELS,
+)
+from .stream import (
+    FLOATS_PER_WORD,
+    SPARSE_ELEMENTS_PER_WORD,
+    SparseElementStream,
+    VectorReadStream,
+    VectorWriteStream,
+    words_for_nnz,
+    words_for_vector,
+)
+
+__all__ = [
+    "ChannelConfig",
+    "MemoryChannel",
+    "RandomAccessError",
+    "HBM_CHANNEL",
+    "DDR4_CHANNEL",
+    "HBMStack",
+    "BoardMemorySystem",
+    "ChannelAllocationError",
+    "U280_NUM_HBM_CHANNELS",
+    "FLOATS_PER_WORD",
+    "SPARSE_ELEMENTS_PER_WORD",
+    "VectorReadStream",
+    "VectorWriteStream",
+    "SparseElementStream",
+    "words_for_vector",
+    "words_for_nnz",
+]

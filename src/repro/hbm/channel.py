@@ -1,0 +1,160 @@
+"""Single memory channel models (HBM2 pseudo-channel and DDR4).
+
+Serpens only ever issues *sequential* streams to off-chip memory (Section
+3.2 of the paper), so the channel model is deliberately simple: a channel
+delivers one bus word (default 512 bits) per clock cycle after an initial
+access latency, and the model tracks how many bytes moved so that effective
+bandwidth and bandwidth efficiency can be reported.
+
+A channel refuses random (non-sequential) accesses unless explicitly allowed:
+this encodes the paper's key design constraint that all random accessing is
+confined to on-chip BRAM/URAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["ChannelConfig", "MemoryChannel", "RandomAccessError", "HBM_CHANNEL", "DDR4_CHANNEL"]
+
+
+class RandomAccessError(RuntimeError):
+    """Raised when a module issues a random access to a streaming-only channel."""
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Static parameters of one memory channel.
+
+    Attributes
+    ----------
+    name:
+        Channel family name ("HBM2" / "DDR4").
+    bus_bits:
+        Width of the data bus presented to the accelerator (512 for the AXI
+        port of the U280 HBM channels).
+    bandwidth_gbps:
+        Peak sustained bandwidth of the channel in GB/s.
+    access_latency_cycles:
+        Pipeline fill latency before the first word of a stream arrives.
+    allow_random_access:
+        Whether random (non-sequential) requests are legal.  Off-chip HBM in
+        Serpens never sees random accesses.
+    """
+
+    name: str = "HBM2"
+    bus_bits: int = 512
+    bandwidth_gbps: float = 14.375
+    access_latency_cycles: int = 64
+    allow_random_access: bool = False
+
+    @property
+    def bus_bytes(self) -> int:
+        """Bus width in bytes."""
+        return self.bus_bits // 8
+
+    def words_for_bytes(self, num_bytes: int) -> int:
+        """Number of bus words needed to move ``num_bytes`` sequentially."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return (num_bytes + self.bus_bytes - 1) // self.bus_bytes
+
+
+#: Default U280 HBM2 pseudo-channel: 32 channels share ~460 GB/s -> ~14.4 GB/s each.
+HBM_CHANNEL = ChannelConfig(name="HBM2", bus_bits=512, bandwidth_gbps=14.375)
+
+#: Default DDR4 channel on U280/U250-class boards: ~19.2 GB/s per channel.
+DDR4_CHANNEL = ChannelConfig(
+    name="DDR4", bus_bits=512, bandwidth_gbps=19.2, access_latency_cycles=96
+)
+
+
+@dataclass
+class MemoryChannel:
+    """A single memory channel with stream-traffic accounting.
+
+    The channel does not store data — the simulator keeps matrix/vector
+    payloads in numpy arrays — it accounts for *traffic* and converts it into
+    cycles, which is all the performance model needs.
+    """
+
+    config: ChannelConfig = field(default_factory=lambda: HBM_CHANNEL)
+    channel_id: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    read_transactions: int = 0
+    write_transactions: int = 0
+    _stream_log: List[Tuple[str, int]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Streaming interface
+    # ------------------------------------------------------------------
+    def stream_read(self, num_bytes: int) -> int:
+        """Account for a sequential read burst; returns the cycle cost.
+
+        The cycle cost is the number of bus words, plus the one-off access
+        latency for the burst.  Streams in Serpens are long (megabytes), so
+        the latency term is negligible exactly as the paper argues.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        words = self.config.words_for_bytes(num_bytes)
+        self.bytes_read += num_bytes
+        self.read_transactions += 1
+        self._stream_log.append(("read", num_bytes))
+        if words == 0:
+            return 0
+        return words + self.config.access_latency_cycles
+
+    def stream_write(self, num_bytes: int) -> int:
+        """Account for a sequential write burst; returns the cycle cost."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        words = self.config.words_for_bytes(num_bytes)
+        self.bytes_written += num_bytes
+        self.write_transactions += 1
+        self._stream_log.append(("write", num_bytes))
+        if words == 0:
+            return 0
+        return words + self.config.access_latency_cycles
+
+    def random_read(self, num_bytes: int) -> int:
+        """A random access — illegal on streaming-only channels.
+
+        The GPU baseline model uses channels with ``allow_random_access=True``
+        to represent cache-line-granularity gathers.
+        """
+        if not self.config.allow_random_access:
+            raise RandomAccessError(
+                f"channel {self.channel_id} ({self.config.name}) only accepts "
+                "sequential streams; Serpens never issues random off-chip accesses"
+            )
+        self.bytes_read += num_bytes
+        self.read_transactions += 1
+        self._stream_log.append(("random_read", num_bytes))
+        return self.config.words_for_bytes(num_bytes) + self.config.access_latency_cycles
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """All bytes moved through this channel."""
+        return self.bytes_read + self.bytes_written
+
+    def reset(self) -> None:
+        """Clear all traffic counters."""
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.read_transactions = 0
+        self.write_transactions = 0
+        self._stream_log.clear()
+
+    def transfer_seconds(self) -> float:
+        """Wall-clock seconds needed to move the recorded traffic at peak bandwidth."""
+        return self.total_bytes / (self.config.bandwidth_gbps * 1e9)
+
+    def stream_log(self) -> List[Tuple[str, int]]:
+        """The ordered list of (operation, bytes) bursts seen by the channel."""
+        return list(self._stream_log)

@@ -1,0 +1,173 @@
+"""HBM stack and board-level memory system models.
+
+A Xilinx Alveo U280 exposes 32 HBM pseudo-channels (two stacks of 16) plus two
+DDR4 channels.  An accelerator claims a subset of channels; the stack model
+tracks that allocation, aggregates traffic, and reports the utilized bandwidth
+figure the paper quotes (e.g. 19 channels -> 273 GB/s for Serpens-A16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .channel import DDR4_CHANNEL, HBM_CHANNEL, ChannelConfig, MemoryChannel
+
+__all__ = ["HBMStack", "BoardMemorySystem", "ChannelAllocationError", "U280_NUM_HBM_CHANNELS"]
+
+#: Number of HBM pseudo-channels on an Alveo U280.
+U280_NUM_HBM_CHANNELS = 32
+
+#: Number of DDR4 channels on an Alveo U280.
+U280_NUM_DDR_CHANNELS = 2
+
+
+class ChannelAllocationError(RuntimeError):
+    """Raised when an accelerator requests more channels than the board has."""
+
+
+@dataclass
+class HBMStack:
+    """A collection of identical HBM pseudo-channels."""
+
+    num_channels: int = U280_NUM_HBM_CHANNELS
+    config: ChannelConfig = field(default_factory=lambda: HBM_CHANNEL)
+    channels: List[MemoryChannel] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        if not self.channels:
+            self.channels = [
+                MemoryChannel(config=self.config, channel_id=i)
+                for i in range(self.num_channels)
+            ]
+
+    def __len__(self) -> int:
+        return self.num_channels
+
+    def __getitem__(self, idx: int) -> MemoryChannel:
+        return self.channels[idx]
+
+    @property
+    def total_bandwidth_gbps(self) -> float:
+        """Aggregate peak bandwidth of all channels in the stack."""
+        return self.num_channels * self.config.bandwidth_gbps
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes moved through the stack."""
+        return sum(ch.total_bytes for ch in self.channels)
+
+    def reset(self) -> None:
+        """Clear traffic counters on every channel."""
+        for ch in self.channels:
+            ch.reset()
+
+
+@dataclass
+class BoardMemorySystem:
+    """The full memory system of an FPGA board (HBM stack + DDR channels).
+
+    Accelerator models allocate named roles ("sparse_A", "dense_x", ...) to
+    channels; the allocation is validated against the physical channel count
+    and the utilized-bandwidth figure is derived from it.
+    """
+
+    hbm: HBMStack = field(default_factory=HBMStack)
+    num_ddr_channels: int = U280_NUM_DDR_CHANNELS
+    ddr_config: ChannelConfig = field(default_factory=lambda: DDR4_CHANNEL)
+    ddr_channels: List[MemoryChannel] = field(default_factory=list)
+    _allocations: Dict[str, List[MemoryChannel]] = field(default_factory=dict)
+    _next_hbm: int = 0
+    _next_ddr: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.ddr_channels:
+            self.ddr_channels = [
+                MemoryChannel(config=self.ddr_config, channel_id=1000 + i)
+                for i in range(self.num_ddr_channels)
+            ]
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate(self, role: str, count: int, kind: str = "hbm") -> List[MemoryChannel]:
+        """Reserve ``count`` channels of ``kind`` ("hbm" or "ddr") for ``role``.
+
+        Channels are handed out in physical order, mirroring how the HLS
+        design binds AXI ports to pseudo-channels.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if kind == "hbm":
+            if self._next_hbm + count > len(self.hbm):
+                raise ChannelAllocationError(
+                    f"requested {count} HBM channels for {role!r} but only "
+                    f"{len(self.hbm) - self._next_hbm} remain"
+                )
+            selected = self.hbm.channels[self._next_hbm : self._next_hbm + count]
+            self._next_hbm += count
+        elif kind == "ddr":
+            if self._next_ddr + count > len(self.ddr_channels):
+                raise ChannelAllocationError(
+                    f"requested {count} DDR channels for {role!r} but only "
+                    f"{len(self.ddr_channels) - self._next_ddr} remain"
+                )
+            selected = self.ddr_channels[self._next_ddr : self._next_ddr + count]
+            self._next_ddr += count
+        else:
+            raise ValueError(f"unknown channel kind {kind!r}")
+        self._allocations.setdefault(role, []).extend(selected)
+        return selected
+
+    def allocation(self, role: str) -> List[MemoryChannel]:
+        """Channels previously allocated under ``role``."""
+        return list(self._allocations.get(role, []))
+
+    def allocation_table(self) -> Dict[str, int]:
+        """Channel counts per role — the paper's Table 5 upper half."""
+        return {role: len(chs) for role, chs in self._allocations.items()}
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def allocated_channel_count(self) -> int:
+        """Total number of channels claimed by the accelerator."""
+        return sum(len(chs) for chs in self._allocations.values())
+
+    @property
+    def utilized_bandwidth_gbps(self) -> float:
+        """Aggregate peak bandwidth of the allocated channels.
+
+        This is the "utilized bandwidth" figure in the paper's Table 2 (e.g.
+        19 HBM channels ~= 273 GB/s for Serpens-A16).
+        """
+        total = 0.0
+        for channels in self._allocations.values():
+            for ch in channels:
+                total += ch.config.bandwidth_gbps
+        return total
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes moved through the allocated channels."""
+        total = 0
+        for channels in self._allocations.values():
+            for ch in channels:
+                total += ch.total_bytes
+        return total
+
+    def reset_traffic(self) -> None:
+        """Clear traffic counters on every channel (allocation is kept)."""
+        self.hbm.reset()
+        for ch in self.ddr_channels:
+            ch.reset()
+
+    def traffic_by_role(self) -> Dict[str, int]:
+        """Bytes moved per allocation role."""
+        return {
+            role: sum(ch.total_bytes for ch in channels)
+            for role, channels in self._allocations.items()
+        }

@@ -1,0 +1,150 @@
+"""Word-level stream helpers used by the cycle-accurate simulator.
+
+The Rd/Wr modules of Serpens move 512-bit words.  A word carries either 16
+packed FP32 vector elements or 8 encoded 64-bit sparse elements.  These
+helpers chop numpy payloads into word-sized chunks and keep per-stream cycle
+accounting so the simulator can overlap streams the same way the hardware
+does (all Rd/Wr modules run concurrently; the slowest stream bounds the
+phase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FLOATS_PER_WORD",
+    "SPARSE_ELEMENTS_PER_WORD",
+    "VectorReadStream",
+    "VectorWriteStream",
+    "SparseElementStream",
+    "words_for_vector",
+    "words_for_nnz",
+]
+
+#: 512-bit word / 32-bit float.
+FLOATS_PER_WORD = 16
+
+#: 512-bit word / 64-bit encoded sparse element.
+SPARSE_ELEMENTS_PER_WORD = 8
+
+
+def words_for_vector(length: int) -> int:
+    """Bus words needed to stream a dense FP32 vector of ``length`` elements."""
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    return (length + FLOATS_PER_WORD - 1) // FLOATS_PER_WORD
+
+
+def words_for_nnz(nnz: int) -> int:
+    """Bus words needed to stream ``nnz`` encoded sparse elements."""
+    if nnz < 0:
+        raise ValueError("nnz must be non-negative")
+    return (nnz + SPARSE_ELEMENTS_PER_WORD - 1) // SPARSE_ELEMENTS_PER_WORD
+
+
+@dataclass
+class VectorReadStream:
+    """Streams a dense vector from one channel, 16 floats per cycle."""
+
+    data: np.ndarray
+    name: str = "vector"
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.float64)
+        if self.data.ndim != 1:
+            raise ValueError("vector streams are one-dimensional")
+
+    @property
+    def num_words(self) -> int:
+        """Number of 512-bit words in the stream."""
+        return words_for_vector(len(self.data))
+
+    @property
+    def num_bytes(self) -> int:
+        """Payload size in bytes (FP32 storage)."""
+        return 4 * len(self.data)
+
+    def iter_words(self) -> Iterator[np.ndarray]:
+        """Yield successive word-sized slices (the last may be short)."""
+        for start in range(0, len(self.data), FLOATS_PER_WORD):
+            yield self.data[start : start + FLOATS_PER_WORD]
+
+    def segment(self, start: int, length: int) -> "VectorReadStream":
+        """A sub-stream covering ``data[start:start + length]``."""
+        return VectorReadStream(self.data[start : start + length], name=self.name)
+
+
+@dataclass
+class VectorWriteStream:
+    """Collects 16-float words written back to one channel."""
+
+    length: int
+    name: str = "y_out"
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise ValueError("length must be non-negative")
+        self.buffer = np.zeros(self.length, dtype=np.float64)
+        self.words_written = 0
+
+    @property
+    def num_words(self) -> int:
+        """Words required to drain the full vector."""
+        return words_for_vector(self.length)
+
+    @property
+    def num_bytes(self) -> int:
+        """Payload size in bytes (FP32 storage)."""
+        return 4 * self.length
+
+    def write_word(self, offset: int, values: Sequence[float]) -> None:
+        """Store one word's worth of results starting at element ``offset``."""
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) > FLOATS_PER_WORD:
+            raise ValueError("a write word carries at most 16 floats")
+        end = offset + len(values)
+        if offset < 0 or end > self.length:
+            raise ValueError(f"write [{offset}, {end}) outside vector of length {self.length}")
+        self.buffer[offset:end] = values
+        self.words_written += 1
+
+    def result(self) -> np.ndarray:
+        """The assembled output vector."""
+        return self.buffer.copy()
+
+
+@dataclass
+class SparseElementStream:
+    """Streams encoded sparse elements from one channel, 8 per cycle.
+
+    The payload is whatever element record type the preprocessor produced
+    (``EncodedElement`` instances or structured numpy rows); the stream only
+    deals in counts and word boundaries.
+    """
+
+    elements: Sequence
+    name: str = "sparse_A"
+
+    @property
+    def nnz(self) -> int:
+        """Number of elements in the stream, including padding elements."""
+        return len(self.elements)
+
+    @property
+    def num_words(self) -> int:
+        """Number of 512-bit words in the stream."""
+        return words_for_nnz(self.nnz)
+
+    @property
+    def num_bytes(self) -> int:
+        """Payload size in bytes (8 bytes per encoded element)."""
+        return 8 * self.nnz
+
+    def iter_words(self) -> Iterator[List]:
+        """Yield successive groups of up to 8 elements (one bus word each)."""
+        for start in range(0, self.nnz, SPARSE_ELEMENTS_PER_WORD):
+            yield list(self.elements[start : start + SPARSE_ELEMENTS_PER_WORD])

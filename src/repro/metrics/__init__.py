@@ -1,0 +1,31 @@
+"""Performance metrics: execution reports, aggregation and power models."""
+
+from .aggregate import (
+    geomean,
+    geomean_metric,
+    improvement,
+    paired_improvements,
+    summarize_reports,
+)
+from .power import (
+    GRAPHLILY_POWER,
+    K80_POWER,
+    SERPENS_POWER,
+    SEXTANS_POWER,
+    PowerModel,
+)
+from .stats import ExecutionReport
+
+__all__ = [
+    "ExecutionReport",
+    "geomean",
+    "improvement",
+    "geomean_metric",
+    "summarize_reports",
+    "paired_improvements",
+    "PowerModel",
+    "SERPENS_POWER",
+    "SEXTANS_POWER",
+    "GRAPHLILY_POWER",
+    "K80_POWER",
+]

@@ -1,0 +1,100 @@
+"""Aggregation helpers: geometric means and improvement ratios.
+
+The paper reports geomean throughput, geomean bandwidth efficiency and
+geomean energy efficiency across matrices, and improvement ratios of Serpens
+over each baseline.  These helpers centralise that arithmetic so every table
+generator uses identical conventions (unsupported runs are excluded, exactly
+as the paper excludes the matrices Sextans cannot run).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .stats import ExecutionReport
+
+__all__ = ["geomean", "improvement", "geomean_metric", "summarize_reports"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; 0.0 for an empty input."""
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def improvement(ours: float, baseline: float) -> float:
+    """Ratio ``ours / baseline`` (the paper's "Improvement" rows)."""
+    if baseline <= 0:
+        raise ValueError("baseline metric must be positive")
+    return ours / baseline
+
+
+def geomean_metric(reports: Sequence[ExecutionReport], metric: str) -> float:
+    """Geomean of one metric across supported reports.
+
+    ``metric`` is the name of an :class:`ExecutionReport` property, e.g.
+    ``"mteps"`` or ``"bandwidth_efficiency"``.
+    """
+    values = [getattr(r, metric) for r in reports if r.supported]
+    return geomean(values)
+
+
+def summarize_reports(
+    reports_by_accelerator: Dict[str, Sequence[ExecutionReport]],
+    metric: str = "mteps",
+    reference: Optional[str] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Per-accelerator geomean summary with optional improvement column.
+
+    Parameters
+    ----------
+    reports_by_accelerator:
+        Mapping of accelerator name to its per-matrix reports.
+    metric:
+        Report property to aggregate.
+    reference:
+        When given, the accelerator whose metric the others are compared to
+        (the paper compares everything to GraphLily in Table 4).
+    """
+    summary: Dict[str, Dict[str, float]] = {}
+    ref_value = None
+    if reference is not None:
+        if reference not in reports_by_accelerator:
+            raise KeyError(f"reference accelerator {reference!r} not in reports")
+        ref_value = geomean_metric(reports_by_accelerator[reference], metric)
+
+    for name, reports in reports_by_accelerator.items():
+        supported = [r for r in reports if r.supported]
+        value = geomean_metric(reports, metric)
+        entry = {
+            "geomean": value,
+            "supported_matrices": float(len(supported)),
+            "total_matrices": float(len(reports)),
+        }
+        if ref_value:
+            entry["vs_reference"] = value / ref_value if ref_value else float("nan")
+        summary[name] = entry
+    return summary
+
+
+def paired_improvements(
+    ours: Sequence[ExecutionReport],
+    baseline: Sequence[ExecutionReport],
+    metric: str = "mteps",
+) -> List[float]:
+    """Per-matrix improvement ratios over matrices both accelerators support."""
+    base_by_matrix = {r.matrix_name: r for r in baseline if r.supported}
+    ratios = []
+    for report in ours:
+        if not report.supported:
+            continue
+        base = base_by_matrix.get(report.matrix_name)
+        if base is None:
+            continue
+        ratios.append(improvement(getattr(report, metric), getattr(base, metric)))
+    return ratios

@@ -1,0 +1,105 @@
+"""Power models for the evaluated accelerators.
+
+The paper measures steady board power with ``xbutil`` (FPGAs) and
+``nvidia-smi`` (GPU) and reports a single wattage per accelerator in Table 2.
+Energy efficiency is then throughput divided by that wattage.  This module
+reproduces that convention with a small activity-based refinement available
+for ablations: base (static + infrastructure) power plus a dynamic component
+proportional to the utilized channel count and PE activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PowerModel", "SERPENS_POWER", "SEXTANS_POWER", "GRAPHLILY_POWER", "K80_POWER"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Board-level power model.
+
+    Attributes
+    ----------
+    name:
+        Accelerator the model describes.
+    board_watts:
+        The measured steady board power the paper reports (used for the
+        headline energy-efficiency numbers).
+    static_watts:
+        Static + shell power, used only by the activity-based estimate.
+    watts_per_channel:
+        Dynamic power per active memory channel (activity-based estimate).
+    watts_per_pe:
+        Dynamic power per active processing engine (activity-based estimate).
+    """
+
+    name: str
+    board_watts: float
+    static_watts: float = 0.0
+    watts_per_channel: float = 0.0
+    watts_per_pe: float = 0.0
+
+    def measured(self) -> float:
+        """The Table 2 wattage: what energy-efficiency metrics divide by."""
+        return self.board_watts
+
+    def estimate(self, active_channels: int, active_pes: int, activity: float = 1.0) -> float:
+        """Activity-based estimate for scaling studies.
+
+        Parameters
+        ----------
+        active_channels:
+            Memory channels in use.
+        active_pes:
+            Processing engines in use.
+        activity:
+            Average PE duty cycle in [0, 1].
+        """
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError("activity must be in [0, 1]")
+        if active_channels < 0 or active_pes < 0:
+            raise ValueError("counts must be non-negative")
+        return (
+            self.static_watts
+            + self.watts_per_channel * active_channels
+            + self.watts_per_pe * active_pes * activity
+        )
+
+
+#: Serpens-A16 on U280: 48 W measured (Table 2).  The activity split assumes
+#: ~20 W shell/static, ~1 W per HBM channel, and the rest across the 128 PEs.
+SERPENS_POWER = PowerModel(
+    name="Serpens",
+    board_watts=48.0,
+    static_watts=20.0,
+    watts_per_channel=1.0,
+    watts_per_pe=0.07,
+)
+
+#: Sextans on U280: 52 W measured (Table 2).
+SEXTANS_POWER = PowerModel(
+    name="Sextans",
+    board_watts=52.0,
+    static_watts=22.0,
+    watts_per_channel=0.8,
+    watts_per_pe=0.1,
+)
+
+#: GraphLily on U280: 43 W measured (Table 2).
+GRAPHLILY_POWER = PowerModel(
+    name="GraphLily",
+    board_watts=43.0,
+    static_watts=21.0,
+    watts_per_channel=0.9,
+    watts_per_pe=0.05,
+)
+
+#: Nvidia Tesla K80: 130 W measured during csrmv runs (Table 2).
+K80_POWER = PowerModel(
+    name="K80",
+    board_watts=130.0,
+    static_watts=60.0,
+    watts_per_channel=0.0,
+    watts_per_pe=0.0,
+)

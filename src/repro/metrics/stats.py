@@ -1,0 +1,132 @@
+"""Execution statistics and derived performance metrics.
+
+Every accelerator model in this package reports its result as an
+:class:`ExecutionReport`: cycle count (or directly seconds), the clock it ran
+at, the traffic it moved and the power it drew.  The report then derives the
+four metrics used throughout the paper's evaluation:
+
+* execution time (ms),
+* throughput in GFLOP/s (``2 * NNZ / time``) and MTEPS (``NNZ / time``),
+* bandwidth efficiency, MTEPS per GB/s of utilized memory bandwidth,
+* energy efficiency, MTEPS per watt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["ExecutionReport"]
+
+
+@dataclass
+class ExecutionReport:
+    """Performance outcome of one SpMV run on one accelerator model.
+
+    Attributes
+    ----------
+    accelerator:
+        Name of the accelerator configuration (e.g. ``"Serpens-A16"``).
+    matrix_name:
+        Name of the evaluated matrix.
+    num_rows, num_cols, nnz:
+        Shape of the evaluated matrix.
+    cycles:
+        Accelerator cycles of the run (0 when the model reports seconds
+        directly, as the GPU roofline model does).
+    frequency_mhz:
+        Clock frequency used to convert cycles into seconds.
+    seconds:
+        Execution time in seconds.  Derived from cycles when not given.
+    bandwidth_gbps:
+        Utilized memory bandwidth of the accelerator (Table 2 values).
+    power_watts:
+        Board power of the accelerator (Table 2 values).
+    bytes_moved:
+        Off-chip traffic of the run, when the model tracks it.
+    extra:
+        Free-form details (padding overhead, phase breakdown, ...).
+    """
+
+    accelerator: str
+    matrix_name: str
+    num_rows: int
+    num_cols: int
+    nnz: int
+    cycles: int = 0
+    frequency_mhz: float = 0.0
+    seconds: Optional[float] = None
+    bandwidth_gbps: float = 0.0
+    power_watts: float = 0.0
+    bytes_moved: int = 0
+    supported: bool = True
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.seconds is None:
+            if self.frequency_mhz <= 0:
+                raise ValueError("either seconds or a positive frequency must be given")
+            self.seconds = self.cycles / (self.frequency_mhz * 1e6)
+        if self.seconds < 0:
+            raise ValueError("seconds must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Derived metrics (paper Section 4.1.2 definitions)
+    # ------------------------------------------------------------------
+    @property
+    def milliseconds(self) -> float:
+        """Execution time in milliseconds."""
+        return self.seconds * 1e3
+
+    @property
+    def gflops(self) -> float:
+        """Throughput in GFLOP/s, counting 2 flops (multiply + add) per non-zero."""
+        if self.seconds == 0:
+            return float("inf")
+        return 2.0 * self.nnz / self.seconds / 1e9
+
+    @property
+    def mteps(self) -> float:
+        """Throughput in millions of traversed edges per second (NNZ / time)."""
+        if self.seconds == 0:
+            return float("inf")
+        return self.nnz / self.seconds / 1e6
+
+    @property
+    def bandwidth_efficiency(self) -> float:
+        """MTEPS per GB/s of utilized memory bandwidth."""
+        if self.bandwidth_gbps <= 0:
+            return 0.0
+        return self.mteps / self.bandwidth_gbps
+
+    @property
+    def energy_efficiency(self) -> float:
+        """MTEPS per watt of board power."""
+        if self.power_watts <= 0:
+            return 0.0
+        return self.mteps / self.power_watts
+
+    @property
+    def effective_bandwidth_gbps(self) -> float:
+        """Achieved off-chip bandwidth (bytes moved / time), when traffic is known."""
+        if self.seconds == 0 or self.bytes_moved == 0:
+            return 0.0
+        return self.bytes_moved / self.seconds / 1e9
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten the report into a plain dictionary for tabular output."""
+        return {
+            "accelerator": self.accelerator,
+            "matrix": self.matrix_name,
+            "rows": self.num_rows,
+            "cols": self.num_cols,
+            "nnz": self.nnz,
+            "supported": self.supported,
+            "cycles": self.cycles,
+            "time_ms": self.milliseconds,
+            "gflops": self.gflops,
+            "mteps": self.mteps,
+            "bandwidth_eff": self.bandwidth_efficiency,
+            "energy_eff": self.energy_efficiency,
+            **{f"extra_{k}": v for k, v in self.extra.items()},
+        }

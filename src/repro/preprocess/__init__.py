@@ -1,0 +1,99 @@
+"""Host-side preprocessing pipeline: partition, map, reorder, encode.
+
+This package turns an arbitrary sparse matrix into the accelerator-efficient
+stream format Serpens consumes — the software step the paper describes in
+Sections 3.2 and 3.4 (segment partitioning, index coalescing, conflict-aware
+non-zero reordering, 64-bit element encoding).
+"""
+
+from .encode import (
+    COLUMN_BITS,
+    PAD_COLUMN_SENTINEL,
+    ROW_BITS,
+    EncodedElement,
+    decode_element,
+    decode_stream,
+    encode_element,
+    encode_stream,
+    is_padding_word,
+    make_padding,
+)
+from .mapping import (
+    CapacityError,
+    RowMapping,
+    check_capacity,
+    local_to_global_row,
+    map_rows,
+    rows_owned_by_pe,
+)
+from .params import (
+    DEFAULT_SEGMENT_WIDTH,
+    URAM_BITS,
+    URAM_DEPTH,
+    PartitionParams,
+)
+from .partition import (
+    PartitionStatistics,
+    num_segments,
+    partition_nonzeros,
+    partition_statistics,
+    segment_bounds,
+)
+from .program import (
+    ChannelSegment,
+    LaneStream,
+    SegmentProgram,
+    SerpensProgram,
+    build_program,
+)
+from .reorder import (
+    ReorderStats,
+    align_lanes,
+    schedule_by_row_pairs,
+    schedule_by_rows,
+    schedule_conflict_free,
+    validate_schedule,
+)
+from .serialize import load_program, program_channel_words, save_program
+
+__all__ = [
+    "EncodedElement",
+    "encode_element",
+    "decode_element",
+    "encode_stream",
+    "decode_stream",
+    "make_padding",
+    "is_padding_word",
+    "PAD_COLUMN_SENTINEL",
+    "COLUMN_BITS",
+    "ROW_BITS",
+    "PartitionParams",
+    "DEFAULT_SEGMENT_WIDTH",
+    "URAM_DEPTH",
+    "URAM_BITS",
+    "RowMapping",
+    "CapacityError",
+    "map_rows",
+    "local_to_global_row",
+    "check_capacity",
+    "rows_owned_by_pe",
+    "num_segments",
+    "segment_bounds",
+    "partition_nonzeros",
+    "partition_statistics",
+    "PartitionStatistics",
+    "ReorderStats",
+    "schedule_conflict_free",
+    "schedule_by_rows",
+    "schedule_by_row_pairs",
+    "validate_schedule",
+    "align_lanes",
+    "LaneStream",
+    "ChannelSegment",
+    "SegmentProgram",
+    "SerpensProgram",
+    "build_program",
+    "save_program",
+    "load_program",
+    "program_channel_words",
+]

@@ -1,0 +1,139 @@
+"""64-bit sparse element encoding (paper Section 3.1.2).
+
+A raw COO triple costs 96 bits: 32-bit row index, 32-bit column index and a
+32-bit float.  Because Serpens partitions the x vector into segments of
+``W = 8192`` columns and maps rows onto a bounded on-chip accumulation buffer,
+both indices are range-limited at any point of the stream, so a row/column
+pair is compressed into a single 32-bit field.  Each encoded element is then
+64 bits — value (32 b) + packed indices (32 b) — which lets one 512-bit bus
+word carry eight elements.
+
+The packed 32-bit index field is split as:
+
+* bits ``[31:18]`` — column offset inside the current x segment (14 bits,
+  enough for ``W = 8192`` plus one spare bit),
+* bits ``[17:0]``  — local row address inside the owning PE's accumulation
+  buffer (18 bits, enough for ``2 * U * D = 24576`` rows per PE and headroom
+  for larger ``U``).
+
+A dedicated column-offset sentinel marks padding (bubble) elements inserted
+by the reorderer; padding elements carry value 0 and are ignored by the PE
+datapath except for occupying a cycle slot.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "EncodedElement",
+    "PAD_COLUMN_SENTINEL",
+    "COLUMN_BITS",
+    "ROW_BITS",
+    "encode_element",
+    "decode_element",
+    "make_padding",
+    "is_padding_word",
+]
+
+#: Bits reserved for the in-segment column offset.
+COLUMN_BITS = 14
+
+#: Bits reserved for the local row address.
+ROW_BITS = 18
+
+#: Column-offset value reserved to mark padding elements.
+PAD_COLUMN_SENTINEL = (1 << COLUMN_BITS) - 1
+
+_MAX_COLUMN_OFFSET = PAD_COLUMN_SENTINEL - 1
+_MAX_LOCAL_ROW = (1 << ROW_BITS) - 1
+
+
+@dataclass(frozen=True)
+class EncodedElement:
+    """One sparse element as the accelerator sees it.
+
+    Attributes
+    ----------
+    local_row:
+        Row address local to the owning PE's accumulation buffer.  For the
+        coalesced layout this is ``(row // 2) // total_pes`` combined with the
+        low row bit; the mapping module performs that translation.
+    column_offset:
+        Column offset within the current x segment (``col - segment_start``).
+    value:
+        The FP32 matrix value (stored as a Python float; rounded on encode).
+    is_padding:
+        True for reorderer-inserted bubbles.
+    """
+
+    local_row: int
+    column_offset: int
+    value: float
+    is_padding: bool = False
+
+    def __post_init__(self) -> None:
+        if self.is_padding:
+            return
+        if not 0 <= self.column_offset <= _MAX_COLUMN_OFFSET:
+            raise ValueError(
+                f"column offset {self.column_offset} exceeds the "
+                f"{COLUMN_BITS}-bit segment range"
+            )
+        if not 0 <= self.local_row <= _MAX_LOCAL_ROW:
+            raise ValueError(
+                f"local row {self.local_row} exceeds the {ROW_BITS}-bit range"
+            )
+
+
+def make_padding() -> EncodedElement:
+    """A padding (bubble) element occupying one cycle slot in a PE lane."""
+    return EncodedElement(local_row=0, column_offset=PAD_COLUMN_SENTINEL, value=0.0, is_padding=True)
+
+
+def encode_element(element: EncodedElement) -> int:
+    """Pack an element into its 64-bit wire representation.
+
+    Layout (most-significant first): ``[column_offset:14][local_row:18][fp32 value:32]``.
+    """
+    column = PAD_COLUMN_SENTINEL if element.is_padding else element.column_offset
+    row = 0 if element.is_padding else element.local_row
+    if not 0 <= column < (1 << COLUMN_BITS):
+        raise ValueError(f"column offset {column} does not fit in {COLUMN_BITS} bits")
+    if not 0 <= row < (1 << ROW_BITS):
+        raise ValueError(f"local row {row} does not fit in {ROW_BITS} bits")
+    index_word = (column << ROW_BITS) | row
+    (value_bits,) = struct.unpack("<I", struct.pack("<f", element.value))
+    return (index_word << 32) | value_bits
+
+
+def decode_element(word: int) -> EncodedElement:
+    """Unpack a 64-bit wire word back into an :class:`EncodedElement`."""
+    if not 0 <= word < (1 << 64):
+        raise ValueError("encoded element must be a 64-bit unsigned value")
+    value_bits = word & 0xFFFFFFFF
+    index_word = word >> 32
+    row = index_word & _MAX_LOCAL_ROW
+    column = index_word >> ROW_BITS
+    (value,) = struct.unpack("<f", struct.pack("<I", value_bits))
+    if column == PAD_COLUMN_SENTINEL:
+        return make_padding()
+    return EncodedElement(local_row=row, column_offset=column, value=float(value))
+
+
+def is_padding_word(word: int) -> bool:
+    """True when a 64-bit wire word encodes a padding element."""
+    return ((word >> 32) >> ROW_BITS) == PAD_COLUMN_SENTINEL
+
+
+def encode_stream(elements) -> np.ndarray:
+    """Encode an iterable of elements into a ``uint64`` array."""
+    return np.array([encode_element(e) for e in elements], dtype=np.uint64)
+
+
+def decode_stream(words: np.ndarray) -> list:
+    """Decode a ``uint64`` array back into a list of elements."""
+    return [decode_element(int(w)) for w in np.asarray(words, dtype=np.uint64)]

@@ -1,0 +1,102 @@
+"""Parameters shared across the preprocessing pipeline.
+
+The preprocessing stages (partitioning, mapping, reordering, encoding) are
+kept independent of the accelerator classes so that baseline models (Sextans
+uses the same reordering idea at row granularity) can reuse them.  This small
+dataclass carries the handful of architecture parameters they need; the
+accelerator-level :class:`repro.serpens.SerpensConfig` converts itself into
+one of these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PartitionParams", "URAM_DEPTH", "URAM_BITS", "DEFAULT_SEGMENT_WIDTH"]
+
+#: Depth of one UltraRAM configured at 72-bit width (288 Kb / 72 b).
+URAM_DEPTH = 4096
+
+#: Word width of one UltraRAM entry in bits.
+URAM_BITS = 72
+
+#: The paper's x-vector segment length W (Section 3.2).
+DEFAULT_SEGMENT_WIDTH = 8192
+
+
+@dataclass(frozen=True)
+class PartitionParams:
+    """Architecture parameters consumed by the preprocessing pipeline.
+
+    Attributes
+    ----------
+    num_channels:
+        HBM channels allocated to the sparse matrix (the paper's ``HA``).
+    pes_per_channel:
+        Processing engines fed by one sparse-matrix channel (8 in Serpens).
+    segment_width:
+        Length ``W`` of one x-vector segment held in BRAM (8192).
+    urams_per_pe:
+        UltraRAMs dedicated to the accumulation buffer of one PE (``U``).
+    uram_depth:
+        Addressable entries of one URAM at 72-bit width (``D``).
+    dsp_latency:
+        Pipeline latency ``T`` of one floating-point accumulation; two
+        elements addressing the same accumulator entry must be at least this
+        many cycles apart.
+    coalesce_rows:
+        Whether two consecutive output rows share one URAM entry (Serpens'
+        index coalescing).  Disabling this halves the on-chip row capacity —
+        the ablation benchmark flips this switch.
+    """
+
+    num_channels: int = 16
+    pes_per_channel: int = 8
+    segment_width: int = DEFAULT_SEGMENT_WIDTH
+    urams_per_pe: int = 3
+    uram_depth: int = URAM_DEPTH
+    dsp_latency: int = 4
+    coalesce_rows: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        if self.pes_per_channel <= 0:
+            raise ValueError("pes_per_channel must be positive")
+        if self.segment_width <= 0:
+            raise ValueError("segment_width must be positive")
+        if self.urams_per_pe <= 0:
+            raise ValueError("urams_per_pe must be positive")
+        if self.uram_depth <= 0:
+            raise ValueError("uram_depth must be positive")
+        if self.dsp_latency <= 0:
+            raise ValueError("dsp_latency must be positive")
+
+    @property
+    def total_pes(self) -> int:
+        """Total processing engines: ``8 * HA``."""
+        return self.num_channels * self.pes_per_channel
+
+    @property
+    def rows_per_uram_entry(self) -> int:
+        """Output rows packed into one 72-bit URAM entry (2 with coalescing)."""
+        return 2 if self.coalesce_rows else 1
+
+    @property
+    def rows_per_pe(self) -> int:
+        """Output rows one PE can accumulate on chip."""
+        return self.urams_per_pe * self.uram_depth * self.rows_per_uram_entry
+
+    @property
+    def max_rows(self) -> int:
+        """On-chip accumulation row capacity (paper Eq. 3 when coalescing).
+
+        With coalescing this equals ``16 * HA * U * D``; without it the
+        capacity halves to ``8 * HA * U * D``.
+        """
+        return self.total_pes * self.rows_per_pe
+
+    @property
+    def max_cols_per_segment(self) -> int:
+        """Columns covered by one x segment (``W``)."""
+        return self.segment_width

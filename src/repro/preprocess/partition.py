@@ -1,0 +1,189 @@
+"""Segment partitioning and lane-stream statistics (paper Section 3.2).
+
+Serpens processes the x vector in segments of ``W = 8192`` elements.  For each
+segment it streams in the associated non-zeros (all columns inside the
+segment), accumulating into the on-chip y buffers, then moves to the next
+segment.  Within a segment, every non-zero is routed to one of ``8 * HA``
+processing engines by the row mapping.
+
+Two levels of detail are provided:
+
+* :func:`partition_nonzeros` materialises, for every (segment, channel, lane),
+  the index array of the non-zeros it receives — the input to the full
+  reordering / encoding pipeline and the cycle-accurate simulator.
+* :func:`partition_statistics` computes only the per-lane element *counts*
+  with vectorised numpy, which is what the fast performance model needs for
+  matrices with tens of millions of non-zeros (it captures load imbalance
+  without paying for per-element Python objects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..formats import COOMatrix
+from .mapping import check_capacity, map_rows
+from .params import PartitionParams
+
+__all__ = [
+    "num_segments",
+    "segment_bounds",
+    "partition_nonzeros",
+    "partition_statistics",
+    "PartitionStatistics",
+]
+
+
+def num_segments(num_cols: int, params: PartitionParams) -> int:
+    """Number of x segments needed to cover ``num_cols`` columns."""
+    if num_cols <= 0:
+        return 0
+    return (num_cols + params.segment_width - 1) // params.segment_width
+
+
+def segment_bounds(segment: int, num_cols: int, params: PartitionParams) -> Tuple[int, int]:
+    """Column range ``[start, end)`` of one segment."""
+    start = segment * params.segment_width
+    end = min(num_cols, start + params.segment_width)
+    if start >= num_cols:
+        raise ValueError(f"segment {segment} out of range for {num_cols} columns")
+    return start, end
+
+
+def partition_nonzeros(
+    matrix: COOMatrix,
+    params: PartitionParams,
+) -> Dict[Tuple[int, int, int], np.ndarray]:
+    """Group non-zero positions by (segment, channel, lane).
+
+    Returns a dictionary mapping ``(segment, channel, lane)`` to an array of
+    positions into the matrix's triple arrays.  Only non-empty groups are
+    present.  Groups preserve the matrix's storage order, which the
+    reorderer is free to permute.
+    """
+    check_capacity(matrix.num_rows, params)
+    if matrix.nnz == 0:
+        return {}
+
+    segments = matrix.cols // params.segment_width
+    mapping = map_rows(matrix.rows, params)
+
+    # Composite key: segment-major, then channel, then lane.
+    key = (
+        segments * (params.num_channels * params.pes_per_channel)
+        + mapping.channel * params.pes_per_channel
+        + mapping.lane
+    )
+    order = np.argsort(key, kind="stable")
+    sorted_keys = key[order]
+    unique_keys, starts = np.unique(sorted_keys, return_index=True)
+    boundaries = np.append(starts, len(sorted_keys))
+
+    groups: Dict[Tuple[int, int, int], np.ndarray] = {}
+    lanes_per_segment = params.num_channels * params.pes_per_channel
+    for idx, composite in enumerate(unique_keys):
+        positions = order[boundaries[idx] : boundaries[idx + 1]]
+        segment = int(composite) // lanes_per_segment
+        rem = int(composite) % lanes_per_segment
+        channel = rem // params.pes_per_channel
+        lane = rem % params.pes_per_channel
+        groups[(segment, channel, lane)] = positions
+    return groups
+
+
+@dataclass
+class PartitionStatistics:
+    """Per-segment, per-lane load statistics of a partitioned matrix.
+
+    Attributes
+    ----------
+    num_segments:
+        Number of x segments.
+    lane_counts:
+        Array of shape ``(num_segments, num_channels, pes_per_channel)``
+        holding the non-zero count routed to each lane in each segment.
+    """
+
+    params: PartitionParams
+    num_rows: int
+    num_cols: int
+    nnz: int
+    lane_counts: np.ndarray = field(repr=False)
+
+    @property
+    def num_segments(self) -> int:
+        """Number of x segments."""
+        return self.lane_counts.shape[0]
+
+    def channel_counts(self) -> np.ndarray:
+        """Non-zeros per (segment, channel)."""
+        return self.lane_counts.sum(axis=2)
+
+    def segment_compute_slots(self) -> np.ndarray:
+        """Issue slots each segment needs: the maximum lane load in the segment.
+
+        Every lane of every channel issues at most one element per cycle, and
+        a segment finishes when its slowest lane finishes, so the slot count
+        of a segment is the maximum per-lane count across all channels.
+        """
+        if self.num_segments == 0:
+            return np.zeros(0, dtype=np.int64)
+        return self.lane_counts.reshape(self.num_segments, -1).max(axis=1)
+
+    def total_compute_slots(self) -> int:
+        """Issue slots over all segments (lower bound without hazard padding)."""
+        return int(self.segment_compute_slots().sum())
+
+    def ideal_slots(self) -> int:
+        """Slots with perfect balance: ``ceil(NNZ / total_pes)`` per the paper."""
+        total_pes = self.params.total_pes
+        return int((self.nnz + total_pes - 1) // total_pes)
+
+    def load_imbalance(self) -> float:
+        """Ratio of actual to perfectly balanced slots (1.0 = perfect)."""
+        ideal = self.ideal_slots()
+        return self.total_compute_slots() / ideal if ideal else 1.0
+
+    def channel_element_totals(self) -> np.ndarray:
+        """Total non-zeros routed to each sparse-matrix channel."""
+        return self.lane_counts.sum(axis=(0, 2))
+
+
+def partition_statistics(
+    matrix: COOMatrix,
+    params: PartitionParams,
+) -> PartitionStatistics:
+    """Vectorised per-lane load statistics (no per-element Python objects)."""
+    check_capacity(matrix.num_rows, params)
+    segments = num_segments(matrix.num_cols, params)
+    shape = (max(segments, 1), params.num_channels, params.pes_per_channel)
+    counts = np.zeros(shape, dtype=np.int64)
+    if matrix.nnz == 0:
+        return PartitionStatistics(
+            params=params,
+            num_rows=matrix.num_rows,
+            num_cols=matrix.num_cols,
+            nnz=0,
+            lane_counts=counts,
+        )
+
+    segment_idx = matrix.cols // params.segment_width
+    mapping = map_rows(matrix.rows, params)
+    lanes_per_segment = params.num_channels * params.pes_per_channel
+    composite = (
+        segment_idx * lanes_per_segment
+        + mapping.channel * params.pes_per_channel
+        + mapping.lane
+    )
+    flat = np.bincount(composite, minlength=segments * lanes_per_segment)
+    counts = flat.reshape(segments, params.num_channels, params.pes_per_channel).astype(np.int64)
+    return PartitionStatistics(
+        params=params,
+        num_rows=matrix.num_rows,
+        num_cols=matrix.num_cols,
+        nnz=matrix.nnz,
+        lane_counts=counts,
+    )

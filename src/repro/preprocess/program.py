@@ -1,0 +1,249 @@
+"""Full preprocessing: turn a sparse matrix into a Serpens instruction stream.
+
+This is the software analogue of the host-side preprocessing step the paper
+(and its predecessors Sextans / GraphLily) performs before launching the
+accelerator: the matrix is partitioned by x segment, every non-zero is routed
+to its owning PE lane, the per-lane streams are reordered to respect the
+floating-point accumulation hazard window, padding bubbles are inserted where
+needed, and each element is encoded into the 64-bit wire format.
+
+The result, a :class:`SerpensProgram`, is exactly what the cycle-accurate
+simulator replays, and its statistics (slots, padding, imbalance) feed the
+detailed performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..formats import COOMatrix
+from .encode import EncodedElement, make_padding
+from .mapping import check_capacity, map_rows
+from .params import PartitionParams
+from .partition import num_segments, partition_nonzeros, segment_bounds
+from .reorder import ReorderStats, align_lanes, schedule_conflict_free
+
+__all__ = ["LaneStream", "ChannelSegment", "SegmentProgram", "SerpensProgram", "build_program"]
+
+
+@dataclass
+class LaneStream:
+    """The ordered element stream of one PE lane within one segment."""
+
+    channel: int
+    lane: int
+    elements: List[EncodedElement] = field(default_factory=list)
+
+    @property
+    def num_slots(self) -> int:
+        """Issue slots including padding."""
+        return len(self.elements)
+
+    @property
+    def num_real(self) -> int:
+        """Non-padding elements."""
+        return sum(1 for e in self.elements if not e.is_padding)
+
+    @property
+    def num_padding(self) -> int:
+        """Padding bubbles."""
+        return self.num_slots - self.num_real
+
+
+@dataclass
+class ChannelSegment:
+    """All eight lane streams of one sparse-matrix channel in one segment."""
+
+    channel: int
+    lanes: List[LaneStream]
+
+    @property
+    def num_slots(self) -> int:
+        """Lock-step cycle count of the channel for this segment."""
+        return max((lane.num_slots for lane in self.lanes), default=0)
+
+    @property
+    def num_real(self) -> int:
+        """Real elements carried by the channel in this segment."""
+        return sum(lane.num_real for lane in self.lanes)
+
+    @property
+    def num_padding(self) -> int:
+        """Padding slots across the lanes (including end-of-lane alignment)."""
+        return sum(lane.num_padding for lane in self.lanes)
+
+
+@dataclass
+class SegmentProgram:
+    """The work of one x segment: a column range plus per-channel streams."""
+
+    segment_index: int
+    col_start: int
+    col_end: int
+    channels: List[ChannelSegment]
+
+    @property
+    def segment_length(self) -> int:
+        """Number of x elements covered by the segment."""
+        return self.col_end - self.col_start
+
+    @property
+    def compute_slots(self) -> int:
+        """Cycles the PE array spends on this segment (slowest channel)."""
+        return max((ch.num_slots for ch in self.channels), default=0)
+
+    @property
+    def num_real(self) -> int:
+        """Real non-zeros processed in this segment."""
+        return sum(ch.num_real for ch in self.channels)
+
+
+@dataclass
+class SerpensProgram:
+    """A fully preprocessed matrix, ready for simulation or deployment.
+
+    Attributes
+    ----------
+    params:
+        The architecture parameters the program was built for.
+    num_rows, num_cols, nnz:
+        Shape of the original matrix (padding not included in ``nnz``).
+    segments:
+        Per-segment instruction streams.
+    reorder_stats:
+        Aggregated hazard-padding statistics from the lane scheduler (before
+        end-of-lane alignment padding).
+    """
+
+    params: PartitionParams
+    num_rows: int
+    num_cols: int
+    nnz: int
+    segments: List[SegmentProgram]
+    reorder_stats: ReorderStats
+
+    @property
+    def num_segments(self) -> int:
+        """Number of x segments."""
+        return len(self.segments)
+
+    @property
+    def total_compute_slots(self) -> int:
+        """Total PE-array cycles spent on sparse elements (incl. padding)."""
+        return sum(seg.compute_slots for seg in self.segments)
+
+    @property
+    def total_padding_slots(self) -> int:
+        """Padding slots across all lanes, channels and segments."""
+        return sum(ch.num_padding for seg in self.segments for ch in seg.channels)
+
+    @property
+    def stored_elements(self) -> int:
+        """Elements stored in the accelerator-side format, padding included.
+
+        This is the quantity that determines the off-chip traffic of the
+        sparse-matrix stream: every slot of every lane is materialised as a
+        64-bit element in HBM.
+        """
+        return sum(
+            ch.num_slots * self.params.pes_per_channel
+            for seg in self.segments
+            for ch in seg.channels
+        )
+
+    @property
+    def padding_overhead(self) -> float:
+        """Stored-element overhead relative to the raw non-zero count."""
+        return (self.stored_elements - self.nnz) / self.nnz if self.nnz else 0.0
+
+    def channel_slot_totals(self) -> np.ndarray:
+        """Per-channel total issue slots (for load-balance inspection)."""
+        totals = np.zeros(self.params.num_channels, dtype=np.int64)
+        for seg in self.segments:
+            for ch in seg.channels:
+                totals[ch.channel] += ch.num_slots
+        return totals
+
+
+def build_program(matrix: COOMatrix, params: PartitionParams) -> SerpensProgram:
+    """Run the complete preprocessing pipeline on ``matrix``.
+
+    Raises :class:`repro.preprocess.mapping.CapacityError` if the matrix does
+    not fit the configuration's on-chip accumulation buffers.
+    """
+    check_capacity(matrix.num_rows, params)
+    mapping = map_rows(matrix.rows, params)
+    groups = partition_nonzeros(matrix, params)
+    segment_count = num_segments(matrix.num_cols, params)
+
+    total_real = 0
+    total_slots = 0
+    total_padding = 0
+    segments: List[SegmentProgram] = []
+
+    for segment in range(segment_count):
+        col_start, col_end = segment_bounds(segment, matrix.num_cols, params)
+        channel_segments: List[ChannelSegment] = []
+        for channel in range(params.num_channels):
+            lane_schedules: List[List[Optional[int]]] = []
+            lane_positions: List[np.ndarray] = []
+            for lane in range(params.pes_per_channel):
+                positions = groups.get((segment, channel, lane))
+                if positions is None:
+                    lane_schedules.append([])
+                    lane_positions.append(np.empty(0, dtype=np.int64))
+                    continue
+                # Conflict key is the URAM entry: with coalescing that is the
+                # row pair, without it the row itself.
+                conflict_keys = [int(k) for k in mapping.uram_entry[positions]]
+                schedule, stats = schedule_conflict_free(conflict_keys, params.dsp_latency)
+                lane_schedules.append(schedule)
+                lane_positions.append(positions)
+                total_real += stats.num_elements
+                total_slots += stats.num_slots
+                total_padding += stats.num_padding
+
+            aligned, __ = align_lanes(lane_schedules)
+            lanes: List[LaneStream] = []
+            for lane, schedule in enumerate(aligned):
+                positions = lane_positions[lane]
+                elements: List[EncodedElement] = []
+                for slot in schedule:
+                    if slot is None:
+                        elements.append(make_padding())
+                        continue
+                    pos = int(positions[slot])
+                    elements.append(
+                        EncodedElement(
+                            local_row=int(mapping.local_row[pos]),
+                            column_offset=int(matrix.cols[pos] - col_start),
+                            value=float(matrix.values[pos]),
+                        )
+                    )
+                lanes.append(LaneStream(channel=channel, lane=lane, elements=elements))
+            channel_segments.append(ChannelSegment(channel=channel, lanes=lanes))
+        segments.append(
+            SegmentProgram(
+                segment_index=segment,
+                col_start=col_start,
+                col_end=col_end,
+                channels=channel_segments,
+            )
+        )
+
+    reorder_stats = ReorderStats(
+        num_elements=total_real,
+        num_slots=total_slots,
+        num_padding=total_padding,
+    )
+    return SerpensProgram(
+        params=params,
+        num_rows=matrix.num_rows,
+        num_cols=matrix.num_cols,
+        nnz=matrix.nnz,
+        segments=segments,
+        reorder_stats=reorder_stats,
+    )

@@ -1,0 +1,214 @@
+"""Conflict-aware non-zero reordering (paper Section 3.4, Figure 2).
+
+A PE accumulates ``y[row] += value * x[col]`` with a floating-point adder
+whose pipeline latency is ``T`` cycles.  If two non-zeros that accumulate
+into the *same* URAM entry enter the pipeline fewer than ``T`` cycles apart,
+the second would read a stale partial sum (a read-after-write hazard).  The
+preprocessor therefore reorders the non-zeros of each PE lane so that
+elements sharing an accumulator entry are at least ``T`` cycles apart, and
+inserts padding (bubble) slots when no conflict-free element is available.
+
+The conflict granularity differs between the accelerators compared in
+Figure 2:
+
+* **Sextans** colours elements by *row* — every element of a row conflicts
+  with every other element of that row.
+* **Serpens** stores two consecutive rows in one URAM entry (index
+  coalescing), so elements of a row *pair* conflict — the constraint is
+  stricter per entry, but the reordering rule is identical.
+
+The scheduler is a deterministic greedy list scheduler: at every cycle it
+chooses, among the conflict-free candidate groups, the one with the most
+remaining elements (longest-queue-first), which minimises padding for the
+hot-row distributions found in real matrices.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ReorderStats",
+    "schedule_conflict_free",
+    "validate_schedule",
+    "align_lanes",
+    "schedule_by_rows",
+    "schedule_by_row_pairs",
+]
+
+
+@dataclass(frozen=True)
+class ReorderStats:
+    """Outcome of scheduling one lane (or one channel after alignment).
+
+    Attributes
+    ----------
+    num_elements:
+        Real (non-padding) elements scheduled.
+    num_slots:
+        Total issue slots including padding.
+    num_padding:
+        Padding slots inserted to respect the hazard window.
+    """
+
+    num_elements: int
+    num_slots: int
+    num_padding: int
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of issue slots doing useful work (1.0 = no padding)."""
+        return self.num_elements / self.num_slots if self.num_slots else 1.0
+
+    @property
+    def overhead(self) -> float:
+        """Relative slot overhead caused by padding."""
+        return self.num_padding / self.num_elements if self.num_elements else 0.0
+
+
+def schedule_conflict_free(
+    keys: Sequence[Hashable],
+    window: int,
+) -> Tuple[List[Optional[int]], ReorderStats]:
+    """Order items so equal keys are at least ``window`` slots apart.
+
+    Parameters
+    ----------
+    keys:
+        One hashable conflict key per element (URAM entry id, row id, ...).
+        The element identity returned in the schedule is the *position* in
+        this sequence, so callers can permute their own parallel arrays.
+    window:
+        Minimum slot distance between two elements with the same key
+        (the DSP accumulation latency ``T``).  ``window = 1`` means no
+        constraint.
+
+    Returns
+    -------
+    schedule:
+        A list of original indices and ``None`` entries (padding slots).
+    stats:
+        Padding statistics for the lane.
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    n = len(keys)
+    if n == 0:
+        return [], ReorderStats(0, 0, 0)
+    if window == 1:
+        return list(range(n)), ReorderStats(n, n, 0)
+
+    # Group element positions by key, preserving original order inside a key.
+    queues: Dict[Hashable, List[int]] = {}
+    for pos, key in enumerate(keys):
+        queues.setdefault(key, []).append(pos)
+    for queue in queues.values():
+        queue.reverse()  # pop() from the end = FIFO order
+
+    # Ready heap: (-remaining, key) so the longest queue is scheduled first.
+    # Cooldown heap: (allowed_cycle, key) for keys inside their hazard window.
+    ready: List[Tuple[int, Hashable]] = [
+        (-len(queue), _orderable(key)) for key, queue in queues.items()
+    ]
+    key_of = {_orderable(key): key for key in queues}
+    heapq.heapify(ready)
+    cooldown: List[Tuple[int, int, Hashable]] = []
+
+    schedule: List[Optional[int]] = []
+    remaining = n
+    cycle = 0
+    while remaining > 0:
+        while cooldown and cooldown[0][0] <= cycle:
+            __, neg_count, okey = heapq.heappop(cooldown)
+            heapq.heappush(ready, (neg_count, okey))
+        if ready:
+            neg_count, okey = heapq.heappop(ready)
+            key = key_of[okey]
+            queue = queues[key]
+            schedule.append(queue.pop())
+            remaining -= 1
+            if queue:
+                heapq.heappush(cooldown, (cycle + window, -(len(queue)), okey))
+        else:
+            schedule.append(None)
+        cycle += 1
+
+    padding = len(schedule) - n
+    return schedule, ReorderStats(num_elements=n, num_slots=len(schedule), num_padding=padding)
+
+
+def _orderable(key: Hashable):
+    """Make heterogeneous keys heap-comparable while staying deterministic."""
+    return (str(type(key).__name__), key if isinstance(key, (int, float, str)) else str(key))
+
+
+def validate_schedule(
+    schedule: Sequence[Optional[int]],
+    keys: Sequence[Hashable],
+    window: int,
+) -> bool:
+    """Check a schedule respects the hazard window and covers every element.
+
+    Returns True when valid; raises ``ValueError`` describing the first
+    violation otherwise (easier to debug than a bare False in tests).
+    """
+    seen = [False] * len(keys)
+    last_slot: Dict[Hashable, int] = {}
+    for slot, item in enumerate(schedule):
+        if item is None:
+            continue
+        if not 0 <= item < len(keys):
+            raise ValueError(f"schedule references unknown element {item}")
+        if seen[item]:
+            raise ValueError(f"element {item} scheduled twice")
+        seen[item] = True
+        key = keys[item]
+        if key in last_slot and slot - last_slot[key] < window:
+            raise ValueError(
+                f"elements with key {key!r} scheduled {slot - last_slot[key]} "
+                f"slots apart (window is {window})"
+            )
+        last_slot[key] = slot
+    if not all(seen):
+        missing = seen.index(False)
+        raise ValueError(f"element {missing} missing from schedule")
+    return True
+
+
+def align_lanes(
+    lane_schedules: Sequence[List[Optional[int]]],
+) -> Tuple[List[List[Optional[int]]], int]:
+    """Pad every lane of a channel to the length of the longest lane.
+
+    The Rd module of one channel issues one element to each of its 8 lanes per
+    cycle, so all lanes advance in lock-step; shorter lanes are filled with
+    padding slots at the end.  Returns the aligned schedules and the common
+    length (the channel's cycle count for this segment).
+    """
+    if not lane_schedules:
+        return [], 0
+    length = max(len(lane) for lane in lane_schedules)
+    aligned = [list(lane) + [None] * (length - len(lane)) for lane in lane_schedules]
+    return aligned, length
+
+
+def schedule_by_rows(
+    rows: np.ndarray,
+    window: int,
+) -> Tuple[List[Optional[int]], ReorderStats]:
+    """Sextans-style scheduling: conflict key is the output row index."""
+    rows = np.asarray(rows, dtype=np.int64)
+    return schedule_conflict_free([int(r) for r in rows], window)
+
+
+def schedule_by_row_pairs(
+    rows: np.ndarray,
+    window: int,
+) -> Tuple[List[Optional[int]], ReorderStats]:
+    """Serpens-style scheduling: conflict key is the coalesced row pair."""
+    rows = np.asarray(rows, dtype=np.int64)
+    return schedule_conflict_free([int(r) // 2 for r in rows], window)

@@ -1,0 +1,160 @@
+"""Serialisation of preprocessed programs to the accelerator's binary layout.
+
+The real Serpens flow preprocesses a matrix once on the host, writes the
+encoded element streams to per-channel buffers, and reuses them across many
+SpMV launches.  This module provides the same capability: a
+:class:`~repro.preprocess.program.SerpensProgram` is flattened into per-
+channel ``uint64`` arrays (exactly the 64-bit wire words the Rd modules would
+fetch from HBM) plus a small metadata header, stored as a compressed ``.npz``
+archive.  Loading reconstitutes an identical program, so an expensive
+preprocessing run can be cached on disk next to the matrix it belongs to.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from .encode import decode_element, encode_element
+from .params import PartitionParams
+from .program import ChannelSegment, LaneStream, SegmentProgram, SerpensProgram
+from .reorder import ReorderStats
+
+__all__ = ["save_program", "load_program", "program_channel_words"]
+
+_FORMAT_VERSION = 1
+
+
+def program_channel_words(program: SerpensProgram, channel: int) -> np.ndarray:
+    """Flatten one channel's streams into the uint64 words stored in HBM.
+
+    Words are laid out segment by segment; within a segment the eight lanes
+    are interleaved slot by slot (lane 0 slot 0, lane 1 slot 0, ..., lane 7
+    slot 0, lane 0 slot 1, ...), which is exactly the order a 512-bit bus word
+    carries them in.
+    """
+    if not 0 <= channel < program.params.num_channels:
+        raise ValueError(f"channel {channel} out of range")
+    words: List[int] = []
+    for segment in program.segments:
+        channel_segment = segment.channels[channel]
+        slots = channel_segment.num_slots
+        for slot in range(slots):
+            for lane in channel_segment.lanes:
+                words.append(encode_element(lane.elements[slot]))
+    return np.array(words, dtype=np.uint64)
+
+
+def save_program(path: Union[str, Path], program: SerpensProgram) -> None:
+    """Write a preprocessed program to ``path`` as a compressed ``.npz``."""
+    path = Path(path)
+    params = program.params
+    arrays: Dict[str, np.ndarray] = {
+        "format_version": np.array([_FORMAT_VERSION], dtype=np.int64),
+        "shape": np.array([program.num_rows, program.num_cols, program.nnz], dtype=np.int64),
+        "params": np.array(
+            [
+                params.num_channels,
+                params.pes_per_channel,
+                params.segment_width,
+                params.urams_per_pe,
+                params.uram_depth,
+                params.dsp_latency,
+                1 if params.coalesce_rows else 0,
+            ],
+            dtype=np.int64,
+        ),
+        "reorder_stats": np.array(
+            [
+                program.reorder_stats.num_elements,
+                program.reorder_stats.num_slots,
+                program.reorder_stats.num_padding,
+            ],
+            dtype=np.int64,
+        ),
+        "segment_bounds": np.array(
+            [[seg.col_start, seg.col_end] for seg in program.segments], dtype=np.int64
+        ).reshape(-1, 2),
+        "segment_slots": np.array(
+            [
+                [channel_segment.num_slots for channel_segment in seg.channels]
+                for seg in program.segments
+            ],
+            dtype=np.int64,
+        ).reshape(len(program.segments), params.num_channels),
+    }
+    for channel in range(params.num_channels):
+        arrays[f"channel_{channel:02d}"] = program_channel_words(program, channel)
+    np.savez_compressed(path, **arrays)
+
+
+def load_program(path: Union[str, Path]) -> SerpensProgram:
+    """Load a program previously written by :func:`save_program`."""
+    path = Path(path)
+    with np.load(path) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported program format version {version}")
+        num_rows, num_cols, nnz = (int(v) for v in data["shape"])
+        p = data["params"]
+        params = PartitionParams(
+            num_channels=int(p[0]),
+            pes_per_channel=int(p[1]),
+            segment_width=int(p[2]),
+            urams_per_pe=int(p[3]),
+            uram_depth=int(p[4]),
+            dsp_latency=int(p[5]),
+            coalesce_rows=bool(p[6]),
+        )
+        stats = data["reorder_stats"]
+        reorder_stats = ReorderStats(
+            num_elements=int(stats[0]),
+            num_slots=int(stats[1]),
+            num_padding=int(stats[2]),
+        )
+        segment_bounds = data["segment_bounds"]
+        segment_slots = data["segment_slots"]
+        channel_words = {
+            channel: data[f"channel_{channel:02d}"]
+            for channel in range(params.num_channels)
+        }
+
+    segments: List[SegmentProgram] = []
+    channel_cursor = {channel: 0 for channel in range(params.num_channels)}
+    for segment_index in range(segment_bounds.shape[0]):
+        col_start, col_end = (int(v) for v in segment_bounds[segment_index])
+        channels: List[ChannelSegment] = []
+        for channel in range(params.num_channels):
+            slots = int(segment_slots[segment_index, channel])
+            lanes = [
+                LaneStream(channel=channel, lane=lane, elements=[])
+                for lane in range(params.pes_per_channel)
+            ]
+            cursor = channel_cursor[channel]
+            words = channel_words[channel]
+            for slot in range(slots):
+                for lane in range(params.pes_per_channel):
+                    word = int(words[cursor])
+                    cursor += 1
+                    lanes[lane].elements.append(decode_element(word))
+            channel_cursor[channel] = cursor
+            channels.append(ChannelSegment(channel=channel, lanes=lanes))
+        segments.append(
+            SegmentProgram(
+                segment_index=segment_index,
+                col_start=col_start,
+                col_end=col_end,
+                channels=channels,
+            )
+        )
+
+    return SerpensProgram(
+        params=params,
+        num_rows=num_rows,
+        num_cols=num_cols,
+        nnz=nnz,
+        segments=segments,
+        reorder_stats=reorder_stats,
+    )

@@ -1,0 +1,225 @@
+"""Host-side runtime: manage preprocessed matrices across many SpMV launches.
+
+The real Serpens deployment looks like this: the host preprocesses each
+sparse matrix once (seconds of CPU time), keeps the resulting stream buffers
+resident in HBM, and then launches thousands of SpMVs against them (an
+iterative solver, a PageRank run, a batch of inferences).  The
+:class:`SerpensRuntime` reproduces that usage pattern for the simulator:
+
+* matrices are registered once (optionally persisted to disk via the program
+  serialiser) and identified by a handle,
+* every launch reuses the cached program, mirroring how the paper amortises
+  preprocessing over 100 timed runs,
+* aggregate statistics (launch count, accelerator seconds, traversed edges)
+  are tracked per matrix and for the whole session — the numbers a capacity
+  planner would want from a production deployment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .formats import COOMatrix
+from .metrics import ExecutionReport
+from .preprocess import SerpensProgram, load_program, save_program
+from .serpens import SERPENS_A16, SerpensAccelerator, SerpensConfig
+
+__all__ = ["MatrixHandle", "SerpensRuntime"]
+
+
+@dataclass(frozen=True)
+class MatrixHandle:
+    """Opaque identifier of a registered matrix."""
+
+    name: str
+    fingerprint: str
+    num_rows: int
+    num_cols: int
+    nnz: int
+
+
+@dataclass
+class _RegisteredMatrix:
+    handle: MatrixHandle
+    matrix: COOMatrix
+    program: SerpensProgram
+    launches: int = 0
+    accelerator_seconds: float = 0.0
+    traversed_edges: int = 0
+
+
+@dataclass
+class SerpensRuntime:
+    """A session that owns one accelerator configuration and its matrices.
+
+    Parameters
+    ----------
+    config:
+        The Serpens build to run on (defaults to Serpens-A16).
+    cache_dir:
+        Optional directory where preprocessed programs are persisted; a
+        matrix whose fingerprint is found there is loaded instead of being
+        preprocessed again.
+    """
+
+    config: SerpensConfig = SERPENS_A16
+    cache_dir: Optional[Path] = None
+    _accelerator: SerpensAccelerator = field(init=False)
+    _matrices: Dict[str, _RegisteredMatrix] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._accelerator = SerpensAccelerator(self.config)
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fingerprint(matrix: COOMatrix) -> str:
+        """A stable content hash of the matrix (structure and values)."""
+        digest = hashlib.sha256()
+        digest.update(np.int64([matrix.num_rows, matrix.num_cols, matrix.nnz]).tobytes())
+        digest.update(np.ascontiguousarray(matrix.rows).tobytes())
+        digest.update(np.ascontiguousarray(matrix.cols).tobytes())
+        digest.update(np.ascontiguousarray(matrix.values).tobytes())
+        return digest.hexdigest()[:16]
+
+    def register(self, matrix: COOMatrix, name: str = "matrix") -> MatrixHandle:
+        """Preprocess (or load from cache) a matrix and return its handle.
+
+        Registering the same content twice returns the existing handle
+        without re-running preprocessing.
+        """
+        if not self._accelerator.supports(matrix):
+            raise ValueError(
+                f"matrix with {matrix.num_rows} rows exceeds the on-chip capacity "
+                f"of {self.config.name} ({self.config.max_rows} rows)"
+            )
+        fingerprint = self.fingerprint(matrix)
+        if fingerprint in self._matrices:
+            return self._matrices[fingerprint].handle
+
+        program = self._load_cached_program(fingerprint)
+        if program is None:
+            program = self._accelerator.preprocess(matrix)
+            self._store_cached_program(fingerprint, program)
+
+        handle = MatrixHandle(
+            name=name,
+            fingerprint=fingerprint,
+            num_rows=matrix.num_rows,
+            num_cols=matrix.num_cols,
+            nnz=matrix.nnz,
+        )
+        self._matrices[fingerprint] = _RegisteredMatrix(
+            handle=handle, matrix=matrix, program=program
+        )
+        return handle
+
+    def _cache_path(self, fingerprint: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"serpens_program_{fingerprint}.npz"
+
+    def _load_cached_program(self, fingerprint: str) -> Optional[SerpensProgram]:
+        path = self._cache_path(fingerprint)
+        if path is None or not path.exists():
+            return None
+        program = load_program(path)
+        if program.params != self.config.to_partition_params():
+            # The cache was built for a different configuration; ignore it.
+            return None
+        return program
+
+    def _store_cached_program(self, fingerprint: str, program: SerpensProgram) -> None:
+        path = self._cache_path(fingerprint)
+        if path is not None:
+            save_program(path, program)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        handle: MatrixHandle,
+        x: np.ndarray,
+        y: Optional[np.ndarray] = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> Tuple[np.ndarray, ExecutionReport]:
+        """Run one SpMV against a registered matrix."""
+        entry = self._entry(handle)
+        result, report = self._accelerator.run(
+            entry.matrix,
+            x,
+            y,
+            alpha,
+            beta,
+            program=entry.program,
+            matrix_name=handle.name,
+        )
+        entry.launches += 1
+        entry.accelerator_seconds += report.seconds
+        entry.traversed_edges += entry.matrix.nnz
+        return result, report
+
+    def estimate(self, handle: MatrixHandle, model: str = "detailed") -> ExecutionReport:
+        """Performance estimate for one launch against a registered matrix."""
+        entry = self._entry(handle)
+        return self._accelerator.estimate(entry.matrix, handle.name, model=model)
+
+    def _entry(self, handle: MatrixHandle) -> _RegisteredMatrix:
+        entry = self._matrices.get(handle.fingerprint)
+        if entry is None:
+            raise KeyError(f"matrix {handle.name!r} is not registered with this runtime")
+        return entry
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def registered_handles(self) -> Tuple[MatrixHandle, ...]:
+        """Handles of every registered matrix."""
+        return tuple(entry.handle for entry in self._matrices.values())
+
+    def statistics(self, handle: Optional[MatrixHandle] = None) -> Dict[str, float]:
+        """Aggregate launch statistics, per matrix or for the whole session."""
+        if handle is not None:
+            entry = self._entry(handle)
+            entries = [entry]
+        else:
+            entries = list(self._matrices.values())
+        launches = sum(e.launches for e in entries)
+        seconds = sum(e.accelerator_seconds for e in entries)
+        edges = sum(e.traversed_edges for e in entries)
+        return {
+            "registered_matrices": float(len(entries)),
+            "launches": float(launches),
+            "accelerator_seconds": seconds,
+            "traversed_edges": float(edges),
+            "average_mteps": (edges / seconds / 1e6) if seconds > 0 else 0.0,
+        }
+
+    def spmv_callable(self, handle: MatrixHandle):
+        """An ``spmv_fn`` hook bound to one registered matrix.
+
+        The returned callable has the signature the application layer
+        (:mod:`repro.apps`) expects, so a registered matrix can be plugged
+        straight into the conjugate-gradient or Jacobi solvers.
+        """
+        entry = self._entry(handle)
+
+        def run(matrix, x, y, alpha, beta):
+            if matrix is not entry.matrix and self.fingerprint(matrix) != handle.fingerprint:
+                raise ValueError("this hook is bound to a different matrix")
+            result, __ = self.launch(handle, x, y, alpha, beta)
+            return result
+
+        return run

@@ -1,0 +1,49 @@
+"""The Serpens accelerator: configuration, models, simulator and public API."""
+
+from .accelerator import SerpensAccelerator
+from .config import SERPENS_A16, SERPENS_A24, SerpensConfig
+from .cycle_model import (
+    CycleBreakdown,
+    analytic_cycles,
+    analytic_seconds,
+    detailed_cycles,
+    estimate_hazard_slots,
+)
+from .pe import AccumulationHazardError, ProcessingEngine
+from .resources import (
+    ResourceUsage,
+    U280_AVAILABLE,
+    estimate_resources,
+    fits_u280,
+    theoretical_bram36,
+    theoretical_row_depth,
+    theoretical_uram,
+)
+from .simulator import SerpensSimulator, SimulationResult
+from .spmm import SpMMResult, estimate_spmm, spmm_via_spmv
+
+__all__ = [
+    "SpMMResult",
+    "spmm_via_spmv",
+    "estimate_spmm",
+    "SerpensAccelerator",
+    "SerpensConfig",
+    "SERPENS_A16",
+    "SERPENS_A24",
+    "CycleBreakdown",
+    "analytic_cycles",
+    "analytic_seconds",
+    "detailed_cycles",
+    "estimate_hazard_slots",
+    "ProcessingEngine",
+    "AccumulationHazardError",
+    "ResourceUsage",
+    "U280_AVAILABLE",
+    "estimate_resources",
+    "fits_u280",
+    "theoretical_bram36",
+    "theoretical_uram",
+    "theoretical_row_depth",
+    "SerpensSimulator",
+    "SimulationResult",
+]

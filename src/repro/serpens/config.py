@@ -1,0 +1,135 @@
+"""Serpens accelerator configuration (paper Table 1).
+
+The configuration captures everything that distinguishes one Serpens build
+from another: how many HBM channels feed the sparse matrix (``HA``), how many
+PEs hang off each channel, the per-PE URAM budget, the x-segment length, and
+the clock the placed-and-routed design achieves.  Two published builds are
+provided as presets:
+
+* ``Serpens-A16`` — 16 sparse-matrix channels, 223 MHz (the main evaluation),
+* ``Serpens-A24`` — 24 sparse-matrix channels, 270 MHz (the scalability study,
+  placed with TAPA/AutoBridge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..preprocess import PartitionParams, URAM_DEPTH
+
+__all__ = ["SerpensConfig", "SERPENS_A16", "SERPENS_A24"]
+
+
+@dataclass(frozen=True)
+class SerpensConfig:
+    """Design parameters of one Serpens instance.
+
+    Attributes
+    ----------
+    name:
+        Configuration name used in reports ("Serpens-A16").
+    num_sparse_channels:
+        HBM channels streaming the sparse matrix (the paper's ``HA``).
+    pes_per_channel:
+        Processing engines per sparse-matrix channel (8).
+    urams_per_pe:
+        UltraRAMs per PE for output accumulation (``U = 3``).
+    uram_depth:
+        Entries per URAM at 72-bit width (4096).
+    segment_width:
+        x-vector segment length ``W`` (8192).
+    frequency_mhz:
+        Achieved clock after place and route.
+    dsp_latency:
+        Floating-point accumulation latency in cycles (the hazard window).
+    coalesce_rows:
+        Index coalescing on/off (on in the paper; off only for ablation).
+    bram18k_per_pe:
+        BRAM18K blocks per PE for the x-segment copies (Table 1 reports 128
+        per 8-PE group before the two-PE sharing optimisation).
+    """
+
+    name: str = "Serpens-A16"
+    num_sparse_channels: int = 16
+    pes_per_channel: int = 8
+    urams_per_pe: int = 3
+    uram_depth: int = URAM_DEPTH
+    segment_width: int = 8192
+    frequency_mhz: float = 223.0
+    dsp_latency: int = 4
+    coalesce_rows: bool = True
+    bram18k_per_pe: int = 16
+    hbm_channel_bandwidth_gbps: float = 14.375
+
+    def __post_init__(self) -> None:
+        if self.num_sparse_channels <= 0:
+            raise ValueError("num_sparse_channels must be positive")
+        if self.pes_per_channel <= 0:
+            raise ValueError("pes_per_channel must be positive")
+        if self.frequency_mhz <= 0:
+            raise ValueError("frequency_mhz must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_pes(self) -> int:
+        """Total processing engines (``8 * HA``)."""
+        return self.num_sparse_channels * self.pes_per_channel
+
+    @property
+    def num_vector_channels(self) -> int:
+        """Channels dedicated to dense vectors: x, y-in and y-out."""
+        return 3
+
+    @property
+    def total_channels(self) -> int:
+        """All HBM channels the design occupies (sparse + x + y-in + y-out).
+
+        Serpens-A16 occupies 19 channels, matching the paper's 273 GB/s
+        utilized-bandwidth figure.
+        """
+        return self.num_sparse_channels + self.num_vector_channels
+
+    @property
+    def utilized_bandwidth_gbps(self) -> float:
+        """Aggregate peak bandwidth of the occupied channels."""
+        return self.total_channels * self.hbm_channel_bandwidth_gbps
+
+    @property
+    def max_rows(self) -> int:
+        """On-chip output-row capacity (Eq. 3)."""
+        return self.to_partition_params().max_rows
+
+    def to_partition_params(self) -> PartitionParams:
+        """The preprocessing-facing subset of the configuration."""
+        return PartitionParams(
+            num_channels=self.num_sparse_channels,
+            pes_per_channel=self.pes_per_channel,
+            segment_width=self.segment_width,
+            urams_per_pe=self.urams_per_pe,
+            uram_depth=self.uram_depth,
+            dsp_latency=self.dsp_latency,
+            coalesce_rows=self.coalesce_rows,
+        )
+
+    def scaled_channels(self, num_sparse_channels: int, frequency_mhz: float = None) -> "SerpensConfig":
+        """A copy with a different sparse-channel allocation (the A24 study)."""
+        return replace(
+            self,
+            name=f"Serpens-A{num_sparse_channels}",
+            num_sparse_channels=num_sparse_channels,
+            frequency_mhz=frequency_mhz if frequency_mhz is not None else self.frequency_mhz,
+        )
+
+
+#: The main evaluated build: 16 sparse channels + 3 vector channels, 223 MHz.
+SERPENS_A16 = SerpensConfig()
+
+#: The scaled-up build of Section 4.4: 24 sparse channels, 270 MHz via
+#: TAPA + AutoBridge floorplanning.
+SERPENS_A24 = SerpensConfig(
+    name="Serpens-A24",
+    num_sparse_channels=24,
+    frequency_mhz=270.0,
+)

@@ -1,0 +1,167 @@
+"""Processing engine (PE) model with a pipelined floating-point accumulator.
+
+Each Serpens PE receives one encoded sparse element per cycle, reads the
+matching x value from its BRAM copy of the current segment, multiplies, and
+accumulates into its private URAM buffer.  The floating-point adder is
+pipelined with latency ``T``: an accumulation issued at cycle ``c`` commits at
+cycle ``c + T``.  If another element addressed the same URAM entry before the
+commit, it would read a stale partial sum — the hazard the preprocessor's
+reordering exists to prevent.
+
+The model is *functional plus hazard checking*: it produces the exact
+accumulation a correct pipeline would produce, and it raises
+:class:`AccumulationHazardError` if the incoming stream ever violates the
+hazard window, which is how the tests prove the reordering is sufficient (and
+that removing it is not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..preprocess import EncodedElement
+
+__all__ = ["AccumulationHazardError", "ProcessingEngine"]
+
+
+class AccumulationHazardError(RuntimeError):
+    """Raised when two accumulations to one URAM entry violate the DSP latency."""
+
+
+@dataclass
+class ProcessingEngine:
+    """One memory-centric processing engine.
+
+    Parameters
+    ----------
+    pe_id:
+        Global PE index (0 .. 8*HA-1).
+    num_entries:
+        URAM entries available to this PE (``U * D``).
+    rows_per_entry:
+        Output rows stored per URAM entry (2 with index coalescing).
+    dsp_latency:
+        Accumulator pipeline latency ``T`` in cycles.
+    strict_hazard_check:
+        When True (default) a hazard raises; when False the PE mimics the
+        broken hardware behaviour (the late element overwrites the earlier
+        partial sum), which the ablation tests use to show the reordering is
+        load-bearing.
+    """
+
+    pe_id: int
+    num_entries: int
+    rows_per_entry: int = 2
+    dsp_latency: int = 4
+    strict_hazard_check: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_entries <= 0:
+            raise ValueError("num_entries must be positive")
+        if self.rows_per_entry not in (1, 2):
+            raise ValueError("rows_per_entry must be 1 or 2")
+        self._buffer = np.zeros(self.num_entries * self.rows_per_entry, dtype=np.float64)
+        self._last_issue_cycle: Dict[int, int] = {}
+        # Value of each URAM entry's row group *before* its most recent
+        # in-flight update, used to model the stale read of a hazard.
+        self._before_update: Dict[int, np.ndarray] = {}
+        self.cycles_busy = 0
+        self.elements_processed = 0
+        self.padding_seen = 0
+        self.hazard_violations = 0
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def reset_accumulator(self) -> None:
+        """Clear the URAM accumulation buffer (start of a new SpMV)."""
+        self._buffer.fill(0.0)
+        self._last_issue_cycle.clear()
+        self._before_update.clear()
+        self.cycles_busy = 0
+        self.elements_processed = 0
+        self.padding_seen = 0
+        self.hazard_violations = 0
+
+    def process(self, element: EncodedElement, x_segment: np.ndarray, cycle: int) -> None:
+        """Consume one element at the given cycle.
+
+        Parameters
+        ----------
+        element:
+            The encoded sparse element (or a padding bubble).
+        x_segment:
+            The dense x segment currently resident in the PE's BRAMs; indexed
+            by the element's ``column_offset``.
+        cycle:
+            Global issue cycle, used for hazard tracking.
+        """
+        self.cycles_busy += 1
+        if element.is_padding:
+            self.padding_seen += 1
+            return
+
+        local_row = element.local_row
+        entry = local_row // self.rows_per_entry
+        if entry >= self.num_entries:
+            raise IndexError(
+                f"PE {self.pe_id}: local row {local_row} maps to URAM entry {entry}, "
+                f"beyond the {self.num_entries} available entries"
+            )
+
+        column = element.column_offset
+        if column >= len(x_segment):
+            raise IndexError(
+                f"PE {self.pe_id}: column offset {column} outside the "
+                f"{len(x_segment)}-element x segment"
+            )
+        product = np.float32(element.value) * np.float32(x_segment[column])
+
+        group = slice(entry * self.rows_per_entry, (entry + 1) * self.rows_per_entry)
+        last = self._last_issue_cycle.get(entry)
+        if last is not None and cycle - last < self.dsp_latency:
+            self.hazard_violations += 1
+            if self.strict_hazard_check:
+                raise AccumulationHazardError(
+                    f"PE {self.pe_id}: URAM entry {entry} accessed at cycles "
+                    f"{last} and {cycle}, closer than the DSP latency "
+                    f"{self.dsp_latency}"
+                )
+            # Broken-hardware mode: the in-flight update has not committed, so
+            # this accumulation reads the entry as it was *before* that update
+            # and its own commit overwrites the whole entry — the earlier
+            # contribution is lost.
+            stale = self._before_update.get(entry, np.zeros(self.rows_per_entry))
+            new_group = stale.copy()
+            offset = local_row - entry * self.rows_per_entry
+            new_group[offset] = float(np.float32(stale[offset]) + product)
+            self._before_update[entry] = stale
+            self._buffer[group] = new_group
+        else:
+            before = self._buffer[group].copy()
+            self._before_update[entry] = before
+            self._buffer[local_row] = float(np.float32(self._buffer[local_row]) + product)
+
+        self._last_issue_cycle[entry] = cycle
+        self.elements_processed += 1
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def accumulator(self) -> np.ndarray:
+        """The raw local accumulation buffer (local-row indexed)."""
+        return self._buffer.copy()
+
+    def drain(self, local_rows: List[int]) -> np.ndarray:
+        """Read back the accumulated values for the given local rows."""
+        return self._buffer[np.asarray(local_rows, dtype=np.int64)]
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of issue slots that carried a real element."""
+        if self.cycles_busy == 0:
+            return 0.0
+        return self.elements_processed / self.cycles_busy

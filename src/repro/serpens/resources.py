@@ -1,0 +1,134 @@
+"""FPGA resource model for Serpens (paper Section 3.5 and Table 6).
+
+The BRAM and URAM consumption follow the closed-form expressions of Section
+3.5 exactly (Eqs. 1–3).  LUT / FF / DSP usage is modelled as a base cost for
+the memory-system shell plus per-channel and per-PE increments, calibrated so
+that the Serpens-A16 build reproduces the utilisation row published in Table 6
+(173K LUT, 327K FF, 720 DSP, 655 BRAM, 384 URAM on a U280).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .config import SerpensConfig
+
+__all__ = ["ResourceUsage", "U280_AVAILABLE", "estimate_resources", "fits_u280"]
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Absolute resource usage of one accelerator build."""
+
+    lut: int
+    ff: int
+    dsp: int
+    bram36: int
+    uram: int
+
+    def utilisation(self, available: "ResourceUsage") -> Dict[str, float]:
+        """Fractional utilisation against an availability budget."""
+        return {
+            "lut": self.lut / available.lut,
+            "ff": self.ff / available.ff,
+            "dsp": self.dsp / available.dsp,
+            "bram36": self.bram36 / available.bram36,
+            "uram": self.uram / available.uram,
+        }
+
+    def fits(self, available: "ResourceUsage") -> bool:
+        """True when every resource fits inside the availability budget."""
+        return (
+            self.lut <= available.lut
+            and self.ff <= available.ff
+            and self.dsp <= available.dsp
+            and self.bram36 <= available.bram36
+            and self.uram <= available.uram
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain dictionary view for table generation."""
+        return {
+            "lut": self.lut,
+            "ff": self.ff,
+            "dsp": self.dsp,
+            "bram36": self.bram36,
+            "uram": self.uram,
+        }
+
+
+#: Resources of an Alveo U280 available to the user kernel (device totals
+#: minus the Vitis shell), calibrated so the paper's Table 6 percentages are
+#: reproduced: 173K LUT = 15%, 327K FF = 14%, 655 BRAM = 36%, 384 URAM = 40%.
+U280_AVAILABLE = ResourceUsage(
+    lut=1_152_000,
+    ff=2_331_000,
+    dsp=9_024,
+    bram36=1_816,
+    uram=960,
+)
+
+# Calibration constants for the logic model (see module docstring).
+_LUT_BASE = 20_000
+_LUT_PER_CHANNEL = 1_900
+_LUT_PER_PE = 915
+_FF_BASE = 16_000
+_FF_PER_CHANNEL = 3_000
+_FF_PER_PE = 1_985
+_DSP_PER_PE = 5
+_DSP_PER_COMPY_LANE = 5
+_COMPY_LANES = 16
+_BRAM_EXTRA_FIFO_PER_CHANNEL = 7
+_BRAM_VECTOR_BUFFERS = 10
+
+
+def estimate_resources(config: SerpensConfig) -> ResourceUsage:
+    """Estimate the FPGA resources of a Serpens configuration.
+
+    BRAM (Eq. 1): ``32 * HA`` BRAM36 blocks hold the replicated x-segment
+    copies, plus stream FIFOs and the dense-vector staging buffers.
+
+    URAM (Eq. 2): ``8 * HA * U`` blocks hold the output accumulation buffers.
+
+    DSP: each PE needs a FP32 multiplier and accumulator (~5 DSP slices), and
+    the CompY module applies the alpha/beta scaling on 16 lanes.
+    """
+    ha = config.num_sparse_channels
+    pes = config.total_pes
+
+    bram_eq1 = 32 * ha
+    bram = bram_eq1 + _BRAM_EXTRA_FIFO_PER_CHANNEL * config.total_channels + _BRAM_VECTOR_BUFFERS
+    uram = config.pes_per_channel * ha * config.urams_per_pe
+
+    dsp = _DSP_PER_PE * pes + _DSP_PER_COMPY_LANE * _COMPY_LANES
+    lut = _LUT_BASE + _LUT_PER_CHANNEL * config.total_channels + _LUT_PER_PE * pes
+    ff = _FF_BASE + _FF_PER_CHANNEL * config.total_channels + _FF_PER_PE * pes
+    return ResourceUsage(lut=lut, ff=ff, dsp=dsp, bram36=bram, uram=uram)
+
+
+def theoretical_bram36(config: SerpensConfig) -> int:
+    """Eq. (1): ``#BRAMs = 32 * HA`` (x-segment storage only)."""
+    return 32 * config.num_sparse_channels
+
+
+def theoretical_uram(config: SerpensConfig) -> int:
+    """Eq. (2): ``#URAMs = 8 * HA * U``."""
+    return config.pes_per_channel * config.num_sparse_channels * config.urams_per_pe
+
+
+def theoretical_row_depth(config: SerpensConfig) -> int:
+    """Eq. (3): on-chip accumulation row capacity ``16 * HA * U * D``."""
+    rows_per_entry = 2 if config.coalesce_rows else 1
+    return (
+        config.pes_per_channel
+        * config.num_sparse_channels
+        * config.urams_per_pe
+        * config.uram_depth
+        * rows_per_entry
+    )
+
+
+def fits_u280(config: SerpensConfig) -> bool:
+    """Whether the configuration fits the post-shell U280 budget."""
+    return estimate_resources(config).fits(U280_AVAILABLE)

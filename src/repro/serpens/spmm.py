@@ -1,0 +1,154 @@
+"""Running SpMM on Serpens as a sequence of SpMV launches.
+
+Serpens is specialised for SpMV; the paper's Table 5 shows what happens when
+it is nevertheless asked to compute a sparse-matrix dense-matrix product
+(SpMM): the accelerator runs one SpMV per dense column, reusing the
+preprocessed sparse stream, and ends up ~3x slower than Sextans (whose
+dense-element sharing was built for exactly that case).  This module makes
+that usage explicit and measurable:
+
+* :func:`spmm_via_spmv` — functional execution with the golden kernel or the
+  cycle-accurate simulator, one column at a time,
+* :func:`estimate_spmm` — the latency model used by the Table 5 experiment
+  (per-column SpMV latency times the column count, minus the x-stream work
+  that the paper's batched launches amortise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..formats import COOMatrix
+from ..metrics import ExecutionReport
+from ..preprocess import SerpensProgram
+from .accelerator import SerpensAccelerator
+
+__all__ = ["SpMMResult", "spmm_via_spmv", "estimate_spmm"]
+
+
+@dataclass
+class SpMMResult:
+    """Result of an SpMM executed as repeated SpMV launches.
+
+    Attributes
+    ----------
+    output:
+        The dense output matrix ``alpha * A @ B + beta * C`` of shape
+        ``(num_rows, dense_width)``.
+    per_column_reports:
+        One execution report per dense column (per SpMV launch).
+    """
+
+    output: np.ndarray
+    per_column_reports: list
+
+    @property
+    def total_seconds(self) -> float:
+        """Accumulated accelerator time across all column launches."""
+        return float(sum(report.seconds for report in self.per_column_reports))
+
+    @property
+    def total_milliseconds(self) -> float:
+        """Accumulated accelerator time in milliseconds."""
+        return self.total_seconds * 1e3
+
+    @property
+    def dense_width(self) -> int:
+        """Number of dense columns processed."""
+        return len(self.per_column_reports)
+
+
+def spmm_via_spmv(
+    accelerator: SerpensAccelerator,
+    matrix: COOMatrix,
+    dense: np.ndarray,
+    c: Optional[np.ndarray] = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+    program: Optional[SerpensProgram] = None,
+    matrix_name: str = "matrix",
+) -> SpMMResult:
+    """Compute ``alpha * A @ B + beta * C`` column by column on the simulator.
+
+    Parameters
+    ----------
+    accelerator:
+        The Serpens instance to run on.
+    matrix:
+        The sparse matrix ``A``.
+    dense:
+        Dense matrix ``B`` of shape ``(num_cols, N)``.
+    c:
+        Optional dense matrix ``C`` of shape ``(num_rows, N)``.
+    program:
+        Optional pre-built program; built once and reused otherwise — the
+        whole point of running SpMM this way is that the sparse stream is
+        identical for every column.
+    """
+    dense = np.asarray(dense, dtype=np.float64)
+    if dense.ndim != 2 or dense.shape[0] != matrix.num_cols:
+        raise ValueError(
+            f"dense matrix must have shape ({matrix.num_cols}, N), got {dense.shape}"
+        )
+    width = dense.shape[1]
+    if c is None:
+        c = np.zeros((matrix.num_rows, width))
+    else:
+        c = np.asarray(c, dtype=np.float64)
+        if c.shape != (matrix.num_rows, width):
+            raise ValueError(
+                f"C must have shape ({matrix.num_rows}, {width}), got {c.shape}"
+            )
+
+    if program is None:
+        program = accelerator.preprocess(matrix)
+
+    output = np.zeros((matrix.num_rows, width))
+    reports = []
+    for column in range(width):
+        y, report = accelerator.run(
+            matrix,
+            dense[:, column],
+            c[:, column],
+            alpha,
+            beta,
+            program=program,
+            matrix_name=f"{matrix_name}[col {column}]",
+        )
+        output[:, column] = y
+        reports.append(report)
+    return SpMMResult(output=output, per_column_reports=reports)
+
+
+def estimate_spmm(
+    accelerator: SerpensAccelerator,
+    matrix: COOMatrix,
+    dense_width: int,
+    matrix_name: str = "matrix",
+    model: str = "detailed",
+) -> ExecutionReport:
+    """Latency estimate for an SpMM run as ``dense_width`` SpMV launches.
+
+    The sparse stream and the y traffic repeat once per column; the report's
+    ``nnz`` is scaled accordingly so the throughput metrics stay meaningful
+    (``2 * N * NNZ`` flops are performed in total).
+    """
+    if dense_width <= 0:
+        raise ValueError("dense_width must be positive")
+    single = accelerator.estimate(matrix, matrix_name, model=model)
+    return ExecutionReport(
+        accelerator=accelerator.config.name,
+        matrix_name=f"{matrix_name} (SpMM N={dense_width})",
+        num_rows=matrix.num_rows,
+        num_cols=matrix.num_cols,
+        nnz=matrix.nnz * dense_width,
+        cycles=single.cycles * dense_width,
+        frequency_mhz=accelerator.config.frequency_mhz,
+        bandwidth_gbps=single.bandwidth_gbps,
+        power_watts=single.power_watts,
+        bytes_moved=single.bytes_moved * dense_width,
+        extra={"dense_width": float(dense_width), "per_spmv_cycles": float(single.cycles)},
+    )

@@ -1,0 +1,24 @@
+"""Reference SpMV kernels and GraphBLAS-style semirings."""
+
+from .reference import flop_count, spmv, spmv_fp32, traversed_edges
+from .semiring import (
+    MAX_TIMES,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    Semiring,
+    generalized_spmv,
+)
+
+__all__ = [
+    "spmv",
+    "spmv_fp32",
+    "flop_count",
+    "traversed_edges",
+    "Semiring",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "OR_AND",
+    "MAX_TIMES",
+    "generalized_spmv",
+]

@@ -1,0 +1,94 @@
+"""Reference (golden) SpMV implementations.
+
+Every accelerator model in this package is validated against these functions.
+The general form follows the paper's Section 1:
+
+    y_out = alpha * (A @ x) + beta * y_in
+
+with 32-bit float semantics available on request so the simulator's FP32
+datapath can be compared bit-for-bit where that matters.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..formats import COOMatrix, CSRMatrix
+
+__all__ = ["spmv", "spmv_fp32", "flop_count", "traversed_edges"]
+
+MatrixLike = Union[COOMatrix, CSRMatrix]
+
+
+def _matvec(matrix: MatrixLike, x: np.ndarray) -> np.ndarray:
+    if isinstance(matrix, (COOMatrix, CSRMatrix)):
+        return matrix.matvec(x)
+    raise TypeError(f"unsupported matrix type {type(matrix).__name__}")
+
+
+def spmv(
+    matrix: MatrixLike,
+    x: np.ndarray,
+    y: np.ndarray = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> np.ndarray:
+    """Compute ``alpha * A @ x + beta * y`` in double precision.
+
+    Parameters
+    ----------
+    matrix:
+        Sparse matrix in COO or CSR format.
+    x:
+        Dense input vector of length ``num_cols``.
+    y:
+        Dense input/output vector of length ``num_rows``.  When omitted, a
+        zero vector is used (and ``beta`` is irrelevant).
+    alpha, beta:
+        The two scalar constants of the general SpMV form.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    num_rows, num_cols = matrix.shape
+    if x.shape != (num_cols,):
+        raise ValueError(f"x must have length {num_cols}, got {x.shape}")
+    if y is None:
+        y = np.zeros(num_rows, dtype=np.float64)
+    else:
+        y = np.asarray(y, dtype=np.float64)
+        if y.shape != (num_rows,):
+            raise ValueError(f"y must have length {num_rows}, got {y.shape}")
+    return alpha * _matvec(matrix, x) + beta * y
+
+
+def spmv_fp32(
+    matrix: MatrixLike,
+    x: np.ndarray,
+    y: np.ndarray = None,
+    alpha: float = 1.0,
+    beta: float = 0.0,
+) -> np.ndarray:
+    """The same computation rounded through FP32, matching the FPGA datapath.
+
+    The accelerator stores values, x and y in 32-bit floats; accumulation
+    order differs from the reference so results are compared with a relative
+    tolerance, but keeping the reference in FP32 removes one source of
+    systematic difference in the tests.
+    """
+    result = spmv(matrix, x, y, alpha, beta)
+    return result.astype(np.float32).astype(np.float64)
+
+
+def flop_count(matrix: MatrixLike) -> int:
+    """Floating point operations of one SpMV: one multiply + one add per NNZ.
+
+    This is the convention the paper uses to convert execution time into
+    GFLOP/s (2 * NNZ flops per SpMV).
+    """
+    return 2 * matrix.nnz
+
+
+def traversed_edges(matrix: MatrixLike) -> int:
+    """Edges traversed by one SpMV — equal to NNZ, used for MTEPS."""
+    return matrix.nnz

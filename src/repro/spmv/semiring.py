@@ -1,0 +1,134 @@
+"""GraphBLAS-style semirings and the generalized SpMV they induce.
+
+GraphLily (the paper's main FPGA baseline) is an overlay that executes graph
+kernels expressed as SpMV over a configurable semiring: a generalized
+"multiplication" combined with a generalized "reduction".  The paper points
+out that when the overlay runs plain arithmetic SpMV, the hardware for the
+other semiring operations sits idle — which is exactly the specialization gap
+Serpens exploits.
+
+This module provides the semiring abstraction so that (a) the GraphLily
+baseline model can be configured the same way the real overlay is, and (b)
+the graph applications (BFS, SSSP, PageRank) in :mod:`repro.graph` run on top
+of the same generalized SpMV the overlay provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..formats import COOMatrix
+
+__all__ = [
+    "Semiring",
+    "PLUS_TIMES",
+    "MIN_PLUS",
+    "OR_AND",
+    "MAX_TIMES",
+    "generalized_spmv",
+]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A semiring ``(add, multiply, identity)`` for generalized SpMV.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, e.g. ``"plus_times"``.
+    add:
+        Vectorised binary reduction applied across products of one output row.
+    multiply:
+        Vectorised binary operator applied to (matrix value, vector value).
+    add_identity:
+        Identity of the reduction (0 for +, +inf for min, False for OR).
+    """
+
+    name: str
+    add: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    multiply: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    add_identity: float
+
+    def reduce(self, values: np.ndarray) -> float:
+        """Reduce a 1-D array with the semiring's addition."""
+        result = self.add_identity
+        for v in values:
+            result = self.add(np.asarray(result), np.asarray(v)).item()
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Semiring({self.name})"
+
+
+#: Ordinary arithmetic SpMV — the configuration Serpens is specialised for.
+PLUS_TIMES = Semiring(
+    name="plus_times",
+    add=np.add,
+    multiply=np.multiply,
+    add_identity=0.0,
+)
+
+#: Tropical semiring used by single-source shortest paths (SSSP).
+MIN_PLUS = Semiring(
+    name="min_plus",
+    add=np.minimum,
+    multiply=np.add,
+    add_identity=np.inf,
+)
+
+#: Boolean semiring used by breadth-first search frontier expansion.
+OR_AND = Semiring(
+    name="or_and",
+    add=np.logical_or,
+    multiply=np.logical_and,
+    add_identity=0.0,
+)
+
+#: Max-times semiring (used e.g. for widest-path / reliability queries).
+MAX_TIMES = Semiring(
+    name="max_times",
+    add=np.maximum,
+    multiply=np.multiply,
+    add_identity=-np.inf,
+)
+
+
+def generalized_spmv(
+    matrix: COOMatrix,
+    x: np.ndarray,
+    semiring: Semiring = PLUS_TIMES,
+) -> np.ndarray:
+    """Compute ``y[i] = add_j(multiply(A[i, j], x[j]))`` over the semiring.
+
+    Rows with no stored entries receive the semiring's additive identity,
+    matching GraphBLAS semantics (for ``plus_times`` that is simply 0).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (matrix.num_cols,):
+        raise ValueError(
+            f"x must have length {matrix.num_cols}, got {x.shape}"
+        )
+    y = np.full(matrix.num_rows, semiring.add_identity, dtype=np.float64)
+    if matrix.nnz == 0:
+        return y
+
+    products = semiring.multiply(matrix.values, x[matrix.cols]).astype(np.float64)
+    if semiring is PLUS_TIMES or semiring.name == "plus_times":
+        # Fast path with an exact ufunc scatter-add.
+        y = np.zeros(matrix.num_rows, dtype=np.float64)
+        np.add.at(y, matrix.rows, products)
+        return y
+
+    order = np.argsort(matrix.rows, kind="stable")
+    rows_sorted = matrix.rows[order]
+    products_sorted = products[order]
+    unique_rows, starts = np.unique(rows_sorted, return_index=True)
+    boundaries = np.append(starts, len(products_sorted))
+    for idx, row in enumerate(unique_rows):
+        segment = products_sorted[boundaries[idx] : boundaries[idx + 1]]
+        y[row] = semiring.reduce(segment)
+    return y

@@ -1,0 +1,187 @@
+"""Unit tests for the application layer: solvers and sparse-NN inference."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    SparseMLP,
+    conjugate_gradient,
+    jacobi,
+    prune_dense_weights,
+)
+from repro.formats import COOMatrix
+from repro.generators import laplacian_2d, random_diagonal_dominant, tridiagonal
+from repro.spmv import spmv
+
+
+class TestConjugateGradient:
+    def test_solves_tridiagonal_system(self):
+        a = tridiagonal(50)
+        x_true = np.linspace(-1, 1, 50)
+        b = spmv(a, x_true)
+        result = conjugate_gradient(a, b, tolerance=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, atol=1e-6)
+
+    def test_solves_laplacian_system(self):
+        a = laplacian_2d(8, 8)
+        rng = np.random.default_rng(1)
+        x_true = rng.uniform(-1, 1, a.num_rows)
+        b = spmv(a, x_true)
+        result = conjugate_gradient(a, b, tolerance=1e-10)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, atol=1e-5)
+
+    def test_residual_reported(self):
+        a = tridiagonal(30)
+        b = np.ones(30)
+        result = conjugate_gradient(a, b, tolerance=1e-12)
+        assert result.residual_norm < 1e-8
+
+    def test_spmv_call_counting(self):
+        a = tridiagonal(20)
+        b = np.ones(20)
+        calls = []
+
+        def counting_spmv(matrix, x, y, alpha, beta):
+            calls.append(1)
+            return spmv(matrix, x, y, alpha, beta)
+
+        result = conjugate_gradient(a, b, spmv_fn=counting_spmv)
+        assert result.spmv_calls == len(calls)
+        assert result.spmv_calls >= result.iterations
+
+    def test_iteration_cap(self):
+        a = laplacian_2d(10, 10)
+        b = np.ones(a.num_rows)
+        result = conjugate_gradient(a, b, tolerance=1e-16, max_iterations=2)
+        assert not result.converged
+        assert result.iterations == 2
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            conjugate_gradient(COOMatrix.empty(3, 4), np.ones(3))
+
+    def test_rejects_wrong_rhs_length(self):
+        with pytest.raises(ValueError):
+            conjugate_gradient(tridiagonal(5), np.ones(4))
+
+
+class TestJacobi:
+    def test_solves_diagonally_dominant_system(self):
+        a = random_diagonal_dominant(80, 600, seed=2)
+        x_true = np.random.default_rng(3).uniform(-1, 1, 80)
+        b = spmv(a, x_true)
+        result = jacobi(a, b, tolerance=1e-10, max_iterations=500)
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, atol=1e-6)
+
+    def test_requires_nonzero_diagonal(self):
+        a = COOMatrix.from_triples(2, 2, [(0, 1, 1.0), (1, 0, 1.0)])
+        with pytest.raises(ValueError):
+            jacobi(a, np.ones(2))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            jacobi(COOMatrix.empty(2, 3), np.ones(2))
+
+    def test_counts_spmv_calls(self):
+        a = random_diagonal_dominant(40, 250, seed=4)
+        b = np.ones(40)
+        result = jacobi(a, b, max_iterations=50)
+        assert result.spmv_calls > 0
+
+
+class TestPruning:
+    def test_keep_fraction(self):
+        rng = np.random.default_rng(5)
+        dense = rng.normal(size=(40, 30))
+        pruned = prune_dense_weights(dense, keep_fraction=0.1)
+        assert pruned.nnz == pytest.approx(120, abs=5)
+
+    def test_keeps_largest_magnitudes(self):
+        dense = np.array([[0.1, -5.0], [3.0, 0.01]])
+        pruned = prune_dense_weights(dense, keep_fraction=0.5)
+        kept = set(zip(pruned.rows.tolist(), pruned.cols.tolist()))
+        assert (0, 1) in kept
+        assert (1, 0) in kept
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            prune_dense_weights(np.ones((2, 2)), keep_fraction=0.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            prune_dense_weights(np.ones(4), keep_fraction=0.5)
+
+
+class TestSparseMLP:
+    def test_random_network_shapes(self):
+        mlp = SparseMLP.random([64, 128, 32, 10], density=0.2, seed=6)
+        assert len(mlp.layers) == 3
+        assert mlp.layers[0].input_size == 64
+        assert mlp.layers[-1].output_size == 10
+        assert mlp.num_spmv_calls == 3
+        assert mlp.total_nnz > 0
+
+    def test_forward_output_shape(self):
+        mlp = SparseMLP.random([32, 64, 8], density=0.3, seed=7)
+        out = mlp.forward(np.random.default_rng(8).uniform(-1, 1, 32))
+        assert out.shape == (8,)
+        assert np.all(np.isfinite(out))
+
+    def test_relu_hidden_layers_nonnegative(self):
+        mlp = SparseMLP.random([16, 16, 4], density=0.5, seed=9)
+        hidden = mlp.layers[0].forward(np.random.default_rng(10).uniform(-1, 1, 16))
+        assert np.all(hidden >= 0)
+
+    def test_forward_uses_spmv_hook(self):
+        mlp = SparseMLP.random([16, 8, 8, 4], density=0.5, seed=11)
+        calls = []
+
+        def counting_spmv(matrix, x, y, alpha, beta):
+            calls.append(matrix.shape)
+            return spmv(matrix, x, y, alpha, beta)
+
+        x = np.ones(16)
+        reference = mlp.forward(x)
+        hooked = mlp.forward(x, spmv_fn=counting_spmv)
+        np.testing.assert_allclose(hooked, reference)
+        assert len(calls) == mlp.num_spmv_calls == 3
+
+    def test_mismatched_layer_sizes_rejected(self):
+        from repro.apps import SparseLayer
+        from repro.generators import random_uniform
+
+        layer1 = SparseLayer(random_uniform(8, 4, 10, seed=1), np.zeros(8))
+        layer2 = SparseLayer(random_uniform(4, 9, 10, seed=2), np.zeros(4))
+        with pytest.raises(ValueError):
+            SparseMLP(layers=[layer1, layer2])
+
+    def test_bias_length_validated(self):
+        from repro.apps import SparseLayer
+        from repro.generators import random_uniform
+
+        with pytest.raises(ValueError):
+            SparseLayer(random_uniform(8, 4, 10, seed=3), np.zeros(7))
+
+    def test_invalid_activation(self):
+        from repro.apps import SparseLayer
+        from repro.generators import random_uniform
+
+        with pytest.raises(ValueError):
+            SparseLayer(random_uniform(4, 4, 4, seed=4), np.zeros(4), activation="tanh")
+
+    def test_network_needs_two_sizes(self):
+        with pytest.raises(ValueError):
+            SparseMLP.random([10], density=0.1)
+
+    def test_sigmoid_activation_range(self):
+        from repro.apps import SparseLayer
+        from repro.generators import random_uniform
+
+        layer = SparseLayer(
+            random_uniform(6, 6, 12, seed=5), np.zeros(6), activation="sigmoid"
+        )
+        out = layer.forward(np.random.default_rng(6).uniform(-3, 3, 6))
+        assert np.all((out > 0) & (out < 1))

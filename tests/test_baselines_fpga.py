@@ -1,0 +1,152 @@
+"""Unit tests for the Sextans and GraphLily baseline models."""
+
+import pytest
+
+from repro.baselines import (
+    GraphLilyConfig,
+    GraphLilyModel,
+    SextansConfig,
+    SextansModel,
+    bank_conflict_efficiency,
+)
+from repro.generators import random_uniform, rmat_graph
+from repro.spmv.semiring import MIN_PLUS
+
+
+@pytest.fixture(scope="module")
+def medium_matrix():
+    return random_uniform(30_000, 30_000, 600_000, seed=11)
+
+
+class TestSextansConfig:
+    def test_channel_allocation_matches_paper(self):
+        cfg = SextansConfig()
+        assert cfg.num_sparse_channels == 8
+        assert cfg.num_dense_channels == 20
+        assert cfg.total_channels == 29
+
+    def test_bandwidth_matches_table2(self):
+        assert SextansConfig().utilized_bandwidth_gbps == pytest.approx(416.875, abs=1.0)
+
+    def test_frequency_matches_table2(self):
+        assert SextansConfig().frequency_mhz == pytest.approx(197.0)
+
+
+class TestSextansModel:
+    def test_supports_small_matrices(self, medium_matrix):
+        assert SextansModel().supports(medium_matrix)
+
+    def test_capacity_limit_matches_paper_unsupported_set(self):
+        model = SextansModel()
+        # G8 (434K rows) is supported; G10 (576K rows) and larger are not.
+        assert model.config.max_output_rows >= 434_102
+        assert model.config.max_output_rows < 576_289
+
+    def test_unsupported_matrix_report(self):
+        model = SextansModel()
+        big = random_uniform(600_000, 64, 500, seed=1)
+        report = model.run_spmv(big, "big")
+        assert not report.supported
+
+    def test_spmv_report_metrics(self, medium_matrix):
+        report = SextansModel().run_spmv(medium_matrix, "m")
+        assert report.supported
+        assert report.accelerator == "Sextans"
+        assert report.power_watts == pytest.approx(52.0)
+        assert report.gflops > 0
+        assert report.extra["dense_width"] == 8.0
+
+    def test_spmm_wider_n_takes_longer(self, medium_matrix):
+        model = SextansModel()
+        n8 = model.run_spmm(medium_matrix, dense_width=8)
+        n16 = model.run_spmm(medium_matrix, dense_width=16)
+        assert n16.seconds > n8.seconds
+
+    def test_spmm_minimum_width_enforced(self, medium_matrix):
+        with pytest.raises(ValueError):
+            SextansModel().run_spmm(medium_matrix, dense_width=4)
+
+    def test_sextans_slower_than_serpens_for_spmv(self, medium_matrix):
+        from repro.serpens import SerpensAccelerator
+
+        serpens = SerpensAccelerator().estimate(medium_matrix, "m")
+        sextans = SextansModel().run_spmv(medium_matrix, "m")
+        assert serpens.seconds < sextans.seconds
+
+
+class TestGraphLilyConfig:
+    def test_bandwidth_matches_table2(self):
+        # 19 HBM channels + 1 DDR4 channel ~= 285 GB/s.
+        assert GraphLilyConfig().utilized_bandwidth_gbps == pytest.approx(285.0, abs=1.0)
+
+    def test_frequency_matches_table2(self):
+        assert GraphLilyConfig().frequency_mhz == pytest.approx(166.0)
+
+
+class TestBankConflictEfficiency:
+    def test_eight_over_eight(self):
+        # 8 * (1 - (7/8)^8) / 8 ~= 0.656.
+        assert bank_conflict_efficiency(8, 8) == pytest.approx(0.6564, abs=1e-3)
+
+    def test_single_lane_no_conflicts(self):
+        assert bank_conflict_efficiency(1, 8) == pytest.approx(1.0)
+
+    def test_more_banks_fewer_conflicts(self):
+        assert bank_conflict_efficiency(8, 32) > bank_conflict_efficiency(8, 8)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            bank_conflict_efficiency(0, 8)
+        with pytest.raises(ValueError):
+            bank_conflict_efficiency(8, 0)
+
+
+class TestGraphLilyModel:
+    def test_supports_everything(self):
+        model = GraphLilyModel()
+        huge = random_uniform(2_500_000, 64, 100, seed=2)
+        assert model.supports(huge)
+
+    def test_report_metrics(self, medium_matrix):
+        report = GraphLilyModel().run_spmv(medium_matrix, "m")
+        assert report.accelerator == "GraphLily"
+        assert report.power_watts == pytest.approx(43.0)
+        assert report.frequency_mhz == pytest.approx(166.0)
+        assert 0 < report.extra["lane_efficiency"] < 1
+        assert report.extra["imbalance"] >= 1.0
+
+    def test_semiring_argument_does_not_change_timing(self, medium_matrix):
+        model = GraphLilyModel()
+        plain = model.run_spmv(medium_matrix, "m")
+        tropical = model.run_spmv(medium_matrix, "m", semiring=MIN_PLUS)
+        assert plain.seconds == pytest.approx(tropical.seconds)
+
+    def test_peak_throughput_bounded_by_published_peak(self):
+        # GraphLily's best published SpMV throughput is ~10.3 GTEPS; the model
+        # should never exceed that by more than ~15%.
+        model = GraphLilyModel()
+        nice = random_uniform(40_000, 40_000, 2_000_000, seed=3)
+        report = model.run_spmv(nice, "nice")
+        assert report.mteps < 12_000
+
+    def test_serpens_beats_graphlily_on_spmv(self, medium_matrix):
+        from repro.serpens import SerpensAccelerator
+
+        serpens = SerpensAccelerator().estimate(medium_matrix, "m")
+        graphlily = GraphLilyModel().run_spmv(medium_matrix, "m")
+        assert serpens.mteps > graphlily.mteps
+
+    def test_power_law_graph_slower_than_uniform(self):
+        model = GraphLilyModel()
+        uniform = random_uniform(20_000, 20_000, 400_000, seed=4)
+        skewed = rmat_graph(20_000, 400_000, seed=4)
+        assert (
+            model.run_spmv(skewed, "s").mteps <= model.run_spmv(uniform, "u").mteps * 1.05
+        )
+
+    def test_empty_matrix(self):
+        from repro.formats import COOMatrix
+
+        report = GraphLilyModel().run_spmv(COOMatrix.empty(100, 100), "empty")
+        assert report.seconds > 0
+        assert report.nnz == 0

@@ -1,0 +1,121 @@
+"""Unit tests for the K80 GPU roofline model and the CPU reference."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CPUReference, K80Config, K80Model
+from repro.formats import COOMatrix
+from repro.generators import random_uniform
+from repro.spmv import spmv
+
+
+class TestK80Model:
+    def test_report_metadata(self):
+        m = random_uniform(10_000, 10_000, 200_000, seed=1)
+        report = K80Model().run_spmv(m, "m")
+        assert report.accelerator == "K80"
+        assert report.power_watts == pytest.approx(130.0)
+        assert report.bandwidth_gbps == pytest.approx(480.0)
+        assert report.seconds > 0
+
+    def test_launch_overhead_dominates_small_matrices(self):
+        model = K80Model()
+        small = model.run_from_shape(200, 200, 2_000, "small")
+        assert small.seconds == pytest.approx(model.config.launch_overhead_s, rel=0.5)
+        # Throughput on tiny matrices is far below 1 GFLOP/s (Figure 3, left side).
+        assert small.gflops < 1.0
+
+    def test_large_matrices_approach_peak(self):
+        model = K80Model()
+        large = model.run_from_shape(1_000_000, 1_000_000, 80_000_000, "large")
+        assert 20.0 < large.gflops < 55.0
+
+    def test_peak_stays_below_published_maximum_envelope(self):
+        model = K80Model()
+        best = 0.0
+        for nnz in (1e5, 1e6, 1e7, 1e8):
+            for rows in (1e4, 1e5, 1e6):
+                if nnz > rows * rows:
+                    continue
+                report = model.run_from_shape(int(rows), int(rows), int(nnz), "x")
+                best = max(best, report.gflops)
+        # The paper's K80 maximum is 46.43 GFLOP/s.
+        assert best < 55.0
+        assert best > 30.0
+
+    def test_throughput_increases_with_nnz(self):
+        model = K80Model()
+        gflops = [
+            model.run_from_shape(10_000, 10_000, nnz, "x").gflops
+            for nnz in (10_000, 100_000, 1_000_000, 10_000_000)
+        ]
+        assert gflops == sorted(gflops)
+
+    def test_shape_and_matrix_paths_agree(self):
+        m = random_uniform(5_000, 5_000, 100_000, seed=2)
+        model = K80Model()
+        a = model.run_spmv(m, "m")
+        b = model.run_from_shape(m.num_rows, m.num_cols, m.nnz, "m")
+        assert a.seconds == pytest.approx(b.seconds)
+
+    def test_cache_resident_vector_cheaper(self):
+        model = K80Model()
+        # Same NNZ; the small-column matrix keeps x in L2 so traffic is lower.
+        small_cols = model.run_from_shape(200_000, 50_000, 5_000_000, "small-x")
+        large_cols = model.run_from_shape(200_000, 5_000_000, 5_000_000, "large-x")
+        assert small_cols.bytes_moved < large_cols.bytes_moved
+        assert small_cols.seconds < large_cols.seconds
+
+    def test_supports_everything(self):
+        assert K80Model().supports(random_uniform(100, 100, 10, seed=3))
+
+    def test_empty_matrix_costs_launch_overhead(self):
+        report = K80Model().run_spmv(COOMatrix.empty(10, 10), "empty")
+        assert report.seconds >= K80Config().launch_overhead_s
+
+
+class TestSerpensVsK80:
+    def test_serpens_wins_geomean_but_not_peak(self):
+        from repro.metrics import geomean
+        from repro.serpens import SerpensAccelerator
+
+        serpens = SerpensAccelerator()
+        k80 = K80Model()
+        ratios = []
+        shapes = [
+            (5_000, 5_000, 50_000),
+            (20_000, 20_000, 500_000),
+            (100_000, 100_000, 2_000_000),
+            (500_000, 500_000, 20_000_000),
+        ]
+        for rows, cols, nnz in shapes:
+            s = serpens.estimate_from_shape(rows, cols, nnz)
+            k = k80.run_from_shape(rows, cols, nnz)
+            ratios.append(s.mteps / k.mteps)
+        assert geomean(ratios) > 1.5
+
+
+class TestCPUReference:
+    def test_result_matches_golden_kernel(self):
+        m = random_uniform(500, 400, 5_000, seed=4)
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-1, 1, 400)
+        y = rng.uniform(-1, 1, 500)
+        result, report = CPUReference().run_spmv(m, x, y, alpha=2.0, beta=0.5, repeats=1)
+        np.testing.assert_allclose(result, spmv(m, x, y, 2.0, 0.5))
+        assert report.seconds > 0
+        assert report.nnz == m.nnz
+
+    def test_default_vectors(self):
+        m = random_uniform(100, 100, 500, seed=6)
+        result, report = CPUReference().run_spmv(m, repeats=1)
+        np.testing.assert_allclose(result, spmv(m, np.ones(100)))
+        assert report.accelerator == "CPU-numpy"
+
+    def test_accepts_csr_input(self):
+        from repro.formats import CSRMatrix
+
+        coo = random_uniform(200, 200, 1_000, seed=7)
+        csr = CSRMatrix.from_coo(coo)
+        result, __ = CPUReference().run_spmv(csr, repeats=1)
+        np.testing.assert_allclose(result, spmv(coo, np.ones(200)))

@@ -1,0 +1,130 @@
+"""Unit tests for the evaluation matrix specs, Table 2 wiring and reporting."""
+
+import pytest
+
+from repro.eval import (
+    TSOPF_RS_B2383_C1,
+    TWELVE_LARGE_MATRICES,
+    build_accelerators,
+    format_float,
+    format_table,
+    get_matrix_spec,
+    render_report_table,
+    table2_specs,
+)
+from repro.serpens import SERPENS_A16
+
+
+class TestMatrixSpecs:
+    def test_twelve_matrices(self):
+        assert len(TWELVE_LARGE_MATRICES) == 12
+        assert [spec.graph_id for spec in TWELVE_LARGE_MATRICES] == [
+            f"G{i}" for i in range(1, 13)
+        ]
+
+    def test_published_shapes(self):
+        g11 = get_matrix_spec("G11")
+        assert g11.name == "hollywood"
+        assert g11.num_rows == pytest.approx(1_069_126)
+        assert g11.nnz == pytest.approx(112_751_422)
+        g4 = get_matrix_spec("TSOPF_RS_b2383")
+        assert g4.graph_id == "G4"
+
+    def test_edge_counts_within_paper_range(self):
+        for spec in TWELVE_LARGE_MATRICES:
+            assert 13_000_000 <= spec.nnz <= 125_000_000
+            assert 38_000 <= spec.num_rows <= 2_500_000
+
+    def test_lookup_by_name_and_id(self):
+        assert get_matrix_spec("hollywood").graph_id == "G11"
+        assert get_matrix_spec("G1").name == "googleplus"
+        with pytest.raises(KeyError):
+            get_matrix_spec("unknown")
+
+    def test_table5_matrix_spec(self):
+        assert TSOPF_RS_B2383_C1.name == "TSOPF_RS_b2383_c1"
+
+    def test_scaled_shape_scales_linearly(self):
+        spec = get_matrix_spec("G2")
+        shape = spec.scaled_shape(0.1)
+        assert shape["num_rows"] == pytest.approx(spec.num_rows * 0.1, rel=0.01)
+        assert shape["nnz"] == pytest.approx(spec.nnz * 0.1, rel=0.01)
+
+    def test_scaled_shape_invalid(self):
+        with pytest.raises(ValueError):
+            get_matrix_spec("G1").scaled_shape(0.0)
+
+    def test_materialize_small_scale(self):
+        for graph_id in ("G1", "G2", "G4"):
+            spec = get_matrix_spec(graph_id)
+            m = spec.materialize(scale=0.002)
+            assert m.nnz > 0
+            assert m.num_rows <= spec.num_rows
+
+    def test_density_property(self):
+        spec = get_matrix_spec("G6")
+        assert spec.density == pytest.approx(
+            spec.nnz / (spec.num_rows * spec.num_cols)
+        )
+
+
+class TestAcceleratorWiring:
+    def test_table2_specs(self):
+        specs = {s.name: s for s in table2_specs()}
+        assert specs["Serpens-A16"].frequency_mhz == pytest.approx(223.0)
+        assert specs["GraphLily"].bandwidth_gbps == pytest.approx(285.0, abs=1.0)
+        assert specs["Sextans"].bandwidth_gbps == pytest.approx(417.0, abs=1.0)
+        assert specs["Tesla K80"].power_watts == pytest.approx(130.0)
+        assert specs["Tesla K80"].bandwidth_kind == "maximum"
+
+    def test_build_accelerators_default(self):
+        accels = build_accelerators(SERPENS_A16)
+        names = [a.name for a in accels]
+        assert names == ["Sextans", "GraphLily", "Serpens-A16"]
+
+    def test_build_accelerators_with_gpu(self):
+        accels = build_accelerators(SERPENS_A16, include_gpu=True)
+        assert [a.name for a in accels][-1] == "K80"
+
+    def test_supports_rows_limits(self):
+        accels = {a.name: a for a in build_accelerators(SERPENS_A16)}
+        assert not accels["Sextans"].supports_rows(1_000_000)
+        assert accels["Sextans"].supports_rows(100_000)
+        assert accels["GraphLily"].supports_rows(10_000_000)
+        assert accels["Serpens-A16"].supports_rows(3_000_000)
+
+    def test_unsupported_report(self):
+        accel = build_accelerators(SERPENS_A16)[0]
+        report = accel.unsupported_report("G7", 1_632_803, 1_632_803, 30_622_564)
+        assert not report.supported
+        assert report.matrix_name == "G7"
+
+
+class TestReporting:
+    def test_format_float(self):
+        assert format_float(1.23456) == "1.235"
+        assert format_float(12345.6) == "1.23e+04"
+        assert format_float(float("nan")) == "-"
+        assert format_float(None) == "-"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xxx", None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert all(len(line) == len(lines[2]) or "=" in line or line == "T" for line in lines[:3])
+        assert "-" in text  # None rendered as dash
+
+    def test_format_table_wrong_row_length(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_table_booleans(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_render_report_table_column_selection(self):
+        rows = [{"x": 1, "y": 2.0, "z": "skip"}, {"x": 3, "y": 4.0}]
+        text = render_report_table(rows, ["x", "y"], column_labels={"x": "X!"})
+        assert "X!" in text
+        assert "skip" not in text

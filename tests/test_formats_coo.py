@@ -1,0 +1,183 @@
+"""Unit tests for the COO matrix container."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+
+
+def small_matrix():
+    return COOMatrix.from_triples(
+        3, 4, [(0, 0, 1.0), (0, 3, 2.0), (1, 1, -3.0), (2, 2, 4.5)]
+    )
+
+
+class TestConstruction:
+    def test_from_triples_shape_and_nnz(self):
+        m = small_matrix()
+        assert m.shape == (3, 4)
+        assert m.nnz == 4
+
+    def test_empty_matrix(self):
+        m = COOMatrix.empty(5, 7)
+        assert m.nnz == 0
+        assert m.shape == (5, 7)
+        assert m.to_dense().shape == (5, 7)
+        assert not m.to_dense().any()
+
+    def test_from_triples_empty_list(self):
+        m = COOMatrix.from_triples(2, 2, [])
+        assert m.nnz == 0
+
+    def test_identity(self):
+        m = COOMatrix.identity(4)
+        assert np.allclose(m.to_dense(), np.eye(4))
+
+    def test_from_dense_roundtrip(self):
+        dense = np.array([[0.0, 1.0], [2.0, 0.0], [0.0, 0.0]])
+        m = COOMatrix.from_dense(dense)
+        assert m.nnz == 2
+        assert np.allclose(m.to_dense(), dense)
+
+    def test_from_dense_tolerance(self):
+        dense = np.array([[1e-12, 1.0], [0.5, 0.0]])
+        m = COOMatrix.from_dense(dense, tolerance=1e-9)
+        assert m.nnz == 2
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValueError):
+            COOMatrix.from_dense(np.ones(3))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, np.array([0]), np.array([0, 1]), np.array([1.0]))
+
+    def test_row_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, np.array([2]), np.array([0]), np.array([1.0]))
+
+    def test_col_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, np.array([0]), np.array([5]), np.array([1.0]))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(2, 2, np.array([-1]), np.array([0]), np.array([1.0]))
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix(-1, 2, np.array([]), np.array([]), np.array([]))
+
+
+class TestQueries:
+    def test_density(self):
+        m = small_matrix()
+        assert m.density == pytest.approx(4 / 12)
+
+    def test_density_empty_shape(self):
+        m = COOMatrix.empty(0, 0)
+        assert m.density == 0.0
+
+    def test_nnz_per_row(self):
+        m = small_matrix()
+        assert m.nnz_per_row().tolist() == [2, 1, 1]
+
+    def test_nnz_per_col(self):
+        m = small_matrix()
+        assert m.nnz_per_col().tolist() == [1, 1, 1, 1]
+
+    def test_len_and_iter(self):
+        m = small_matrix()
+        assert len(m) == 4
+        triples = list(m)
+        assert (0, 0, 1.0) in triples
+        assert all(len(t) == 3 for t in triples)
+
+
+class TestTransformations:
+    def test_sorted_by_row(self):
+        m = COOMatrix.from_triples(3, 3, [(2, 0, 1.0), (0, 1, 2.0), (1, 2, 3.0)])
+        s = m.sorted_by_row()
+        assert s.rows.tolist() == [0, 1, 2]
+        assert s.sorted_by == "row"
+        assert m.allclose(s)
+
+    def test_sorted_by_col(self):
+        m = COOMatrix.from_triples(3, 3, [(2, 2, 1.0), (0, 1, 2.0), (1, 0, 3.0)])
+        s = m.sorted_by_col()
+        assert s.cols.tolist() == [0, 1, 2]
+        assert m.allclose(s)
+
+    def test_deduplicated_sums_values(self):
+        m = COOMatrix.from_triples(2, 2, [(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)])
+        d = m.deduplicated()
+        assert d.nnz == 2
+        assert d.to_dense()[0, 0] == pytest.approx(3.5)
+
+    def test_without_explicit_zeros(self):
+        m = COOMatrix.from_triples(2, 2, [(0, 0, 0.0), (1, 1, 2.0)])
+        assert m.without_explicit_zeros().nnz == 1
+
+    def test_transpose(self):
+        m = small_matrix()
+        t = m.transpose()
+        assert t.shape == (4, 3)
+        assert np.allclose(t.to_dense(), m.to_dense().T)
+
+    def test_double_transpose_identity(self):
+        m = small_matrix()
+        assert m.allclose(m.transpose().transpose())
+
+    def test_scaled(self):
+        m = small_matrix()
+        assert np.allclose(m.scaled(2.0).to_dense(), 2.0 * m.to_dense())
+
+    def test_copy_is_independent(self):
+        m = small_matrix()
+        c = m.copy()
+        c.values[0] = 99.0
+        assert m.values[0] == 1.0
+
+    def test_column_slice(self):
+        m = small_matrix()
+        s = m.column_slice(0, 2)
+        assert s.shape == m.shape
+        assert s.nnz == 2
+        assert set(s.cols.tolist()) <= {0, 1}
+
+    def test_row_slice(self):
+        m = small_matrix()
+        s = m.row_slice(1, 3)
+        assert s.nnz == 2
+        assert set(s.rows.tolist()) <= {1, 2}
+
+    def test_column_slice_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            small_matrix().column_slice(3, 1)
+
+    def test_row_slice_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            small_matrix().row_slice(-1, 2)
+
+
+class TestArithmetic:
+    def test_matvec_matches_dense(self):
+        m = small_matrix()
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert np.allclose(m.matvec(x), m.to_dense() @ x)
+
+    def test_matvec_wrong_length(self):
+        with pytest.raises(ValueError):
+            small_matrix().matvec(np.ones(3))
+
+    def test_matvec_duplicates_accumulate(self):
+        m = COOMatrix.from_triples(1, 1, [(0, 0, 1.0), (0, 0, 2.0)])
+        assert m.matvec(np.array([3.0]))[0] == pytest.approx(9.0)
+
+    def test_allclose_different_shape(self):
+        assert not small_matrix().allclose(COOMatrix.empty(2, 2))
+
+    def test_allclose_same_content_different_order(self):
+        m1 = COOMatrix.from_triples(2, 2, [(0, 0, 1.0), (1, 1, 2.0)])
+        m2 = COOMatrix.from_triples(2, 2, [(1, 1, 2.0), (0, 0, 1.0)])
+        assert m1.allclose(m2)

@@ -1,0 +1,172 @@
+"""Unit tests for the CSR and CSC containers and conversions."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSCMatrix, CSRMatrix
+
+
+def reference_dense():
+    rng = np.random.default_rng(42)
+    dense = rng.uniform(-1, 1, size=(6, 5))
+    dense[dense < 0.3] = 0.0
+    return dense
+
+
+class TestCSRConstruction:
+    def test_from_coo_roundtrip(self):
+        dense = reference_dense()
+        csr = CSRMatrix.from_coo(COOMatrix.from_dense(dense))
+        assert np.allclose(csr.to_dense(), dense)
+
+    def test_from_dense(self):
+        dense = reference_dense()
+        assert np.allclose(CSRMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_duplicates_summed(self):
+        coo = COOMatrix.from_triples(2, 2, [(0, 1, 1.0), (0, 1, 2.0)])
+        csr = CSRMatrix.from_coo(coo)
+        assert csr.nnz == 1
+        assert csr.to_dense()[0, 1] == pytest.approx(3.0)
+
+    def test_indptr_validation(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_indptr_must_end_at_nnz(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(2, 2, np.array([0, 1, 3]), np.array([0, 1]), np.array([1.0, 2.0]))
+
+    def test_indptr_monotonic(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(2, 2, np.array([0, 2, 1]), np.array([0, 1]), np.array([1.0, 2.0]))
+
+    def test_column_bounds(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(1, 2, np.array([0, 1]), np.array([5]), np.array([1.0]))
+
+    def test_mismatched_data_length(self):
+        with pytest.raises(ValueError):
+            CSRMatrix(1, 2, np.array([0, 1]), np.array([0]), np.array([1.0, 2.0]))
+
+
+class TestCSRAccess:
+    def test_row_access(self):
+        dense = reference_dense()
+        csr = CSRMatrix.from_dense(dense)
+        for i in range(dense.shape[0]):
+            cols, vals = csr.row(i)
+            row = np.zeros(dense.shape[1])
+            row[cols] = vals
+            assert np.allclose(row, dense[i])
+
+    def test_row_out_of_range(self):
+        csr = CSRMatrix.from_dense(reference_dense())
+        with pytest.raises(IndexError):
+            csr.row(100)
+
+    def test_row_lengths(self):
+        dense = reference_dense()
+        csr = CSRMatrix.from_dense(dense)
+        assert np.array_equal(csr.row_lengths(), (dense != 0).sum(axis=1))
+
+    def test_iter_rows_covers_matrix(self):
+        csr = CSRMatrix.from_dense(reference_dense())
+        total = sum(len(cols) for _, cols, _ in csr.iter_rows())
+        assert total == csr.nnz
+
+    def test_matvec_matches_dense(self):
+        dense = reference_dense()
+        csr = CSRMatrix.from_dense(dense)
+        x = np.arange(dense.shape[1], dtype=float)
+        assert np.allclose(csr.matvec(x), dense @ x)
+
+    def test_matvec_wrong_length(self):
+        csr = CSRMatrix.from_dense(reference_dense())
+        with pytest.raises(ValueError):
+            csr.matvec(np.ones(99))
+
+    def test_transpose(self):
+        dense = reference_dense()
+        csr = CSRMatrix.from_dense(dense)
+        assert np.allclose(csr.transpose().to_dense(), dense.T)
+
+    def test_to_coo_preserves_values(self):
+        dense = reference_dense()
+        csr = CSRMatrix.from_dense(dense)
+        assert np.allclose(csr.to_coo().to_dense(), dense)
+
+
+class TestCSC:
+    def test_from_coo_roundtrip(self):
+        dense = reference_dense()
+        csc = CSCMatrix.from_coo(COOMatrix.from_dense(dense))
+        assert np.allclose(csc.to_dense(), dense)
+
+    def test_col_access(self):
+        dense = reference_dense()
+        csc = CSCMatrix.from_dense(dense)
+        for j in range(dense.shape[1]):
+            rows, vals = csc.col(j)
+            col = np.zeros(dense.shape[0])
+            col[rows] = vals
+            assert np.allclose(col, dense[:, j])
+
+    def test_col_out_of_range(self):
+        csc = CSCMatrix.from_dense(reference_dense())
+        with pytest.raises(IndexError):
+            csc.col(100)
+
+    def test_col_lengths(self):
+        dense = reference_dense()
+        csc = CSCMatrix.from_dense(dense)
+        assert np.array_equal(csc.col_lengths(), (dense != 0).sum(axis=0))
+
+    def test_matvec_matches_dense(self):
+        dense = reference_dense()
+        csc = CSCMatrix.from_dense(dense)
+        x = np.arange(dense.shape[1], dtype=float)
+        assert np.allclose(csc.matvec(x), dense @ x)
+
+    def test_matvec_wrong_length(self):
+        csc = CSCMatrix.from_dense(reference_dense())
+        with pytest.raises(ValueError):
+            csc.matvec(np.ones(99))
+
+    def test_transpose(self):
+        dense = reference_dense()
+        csc = CSCMatrix.from_dense(dense)
+        assert np.allclose(csc.transpose().to_dense(), dense.T)
+
+    def test_indptr_validation(self):
+        with pytest.raises(ValueError):
+            CSCMatrix(2, 2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_row_bounds(self):
+        with pytest.raises(ValueError):
+            CSCMatrix(1, 1, np.array([0, 1]), np.array([4]), np.array([1.0]))
+
+    def test_iter_cols_covers_matrix(self):
+        csc = CSCMatrix.from_dense(reference_dense())
+        total = sum(len(rows) for _, rows, _ in csc.iter_cols())
+        assert total == csc.nnz
+
+
+class TestCrossFormatConsistency:
+    def test_csr_csc_coo_agree(self):
+        dense = reference_dense()
+        coo = COOMatrix.from_dense(dense)
+        csr = CSRMatrix.from_coo(coo)
+        csc = CSCMatrix.from_coo(coo)
+        x = np.linspace(-1, 1, dense.shape[1])
+        assert np.allclose(coo.matvec(x), csr.matvec(x))
+        assert np.allclose(coo.matvec(x), csc.matvec(x))
+
+    def test_empty_matrix_conversions(self):
+        coo = COOMatrix.empty(3, 4)
+        csr = CSRMatrix.from_coo(coo)
+        csc = CSCMatrix.from_coo(coo)
+        assert csr.nnz == 0
+        assert csc.nnz == 0
+        assert csr.to_dense().shape == (3, 4)
+        assert csc.to_dense().shape == (3, 4)

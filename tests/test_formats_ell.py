@@ -1,0 +1,100 @@
+"""Unit tests for the ELL and hybrid ELL/COO formats."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, ELLMatrix, HybridMatrix
+from repro.generators import random_uniform, random_with_dense_rows
+
+
+def reference_matrix(seed=0):
+    return random_uniform(40, 30, 250, seed=seed)
+
+
+class TestELL:
+    def test_roundtrip_preserves_matrix(self):
+        coo = reference_matrix()
+        ell = ELLMatrix.from_coo(coo)
+        assert np.allclose(ell.to_dense(), coo.to_dense())
+        assert ell.nnz == coo.nnz
+
+    def test_width_is_longest_row(self):
+        coo = reference_matrix(seed=1)
+        ell = ELLMatrix.from_coo(coo)
+        assert ell.width == int(coo.nnz_per_row().max())
+
+    def test_matvec_matches_reference(self):
+        coo = reference_matrix(seed=2)
+        ell = ELLMatrix.from_coo(coo)
+        x = np.random.default_rng(3).uniform(-1, 1, coo.num_cols)
+        assert np.allclose(ell.matvec(x), coo.matvec(x))
+
+    def test_matvec_wrong_length(self):
+        ell = ELLMatrix.from_coo(reference_matrix())
+        with pytest.raises(ValueError):
+            ell.matvec(np.ones(7))
+
+    def test_explicit_width_padding_factor(self):
+        coo = reference_matrix(seed=4)
+        wide = ELLMatrix.from_coo(coo, width=int(coo.nnz_per_row().max()) + 5)
+        assert wide.padding_factor > 1.0
+        assert wide.nnz == coo.nnz
+
+    def test_width_smaller_than_longest_row_rejected(self):
+        coo = reference_matrix(seed=5)
+        with pytest.raises(ValueError):
+            ELLMatrix.from_coo(coo, width=1)
+
+    def test_skewed_matrix_pads_heavily(self):
+        uniform = random_uniform(500, 500, 5000, seed=6)
+        skewed = random_with_dense_rows(
+            500, 500, 5000, dense_row_fraction=0.002, dense_row_share=0.5, seed=6
+        )
+        assert (
+            ELLMatrix.from_coo(skewed).padding_factor
+            > ELLMatrix.from_coo(uniform).padding_factor
+        )
+
+    def test_empty_matrix(self):
+        ell = ELLMatrix.from_coo(COOMatrix.empty(5, 5))
+        assert ell.width == 0
+        assert np.allclose(ell.matvec(np.ones(5)), 0.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ELLMatrix(2, 2, np.zeros((3, 1)), np.zeros((3, 1)))
+        with pytest.raises(ValueError):
+            ELLMatrix(2, 2, np.zeros((2, 1)), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            ELLMatrix(2, 2, np.full((2, 1), 5), np.ones((2, 1)))
+
+
+class TestHybrid:
+    def test_split_preserves_matrix(self):
+        coo = random_with_dense_rows(200, 200, 3000, seed=7)
+        hyb = HybridMatrix.from_coo(coo, ell_width=8)
+        assert np.allclose(hyb.to_dense(), coo.to_dense())
+        assert hyb.nnz == coo.nnz
+
+    def test_matvec_matches_reference(self):
+        coo = random_with_dense_rows(150, 150, 2500, seed=8)
+        hyb = HybridMatrix.from_coo(coo, ell_width=6)
+        x = np.random.default_rng(9).uniform(-1, 1, 150)
+        assert np.allclose(hyb.matvec(x), coo.matvec(x))
+
+    def test_spill_fraction_decreases_with_width(self):
+        coo = random_with_dense_rows(300, 300, 4000, seed=10)
+        narrow = HybridMatrix.from_coo(coo, ell_width=2)
+        wide = HybridMatrix.from_coo(coo, ell_width=20)
+        assert narrow.spill_fraction > wide.spill_fraction
+        assert 0.0 <= wide.spill_fraction <= 1.0
+
+    def test_zero_width_puts_everything_in_tail(self):
+        coo = reference_matrix(seed=11)
+        hyb = HybridMatrix.from_coo(coo, ell_width=0)
+        assert hyb.spill_fraction == pytest.approx(1.0)
+        assert np.allclose(hyb.to_dense(), coo.to_dense())
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            HybridMatrix.from_coo(reference_matrix(), ell_width=-1)

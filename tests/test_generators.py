@@ -1,0 +1,222 @@
+"""Unit tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.generators import (
+    banded_matrix,
+    block_sparse_matrix,
+    laplacian_2d,
+    laplacian_3d,
+    random_diagonal_dominant,
+    random_uniform,
+    random_with_dense_rows,
+    rmat_edges,
+    rmat_graph,
+    tridiagonal,
+)
+
+
+class TestRandomUniform:
+    def test_exact_nnz(self):
+        m = random_uniform(100, 80, 500, seed=1)
+        assert m.nnz == 500
+        assert m.shape == (100, 80)
+
+    def test_deterministic_with_seed(self):
+        a = random_uniform(50, 50, 200, seed=9)
+        b = random_uniform(50, 50, 200, seed=9)
+        assert a.allclose(b)
+
+    def test_different_seeds_differ(self):
+        a = random_uniform(50, 50, 200, seed=1)
+        b = random_uniform(50, 50, 200, seed=2)
+        assert not a.allclose(b)
+
+    def test_no_duplicates(self):
+        m = random_uniform(30, 30, 400, seed=3)
+        keys = m.rows * m.num_cols + m.cols
+        assert len(np.unique(keys)) == m.nnz
+
+    def test_dense_request(self):
+        m = random_uniform(10, 10, 100, seed=4)
+        assert m.nnz == 100
+
+    def test_zero_nnz(self):
+        assert random_uniform(10, 10, 0).nnz == 0
+
+    def test_too_many_nonzeros_rejected(self):
+        with pytest.raises(ValueError):
+            random_uniform(3, 3, 10)
+
+    def test_negative_nnz_rejected(self):
+        with pytest.raises(ValueError):
+            random_uniform(3, 3, -1)
+
+    def test_no_zero_values(self):
+        m = random_uniform(40, 40, 300, seed=5)
+        assert np.all(m.values != 0.0)
+
+
+class TestSkewedGenerators:
+    def test_dense_rows_concentration(self):
+        m = random_with_dense_rows(
+            1000, 1000, 20000, dense_row_fraction=0.01, dense_row_share=0.6, seed=1
+        )
+        per_row = m.nnz_per_row()
+        top10 = np.sort(per_row)[-10:].sum()
+        assert top10 > 0.3 * m.nnz
+
+    def test_dense_rows_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            random_with_dense_rows(10, 10, 20, dense_row_fraction=0.0)
+
+    def test_dense_rows_invalid_share(self):
+        with pytest.raises(ValueError):
+            random_with_dense_rows(10, 10, 20, dense_row_share=1.5)
+
+    def test_diagonal_dominant_property(self):
+        m = random_diagonal_dominant(200, 1500, seed=2)
+        dense = m.to_dense()
+        diag = np.abs(np.diag(dense))
+        off = np.abs(dense).sum(axis=1) - diag
+        assert np.all(diag > off)
+
+    def test_diagonal_dominant_needs_room_for_diagonal(self):
+        with pytest.raises(ValueError):
+            random_diagonal_dominant(10, 5)
+
+
+class TestRMAT:
+    def test_edge_count(self):
+        src, dst = rmat_edges(scale=8, num_edges=1000, seed=1)
+        assert len(src) == len(dst) == 1000
+        assert src.max() < 256
+        assert dst.max() < 256
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            rmat_edges(4, 10, a=0.9, b=0.3, c=0.3, d=0.3)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            rmat_edges(-1, 10)
+
+    def test_graph_shape(self):
+        g = rmat_graph(1000, 8000, seed=1)
+        assert g.shape == (1000, 1000)
+        assert 0 < g.nnz <= 8000
+
+    def test_no_self_loops_by_default(self):
+        g = rmat_graph(500, 4000, seed=2)
+        assert np.all(g.rows != g.cols)
+
+    def test_power_law_skew(self):
+        g = rmat_graph(2000, 30000, seed=3, permute_vertices=False)
+        degrees = g.nnz_per_row()
+        # Power-law graphs have a maximum degree far above the mean.
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_permutation_preserves_degree_distribution(self):
+        g1 = rmat_graph(1000, 10000, seed=4, permute_vertices=False)
+        g2 = rmat_graph(1000, 10000, seed=4, permute_vertices=True)
+        assert sorted(g1.nnz_per_row().tolist()) == sorted(g2.nnz_per_row().tolist())
+
+    def test_deterministic(self):
+        a = rmat_graph(300, 2000, seed=5)
+        b = rmat_graph(300, 2000, seed=5)
+        assert a.allclose(b)
+
+    def test_non_power_of_two_vertices(self):
+        g = rmat_graph(777, 5000, seed=6)
+        assert g.num_rows == 777
+        assert g.rows.max() < 777
+
+    def test_adjacency_wrapper(self):
+        from repro.generators import rmat_adjacency
+
+        g = rmat_adjacency(500, average_degree=8, seed=7)
+        assert g.num_rows == 500
+        assert g.nnz <= 4000
+
+    def test_invalid_vertices(self):
+        with pytest.raises(ValueError):
+            rmat_graph(0, 10)
+
+
+class TestStructured:
+    def test_tridiagonal_structure(self):
+        m = tridiagonal(5)
+        dense = m.to_dense()
+        assert np.allclose(np.diag(dense), 2.0)
+        assert np.allclose(np.diag(dense, 1), -1.0)
+        assert np.allclose(np.diag(dense, -1), -1.0)
+        assert m.nnz == 13
+
+    def test_tridiagonal_invalid(self):
+        with pytest.raises(ValueError):
+            tridiagonal(0)
+
+    def test_banded_band_limits(self):
+        m = banded_matrix(50, bandwidth=3, seed=1)
+        assert np.all(np.abs(m.rows - m.cols) <= 3)
+
+    def test_banded_full_fill_nnz(self):
+        n, bw = 20, 2
+        m = banded_matrix(n, bw)
+        expected = sum(n - abs(k) for k in range(-bw, bw + 1))
+        assert m.nnz == expected
+
+    def test_banded_partial_fill(self):
+        full = banded_matrix(100, 4, fill=1.0, seed=2)
+        partial = banded_matrix(100, 4, fill=0.5, seed=2)
+        assert partial.nnz < full.nnz
+
+    def test_banded_invalid_fill(self):
+        with pytest.raises(ValueError):
+            banded_matrix(10, 1, fill=0.0)
+
+    def test_banded_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            banded_matrix(10, -1)
+
+    def test_block_sparse_shape(self):
+        m = block_sparse_matrix(10, 10, block_size=4, block_density=0.2, seed=1)
+        assert m.shape == (40, 40)
+        assert m.nnz > 0
+
+    def test_block_sparse_diagonal_present(self):
+        m = block_sparse_matrix(5, 5, block_size=3, block_density=0.1, seed=2)
+        dense = m.to_dense()
+        assert np.all(np.abs(np.diag(dense)) > 0)
+
+    def test_block_sparse_invalid_density(self):
+        with pytest.raises(ValueError):
+            block_sparse_matrix(2, 2, 2, block_density=0.0)
+
+    def test_laplacian_2d_properties(self):
+        m = laplacian_2d(4, 5)
+        dense = m.to_dense()
+        assert dense.shape == (20, 20)
+        assert np.allclose(dense, dense.T)
+        assert np.allclose(np.diag(dense), 4.0)
+        # Interior rows sum to zero; boundary rows are positive.
+        assert np.all(dense.sum(axis=1) >= 0)
+
+    def test_laplacian_2d_positive_definite(self):
+        dense = laplacian_2d(5, 5).to_dense()
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.min() > 0
+
+    def test_laplacian_3d_properties(self):
+        m = laplacian_3d(3, 3, 3)
+        dense = m.to_dense()
+        assert dense.shape == (27, 27)
+        assert np.allclose(dense, dense.T)
+        assert np.allclose(np.diag(dense), 6.0)
+
+    def test_laplacian_invalid_dims(self):
+        with pytest.raises(ValueError):
+            laplacian_2d(0, 3)
+        with pytest.raises(ValueError):
+            laplacian_3d(1, 1, 0)

@@ -1,0 +1,145 @@
+"""Unit tests for the SpMV-based graph algorithms, validated against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.generators import rmat_graph
+from repro.graph import bfs_levels, pagerank, sssp_distances
+
+
+def to_networkx(matrix: COOMatrix, weighted=True) -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_nodes_from(range(matrix.num_rows))
+    for r, c, v in matrix.iter_triples():
+        g.add_edge(r, c, weight=v if weighted else 1.0)
+    return g
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return COOMatrix.from_triples(
+        6,
+        6,
+        [
+            (0, 1, 1.0),
+            (0, 2, 4.0),
+            (1, 2, 2.0),
+            (1, 3, 7.0),
+            (2, 3, 3.0),
+            (3, 4, 1.0),
+            # vertex 5 is unreachable from 0
+            (5, 0, 1.0),
+        ],
+    )
+
+
+class TestBFS:
+    def test_levels_match_networkx(self, small_graph):
+        levels, trace = bfs_levels(small_graph, source=0)
+        expected = nx.single_source_shortest_path_length(to_networkx(small_graph), 0)
+        for v in range(small_graph.num_rows):
+            if v in expected:
+                assert levels[v] == expected[v]
+            else:
+                assert levels[v] == -1
+        assert trace.iterations >= 1
+
+    def test_unreachable_vertices(self, small_graph):
+        levels, __ = bfs_levels(small_graph, source=0)
+        assert levels[5] == -1
+
+    def test_source_level_zero(self, small_graph):
+        levels, __ = bfs_levels(small_graph, source=3)
+        assert levels[3] == 0
+
+    def test_random_graph_matches_networkx(self):
+        g = rmat_graph(200, 1500, seed=1)
+        levels, __ = bfs_levels(g, source=0)
+        expected = nx.single_source_shortest_path_length(to_networkx(g), 0)
+        for v in range(200):
+            assert levels[v] == expected.get(v, -1)
+
+    def test_invalid_source(self, small_graph):
+        with pytest.raises(ValueError):
+            bfs_levels(small_graph, source=100)
+
+    def test_rejects_rectangular_matrix(self):
+        with pytest.raises(ValueError):
+            bfs_levels(COOMatrix.empty(3, 4), source=0)
+
+    def test_trace_counts_edges(self, small_graph):
+        __, trace = bfs_levels(small_graph, source=0)
+        assert trace.total_traversed_edges == trace.iterations * small_graph.nnz
+
+
+class TestSSSP:
+    def test_distances_match_dijkstra(self, small_graph):
+        distances, __ = sssp_distances(small_graph, source=0)
+        expected = nx.single_source_dijkstra_path_length(to_networkx(small_graph), 0)
+        for v in range(small_graph.num_rows):
+            if v in expected:
+                assert distances[v] == pytest.approx(expected[v])
+            else:
+                assert distances[v] == np.inf
+
+    def test_source_distance_zero(self, small_graph):
+        distances, __ = sssp_distances(small_graph, source=0)
+        assert distances[0] == 0.0
+
+    def test_random_graph_matches_networkx(self):
+        g = rmat_graph(150, 1200, seed=2)
+        distances, __ = sssp_distances(g, source=3)
+        expected = nx.single_source_dijkstra_path_length(to_networkx(g), 3)
+        for v in range(150):
+            if v in expected:
+                assert distances[v] == pytest.approx(expected[v], rel=1e-9)
+            else:
+                assert distances[v] == np.inf
+
+    def test_negative_weights_rejected(self):
+        g = COOMatrix.from_triples(2, 2, [(0, 1, -1.0)])
+        with pytest.raises(ValueError):
+            sssp_distances(g, source=0)
+
+    def test_converged_flag(self, small_graph):
+        __, trace = sssp_distances(small_graph, source=0)
+        assert trace.converged
+
+
+class TestPageRank:
+    def test_ranks_sum_to_one(self):
+        g = rmat_graph(300, 3000, seed=3)
+        ranks, trace = pagerank(g)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-6)
+        assert trace.converged
+
+    def test_matches_networkx(self):
+        g = rmat_graph(120, 900, seed=4)
+        ranks, __ = pagerank(g, damping=0.85, tolerance=1e-10, max_iterations=200)
+        nx_graph = to_networkx(g, weighted=True)
+        expected = nx.pagerank(nx_graph, alpha=0.85, tol=1e-12, max_iter=500, weight="weight")
+        for v in range(120):
+            assert ranks[v] == pytest.approx(expected[v], abs=2e-4)
+
+    def test_hub_has_higher_rank(self):
+        # Star graph: everyone points at vertex 0.
+        triples = [(i, 0, 1.0) for i in range(1, 10)]
+        g = COOMatrix.from_triples(10, 10, triples)
+        ranks, __ = pagerank(g)
+        assert ranks[0] == ranks.max()
+
+    def test_invalid_damping(self):
+        g = rmat_graph(10, 30, seed=5)
+        with pytest.raises(ValueError):
+            pagerank(g, damping=1.5)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            pagerank(COOMatrix.empty(2, 3))
+
+    def test_empty_graph(self):
+        ranks, trace = pagerank(COOMatrix.empty(0, 0))
+        assert len(ranks) == 0
+        assert trace.converged

@@ -1,0 +1,225 @@
+"""Unit tests for the HBM / board memory system models."""
+
+import numpy as np
+import pytest
+
+from repro.hbm import (
+    DDR4_CHANNEL,
+    HBM_CHANNEL,
+    BoardMemorySystem,
+    ChannelAllocationError,
+    ChannelConfig,
+    HBMStack,
+    MemoryChannel,
+    RandomAccessError,
+    SparseElementStream,
+    VectorReadStream,
+    VectorWriteStream,
+    words_for_nnz,
+    words_for_vector,
+)
+
+
+class TestChannelConfig:
+    def test_bus_bytes(self):
+        assert HBM_CHANNEL.bus_bytes == 64
+
+    def test_words_for_bytes_rounding(self):
+        assert HBM_CHANNEL.words_for_bytes(0) == 0
+        assert HBM_CHANNEL.words_for_bytes(1) == 1
+        assert HBM_CHANNEL.words_for_bytes(64) == 1
+        assert HBM_CHANNEL.words_for_bytes(65) == 2
+
+    def test_words_for_negative_bytes(self):
+        with pytest.raises(ValueError):
+            HBM_CHANNEL.words_for_bytes(-1)
+
+    def test_ddr_has_higher_latency(self):
+        assert DDR4_CHANNEL.access_latency_cycles > HBM_CHANNEL.access_latency_cycles
+
+
+class TestMemoryChannel:
+    def test_stream_read_accounting(self):
+        ch = MemoryChannel()
+        cycles = ch.stream_read(6400)
+        assert ch.bytes_read == 6400
+        assert ch.read_transactions == 1
+        assert cycles == 100 + HBM_CHANNEL.access_latency_cycles
+
+    def test_stream_write_accounting(self):
+        ch = MemoryChannel()
+        ch.stream_write(128)
+        assert ch.bytes_written == 128
+        assert ch.write_transactions == 1
+        assert ch.total_bytes == 128
+
+    def test_zero_byte_stream_costs_nothing(self):
+        ch = MemoryChannel()
+        assert ch.stream_read(0) == 0
+
+    def test_negative_bytes_rejected(self):
+        ch = MemoryChannel()
+        with pytest.raises(ValueError):
+            ch.stream_read(-5)
+        with pytest.raises(ValueError):
+            ch.stream_write(-5)
+
+    def test_random_access_forbidden_on_streaming_channel(self):
+        ch = MemoryChannel()
+        with pytest.raises(RandomAccessError):
+            ch.random_read(64)
+
+    def test_random_access_allowed_when_configured(self):
+        cfg = ChannelConfig(allow_random_access=True)
+        ch = MemoryChannel(config=cfg)
+        assert ch.random_read(64) > 0
+
+    def test_reset(self):
+        ch = MemoryChannel()
+        ch.stream_read(100)
+        ch.reset()
+        assert ch.total_bytes == 0
+        assert ch.stream_log() == []
+
+    def test_transfer_seconds(self):
+        ch = MemoryChannel()
+        ch.stream_read(int(HBM_CHANNEL.bandwidth_gbps * 1e9))
+        assert ch.transfer_seconds() == pytest.approx(1.0)
+
+    def test_stream_log_order(self):
+        ch = MemoryChannel()
+        ch.stream_read(10)
+        ch.stream_write(20)
+        assert ch.stream_log() == [("read", 10), ("write", 20)]
+
+
+class TestHBMStack:
+    def test_default_channel_count(self):
+        stack = HBMStack()
+        assert len(stack) == 32
+
+    def test_total_bandwidth(self):
+        stack = HBMStack()
+        assert stack.total_bandwidth_gbps == pytest.approx(32 * 14.375)
+
+    def test_indexing_and_reset(self):
+        stack = HBMStack(num_channels=4)
+        stack[0].stream_read(100)
+        assert stack.total_bytes == 100
+        stack.reset()
+        assert stack.total_bytes == 0
+
+    def test_invalid_channel_count(self):
+        with pytest.raises(ValueError):
+            HBMStack(num_channels=0)
+
+
+class TestBoardMemorySystem:
+    def test_serpens_a16_allocation_bandwidth(self):
+        board = BoardMemorySystem()
+        board.allocate("sparse_A", 16)
+        board.allocate("dense_x", 1)
+        board.allocate("dense_y_in", 1)
+        board.allocate("dense_y_out", 1)
+        assert board.allocated_channel_count == 19
+        # The paper's Table 2: 19 HBM channels ~= 273 GB/s.
+        assert board.utilized_bandwidth_gbps == pytest.approx(273.125)
+
+    def test_allocation_table(self):
+        board = BoardMemorySystem()
+        board.allocate("sparse_A", 2)
+        board.allocate("dense_x", 1)
+        assert board.allocation_table() == {"sparse_A": 2, "dense_x": 1}
+
+    def test_over_allocation_rejected(self):
+        board = BoardMemorySystem()
+        with pytest.raises(ChannelAllocationError):
+            board.allocate("sparse_A", 33)
+
+    def test_ddr_allocation(self):
+        board = BoardMemorySystem()
+        channels = board.allocate("vector", 1, kind="ddr")
+        assert channels[0].config.name == "DDR4"
+        with pytest.raises(ChannelAllocationError):
+            board.allocate("more", 5, kind="ddr")
+
+    def test_unknown_kind(self):
+        board = BoardMemorySystem()
+        with pytest.raises(ValueError):
+            board.allocate("x", 1, kind="hmc")
+
+    def test_traffic_by_role(self):
+        board = BoardMemorySystem()
+        sparse = board.allocate("sparse_A", 2)
+        sparse[0].stream_read(100)
+        sparse[1].stream_read(50)
+        assert board.traffic_by_role() == {"sparse_A": 150}
+        board.reset_traffic()
+        assert board.total_bytes == 0
+
+    def test_channels_are_disjoint(self):
+        board = BoardMemorySystem()
+        a = board.allocate("a", 3)
+        b = board.allocate("b", 3)
+        assert {ch.channel_id for ch in a}.isdisjoint({ch.channel_id for ch in b})
+
+
+class TestStreams:
+    def test_words_for_vector(self):
+        assert words_for_vector(0) == 0
+        assert words_for_vector(16) == 1
+        assert words_for_vector(17) == 2
+
+    def test_words_for_nnz(self):
+        assert words_for_nnz(0) == 0
+        assert words_for_nnz(8) == 1
+        assert words_for_nnz(9) == 2
+
+    def test_negative_lengths(self):
+        with pytest.raises(ValueError):
+            words_for_vector(-1)
+        with pytest.raises(ValueError):
+            words_for_nnz(-1)
+
+    def test_vector_read_stream_words(self):
+        stream = VectorReadStream(np.arange(40, dtype=float))
+        assert stream.num_words == 3
+        assert stream.num_bytes == 160
+        chunks = list(stream.iter_words())
+        assert len(chunks) == 3
+        assert len(chunks[-1]) == 8
+
+    def test_vector_read_stream_segment(self):
+        stream = VectorReadStream(np.arange(100, dtype=float))
+        seg = stream.segment(10, 20)
+        assert len(seg.data) == 20
+        assert seg.data[0] == 10
+
+    def test_vector_stream_rejects_2d(self):
+        with pytest.raises(ValueError):
+            VectorReadStream(np.zeros((2, 2)))
+
+    def test_vector_write_stream(self):
+        stream = VectorWriteStream(20)
+        stream.write_word(0, np.arange(16, dtype=float))
+        stream.write_word(16, np.arange(4, dtype=float))
+        result = stream.result()
+        assert result[15] == 15
+        assert result[19] == 3
+        assert stream.words_written == 2
+
+    def test_vector_write_bounds(self):
+        stream = VectorWriteStream(10)
+        with pytest.raises(ValueError):
+            stream.write_word(8, np.arange(5, dtype=float))
+        with pytest.raises(ValueError):
+            stream.write_word(0, np.arange(17, dtype=float))
+
+    def test_sparse_element_stream(self):
+        stream = SparseElementStream(list(range(20)))
+        assert stream.nnz == 20
+        assert stream.num_words == 3
+        assert stream.num_bytes == 160
+        words = list(stream.iter_words())
+        assert len(words[0]) == 8
+        assert len(words[-1]) == 4

@@ -1,0 +1,162 @@
+"""End-to-end integration tests: applications running on the simulated accelerator.
+
+These tests route every matrix-vector product of a real workload (PageRank,
+conjugate gradient, sparse-MLP inference) through the cycle-accurate Serpens
+simulator and check both numerical correctness against the pure-software
+path and the plausibility of the accumulated accelerator-time projection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import SparseMLP, conjugate_gradient
+from repro.formats import COOMatrix
+from repro.generators import laplacian_2d, rmat_graph
+from repro.graph import pagerank
+from repro.metrics import ExecutionReport
+from repro.serpens import SerpensAccelerator, SerpensConfig
+from repro.spmv import spmv
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    # A reduced configuration keeps the cycle-accurate runs fast while still
+    # exercising multi-segment, multi-channel behaviour.
+    config = SerpensConfig(
+        name="Serpens-integration",
+        num_sparse_channels=4,
+        pes_per_channel=4,
+        urams_per_pe=2,
+        uram_depth=512,
+        segment_width=256,
+        dsp_latency=4,
+    )
+    return SerpensAccelerator(config)
+
+
+class AcceleratorBackedSpMV:
+    """An SpMV hook that runs every product on the simulator and logs reports."""
+
+    def __init__(self, accelerator: SerpensAccelerator):
+        self.accelerator = accelerator
+        self.reports = []
+        self._programs = {}
+
+    def __call__(self, matrix, x, y, alpha, beta):
+        key = id(matrix)
+        if key not in self._programs:
+            self._programs[key] = self.accelerator.preprocess(matrix)
+        result, report = self.accelerator.run(
+            matrix, x, y, alpha, beta, program=self._programs[key]
+        )
+        self.reports.append(report)
+        return result
+
+    @property
+    def total_accelerator_seconds(self) -> float:
+        return sum(r.seconds for r in self.reports)
+
+
+class TestPageRankOnAccelerator:
+    def test_matches_software_pagerank(self, accelerator):
+        graph = rmat_graph(600, 5000, seed=21)
+        hook = AcceleratorBackedSpMV(accelerator)
+
+        software_ranks, __ = pagerank(graph, tolerance=1e-10, max_iterations=60)
+
+        # Re-run the power iteration with every SpMV on the accelerator.
+        from repro.graph.algorithms import pagerank as pagerank_fn
+
+        def accelerated_spmv(matrix, x, y=None, alpha=1.0, beta=0.0):
+            return hook(matrix, x, y, alpha, beta)
+
+        # The pagerank implementation uses the module-level spmv; emulate the
+        # accelerated run by monkey-patching through the hook-compatible API.
+        ranks = software_ranks  # numerical reference
+        n = graph.num_rows
+        out_degree = np.zeros(n)
+        np.add.at(out_degree, graph.rows, np.abs(graph.values))
+        safe = np.where(out_degree > 0, out_degree, 1.0)
+        normalised = COOMatrix(
+            n, n, graph.cols.copy(), graph.rows.copy(), np.abs(graph.values) / safe[graph.rows]
+        )
+        dangling = out_degree == 0
+        accel_ranks = np.full(n, 1.0 / n)
+        for __ in range(60):
+            dangling_mass = accel_ranks[dangling].sum() / n
+            new_ranks = (
+                accelerated_spmv(normalised, accel_ranks, alpha=0.85)
+                + 0.85 * dangling_mass
+                + 0.15 / n
+            )
+            if np.abs(new_ranks - accel_ranks).sum() < 1e-10:
+                accel_ranks = new_ranks
+                break
+            accel_ranks = new_ranks
+
+        np.testing.assert_allclose(accel_ranks, ranks, atol=5e-5)
+        assert hook.reports, "the accelerator was never invoked"
+        assert hook.total_accelerator_seconds > 0
+        # Every report came from the same matrix, so NNZ is constant.
+        assert {r.nnz for r in hook.reports} == {normalised.nnz}
+
+
+class TestConjugateGradientOnAccelerator:
+    def test_solves_poisson_system(self, accelerator):
+        a = laplacian_2d(16, 16)
+        rng = np.random.default_rng(22)
+        x_true = rng.uniform(-1, 1, a.num_rows)
+        b = spmv(a, x_true)
+
+        hook = AcceleratorBackedSpMV(accelerator)
+        result = conjugate_gradient(a, b, tolerance=1e-8, spmv_fn=hook)
+
+        assert result.converged
+        np.testing.assert_allclose(result.x, x_true, atol=1e-4)
+        assert len(hook.reports) == result.spmv_calls
+        # Projected accelerator time: spmv_calls runs of a 256x256, ~1.3K-nnz
+        # matrix should each take microseconds at a couple hundred MHz.
+        assert 0 < hook.total_accelerator_seconds < 0.1
+
+
+class TestSparseMLPOnAccelerator:
+    def test_forward_pass_matches_software(self, accelerator):
+        mlp = SparseMLP.random([128, 256, 64, 10], density=0.08, seed=23)
+        x = np.random.default_rng(24).uniform(-1, 1, 128)
+
+        software = mlp.forward(x)
+        hook = AcceleratorBackedSpMV(accelerator)
+        accelerated = mlp.forward(x, spmv_fn=hook)
+
+        np.testing.assert_allclose(accelerated, software, rtol=1e-4, atol=1e-5)
+        assert len(hook.reports) == mlp.num_spmv_calls
+
+    def test_reports_are_execution_reports(self, accelerator):
+        mlp = SparseMLP.random([64, 32, 8], density=0.1, seed=25)
+        hook = AcceleratorBackedSpMV(accelerator)
+        mlp.forward(np.ones(64), spmv_fn=hook)
+        assert all(isinstance(r, ExecutionReport) for r in hook.reports)
+        assert all(r.gflops >= 0 for r in hook.reports)
+
+
+class TestScalingConsistency:
+    def test_more_channels_never_slower(self):
+        matrix = rmat_graph(2000, 40_000, seed=26)
+        times = []
+        for channels in (4, 8, 16):
+            config = SerpensConfig(
+                name=f"scale-{channels}", num_sparse_channels=channels
+            )
+            report = SerpensAccelerator(config).estimate(matrix, "g")
+            times.append(report.seconds)
+        assert times[0] >= times[1] >= times[2]
+
+    def test_simulated_and_estimated_reports_consistent(self, accelerator):
+        matrix = rmat_graph(1200, 15_000, seed=27)
+        x = np.ones(matrix.num_cols)
+        __, simulated = accelerator.run(matrix, x)
+        estimated = accelerator.estimate(matrix)
+        # The detailed estimate includes extra fixed overheads, so it should
+        # be an upper bound but within a small factor for this size.
+        assert estimated.cycles >= simulated.cycles
+        assert estimated.cycles <= 5 * simulated.cycles + 10_000

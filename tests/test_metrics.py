@@ -1,0 +1,158 @@
+"""Unit tests for execution reports, aggregation helpers and power models."""
+
+import math
+
+import pytest
+
+from repro.metrics import (
+    GRAPHLILY_POWER,
+    K80_POWER,
+    SERPENS_POWER,
+    SEXTANS_POWER,
+    ExecutionReport,
+    geomean,
+    geomean_metric,
+    improvement,
+    paired_improvements,
+    summarize_reports,
+)
+
+
+def make_report(name="Serpens", matrix="m", nnz=1_000_000, seconds=1e-3, **kwargs):
+    defaults = dict(
+        accelerator=name,
+        matrix_name=matrix,
+        num_rows=1000,
+        num_cols=1000,
+        nnz=nnz,
+        seconds=seconds,
+        frequency_mhz=223.0,
+        bandwidth_gbps=273.0,
+        power_watts=48.0,
+    )
+    defaults.update(kwargs)
+    return ExecutionReport(**defaults)
+
+
+class TestExecutionReport:
+    def test_seconds_derived_from_cycles(self):
+        report = ExecutionReport(
+            accelerator="x",
+            matrix_name="m",
+            num_rows=1,
+            num_cols=1,
+            nnz=100,
+            cycles=223_000,
+            frequency_mhz=223.0,
+        )
+        assert report.seconds == pytest.approx(1e-3)
+        assert report.milliseconds == pytest.approx(1.0)
+
+    def test_requires_frequency_or_seconds(self):
+        with pytest.raises(ValueError):
+            ExecutionReport(
+                accelerator="x", matrix_name="m", num_rows=1, num_cols=1, nnz=1
+            )
+
+    def test_gflops_and_mteps(self):
+        report = make_report(nnz=1_000_000, seconds=1e-3)
+        assert report.mteps == pytest.approx(1000.0)
+        assert report.gflops == pytest.approx(2.0)
+
+    def test_bandwidth_efficiency(self):
+        report = make_report(nnz=273_000_000, seconds=1.0, bandwidth_gbps=273.0)
+        assert report.bandwidth_efficiency == pytest.approx(1.0)
+
+    def test_energy_efficiency(self):
+        report = make_report(nnz=48_000_000, seconds=1.0, power_watts=48.0)
+        assert report.energy_efficiency == pytest.approx(1.0)
+
+    def test_zero_power_or_bandwidth_handled(self):
+        report = make_report(bandwidth_gbps=0.0, power_watts=0.0)
+        assert report.bandwidth_efficiency == 0.0
+        assert report.energy_efficiency == 0.0
+
+    def test_effective_bandwidth(self):
+        report = make_report(seconds=1.0, bytes_moved=10_000_000_000)
+        assert report.effective_bandwidth_gbps == pytest.approx(10.0)
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            make_report(seconds=-1.0)
+
+    def test_as_dict_contains_extras(self):
+        report = make_report(extra={"foo": 1.5})
+        d = report.as_dict()
+        assert d["extra_foo"] == 1.5
+        assert d["matrix"] == "m"
+        assert d["time_ms"] == pytest.approx(report.milliseconds)
+
+
+class TestAggregation:
+    def test_geomean_simple(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_geomean_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_geomean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_improvement(self):
+        assert improvement(4.0, 2.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            improvement(1.0, 0.0)
+
+    def test_geomean_metric_skips_unsupported(self):
+        reports = [
+            make_report(seconds=1e-3),
+            make_report(seconds=float("nan"), supported=False),
+            make_report(seconds=2e-3),
+        ]
+        value = geomean_metric(reports, "mteps")
+        assert value == pytest.approx(math.sqrt(1000.0 * 500.0))
+
+    def test_summarize_reports_with_reference(self):
+        data = {
+            "A": [make_report("A", seconds=1e-3)],
+            "B": [make_report("B", seconds=2e-3)],
+        }
+        summary = summarize_reports(data, metric="mteps", reference="B")
+        assert summary["A"]["vs_reference"] == pytest.approx(2.0)
+        assert summary["B"]["vs_reference"] == pytest.approx(1.0)
+        assert summary["A"]["supported_matrices"] == 1.0
+
+    def test_summarize_reports_unknown_reference(self):
+        with pytest.raises(KeyError):
+            summarize_reports({"A": []}, reference="missing")
+
+    def test_paired_improvements_matches_common_matrices(self):
+        ours = [make_report("S", matrix="g1", seconds=1e-3), make_report("S", matrix="g2", seconds=1e-3)]
+        base = [make_report("B", matrix="g1", seconds=2e-3)]
+        ratios = paired_improvements(ours, base, "mteps")
+        assert ratios == [pytest.approx(2.0)]
+
+
+class TestPowerModels:
+    def test_published_board_power(self):
+        assert SERPENS_POWER.measured() == pytest.approx(48.0)
+        assert SEXTANS_POWER.measured() == pytest.approx(52.0)
+        assert GRAPHLILY_POWER.measured() == pytest.approx(43.0)
+        assert K80_POWER.measured() == pytest.approx(130.0)
+
+    def test_activity_estimate_scales(self):
+        low = SERPENS_POWER.estimate(active_channels=19, active_pes=128, activity=0.2)
+        high = SERPENS_POWER.estimate(active_channels=19, active_pes=128, activity=1.0)
+        assert high > low > SERPENS_POWER.static_watts
+
+    def test_activity_estimate_near_board_power_at_full_load(self):
+        estimate = SERPENS_POWER.estimate(active_channels=19, active_pes=128, activity=1.0)
+        assert estimate == pytest.approx(SERPENS_POWER.measured(), rel=0.2)
+
+    def test_activity_validation(self):
+        with pytest.raises(ValueError):
+            SERPENS_POWER.estimate(1, 1, activity=1.5)
+        with pytest.raises(ValueError):
+            SERPENS_POWER.estimate(-1, 1)

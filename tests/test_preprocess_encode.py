@@ -1,0 +1,116 @@
+"""Unit tests for the 64-bit sparse element encoding."""
+
+import numpy as np
+import pytest
+
+from repro.preprocess import (
+    COLUMN_BITS,
+    PAD_COLUMN_SENTINEL,
+    ROW_BITS,
+    EncodedElement,
+    decode_element,
+    decode_stream,
+    encode_element,
+    encode_stream,
+    is_padding_word,
+    make_padding,
+)
+
+
+class TestEncodedElement:
+    def test_basic_construction(self):
+        e = EncodedElement(local_row=10, column_offset=100, value=1.5)
+        assert not e.is_padding
+
+    def test_column_offset_range_enforced(self):
+        with pytest.raises(ValueError):
+            EncodedElement(local_row=0, column_offset=PAD_COLUMN_SENTINEL, value=1.0)
+
+    def test_local_row_range_enforced(self):
+        with pytest.raises(ValueError):
+            EncodedElement(local_row=1 << ROW_BITS, column_offset=0, value=1.0)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ValueError):
+            EncodedElement(local_row=-1, column_offset=0, value=1.0)
+        with pytest.raises(ValueError):
+            EncodedElement(local_row=0, column_offset=-2, value=1.0)
+
+    def test_padding_bypasses_range_checks(self):
+        pad = make_padding()
+        assert pad.is_padding
+        assert pad.value == 0.0
+
+
+class TestWireFormat:
+    def test_roundtrip(self):
+        e = EncodedElement(local_row=12345, column_offset=678, value=-3.25)
+        decoded = decode_element(encode_element(e))
+        assert decoded.local_row == e.local_row
+        assert decoded.column_offset == e.column_offset
+        assert decoded.value == pytest.approx(e.value)
+        assert not decoded.is_padding
+
+    def test_word_is_64_bits(self):
+        e = EncodedElement(
+            local_row=(1 << ROW_BITS) - 1,
+            column_offset=PAD_COLUMN_SENTINEL - 1,
+            value=1e30,
+        )
+        word = encode_element(e)
+        assert 0 <= word < (1 << 64)
+
+    def test_fp32_rounding_applied(self):
+        # 1/3 is not representable exactly in FP32; encoding rounds it.
+        e = EncodedElement(local_row=0, column_offset=0, value=1.0 / 3.0)
+        decoded = decode_element(encode_element(e))
+        assert decoded.value == pytest.approx(np.float32(1.0 / 3.0))
+        assert decoded.value != 1.0 / 3.0
+
+    def test_padding_roundtrip(self):
+        word = encode_element(make_padding())
+        assert is_padding_word(word)
+        assert decode_element(word).is_padding
+
+    def test_non_padding_word_detection(self):
+        e = EncodedElement(local_row=1, column_offset=1, value=2.0)
+        assert not is_padding_word(encode_element(e))
+
+    def test_decode_rejects_oversized_word(self):
+        with pytest.raises(ValueError):
+            decode_element(1 << 64)
+
+    def test_index_field_layout(self):
+        e = EncodedElement(local_row=3, column_offset=5, value=0.0)
+        word = encode_element(e)
+        index_word = word >> 32
+        assert index_word == (5 << ROW_BITS) | 3
+
+    def test_extreme_values_roundtrip(self):
+        for value in (0.0, -0.0, 1e-38, -1e38, float(np.float32(np.pi))):
+            e = EncodedElement(local_row=7, column_offset=9, value=value)
+            assert decode_element(encode_element(e)).value == pytest.approx(
+                np.float32(value), rel=1e-6
+            )
+
+    def test_column_bits_cover_segment_width(self):
+        # The segment width W=8192 must fit the column-offset field.
+        assert (1 << COLUMN_BITS) - 2 >= 8191
+
+
+class TestStreams:
+    def test_encode_decode_stream(self):
+        elements = [
+            EncodedElement(local_row=i, column_offset=i * 2, value=float(i))
+            for i in range(10)
+        ] + [make_padding()]
+        words = encode_stream(elements)
+        assert words.dtype == np.uint64
+        decoded = decode_stream(words)
+        assert len(decoded) == 11
+        assert decoded[-1].is_padding
+        assert decoded[3].value == pytest.approx(3.0)
+
+    def test_empty_stream(self):
+        assert len(encode_stream([])) == 0
+        assert decode_stream(np.array([], dtype=np.uint64)) == []

@@ -1,0 +1,161 @@
+"""Unit tests for the row-to-PE mapping and index coalescing."""
+
+import numpy as np
+import pytest
+
+from repro.preprocess import (
+    CapacityError,
+    PartitionParams,
+    check_capacity,
+    local_to_global_row,
+    map_rows,
+    rows_owned_by_pe,
+)
+
+
+def small_params(**overrides):
+    defaults = dict(
+        num_channels=2,
+        pes_per_channel=4,
+        segment_width=64,
+        urams_per_pe=2,
+        uram_depth=16,
+        dsp_latency=3,
+        coalesce_rows=True,
+    )
+    defaults.update(overrides)
+    return PartitionParams(**defaults)
+
+
+class TestParams:
+    def test_total_pes(self):
+        assert small_params().total_pes == 8
+
+    def test_max_rows_with_coalescing(self):
+        p = small_params()
+        # total PEs * URAM entries per PE * 2 rows per entry = 8 * 32 * 2.
+        assert p.max_rows == p.total_pes * p.urams_per_pe * p.uram_depth * 2
+
+    def test_max_rows_without_coalescing(self):
+        p = small_params(coalesce_rows=False)
+        assert p.max_rows == p.total_pes * p.urams_per_pe * p.uram_depth
+
+    def test_rows_per_uram_entry(self):
+        assert small_params().rows_per_uram_entry == 2
+        assert small_params(coalesce_rows=False).rows_per_uram_entry == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_params(num_channels=0)
+        with pytest.raises(ValueError):
+            small_params(segment_width=0)
+        with pytest.raises(ValueError):
+            small_params(dsp_latency=0)
+
+    def test_default_parameters_match_paper(self):
+        p = PartitionParams()
+        assert p.num_channels == 16
+        assert p.pes_per_channel == 8
+        assert p.segment_width == 8192
+        assert p.urams_per_pe == 3
+        assert p.uram_depth == 4096
+        # Eq. 3 with the published parameters: 16*16*3*4096 rows.
+        assert p.max_rows == 3_145_728
+
+
+class TestCapacity:
+    def test_within_capacity(self):
+        check_capacity(500, small_params())
+
+    def test_over_capacity_raises(self):
+        with pytest.raises(CapacityError):
+            check_capacity(10_000, small_params())
+
+    def test_coalescing_doubles_capacity(self):
+        rows = 400
+        check_capacity(rows, small_params())
+        with pytest.raises(CapacityError):
+            check_capacity(rows, small_params(coalesce_rows=False))
+
+
+class TestMapping:
+    def test_mapping_fields_consistent(self):
+        params = small_params()
+        rows = np.arange(200)
+        mapping = map_rows(rows, params)
+        assert np.all(mapping.pe == mapping.channel * params.pes_per_channel + mapping.lane)
+        assert np.all(mapping.channel < params.num_channels)
+        assert np.all(mapping.lane < params.pes_per_channel)
+        assert np.all(mapping.uram_entry >= 0)
+
+    def test_coalesced_pairs_share_pe_and_entry(self):
+        params = small_params()
+        mapping = map_rows(np.array([10, 11]), params)
+        assert mapping.pe[0] == mapping.pe[1]
+        assert mapping.uram_entry[0] == mapping.uram_entry[1]
+        assert mapping.half.tolist() == [0, 1]
+
+    def test_uncoalesced_rows_have_single_half(self):
+        params = small_params(coalesce_rows=False)
+        mapping = map_rows(np.array([10, 11]), params)
+        assert mapping.half.tolist() == [0, 0]
+        assert mapping.pe[0] != mapping.pe[1]
+
+    def test_round_robin_distribution(self):
+        params = small_params()
+        rows = np.arange(params.total_pes * 2)
+        mapping = map_rows(rows, params)
+        # With coalescing, consecutive row pairs land on consecutive PEs.
+        assert mapping.pe[0] == mapping.pe[1] == 0
+        assert mapping.pe[2] == mapping.pe[3] == 1
+        assert mapping.pe[14] == 7
+
+    def test_mapping_is_bijective_over_row_range(self):
+        params = small_params()
+        rows = np.arange(params.max_rows // 4)
+        mapping = map_rows(rows, params)
+        recovered = local_to_global_row(mapping.pe, mapping.local_row, params)
+        assert np.array_equal(recovered, rows)
+
+    def test_mapping_bijective_without_coalescing(self):
+        params = small_params(coalesce_rows=False)
+        rows = np.arange(params.max_rows // 2)
+        mapping = map_rows(rows, params)
+        recovered = local_to_global_row(mapping.pe, mapping.local_row, params)
+        assert np.array_equal(recovered, rows)
+
+    def test_local_rows_disjoint_between_pes(self):
+        params = small_params()
+        rows = np.arange(500)
+        mapping = map_rows(rows, params)
+        combos = set(zip(mapping.pe.tolist(), mapping.local_row.tolist()))
+        assert len(combos) == 500
+
+    def test_default_params_paper_scale(self):
+        params = PartitionParams()
+        rows = np.array([0, 1, 2, 255, 256, 1_000_000])
+        mapping = map_rows(rows, params)
+        # 128 PEs: rows 0 and 1 -> PE 0, rows 256/257 wrap back to PE 0.
+        assert mapping.pe[0] == mapping.pe[1] == 0
+        assert mapping.pe[3] == 127
+        assert mapping.pe[4] == 0
+        assert mapping.uram_entry[4] == 1
+
+
+class TestRowsOwnedByPE:
+    def test_partition_covers_all_rows(self):
+        params = small_params()
+        num_rows = 333
+        seen = []
+        for pe in range(params.total_pes):
+            seen.extend(rows_owned_by_pe(pe, num_rows, params).tolist())
+        assert sorted(seen) == list(range(num_rows))
+
+    def test_rows_are_increasing(self):
+        params = small_params()
+        owned = rows_owned_by_pe(3, 400, params)
+        assert np.all(np.diff(owned) > 0)
+
+    def test_invalid_pe(self):
+        with pytest.raises(ValueError):
+            rows_owned_by_pe(99, 10, small_params())

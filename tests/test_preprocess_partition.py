@@ -1,0 +1,142 @@
+"""Unit tests for segment partitioning and lane-load statistics."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.generators import random_uniform, random_with_dense_rows
+from repro.preprocess import (
+    CapacityError,
+    PartitionParams,
+    num_segments,
+    partition_nonzeros,
+    partition_statistics,
+    segment_bounds,
+)
+
+
+def small_params(**overrides):
+    defaults = dict(
+        num_channels=2,
+        pes_per_channel=4,
+        segment_width=32,
+        urams_per_pe=4,
+        uram_depth=64,
+        dsp_latency=3,
+        coalesce_rows=True,
+    )
+    defaults.update(overrides)
+    return PartitionParams(**defaults)
+
+
+class TestSegmentation:
+    def test_num_segments_rounds_up(self):
+        p = small_params()
+        assert num_segments(32, p) == 1
+        assert num_segments(33, p) == 2
+        assert num_segments(0, p) == 0
+
+    def test_segment_bounds(self):
+        p = small_params()
+        assert segment_bounds(0, 100, p) == (0, 32)
+        assert segment_bounds(3, 100, p) == (96, 100)
+
+    def test_segment_bounds_out_of_range(self):
+        with pytest.raises(ValueError):
+            segment_bounds(4, 100, small_params())
+
+
+class TestPartitionNonzeros:
+    def test_groups_cover_every_nonzero(self):
+        p = small_params()
+        m = random_uniform(100, 100, 600, seed=1)
+        groups = partition_nonzeros(m, p)
+        total = sum(len(v) for v in groups.values())
+        assert total == m.nnz
+        all_positions = np.concatenate(list(groups.values()))
+        assert sorted(all_positions.tolist()) == list(range(m.nnz))
+
+    def test_group_keys_respect_mapping(self):
+        p = small_params()
+        m = random_uniform(100, 100, 300, seed=2)
+        groups = partition_nonzeros(m, p)
+        for (segment, channel, lane), positions in groups.items():
+            assert 0 <= channel < p.num_channels
+            assert 0 <= lane < p.pes_per_channel
+            cols = m.cols[positions]
+            assert np.all(cols // p.segment_width == segment)
+
+    def test_empty_matrix(self):
+        assert partition_nonzeros(COOMatrix.empty(10, 10), small_params()) == {}
+
+    def test_capacity_enforced(self):
+        p = small_params()
+        m = COOMatrix.from_triples(p.max_rows + 5, 4, [(p.max_rows + 1, 0, 1.0)])
+        with pytest.raises(CapacityError):
+            partition_nonzeros(m, p)
+
+
+class TestPartitionStatistics:
+    def test_counts_sum_to_nnz(self):
+        p = small_params()
+        m = random_uniform(120, 90, 700, seed=3)
+        stats = partition_statistics(m, p)
+        assert int(stats.lane_counts.sum()) == m.nnz
+        assert stats.num_segments == num_segments(90, p)
+
+    def test_channel_counts_shape(self):
+        p = small_params()
+        m = random_uniform(60, 60, 200, seed=4)
+        stats = partition_statistics(m, p)
+        assert stats.channel_counts().shape == (stats.num_segments, p.num_channels)
+        assert stats.channel_element_totals().sum() == m.nnz
+
+    def test_segment_compute_slots_is_max_lane(self):
+        p = small_params()
+        m = random_uniform(80, 40, 300, seed=5)
+        stats = partition_statistics(m, p)
+        per_segment = stats.segment_compute_slots()
+        for s in range(stats.num_segments):
+            assert per_segment[s] == stats.lane_counts[s].max()
+
+    def test_ideal_slots_matches_eq4_compute_term(self):
+        p = small_params()
+        m = random_uniform(100, 100, 777, seed=6)
+        stats = partition_statistics(m, p)
+        assert stats.ideal_slots() == -(-777 // p.total_pes)
+
+    def test_load_imbalance_at_least_one(self):
+        p = small_params()
+        m = random_uniform(100, 100, 1000, seed=7)
+        stats = partition_statistics(m, p)
+        assert stats.load_imbalance() >= 1.0
+
+    def test_uniform_matrix_nearly_balanced(self):
+        p = PartitionParams(num_channels=4, pes_per_channel=4, segment_width=2048)
+        m = random_uniform(5000, 4096, 80_000, seed=8)
+        stats = partition_statistics(m, p)
+        assert stats.load_imbalance() < 1.25
+
+    def test_skewed_matrix_more_imbalanced_than_uniform(self):
+        p = small_params()
+        uniform = random_uniform(400, 400, 4000, seed=9)
+        skewed = random_with_dense_rows(
+            400, 400, 4000, dense_row_fraction=0.01, dense_row_share=0.7, seed=9
+        )
+        assert (
+            partition_statistics(skewed, p).load_imbalance()
+            > partition_statistics(uniform, p).load_imbalance()
+        )
+
+    def test_empty_matrix_statistics(self):
+        p = small_params()
+        stats = partition_statistics(COOMatrix.empty(10, 10), p)
+        assert stats.nnz == 0
+        assert stats.total_compute_slots() == 0
+        assert stats.load_imbalance() == 1.0
+
+    def test_total_slots_lower_bounded_by_ideal(self):
+        p = small_params()
+        m = random_uniform(200, 150, 2500, seed=10)
+        stats = partition_statistics(m, p)
+        assert stats.total_compute_slots() >= stats.ideal_slots()

@@ -1,0 +1,191 @@
+"""Unit tests for the full preprocessing pipeline (SerpensProgram)."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.generators import random_uniform, random_with_dense_rows
+from repro.preprocess import (
+    CapacityError,
+    PartitionParams,
+    build_program,
+    local_to_global_row,
+    map_rows,
+    validate_schedule,
+)
+
+
+def small_params(**overrides):
+    defaults = dict(
+        num_channels=2,
+        pes_per_channel=4,
+        segment_width=32,
+        urams_per_pe=4,
+        uram_depth=64,
+        dsp_latency=3,
+        coalesce_rows=True,
+    )
+    defaults.update(overrides)
+    return PartitionParams(**defaults)
+
+
+def collect_real_elements(program):
+    """Gather (local_row, column_offset + segment start, value) of all real elements."""
+    triples = []
+    for segment in program.segments:
+        for channel_segment in segment.channels:
+            for lane in channel_segment.lanes:
+                for element in lane.elements:
+                    if element.is_padding:
+                        continue
+                    triples.append(
+                        (
+                            channel_segment.channel,
+                            lane.lane,
+                            element.local_row,
+                            element.column_offset + segment.col_start,
+                            element.value,
+                        )
+                    )
+    return triples
+
+
+class TestProgramStructure:
+    def test_segments_cover_columns(self):
+        p = small_params()
+        m = random_uniform(100, 100, 400, seed=1)
+        program = build_program(m, p)
+        assert program.num_segments == 4
+        assert program.segments[0].col_start == 0
+        assert program.segments[-1].col_end == 100
+
+    def test_all_nonzeros_present_exactly_once(self):
+        p = small_params()
+        m = random_uniform(100, 100, 500, seed=2)
+        program = build_program(m, p)
+        elements = collect_real_elements(program)
+        assert len(elements) == m.nnz
+
+    def test_values_and_coordinates_preserved(self):
+        p = small_params()
+        m = random_uniform(60, 60, 250, seed=3)
+        program = build_program(m, p)
+        mapping = map_rows(m.rows, p)
+
+        expected = set()
+        for i in range(m.nnz):
+            expected.add(
+                (
+                    int(mapping.channel[i]),
+                    int(mapping.lane[i]),
+                    int(mapping.local_row[i]),
+                    int(m.cols[i]),
+                    float(np.float32(m.values[i])),
+                )
+            )
+        actual = {
+            (ch, lane, lr, col, float(np.float32(v)))
+            for ch, lane, lr, col, v in collect_real_elements(program)
+        }
+        assert actual == expected
+
+    def test_lane_lengths_aligned_within_channel(self):
+        p = small_params()
+        m = random_with_dense_rows(80, 80, 600, seed=4)
+        program = build_program(m, p)
+        for segment in program.segments:
+            for channel_segment in segment.channels:
+                lengths = {lane.num_slots for lane in channel_segment.lanes}
+                assert len(lengths) == 1
+
+    def test_column_offsets_within_segment(self):
+        p = small_params()
+        m = random_uniform(50, 90, 300, seed=5)
+        program = build_program(m, p)
+        for segment in program.segments:
+            width = segment.col_end - segment.col_start
+            for channel_segment in segment.channels:
+                for lane in channel_segment.lanes:
+                    for element in lane.elements:
+                        if not element.is_padding:
+                            assert 0 <= element.column_offset < width
+
+    def test_capacity_error_propagates(self):
+        p = small_params()
+        m = COOMatrix.from_triples(p.max_rows + 10, 4, [(p.max_rows + 2, 1, 1.0)])
+        with pytest.raises(CapacityError):
+            build_program(m, p)
+
+    def test_empty_matrix_program(self):
+        p = small_params()
+        program = build_program(COOMatrix.empty(16, 16), p)
+        assert program.nnz == 0
+        assert program.total_compute_slots == 0
+        assert program.padding_overhead == 0.0
+
+
+class TestHazardFreedom:
+    def test_every_lane_stream_respects_hazard_window(self):
+        p = small_params(dsp_latency=4)
+        m = random_with_dense_rows(64, 64, 900, dense_row_share=0.6, seed=6)
+        program = build_program(m, p)
+        for segment in program.segments:
+            for channel_segment in segment.channels:
+                for lane in channel_segment.lanes:
+                    keys = []
+                    schedule = []
+                    position = 0
+                    for element in lane.elements:
+                        if element.is_padding:
+                            schedule.append(None)
+                        else:
+                            entry = element.local_row // p.rows_per_uram_entry
+                            keys.append(entry)
+                            schedule.append(position)
+                            position += 1
+                    assert validate_schedule(schedule, keys, p.dsp_latency)
+
+    def test_dense_single_row_requires_padding(self):
+        p = small_params(dsp_latency=4)
+        # Every element lands in row 0 -> one URAM entry -> heavy padding.
+        m = COOMatrix.from_triples(8, 20, [(0, c, 1.0) for c in range(20)])
+        program = build_program(m, p)
+        assert program.reorder_stats.num_padding > 0
+        assert program.padding_overhead > 0.0
+
+
+class TestStatistics:
+    def test_compute_slots_at_least_ideal(self):
+        p = small_params()
+        m = random_uniform(100, 100, 800, seed=7)
+        program = build_program(m, p)
+        ideal = -(-m.nnz // p.total_pes)
+        assert program.total_compute_slots >= ideal
+
+    def test_stored_elements_at_least_nnz(self):
+        p = small_params()
+        m = random_uniform(100, 100, 800, seed=8)
+        program = build_program(m, p)
+        assert program.stored_elements >= m.nnz
+        assert program.padding_overhead >= 0.0
+
+    def test_channel_slot_totals_shape(self):
+        p = small_params()
+        m = random_uniform(100, 100, 400, seed=9)
+        program = build_program(m, p)
+        totals = program.channel_slot_totals()
+        assert totals.shape == (p.num_channels,)
+        assert totals.sum() == sum(
+            ch.num_slots for seg in program.segments for ch in seg.channels
+        )
+
+    def test_local_rows_decode_back_to_valid_rows(self):
+        p = small_params()
+        m = random_uniform(90, 90, 350, seed=10)
+        program = build_program(m, p)
+        for ch, lane, local_row, __, __ in collect_real_elements(program):
+            pe = ch * p.pes_per_channel + lane
+            row = int(
+                local_to_global_row(np.array([pe]), np.array([local_row]), p)[0]
+            )
+            assert 0 <= row < m.num_rows

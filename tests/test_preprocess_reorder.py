@@ -1,0 +1,153 @@
+"""Unit tests for the conflict-aware non-zero reordering."""
+
+import numpy as np
+import pytest
+
+from repro.preprocess import (
+    align_lanes,
+    schedule_by_row_pairs,
+    schedule_by_rows,
+    schedule_conflict_free,
+    validate_schedule,
+)
+
+
+class TestScheduler:
+    def test_no_conflicts_no_padding(self):
+        keys = [0, 1, 2, 3, 4]
+        schedule, stats = schedule_conflict_free(keys, window=4)
+        assert stats.num_padding == 0
+        assert validate_schedule(schedule, keys, 4)
+
+    def test_window_one_is_identity(self):
+        keys = [5, 5, 5]
+        schedule, stats = schedule_conflict_free(keys, window=1)
+        assert schedule == [0, 1, 2]
+        assert stats.num_padding == 0
+
+    def test_all_same_key_forces_padding(self):
+        keys = [7] * 4
+        schedule, stats = schedule_conflict_free(keys, window=3)
+        assert stats.num_elements == 4
+        # 4 elements spaced 3 apart need (4-1)*3 + 1 = 10 slots.
+        assert stats.num_slots == 10
+        assert stats.num_padding == 6
+        assert validate_schedule(schedule, keys, 3)
+
+    def test_interleaving_avoids_padding(self):
+        keys = [0, 0, 0, 1, 1, 1, 2, 2, 2]
+        schedule, stats = schedule_conflict_free(keys, window=3)
+        assert stats.num_padding == 0
+        assert validate_schedule(schedule, keys, 3)
+
+    def test_empty_input(self):
+        schedule, stats = schedule_conflict_free([], window=4)
+        assert schedule == []
+        assert stats.num_slots == 0
+        assert stats.efficiency == 1.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            schedule_conflict_free([1, 2], window=0)
+
+    def test_schedule_covers_all_elements_once(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 20, size=200).tolist()
+        schedule, __ = schedule_conflict_free(keys, window=5)
+        issued = [s for s in schedule if s is not None]
+        assert sorted(issued) == list(range(200))
+
+    def test_stats_efficiency_and_overhead(self):
+        keys = [0, 0]
+        __, stats = schedule_conflict_free(keys, window=4)
+        assert stats.num_slots == 5
+        assert stats.efficiency == pytest.approx(2 / 5)
+        assert stats.overhead == pytest.approx(3 / 2)
+
+    def test_longest_queue_first_minimises_padding(self):
+        # One hot key with 6 entries plus 10 unique keys: greedy interleaving
+        # should finish with minimal padding.
+        keys = [99] * 6 + list(range(10))
+        schedule, stats = schedule_conflict_free(keys, window=4)
+        assert validate_schedule(schedule, keys, 4)
+        assert stats.num_slots <= 21
+
+    def test_deterministic(self):
+        keys = [1, 2, 1, 3, 2, 1, 4, 4]
+        s1, _ = schedule_conflict_free(keys, window=3)
+        s2, _ = schedule_conflict_free(keys, window=3)
+        assert s1 == s2
+
+    def test_string_keys_supported(self):
+        keys = ["a", "b", "a", "b"]
+        schedule, _ = schedule_conflict_free(keys, window=2)
+        assert validate_schedule(schedule, keys, 2)
+
+
+class TestValidateSchedule:
+    def test_detects_window_violation(self):
+        keys = [0, 0]
+        with pytest.raises(ValueError):
+            validate_schedule([0, 1], keys, window=3)
+
+    def test_detects_missing_element(self):
+        keys = [0, 1]
+        with pytest.raises(ValueError):
+            validate_schedule([0, None], keys, window=1)
+
+    def test_detects_duplicate_element(self):
+        keys = [0, 1]
+        with pytest.raises(ValueError):
+            validate_schedule([0, 0, 1], keys, window=1)
+
+    def test_detects_unknown_element(self):
+        keys = [0]
+        with pytest.raises(ValueError):
+            validate_schedule([5], keys, window=1)
+
+    def test_accepts_valid_schedule_with_padding(self):
+        keys = [0, 0]
+        assert validate_schedule([0, None, None, 1], keys, window=3)
+
+
+class TestLaneAlignment:
+    def test_align_to_longest(self):
+        lanes = [[0, 1, 2], [0], [0, 1]]
+        aligned, length = align_lanes(lanes)
+        assert length == 3
+        assert all(len(lane) == 3 for lane in aligned)
+        assert aligned[1] == [0, None, None]
+
+    def test_empty_lane_list(self):
+        aligned, length = align_lanes([])
+        assert aligned == []
+        assert length == 0
+
+    def test_original_not_mutated(self):
+        lanes = [[0], [0, 1]]
+        align_lanes(lanes)
+        assert lanes[0] == [0]
+
+
+class TestGranularities:
+    def test_row_pairs_stricter_than_rows(self):
+        # Rows 0 and 1 conflict under the pair rule but not under the row rule.
+        rows = np.array([0, 1, 0, 1])
+        __, row_stats = schedule_by_rows(rows, window=3)
+        __, pair_stats = schedule_by_row_pairs(rows, window=3)
+        assert pair_stats.num_slots >= row_stats.num_slots
+        assert pair_stats.num_padding > 0
+
+    def test_figure2_example_no_padding_needed(self):
+        # The paper's Figure 2 example: nine elements, T=2; both rules admit a
+        # padding-free schedule because enough distinct rows interleave.
+        rows = np.array([0, 0, 0, 1, 1, 2, 2, 3, 3])
+        __, row_stats = schedule_by_rows(rows, window=2)
+        __, pair_stats = schedule_by_row_pairs(rows, window=2)
+        assert row_stats.num_padding == 0
+        assert pair_stats.num_padding == 0
+
+    def test_separated_pairs_do_not_conflict(self):
+        rows = np.array([0, 2, 4, 6, 0, 2, 4, 6])
+        __, pair_stats = schedule_by_row_pairs(rows, window=4)
+        assert pair_stats.num_padding == 0

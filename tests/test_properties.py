@@ -1,0 +1,241 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.formats import COOMatrix, CSCMatrix, CSRMatrix
+from repro.preprocess import (
+    EncodedElement,
+    PartitionParams,
+    decode_element,
+    encode_element,
+    local_to_global_row,
+    map_rows,
+    schedule_conflict_free,
+    validate_schedule,
+)
+from repro.serpens import SerpensConfig, SerpensSimulator, analytic_cycles
+from repro.spmv import spmv
+
+# Shared settings: model-level property tests run a moderate number of cases
+# so the suite stays fast; deadline disabled because matrix generation cost
+# varies with the drawn size.
+MODERATE = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def coo_matrices(draw, max_dim=40, max_nnz=120):
+    """Random small COO matrices (duplicates merged, explicit zeros allowed)."""
+    rows = draw(st.integers(min_value=1, max_value=max_dim))
+    cols = draw(st.integers(min_value=1, max_value=max_dim))
+    nnz = draw(st.integers(min_value=0, max_value=min(max_nnz, rows * cols)))
+    row_idx = draw(
+        st.lists(st.integers(0, rows - 1), min_size=nnz, max_size=nnz)
+    )
+    col_idx = draw(
+        st.lists(st.integers(0, cols - 1), min_size=nnz, max_size=nnz)
+    )
+    values = draw(
+        st.lists(
+            st.floats(-100, 100, allow_nan=False, allow_infinity=False, width=32),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return COOMatrix(
+        rows, cols, np.array(row_idx, dtype=np.int64), np.array(col_idx, dtype=np.int64), np.array(values)
+    ).deduplicated()
+
+
+@st.composite
+def vectors_for(draw, length):
+    values = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False, width=32),
+            min_size=length,
+            max_size=length,
+        )
+    )
+    return np.array(values)
+
+
+# ----------------------------------------------------------------------
+# Format properties
+# ----------------------------------------------------------------------
+class TestFormatProperties:
+    @MODERATE
+    @given(coo_matrices())
+    def test_dense_roundtrip(self, matrix):
+        assert COOMatrix.from_dense(matrix.to_dense()).allclose(matrix)
+
+    @MODERATE
+    @given(coo_matrices())
+    def test_csr_conversion_preserves_matrix(self, matrix):
+        assert np.allclose(CSRMatrix.from_coo(matrix).to_dense(), matrix.to_dense())
+
+    @MODERATE
+    @given(coo_matrices())
+    def test_csc_conversion_preserves_matrix(self, matrix):
+        assert np.allclose(CSCMatrix.from_coo(matrix).to_dense(), matrix.to_dense())
+
+    @MODERATE
+    @given(coo_matrices())
+    def test_transpose_involution(self, matrix):
+        assert matrix.transpose().transpose().allclose(matrix)
+
+    @MODERATE
+    @given(coo_matrices())
+    def test_matvec_consistent_across_formats(self, matrix):
+        x = np.linspace(-1, 1, matrix.num_cols)
+        expected = matrix.to_dense() @ x
+        assert np.allclose(matrix.matvec(x), expected)
+        assert np.allclose(CSRMatrix.from_coo(matrix).matvec(x), expected)
+        assert np.allclose(CSCMatrix.from_coo(matrix).matvec(x), expected)
+
+
+# ----------------------------------------------------------------------
+# SpMV properties
+# ----------------------------------------------------------------------
+class TestSpMVProperties:
+    @MODERATE
+    @given(coo_matrices(), st.floats(-5, 5, allow_nan=False), st.floats(-5, 5, allow_nan=False))
+    def test_linearity_in_alpha_beta(self, matrix, alpha, beta):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, matrix.num_cols)
+        y = rng.uniform(-1, 1, matrix.num_rows)
+        combined = spmv(matrix, x, y, alpha, beta)
+        assert np.allclose(combined, alpha * spmv(matrix, x) + beta * y, atol=1e-9)
+
+    @MODERATE
+    @given(coo_matrices())
+    def test_zero_vector_gives_zero(self, matrix):
+        assert np.allclose(spmv(matrix, np.zeros(matrix.num_cols)), 0.0)
+
+    @MODERATE
+    @given(coo_matrices())
+    def test_additivity_in_x(self, matrix):
+        rng = np.random.default_rng(1)
+        x1 = rng.uniform(-1, 1, matrix.num_cols)
+        x2 = rng.uniform(-1, 1, matrix.num_cols)
+        assert np.allclose(
+            spmv(matrix, x1 + x2), spmv(matrix, x1) + spmv(matrix, x2), atol=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# Preprocessing properties
+# ----------------------------------------------------------------------
+class TestEncodingProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.integers(0, (1 << 18) - 1),
+        st.integers(0, (1 << 14) - 2),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+    )
+    def test_encode_decode_roundtrip(self, local_row, column_offset, value):
+        element = EncodedElement(local_row, column_offset, float(np.float32(value)))
+        decoded = decode_element(encode_element(element))
+        assert decoded.local_row == local_row
+        assert decoded.column_offset == column_offset
+        assert decoded.value == pytest.approx(float(np.float32(value)), rel=1e-6, abs=1e-30)
+
+
+class TestMappingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 8),
+        st.integers(1, 8),
+        st.booleans(),
+        st.integers(1, 2000),
+    )
+    def test_mapping_bijective(self, channels, pes, coalesce, num_rows):
+        params = PartitionParams(
+            num_channels=channels,
+            pes_per_channel=pes,
+            segment_width=256,
+            urams_per_pe=4,
+            uram_depth=256,
+            dsp_latency=2,
+            coalesce_rows=coalesce,
+        )
+        num_rows = min(num_rows, params.max_rows)
+        rows = np.arange(num_rows)
+        mapping = map_rows(rows, params)
+        recovered = local_to_global_row(mapping.pe, mapping.local_row, params)
+        assert np.array_equal(recovered, rows)
+        assert mapping.pe.max(initial=0) < params.total_pes
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(st.integers(0, 10), max_size=60),
+        st.integers(1, 6),
+    )
+    def test_schedule_always_valid(self, keys, window):
+        schedule, stats = schedule_conflict_free(keys, window)
+        assert validate_schedule(schedule, keys, window)
+        assert stats.num_elements == len(keys)
+        assert stats.num_slots == len(schedule)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=40), st.integers(2, 5))
+    def test_slots_meet_lower_bound(self, keys, window):
+        schedule, stats = schedule_conflict_free(keys, window)
+        counts = {}
+        for key in keys:
+            counts[key] = counts.get(key, 0) + 1
+        lower_bound = max(len(keys), (max(counts.values()) - 1) * window + 1)
+        assert stats.num_slots >= lower_bound
+        # The greedy scheduler stays within 2x of the trivial lower bound.
+        assert stats.num_slots <= 2 * lower_bound + window
+
+
+# ----------------------------------------------------------------------
+# End-to-end simulator property
+# ----------------------------------------------------------------------
+class TestSimulatorProperties:
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(coo_matrices(max_dim=60, max_nnz=200), st.floats(-3, 3, allow_nan=False), st.floats(-3, 3, allow_nan=False))
+    def test_simulator_matches_reference(self, matrix, alpha, beta):
+        config = SerpensConfig(
+            name="prop",
+            num_sparse_channels=2,
+            pes_per_channel=2,
+            urams_per_pe=2,
+            uram_depth=64,
+            segment_width=16,
+            dsp_latency=3,
+        )
+        rng = np.random.default_rng(7)
+        x = rng.uniform(-1, 1, matrix.num_cols)
+        y = rng.uniform(-1, 1, matrix.num_rows)
+        result = SerpensSimulator(config).run(matrix, x, y, alpha, beta)
+        np.testing.assert_allclose(
+            result.y, spmv(matrix, x, y, alpha, beta), rtol=1e-3, atol=1e-4
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 100_000),
+        st.integers(0, 100_000),
+        st.integers(0, 10_000_000),
+        st.integers(1, 28),
+    )
+    def test_analytic_cycles_monotone_in_nnz_and_channels(self, rows, cols, nnz, channels):
+        config = SerpensConfig(num_sparse_channels=channels)
+        base = analytic_cycles(rows, cols, nnz, config).total
+        more_nnz = analytic_cycles(rows, cols, nnz + 1000, config).total
+        assert more_nnz >= base
+        if channels > 1:
+            fewer_channels = SerpensConfig(num_sparse_channels=channels - 1)
+            assert analytic_cycles(rows, cols, nnz, fewer_channels).total >= base

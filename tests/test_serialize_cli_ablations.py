@@ -1,0 +1,193 @@
+"""Tests for program serialisation, the ablation runners and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.eval.experiments import (
+    run_channel_scaling_sweep,
+    run_coalescing_ablation,
+    run_reorder_window_sweep,
+    run_segment_width_sweep,
+    render_coalescing_ablation,
+    render_channel_scaling_sweep,
+    render_reorder_window_sweep,
+    render_segment_width_sweep,
+)
+from repro.eval.matrices import get_matrix_spec
+from repro.generators import random_uniform, random_with_dense_rows
+from repro.preprocess import (
+    build_program,
+    load_program,
+    program_channel_words,
+    save_program,
+)
+from repro.serpens import SerpensConfig, SerpensSimulator
+from repro.spmv import spmv
+
+TEST_SCALE = 0.003
+
+
+def small_params():
+    return SerpensConfig(
+        name="unit",
+        num_sparse_channels=2,
+        pes_per_channel=4,
+        urams_per_pe=2,
+        uram_depth=128,
+        segment_width=64,
+        dsp_latency=4,
+    ).to_partition_params()
+
+
+class TestProgramSerialization:
+    def test_roundtrip_preserves_structure(self, tmp_path):
+        params = small_params()
+        matrix = random_with_dense_rows(150, 150, 1800, seed=1)
+        program = build_program(matrix, params)
+        path = tmp_path / "program.npz"
+        save_program(path, program)
+        loaded = load_program(path)
+
+        assert loaded.num_rows == program.num_rows
+        assert loaded.num_cols == program.num_cols
+        assert loaded.nnz == program.nnz
+        assert loaded.num_segments == program.num_segments
+        assert loaded.total_compute_slots == program.total_compute_slots
+        assert loaded.params == program.params
+        assert loaded.reorder_stats == program.reorder_stats
+
+    def test_loaded_program_simulates_identically(self, tmp_path):
+        config = SerpensConfig(
+            name="unit",
+            num_sparse_channels=2,
+            pes_per_channel=4,
+            urams_per_pe=2,
+            uram_depth=128,
+            segment_width=64,
+            dsp_latency=4,
+        )
+        matrix = random_uniform(120, 120, 1200, seed=2)
+        program = build_program(matrix, config.to_partition_params())
+        path = tmp_path / "program.npz"
+        save_program(path, program)
+        loaded = load_program(path)
+
+        x = np.random.default_rng(3).uniform(-1, 1, 120)
+        original = SerpensSimulator(config).run(program, x)
+        reloaded = SerpensSimulator(config).run(loaded, x)
+        np.testing.assert_allclose(reloaded.y, original.y)
+        np.testing.assert_allclose(reloaded.y, spmv(matrix, x), rtol=1e-4, atol=1e-5)
+        assert reloaded.total_cycles == original.total_cycles
+
+    def test_channel_words_length(self):
+        params = small_params()
+        matrix = random_uniform(100, 100, 900, seed=4)
+        program = build_program(matrix, params)
+        total_words = sum(
+            len(program_channel_words(program, ch)) for ch in range(params.num_channels)
+        )
+        assert total_words == program.stored_elements
+
+    def test_channel_words_invalid_channel(self):
+        params = small_params()
+        program = build_program(random_uniform(20, 20, 50, seed=5), params)
+        with pytest.raises(ValueError):
+            program_channel_words(program, 99)
+
+
+class TestAblations:
+    def test_coalescing_ablation(self):
+        result = run_coalescing_ablation(
+            matrix=random_with_dense_rows(3000, 3000, 60_000, seed=6),
+            matrix_name="synthetic",
+        )
+        # Coalescing doubles capacity but never reduces compute slots.
+        assert result.capacity_gain == pytest.approx(2.0)
+        assert result.compute_slots_with >= result.compute_slots_without
+        assert len(result.supported_matrices_with) >= len(result.supported_matrices_without)
+        assert "capacity" in render_coalescing_ablation(result).lower()
+
+    def test_coalescing_supports_all_twelve_matrices(self):
+        result = run_coalescing_ablation(
+            matrix=random_uniform(100, 100, 1000, seed=7), matrix_name="tiny"
+        )
+        assert len(result.supported_matrices_with) == 12
+        # Without coalescing the largest graphs (G12 at 2.45M rows) no longer fit.
+        assert "G12" not in result.supported_matrices_without
+
+    def test_segment_width_sweep(self):
+        spec = get_matrix_spec("G5")
+        rows = run_segment_width_sweep(widths=(4096, 8192), matrix_spec=spec, scale=TEST_SCALE)
+        assert len(rows) == 2
+        assert all(r["gflops"] > 0 for r in rows)
+        assert rows[1]["relative_bram"] > rows[0]["relative_bram"]
+        assert "Segment" in render_segment_width_sweep(rows)
+
+    def test_reorder_window_sweep_monotone(self):
+        rows = run_reorder_window_sweep(windows=(1, 4, 16), scale=TEST_SCALE)
+        slots = [r["compute_slots"] for r in rows]
+        assert slots == sorted(slots)
+        assert rows[0]["overhead_vs_balanced"] <= rows[-1]["overhead_vs_balanced"]
+        assert "Reordering window" in render_reorder_window_sweep(rows)
+
+    def test_channel_scaling_sweep_monotone_throughput(self):
+        rows = run_channel_scaling_sweep(channel_counts=(4, 8, 16), scale=TEST_SCALE)
+        gflops = [r["gflops"] for r in rows]
+        assert gflops == sorted(gflops)
+        assert "channel scaling" in render_channel_scaling_sweep(rows).lower()
+
+
+class TestCLI:
+    def test_registry_covers_every_table_and_figure(self):
+        for name in (
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "figure2",
+            "figure3",
+        ):
+            assert name in EXPERIMENTS
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4" in out
+        assert "figure3" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_run_cheap_experiments(self, capsys):
+        assert main(["table1"]) == 0
+        assert main(["table2"]) == 0
+        assert main(["table6"]) == 0
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "Serpens design parameters" in out
+        assert "Resource utilisation" in out
+
+    def test_run_experiment_api(self):
+        args = build_parser().parse_args(["table1"])
+        assert "HBM" in run_experiment("table1", args) or "hbm" in run_experiment("table1", args)
+        with pytest.raises(KeyError):
+            run_experiment("nonsense", args)
+
+    def test_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "report.txt"
+        assert main(["table2", "--output", str(out_file)]) == 0
+        capsys.readouterr()
+        content = out_file.read_text()
+        assert "table2" in content
+        assert "223 MHz" in content
+
+    def test_figure3_with_small_count(self, capsys):
+        assert main(["figure3", "--count", "40", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Geomean throughput ratio" in out

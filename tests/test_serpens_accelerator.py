@@ -1,0 +1,131 @@
+"""Unit tests for the top-level SerpensAccelerator API."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSRMatrix
+from repro.generators import random_uniform, rmat_graph
+from repro.metrics import ExecutionReport
+from repro.serpens import SERPENS_A16, SERPENS_A24, SerpensAccelerator, SerpensConfig
+from repro.spmv import spmv
+
+
+@pytest.fixture(scope="module")
+def accelerator():
+    return SerpensAccelerator()
+
+
+@pytest.fixture(scope="module")
+def demo_matrix():
+    return random_uniform(1500, 1200, 15_000, seed=42)
+
+
+class TestRun:
+    def test_run_returns_vector_and_report(self, accelerator, demo_matrix):
+        x = np.ones(demo_matrix.num_cols)
+        y, report = accelerator.run(demo_matrix, x, matrix_name="demo")
+        assert isinstance(report, ExecutionReport)
+        assert y.shape == (demo_matrix.num_rows,)
+        np.testing.assert_allclose(y, spmv(demo_matrix, x), rtol=1e-4, atol=1e-5)
+
+    def test_report_metadata(self, accelerator, demo_matrix):
+        x = np.ones(demo_matrix.num_cols)
+        __, report = accelerator.run(demo_matrix, x, matrix_name="demo")
+        assert report.accelerator == "Serpens-A16"
+        assert report.matrix_name == "demo"
+        assert report.nnz == demo_matrix.nnz
+        assert report.frequency_mhz == pytest.approx(223.0)
+        assert report.bandwidth_gbps == pytest.approx(273.125, abs=1.0)
+        assert report.power_watts == pytest.approx(48.0)
+        assert report.cycles > 0
+        assert report.milliseconds > 0
+        assert "pe_utilisation" in report.extra
+
+    def test_run_accepts_csr(self, accelerator):
+        coo = random_uniform(300, 300, 2500, seed=1)
+        csr = CSRMatrix.from_coo(coo)
+        x = np.linspace(-1, 1, 300)
+        y, __ = accelerator.run(csr, x)
+        np.testing.assert_allclose(y, spmv(coo, x), rtol=1e-4, atol=1e-5)
+
+    def test_run_with_alpha_beta(self, accelerator, demo_matrix):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, demo_matrix.num_cols)
+        y_in = rng.uniform(-1, 1, demo_matrix.num_rows)
+        y, __ = accelerator.run(demo_matrix, x, y_in, alpha=1.5, beta=0.5)
+        np.testing.assert_allclose(
+            y, spmv(demo_matrix, x, y_in, 1.5, 0.5), rtol=1e-4, atol=1e-5
+        )
+
+    def test_run_with_preprocessed_program(self, accelerator, demo_matrix):
+        program = accelerator.preprocess(demo_matrix)
+        x = np.ones(demo_matrix.num_cols)
+        y, report = accelerator.run(demo_matrix, x, program=program)
+        np.testing.assert_allclose(y, spmv(demo_matrix, x), rtol=1e-4, atol=1e-5)
+        assert report.cycles > 0
+
+    def test_verify_helper(self, accelerator):
+        g = rmat_graph(800, 6000, seed=2)
+        assert accelerator.verify(g)
+
+
+class TestEstimate:
+    def test_detailed_estimate(self, accelerator, demo_matrix):
+        report = accelerator.estimate(demo_matrix, "demo")
+        assert report.supported
+        assert report.cycles > 0
+        assert report.gflops > 0
+        assert report.extra["model_analytic"] == 0.0
+
+    def test_analytic_estimate_matches_eq4(self, accelerator, demo_matrix):
+        report = accelerator.estimate(demo_matrix, "demo", model="analytic")
+        expected = (
+            -(-demo_matrix.num_cols // 16)
+            - (-demo_matrix.num_rows // 16)
+            - (-demo_matrix.nnz // 128)
+        )
+        assert report.cycles == expected
+
+    def test_detailed_at_least_analytic(self, accelerator, demo_matrix):
+        analytic = accelerator.estimate(demo_matrix, "demo", model="analytic")
+        detailed = accelerator.estimate(demo_matrix, "demo", model="detailed")
+        assert detailed.cycles >= analytic.cycles
+
+    def test_unknown_model(self, accelerator, demo_matrix):
+        with pytest.raises(ValueError):
+            accelerator.estimate(demo_matrix, "demo", model="mystery")
+
+    def test_estimate_from_shape(self, accelerator):
+        report = accelerator.estimate_from_shape(10_000, 10_000, 1_000_000, "shape-only")
+        assert report.cycles == 625 + 625 + 7813
+        assert report.nnz == 1_000_000
+
+    def test_simulated_time_close_to_detailed_estimate(self, accelerator):
+        # The simulator and the detailed model should agree within a factor
+        # of ~2 on a well-behaved matrix (the estimate adds fixed overheads).
+        m = random_uniform(2000, 2000, 30_000, seed=3)
+        x = np.ones(2000)
+        __, simulated = accelerator.run(m, x)
+        estimated = accelerator.estimate(m)
+        assert estimated.cycles >= simulated.cycles
+        assert estimated.cycles < 3 * simulated.cycles + 5000
+
+
+class TestCapabilities:
+    def test_supports_within_capacity(self, accelerator, demo_matrix):
+        assert accelerator.supports(demo_matrix)
+
+    def test_supports_reflects_configuration(self):
+        small = SerpensAccelerator(SerpensConfig(num_sparse_channels=1, urams_per_pe=1))
+        big_matrix = random_uniform(100_000, 16, 50, seed=4)
+        assert not small.supports(big_matrix)
+
+    def test_resources_exposed(self, accelerator):
+        usage = accelerator.resources()
+        assert usage.uram == 384
+
+    def test_a24_faster_than_a16_on_shape(self):
+        a16 = SerpensAccelerator(SERPENS_A16).estimate_from_shape(10_000, 10_000, 5_000_000)
+        a24 = SerpensAccelerator(SERPENS_A24).estimate_from_shape(10_000, 10_000, 5_000_000)
+        assert a24.seconds < a16.seconds
+        assert a24.gflops > a16.gflops

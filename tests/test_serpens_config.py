@@ -1,0 +1,77 @@
+"""Unit tests for the Serpens configuration presets and derived quantities."""
+
+import pytest
+
+from repro.serpens import SERPENS_A16, SERPENS_A24, SerpensConfig
+
+
+class TestPresets:
+    def test_a16_channel_allocation(self):
+        assert SERPENS_A16.num_sparse_channels == 16
+        assert SERPENS_A16.num_vector_channels == 3
+        # The paper: Serpens occupies 19 HBM channels.
+        assert SERPENS_A16.total_channels == 19
+
+    def test_a16_bandwidth_matches_table2(self):
+        # Table 2: ~273 GB/s utilized bandwidth.
+        assert SERPENS_A16.utilized_bandwidth_gbps == pytest.approx(273.125, abs=1.0)
+
+    def test_a24_bandwidth_matches_table7(self):
+        # Table 7: Serpens-A24 at ~388 GB/s.
+        assert SERPENS_A24.utilized_bandwidth_gbps == pytest.approx(388.125, abs=1.0)
+
+    def test_frequencies_match_paper(self):
+        assert SERPENS_A16.frequency_mhz == pytest.approx(223.0)
+        assert SERPENS_A24.frequency_mhz == pytest.approx(270.0)
+
+    def test_total_pes(self):
+        assert SERPENS_A16.total_pes == 128
+        assert SERPENS_A24.total_pes == 192
+
+    def test_max_rows_eq3(self):
+        # Eq. 3: 16 * HA * U * D.
+        assert SERPENS_A16.max_rows == 16 * 16 * 3 * 4096
+        assert SERPENS_A24.max_rows == 16 * 24 * 3 * 4096
+
+    def test_max_rows_cover_largest_evaluated_matrix(self):
+        # ogbn_products has 2.45M rows and must fit Serpens-A16.
+        assert SERPENS_A16.max_rows >= 2_449_029
+
+
+class TestConfigBehaviour:
+    def test_to_partition_params_consistency(self):
+        params = SERPENS_A16.to_partition_params()
+        assert params.num_channels == 16
+        assert params.pes_per_channel == 8
+        assert params.segment_width == 8192
+        assert params.urams_per_pe == 3
+        assert params.coalesce_rows is True
+        assert params.max_rows == SERPENS_A16.max_rows
+
+    def test_scaled_channels(self):
+        scaled = SERPENS_A16.scaled_channels(20, frequency_mhz=250.0)
+        assert scaled.name == "Serpens-A20"
+        assert scaled.num_sparse_channels == 20
+        assert scaled.frequency_mhz == 250.0
+        # Original preset is unchanged (frozen dataclass semantics).
+        assert SERPENS_A16.num_sparse_channels == 16
+
+    def test_scaled_channels_keeps_frequency_by_default(self):
+        scaled = SERPENS_A16.scaled_channels(8)
+        assert scaled.frequency_mhz == SERPENS_A16.frequency_mhz
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SerpensConfig(num_sparse_channels=0)
+        with pytest.raises(ValueError):
+            SerpensConfig(frequency_mhz=0)
+        with pytest.raises(ValueError):
+            SerpensConfig(pes_per_channel=-1)
+
+    def test_coalescing_off_halves_capacity(self):
+        no_coalesce = SerpensConfig(coalesce_rows=False)
+        assert no_coalesce.max_rows == SERPENS_A16.max_rows // 2
+
+    def test_custom_segment_width(self):
+        cfg = SerpensConfig(segment_width=4096)
+        assert cfg.to_partition_params().segment_width == 4096

@@ -1,0 +1,114 @@
+"""Unit tests for the analytic (Eq. 4) and detailed cycle models."""
+
+import pytest
+
+from repro.generators import random_uniform, random_with_dense_rows
+from repro.serpens import (
+    SERPENS_A16,
+    SERPENS_A24,
+    SerpensConfig,
+    analytic_cycles,
+    analytic_seconds,
+    detailed_cycles,
+    estimate_hazard_slots,
+)
+
+
+class TestAnalyticModel:
+    def test_eq4_formula(self):
+        # #Cycle = (M + K)/16 + NNZ/(8*HA) with HA=16 -> 128 PEs.
+        breakdown = analytic_cycles(1600, 3200, 128_000, SERPENS_A16)
+        assert breakdown.x_stream_cycles == 200
+        assert breakdown.y_stream_cycles == 100
+        assert breakdown.compute_cycles == 1000
+        assert breakdown.total == 1300
+
+    def test_rounding_up(self):
+        breakdown = analytic_cycles(17, 17, 129, SERPENS_A16)
+        assert breakdown.x_stream_cycles == 2
+        assert breakdown.y_stream_cycles == 2
+        assert breakdown.compute_cycles == 2
+
+    def test_zero_matrix(self):
+        breakdown = analytic_cycles(0, 0, 0, SERPENS_A16)
+        assert breakdown.total == 0
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            analytic_cycles(-1, 10, 10, SERPENS_A16)
+
+    def test_more_channels_fewer_compute_cycles(self):
+        a16 = analytic_cycles(1000, 1000, 1_000_000, SERPENS_A16)
+        a24 = analytic_cycles(1000, 1000, 1_000_000, SERPENS_A24)
+        assert a24.compute_cycles < a16.compute_cycles
+        assert a16.x_stream_cycles == a24.x_stream_cycles
+
+    def test_analytic_seconds_uses_frequency(self):
+        cycles = analytic_cycles(160, 160, 12_800, SERPENS_A16).total
+        assert analytic_seconds(160, 160, 12_800, SERPENS_A16) == pytest.approx(
+            cycles / 223e6
+        )
+
+    def test_breakdown_as_dict(self):
+        d = analytic_cycles(16, 16, 128, SERPENS_A16).as_dict()
+        assert d["total"] == d["x_stream"] + d["y_stream"] + d["compute"] + d["overhead"]
+
+
+class TestHazardEstimate:
+    def test_zero_for_empty_matrix(self):
+        from repro.formats import COOMatrix
+
+        params = SERPENS_A16.to_partition_params()
+        assert estimate_hazard_slots(COOMatrix.empty(10, 10), params) == 0
+
+    def test_at_least_ideal_slots(self):
+        params = SERPENS_A16.to_partition_params()
+        m = random_uniform(5000, 5000, 100_000, seed=1)
+        ideal = -(-m.nnz // params.total_pes)
+        assert estimate_hazard_slots(m, params) >= ideal
+
+    def test_hot_rows_increase_hazard_bound(self):
+        params = SERPENS_A16.to_partition_params()
+        uniform = random_uniform(2000, 2000, 40_000, seed=2)
+        hot = random_with_dense_rows(
+            2000, 2000, 40_000, dense_row_fraction=0.001, dense_row_share=0.5, seed=2
+        )
+        assert estimate_hazard_slots(hot, params) > estimate_hazard_slots(uniform, params)
+
+    def test_larger_window_never_decreases_bound(self):
+        m = random_with_dense_rows(500, 500, 8_000, seed=3)
+        cfg_small = SerpensConfig(dsp_latency=2)
+        cfg_large = SerpensConfig(dsp_latency=8)
+        small = estimate_hazard_slots(m, cfg_small.to_partition_params())
+        large = estimate_hazard_slots(m, cfg_large.to_partition_params())
+        assert large >= small
+
+
+class TestDetailedModel:
+    def test_detailed_at_least_analytic(self):
+        m = random_uniform(3000, 3000, 90_000, seed=4)
+        analytic = analytic_cycles(m.num_rows, m.num_cols, m.nnz, SERPENS_A16)
+        detailed = detailed_cycles(m, SERPENS_A16)
+        assert detailed.compute_cycles >= analytic.compute_cycles
+        assert detailed.total > analytic.total
+
+    def test_hazards_flag(self):
+        m = random_with_dense_rows(1000, 1000, 30_000, dense_row_share=0.6, seed=5)
+        with_hazards = detailed_cycles(m, SERPENS_A16, include_hazards=True)
+        without = detailed_cycles(m, SERPENS_A16, include_hazards=False)
+        assert with_hazards.compute_cycles >= without.compute_cycles
+
+    def test_detailed_streams_match_analytic_streams(self):
+        m = random_uniform(1600, 3200, 10_000, seed=6)
+        analytic = analytic_cycles(m.num_rows, m.num_cols, m.nnz, SERPENS_A16)
+        detailed = detailed_cycles(m, SERPENS_A16)
+        assert detailed.x_stream_cycles == analytic.x_stream_cycles
+        assert detailed.y_stream_cycles == analytic.y_stream_cycles
+
+    def test_uniform_matrix_close_to_analytic(self):
+        # Large, well-balanced matrix: imbalance and hazards are small, so the
+        # detailed model should stay within ~40% of the analytic bound.
+        m = random_uniform(20_000, 20_000, 800_000, seed=7)
+        analytic = analytic_cycles(m.num_rows, m.num_cols, m.nnz, SERPENS_A16).total
+        detailed = detailed_cycles(m, SERPENS_A16).total
+        assert detailed < 1.4 * analytic

@@ -1,0 +1,139 @@
+"""Unit tests for the processing engine model."""
+
+import numpy as np
+import pytest
+
+from repro.preprocess import EncodedElement, make_padding
+from repro.serpens import AccumulationHazardError, ProcessingEngine
+
+
+def make_pe(**overrides):
+    defaults = dict(pe_id=0, num_entries=16, rows_per_entry=2, dsp_latency=4)
+    defaults.update(overrides)
+    return ProcessingEngine(**defaults)
+
+
+class TestDatapath:
+    def test_single_accumulation(self):
+        pe = make_pe()
+        x = np.array([2.0, 3.0])
+        pe.process(EncodedElement(local_row=5, column_offset=1, value=4.0), x, cycle=0)
+        assert pe.accumulator()[5] == pytest.approx(12.0)
+        assert pe.elements_processed == 1
+
+    def test_multiple_rows_accumulate_independently(self):
+        pe = make_pe()
+        x = np.ones(4)
+        pe.process(EncodedElement(local_row=0, column_offset=0, value=1.0), x, cycle=0)
+        pe.process(EncodedElement(local_row=2, column_offset=1, value=2.0), x, cycle=1)
+        pe.process(EncodedElement(local_row=4, column_offset=2, value=3.0), x, cycle=2)
+        acc = pe.accumulator()
+        assert acc[0] == 1.0
+        assert acc[2] == 2.0
+        assert acc[4] == 3.0
+
+    def test_same_entry_after_window_accumulates(self):
+        pe = make_pe(dsp_latency=3)
+        x = np.ones(1)
+        pe.process(EncodedElement(local_row=0, column_offset=0, value=1.0), x, cycle=0)
+        pe.process(EncodedElement(local_row=0, column_offset=0, value=2.0), x, cycle=3)
+        assert pe.accumulator()[0] == pytest.approx(3.0)
+
+    def test_padding_consumes_slot_without_compute(self):
+        pe = make_pe()
+        pe.process(make_padding(), np.ones(1), cycle=0)
+        assert pe.elements_processed == 0
+        assert pe.padding_seen == 1
+        assert pe.cycles_busy == 1
+
+    def test_utilisation(self):
+        pe = make_pe()
+        x = np.ones(1)
+        pe.process(EncodedElement(local_row=0, column_offset=0, value=1.0), x, cycle=0)
+        pe.process(make_padding(), x, cycle=1)
+        assert pe.utilisation == pytest.approx(0.5)
+
+    def test_utilisation_idle_pe(self):
+        assert make_pe().utilisation == 0.0
+
+    def test_fp32_rounding_in_datapath(self):
+        pe = make_pe()
+        x = np.array([1.0 / 3.0])
+        pe.process(EncodedElement(local_row=0, column_offset=0, value=3.0), x, cycle=0)
+        expected = float(np.float32(3.0) * np.float32(1.0 / 3.0))
+        assert pe.accumulator()[0] == pytest.approx(expected)
+
+
+class TestHazards:
+    def test_hazard_raises_in_strict_mode(self):
+        pe = make_pe(dsp_latency=4)
+        x = np.ones(1)
+        pe.process(EncodedElement(local_row=0, column_offset=0, value=1.0), x, cycle=0)
+        with pytest.raises(AccumulationHazardError):
+            pe.process(EncodedElement(local_row=0, column_offset=0, value=1.0), x, cycle=2)
+
+    def test_coalesced_rows_share_hazard_entry(self):
+        # Rows 0 and 1 share URAM entry 0, so back-to-back accesses conflict.
+        pe = make_pe(dsp_latency=4)
+        x = np.ones(1)
+        pe.process(EncodedElement(local_row=0, column_offset=0, value=1.0), x, cycle=0)
+        with pytest.raises(AccumulationHazardError):
+            pe.process(EncodedElement(local_row=1, column_offset=0, value=1.0), x, cycle=1)
+
+    def test_uncoalesced_rows_do_not_conflict(self):
+        pe = make_pe(rows_per_entry=1, dsp_latency=4)
+        x = np.ones(1)
+        pe.process(EncodedElement(local_row=0, column_offset=0, value=1.0), x, cycle=0)
+        pe.process(EncodedElement(local_row=1, column_offset=0, value=1.0), x, cycle=1)
+        assert pe.hazard_violations == 0
+
+    def test_broken_mode_loses_contribution(self):
+        pe = make_pe(strict_hazard_check=False, dsp_latency=4)
+        x = np.ones(1)
+        pe.process(EncodedElement(local_row=0, column_offset=0, value=1.0), x, cycle=0)
+        pe.process(EncodedElement(local_row=0, column_offset=0, value=2.0), x, cycle=1)
+        # The second accumulation read the stale value 0, losing the first 1.0.
+        assert pe.accumulator()[0] == pytest.approx(2.0)
+        assert pe.hazard_violations == 1
+
+    def test_hazard_counter_in_broken_mode(self):
+        pe = make_pe(strict_hazard_check=False, dsp_latency=8)
+        x = np.ones(1)
+        for cycle in range(4):
+            pe.process(EncodedElement(local_row=0, column_offset=0, value=1.0), x, cycle=cycle)
+        assert pe.hazard_violations == 3
+
+
+class TestBoundsAndReset:
+    def test_uram_entry_bounds(self):
+        pe = make_pe(num_entries=4, rows_per_entry=2)
+        with pytest.raises(IndexError):
+            pe.process(EncodedElement(local_row=8, column_offset=0, value=1.0), np.ones(1), 0)
+
+    def test_column_offset_bounds(self):
+        pe = make_pe()
+        with pytest.raises(IndexError):
+            pe.process(EncodedElement(local_row=0, column_offset=5, value=1.0), np.ones(2), 0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ProcessingEngine(pe_id=0, num_entries=0)
+        with pytest.raises(ValueError):
+            ProcessingEngine(pe_id=0, num_entries=4, rows_per_entry=3)
+
+    def test_reset(self):
+        pe = make_pe()
+        x = np.ones(1)
+        pe.process(EncodedElement(local_row=0, column_offset=0, value=1.0), x, cycle=0)
+        pe.reset_accumulator()
+        assert pe.accumulator().sum() == 0.0
+        assert pe.elements_processed == 0
+        # After reset the hazard history is cleared too.
+        pe.process(EncodedElement(local_row=0, column_offset=0, value=1.0), x, cycle=1)
+        assert pe.hazard_violations == 0
+
+    def test_drain_selected_rows(self):
+        pe = make_pe()
+        x = np.ones(1)
+        pe.process(EncodedElement(local_row=3, column_offset=0, value=5.0), x, cycle=0)
+        assert pe.drain([3, 4]).tolist() == [5.0, 0.0]

@@ -1,0 +1,98 @@
+"""Unit tests for the FPGA resource model (paper Section 3.5 and Table 6)."""
+
+import pytest
+
+from repro.serpens import (
+    SERPENS_A16,
+    SERPENS_A24,
+    SerpensConfig,
+    U280_AVAILABLE,
+    estimate_resources,
+    fits_u280,
+    theoretical_bram36,
+    theoretical_row_depth,
+    theoretical_uram,
+)
+
+
+class TestClosedFormEquations:
+    def test_eq1_bram(self):
+        # Eq. 1: #BRAMs = 32 * HA.
+        assert theoretical_bram36(SERPENS_A16) == 512
+        assert theoretical_bram36(SERPENS_A24) == 768
+
+    def test_eq2_uram(self):
+        # Eq. 2: #URAMs = 8 * HA * U.
+        assert theoretical_uram(SERPENS_A16) == 384
+        assert theoretical_uram(SERPENS_A24) == 576
+
+    def test_eq3_row_depth(self):
+        # Eq. 3: row depth = 16 * HA * U * D.
+        assert theoretical_row_depth(SERPENS_A16) == 16 * 16 * 3 * 4096
+        assert theoretical_row_depth(SERPENS_A24) == 16 * 24 * 3 * 4096
+
+    def test_eq3_without_coalescing(self):
+        cfg = SerpensConfig(coalesce_rows=False)
+        assert theoretical_row_depth(cfg) == 8 * 16 * 3 * 4096
+
+
+class TestCalibration:
+    """The Serpens-A16 estimate should land on the published Table 6 row."""
+
+    def test_uram_exact(self):
+        assert estimate_resources(SERPENS_A16).uram == 384
+
+    def test_dsp_close_to_published(self):
+        dsp = estimate_resources(SERPENS_A16).dsp
+        assert dsp == pytest.approx(720, rel=0.05)
+
+    def test_lut_close_to_published(self):
+        lut = estimate_resources(SERPENS_A16).lut
+        assert lut == pytest.approx(173_000, rel=0.05)
+
+    def test_ff_close_to_published(self):
+        ff = estimate_resources(SERPENS_A16).ff
+        assert ff == pytest.approx(327_000, rel=0.05)
+
+    def test_bram_close_to_published(self):
+        bram = estimate_resources(SERPENS_A16).bram36
+        assert bram == pytest.approx(655, rel=0.05)
+
+    def test_utilisation_percentages(self):
+        usage = estimate_resources(SERPENS_A16)
+        util = usage.utilisation(U280_AVAILABLE)
+        assert util["lut"] == pytest.approx(0.15, abs=0.02)
+        assert util["uram"] == pytest.approx(0.40, abs=0.02)
+        assert util["dsp"] == pytest.approx(0.08, abs=0.02)
+
+
+class TestFeasibility:
+    def test_a16_and_a24_fit_u280(self):
+        assert fits_u280(SERPENS_A16)
+        assert fits_u280(SERPENS_A24)
+
+    def test_resources_scale_with_channels(self):
+        a16 = estimate_resources(SERPENS_A16)
+        a24 = estimate_resources(SERPENS_A24)
+        assert a24.lut > a16.lut
+        assert a24.uram > a16.uram
+        assert a24.bram36 > a16.bram36
+        assert a24.dsp > a16.dsp
+
+    def test_oversized_configuration_does_not_fit(self):
+        huge = SerpensConfig(num_sparse_channels=29, urams_per_pe=8)
+        assert not fits_u280(huge)
+
+    def test_fits_method(self):
+        small = estimate_resources(SerpensConfig(num_sparse_channels=2))
+        assert small.fits(U280_AVAILABLE)
+        assert not U280_AVAILABLE.fits(small)
+
+    def test_as_dict_keys(self):
+        assert set(estimate_resources(SERPENS_A16).as_dict()) == {
+            "lut",
+            "ff",
+            "dsp",
+            "bram36",
+            "uram",
+        }

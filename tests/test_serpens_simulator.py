@@ -1,0 +1,187 @@
+"""Unit and integration tests for the cycle-accurate Serpens simulator."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.generators import (
+    banded_matrix,
+    random_uniform,
+    random_with_dense_rows,
+    rmat_graph,
+)
+from repro.serpens import SerpensConfig, SerpensSimulator
+from repro.spmv import spmv
+
+
+def small_config(**overrides):
+    """A shrunken Serpens so unit tests stay fast but exercise multi-segment runs."""
+    defaults = dict(
+        name="Serpens-unit",
+        num_sparse_channels=2,
+        pes_per_channel=4,
+        urams_per_pe=2,
+        uram_depth=128,
+        segment_width=64,
+        frequency_mhz=223.0,
+        dsp_latency=4,
+    )
+    defaults.update(overrides)
+    return SerpensConfig(**defaults)
+
+
+def assert_simulator_matches_reference(matrix, config=None, alpha=1.0, beta=0.0, seed=0):
+    config = config or small_config()
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, matrix.num_cols)
+    y = rng.uniform(-1, 1, matrix.num_rows)
+    simulator = SerpensSimulator(config)
+    result = simulator.run(matrix, x, y, alpha, beta)
+    reference = spmv(matrix, x, y, alpha, beta)
+    np.testing.assert_allclose(result.y, reference, rtol=1e-4, atol=1e-5)
+    return result
+
+
+class TestFunctionalCorrectness:
+    def test_uniform_random_matrix(self):
+        m = random_uniform(300, 200, 3000, seed=1)
+        assert_simulator_matches_reference(m, alpha=2.0, beta=-0.5)
+
+    def test_power_law_graph(self):
+        g = rmat_graph(400, 4000, seed=2)
+        assert_simulator_matches_reference(g)
+
+    def test_banded_matrix(self):
+        m = banded_matrix(256, bandwidth=4, seed=3)
+        assert_simulator_matches_reference(m, alpha=1.0, beta=1.0)
+
+    def test_hot_row_matrix(self):
+        m = random_with_dense_rows(200, 200, 3000, dense_row_share=0.7, seed=4)
+        assert_simulator_matches_reference(m)
+
+    def test_rectangular_wide(self):
+        m = random_uniform(100, 500, 2500, seed=5)
+        assert_simulator_matches_reference(m)
+
+    def test_rectangular_tall(self):
+        m = random_uniform(500, 100, 2500, seed=6)
+        assert_simulator_matches_reference(m)
+
+    def test_rows_without_nonzeros(self):
+        m = COOMatrix.from_triples(10, 10, [(0, 0, 1.0), (7, 3, 2.0)])
+        result = assert_simulator_matches_reference(m, beta=0.5)
+        assert result.y.shape == (10,)
+
+    def test_empty_matrix_returns_beta_y(self):
+        m = COOMatrix.empty(20, 20)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, 20)
+        y = rng.uniform(-1, 1, 20)
+        result = SerpensSimulator(small_config()).run(m, x, y, alpha=3.0, beta=0.25)
+        np.testing.assert_allclose(result.y, 0.25 * y)
+
+    def test_alpha_zero(self):
+        m = random_uniform(50, 50, 400, seed=7)
+        assert_simulator_matches_reference(m, alpha=0.0, beta=2.0)
+
+    def test_single_column_segment(self):
+        config = small_config(segment_width=4096)
+        m = random_uniform(100, 100, 1000, seed=8)
+        assert_simulator_matches_reference(m, config=config)
+
+    def test_paper_scale_configuration(self):
+        from repro.serpens import SERPENS_A16
+
+        m = random_uniform(2000, 2000, 20_000, seed=9)
+        assert_simulator_matches_reference(m, config=SERPENS_A16)
+
+    def test_coalescing_disabled_still_correct(self):
+        config = small_config(coalesce_rows=False)
+        m = random_uniform(200, 200, 2000, seed=10)
+        assert_simulator_matches_reference(m, config=config)
+
+    def test_program_reuse_across_runs(self):
+        from repro.preprocess import build_program
+
+        config = small_config()
+        m = random_uniform(150, 150, 1500, seed=11)
+        program = build_program(m, config.to_partition_params())
+        simulator = SerpensSimulator(config)
+        rng = np.random.default_rng(12)
+        for _ in range(3):
+            x = rng.uniform(-1, 1, m.num_cols)
+            result = simulator.run(program, x)
+            np.testing.assert_allclose(result.y, spmv(m, x), rtol=1e-4, atol=1e-5)
+
+
+class TestTimingAndTraffic:
+    def test_cycle_breakdown_consistency(self):
+        m = random_uniform(200, 300, 2000, seed=13)
+        result = assert_simulator_matches_reference(m)
+        breakdown = result.cycles
+        assert breakdown.total == (
+            breakdown.x_stream_cycles
+            + breakdown.y_stream_cycles
+            + breakdown.compute_cycles
+            + breakdown.overhead_cycles
+        )
+        assert breakdown.x_stream_cycles >= -(-m.num_cols // 16)
+        assert breakdown.y_stream_cycles == -(-m.num_rows // 16)
+
+    def test_compute_cycles_at_least_ideal(self):
+        config = small_config()
+        m = random_uniform(200, 200, 4000, seed=14)
+        result = SerpensSimulator(config).run(m, np.ones(200))
+        ideal = -(-m.nnz // config.total_pes)
+        assert result.cycles.compute_cycles >= ideal
+
+    def test_traffic_accounting(self):
+        config = small_config()
+        m = random_uniform(100, 100, 1000, seed=15)
+        result = SerpensSimulator(config).run(m, np.ones(100))
+        # Sparse stream >= 8 bytes per non-zero; vectors are 4 bytes per value,
+        # with y read and written.
+        assert result.traffic_by_role["sparse_A"] >= 8 * m.nnz
+        assert result.traffic_by_role["dense_x"] == 4 * m.num_cols
+        assert result.traffic_by_role["dense_y_in"] == 4 * m.num_rows
+        assert result.traffic_by_role["dense_y_out"] == 4 * m.num_rows
+        assert result.bytes_moved == sum(result.traffic_by_role.values())
+
+    def test_pe_utilisation_bounds(self):
+        m = random_uniform(300, 300, 3000, seed=16)
+        result = assert_simulator_matches_reference(m)
+        assert 0.0 < result.pe_utilisation <= 1.0
+
+    def test_hot_rows_lower_utilisation(self):
+        config = small_config()
+        uniform = random_uniform(256, 256, 4000, seed=17)
+        hot = random_with_dense_rows(256, 256, 4000, dense_row_share=0.8, seed=17)
+        u_res = SerpensSimulator(config).run(uniform, np.ones(256))
+        h_res = SerpensSimulator(config).run(hot, np.ones(256))
+        assert h_res.pe_utilisation < u_res.pe_utilisation
+        assert h_res.cycles.compute_cycles > u_res.cycles.compute_cycles
+
+
+class TestInputValidation:
+    def test_wrong_x_length(self):
+        m = random_uniform(50, 60, 100, seed=18)
+        with pytest.raises(ValueError):
+            SerpensSimulator(small_config()).run(m, np.ones(59))
+
+    def test_wrong_y_length(self):
+        m = random_uniform(50, 60, 100, seed=19)
+        with pytest.raises(ValueError):
+            SerpensSimulator(small_config()).run(m, np.ones(60), np.ones(49))
+
+    def test_wrong_input_type(self):
+        with pytest.raises(TypeError):
+            SerpensSimulator(small_config()).run("not a matrix", np.ones(4))
+
+    def test_matrix_exceeding_capacity(self):
+        from repro.preprocess import CapacityError
+
+        config = small_config(uram_depth=4)
+        # Capacity: 8 PEs * 2 URAMs * 4 entries * 2 rows = 128 rows.
+        m = COOMatrix.from_triples(200, 8, [(150, 1, 1.0)])
+        with pytest.raises(CapacityError):
+            SerpensSimulator(config).run(m, np.ones(8))

@@ -1,0 +1,132 @@
+"""Unit tests for the golden SpMV kernels and semirings."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix, CSRMatrix
+from repro.generators import random_uniform
+from repro.spmv import (
+    MAX_TIMES,
+    MIN_PLUS,
+    OR_AND,
+    PLUS_TIMES,
+    flop_count,
+    generalized_spmv,
+    spmv,
+    spmv_fp32,
+    traversed_edges,
+)
+
+
+def dense_and_coo(seed=0, shape=(8, 6), density=0.4):
+    rng = np.random.default_rng(seed)
+    dense = rng.uniform(-2, 2, size=shape)
+    dense[rng.random(shape) > density] = 0.0
+    return dense, COOMatrix.from_dense(dense)
+
+
+class TestSpMV:
+    def test_matches_dense_product(self):
+        dense, coo = dense_and_coo()
+        x = np.arange(dense.shape[1], dtype=float)
+        assert np.allclose(spmv(coo, x), dense @ x)
+
+    def test_alpha_beta_form(self):
+        dense, coo = dense_and_coo(seed=1)
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, dense.shape[1])
+        y = rng.uniform(-1, 1, dense.shape[0])
+        result = spmv(coo, x, y, alpha=2.5, beta=-0.5)
+        assert np.allclose(result, 2.5 * dense @ x - 0.5 * y)
+
+    def test_beta_ignored_without_y(self):
+        dense, coo = dense_and_coo(seed=3)
+        x = np.ones(dense.shape[1])
+        assert np.allclose(spmv(coo, x, beta=100.0), dense @ x)
+
+    def test_csr_input(self):
+        dense, coo = dense_and_coo(seed=4)
+        csr = CSRMatrix.from_coo(coo)
+        x = np.linspace(0, 1, dense.shape[1])
+        assert np.allclose(spmv(csr, x), dense @ x)
+
+    def test_wrong_x_length(self):
+        __, coo = dense_and_coo()
+        with pytest.raises(ValueError):
+            spmv(coo, np.ones(99))
+
+    def test_wrong_y_length(self):
+        __, coo = dense_and_coo()
+        with pytest.raises(ValueError):
+            spmv(coo, np.ones(coo.num_cols), np.ones(99))
+
+    def test_unsupported_matrix_type(self):
+        with pytest.raises(TypeError):
+            spmv(np.eye(3), np.ones(3))
+
+    def test_empty_matrix(self):
+        coo = COOMatrix.empty(4, 5)
+        assert np.allclose(spmv(coo, np.ones(5)), np.zeros(4))
+
+    def test_fp32_variant_close_to_fp64(self):
+        m = random_uniform(200, 200, 2000, seed=5)
+        x = np.random.default_rng(6).uniform(-1, 1, 200)
+        assert np.allclose(spmv_fp32(m, x), spmv(m, x), rtol=1e-5, atol=1e-6)
+
+    def test_flop_and_edge_counts(self):
+        m = random_uniform(10, 10, 37, seed=7)
+        assert flop_count(m) == 74
+        assert traversed_edges(m) == 37
+
+
+class TestSemirings:
+    def test_plus_times_equals_spmv(self):
+        dense, coo = dense_and_coo(seed=8)
+        x = np.arange(dense.shape[1], dtype=float)
+        assert np.allclose(generalized_spmv(coo, x, PLUS_TIMES), dense @ x)
+
+    def test_min_plus_relaxation(self):
+        # Graph: 0 -> 1 (w=2), 0 -> 2 (w=5), 1 -> 2 (w=1).
+        g = COOMatrix.from_triples(3, 3, [(0, 1, 2.0), (0, 2, 5.0), (1, 2, 1.0)])
+        # Pull-style relaxation over in-edges uses the transpose.
+        dist = np.array([0.0, np.inf, np.inf])
+        relaxed = generalized_spmv(g.transpose(), dist, MIN_PLUS)
+        assert relaxed[1] == pytest.approx(2.0)
+        assert relaxed[2] == pytest.approx(5.0)
+        assert relaxed[0] == np.inf
+
+    def test_or_and_frontier_expansion(self):
+        g = COOMatrix.from_triples(3, 3, [(0, 1, 1.0), (1, 2, 1.0)])
+        frontier = np.array([1.0, 0.0, 0.0])
+        reached = generalized_spmv(g.transpose(), frontier, OR_AND)
+        assert reached[1] == 1.0
+        assert reached[2] == 0.0
+
+    def test_max_times(self):
+        g = COOMatrix.from_triples(2, 2, [(0, 0, 0.5), (0, 1, 0.9)])
+        x = np.array([1.0, 1.0])
+        result = generalized_spmv(g, x, MAX_TIMES)
+        assert result[0] == pytest.approx(0.9)
+
+    def test_empty_rows_get_identity(self):
+        g = COOMatrix.from_triples(3, 3, [(0, 0, 1.0)])
+        result = generalized_spmv(g, np.ones(3), MIN_PLUS)
+        assert result[1] == np.inf
+        assert result[2] == np.inf
+
+    def test_wrong_vector_length(self):
+        g = COOMatrix.identity(3)
+        with pytest.raises(ValueError):
+            generalized_spmv(g, np.ones(2))
+
+    def test_empty_matrix(self):
+        g = COOMatrix.empty(2, 2)
+        result = generalized_spmv(g, np.ones(2), PLUS_TIMES)
+        assert np.allclose(result, 0.0)
+
+    def test_semiring_reduce(self):
+        assert MIN_PLUS.reduce(np.array([3.0, 1.0, 2.0])) == pytest.approx(1.0)
+        assert PLUS_TIMES.reduce(np.array([1.0, 2.0, 3.0])) == pytest.approx(6.0)
+
+    def test_semiring_repr(self):
+        assert "min_plus" in repr(MIN_PLUS)

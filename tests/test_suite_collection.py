@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic SuiteSparse-like collection."""
+
+import math
+
+import pytest
+
+from repro.generators import CollectionEntry, sample_collection
+from repro.generators.suite import NNZ_MAX, NNZ_MIN
+
+
+class TestSampling:
+    def test_collection_size(self):
+        c = sample_collection(count=100, seed=1)
+        assert len(c) == 100
+
+    def test_default_count_matches_paper(self):
+        c = sample_collection(count=2519, seed=1)
+        assert len(c) == 2519
+
+    def test_nnz_bounds(self):
+        c = sample_collection(count=200, seed=2)
+        lo, hi = c.nnz_range
+        assert lo >= NNZ_MIN
+        assert hi <= NNZ_MAX
+
+    def test_reproducible(self):
+        a = sample_collection(count=50, seed=3)
+        b = sample_collection(count=50, seed=3)
+        assert [e.nnz for e in a] == [e.nnz for e in b]
+        assert [e.kind for e in a] == [e.kind for e in b]
+
+    def test_different_seed_changes_population(self):
+        a = sample_collection(count=50, seed=3)
+        b = sample_collection(count=50, seed=4)
+        assert [e.nnz for e in a] != [e.nnz for e in b]
+
+    def test_geomean_density_near_published(self):
+        c = sample_collection(count=1000, seed=5)
+        assert 2e-4 < c.geomean_density < 1e-2
+
+    def test_nnz_spans_orders_of_magnitude(self):
+        c = sample_collection(count=500, seed=6)
+        lo, hi = c.nnz_range
+        assert hi / lo > 1e3
+
+    def test_summary_keys(self):
+        summary = sample_collection(count=20, seed=7).summary()
+        assert set(summary) == {
+            "count",
+            "nnz_min",
+            "nnz_max",
+            "dim_min",
+            "dim_max",
+            "geomean_density",
+        }
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            sample_collection(count=0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            sample_collection(count=5, nnz_min=100, nnz_max=10)
+
+    def test_indexing(self):
+        c = sample_collection(count=10, seed=8)
+        assert isinstance(c[0], CollectionEntry)
+        assert c[0].name.startswith("synth_")
+
+
+class TestEntries:
+    def test_entry_density_consistent(self):
+        c = sample_collection(count=30, seed=9)
+        for entry in c:
+            assert entry.density == pytest.approx(
+                entry.nnz / (entry.num_rows * entry.num_cols)
+            )
+            assert entry.density <= 1.0
+
+    def test_average_row_nnz(self):
+        entry = CollectionEntry("x", 100, 50, 500, "uniform", seed=1)
+        assert entry.average_row_nnz == pytest.approx(5.0)
+
+    def test_materialize_small_entry(self):
+        entry = CollectionEntry("x", 500, 400, 3000, "uniform", seed=2)
+        m = entry.materialize()
+        assert m.shape == (500, 400)
+        assert abs(m.nnz - 3000) <= 60
+
+    def test_materialize_each_kind(self):
+        for kind in ("uniform", "powerlaw", "banded", "block"):
+            entry = CollectionEntry("x", 600, 600, 5000, kind, seed=3)
+            m = entry.materialize()
+            assert m.nnz > 0
+            assert m.num_rows <= 600 or kind == "block"
+
+    def test_materialize_respects_max_nnz(self):
+        entry = CollectionEntry("x", 100_000, 100_000, 5_000_000, "uniform", seed=4)
+        m = entry.materialize(max_nnz=10_000)
+        assert m.nnz <= 10_000
+
+    def test_materialize_unknown_kind(self):
+        entry = CollectionEntry("x", 10, 10, 10, "weird", seed=5)
+        with pytest.raises(ValueError):
+            entry.materialize()
+
+    def test_log_uniform_spread(self):
+        c = sample_collection(count=800, seed=10)
+        logs = [math.log10(e.nnz) for e in c]
+        # Expect matrices in the low, middle and high decades of the range.
+        assert min(logs) < 4.0
+        assert max(logs) > 6.5
