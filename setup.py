@@ -18,4 +18,9 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     install_requires=["numpy>=1.20"],
+    entry_points={
+        "console_scripts": [
+            "serpens-repro = repro.cli:main",
+        ],
+    },
 )

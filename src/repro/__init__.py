@@ -31,9 +31,21 @@ from .serpens import (
     SerpensAccelerator,
     SerpensConfig,
 )
+from .serve import (
+    AcceleratorPool,
+    LoadTrace,
+    ProgramCache,
+    RequestResult,
+    Scheduler,
+    ServiceHandle,
+    ServiceReport,
+    ServiceTelemetry,
+    SpMVService,
+    generate_trace,
+)
 from .spmv import spmv
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "COOMatrix",
@@ -46,6 +58,16 @@ __all__ = [
     "MatrixHandle",
     "SERPENS_A16",
     "SERPENS_A24",
+    "AcceleratorPool",
+    "LoadTrace",
+    "ProgramCache",
+    "RequestResult",
+    "Scheduler",
+    "ServiceHandle",
+    "ServiceReport",
+    "ServiceTelemetry",
+    "SpMVService",
+    "generate_trace",
     "spmv",
     "__version__",
 ]

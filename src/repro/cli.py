@@ -12,6 +12,15 @@ figure reports, rendered as an aligned text table.  ``--scale`` shrinks the
 synthetic stand-ins of the twelve large matrices (1.0 reproduces the
 published sizes; smaller values run proportionally faster while preserving
 the relative comparisons).
+
+Beyond the paper experiments, ``serve-bench`` exercises the multi-
+accelerator serving layer::
+
+    python -m repro.cli serve-bench --devices 4 --requests 2000 --scenario mixed --seed 0
+
+It replays one load-generator trace under naive dispatch, batched FIFO and
+batched SJF scheduling, and reports throughput, tail latency and program-
+cache behaviour for each.
 """
 
 from __future__ import annotations
@@ -50,7 +59,12 @@ from .eval.experiments import (
     run_table8,
 )
 
-__all__ = ["main", "EXPERIMENTS", "run_experiment"]
+__all__ = ["main", "EXPERIMENTS", "SERVE_SCENARIOS", "run_experiment"]
+
+#: Scenario names accepted by serve-bench.  Listed statically so building
+#: the parser never imports the serving layer; a test asserts this stays in
+#: sync with :data:`repro.serve.SCENARIOS`.
+SERVE_SCENARIOS = ("cold-churn", "mixed", "pagerank", "solver-burst", "sparse-nn")
 
 
 def _table1(args: argparse.Namespace) -> str:
@@ -109,6 +123,75 @@ def _ablation_channels(args: argparse.Namespace) -> str:
     return render_channel_scaling_sweep(run_channel_scaling_sweep(scale=args.scale))
 
 
+def _serve_bench(args: argparse.Namespace) -> str:
+    # Imported here so the experiment registry stays importable even if the
+    # serving layer is being refactored.
+    from .eval.reporting import format_table
+    from .serpens import SERPENS_A16, SERPENS_A24
+    from .serve import AcceleratorPool, SpMVService, generate_trace
+
+    if args.devices < 1:
+        raise ValueError("--devices must be positive")
+    num_a24 = args.a24 if args.a24 is not None else args.devices // 4
+    if not 0 <= num_a24 <= args.devices:
+        raise ValueError("--a24 must be between 0 and --devices")
+    configs = [SERPENS_A24] * num_a24 + [SERPENS_A16] * (args.devices - num_a24)
+
+    variants = [
+        ("naive-fifo", "fifo", 1),
+        ("batched-fifo", "fifo", args.max_batch),
+        ("batched-sjf", "sjf", args.max_batch),
+    ]
+    rows = []
+    last_report = None
+    for label, policy, max_batch in variants:
+        trace = generate_trace(
+            args.scenario, args.requests, seed=args.seed, gap_scale=args.gap_scale
+        )
+        service = SpMVService(
+            pool=AcceleratorPool(list(configs)),
+            policy=policy,
+            max_batch=max_batch,
+            cache_capacity=args.cache_capacity,
+        )
+        report = service.run_trace(trace)
+        telemetry = report.telemetry
+        overall = telemetry.latency()
+        rows.append(
+            [
+                label,
+                telemetry.completed,
+                telemetry.throughput_rps,
+                overall.p50 * 1e3,
+                overall.p95 * 1e3,
+                overall.p99 * 1e3,
+                report.scheduler_stats["mean_batch_size"],
+                100 * report.cache_stats["hit_rate"],
+            ]
+        )
+        last_report = report
+
+    comparison = format_table(
+        [
+            "scheduler",
+            "completed",
+            "req/s",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "mean batch",
+            "cache hit %",
+        ],
+        rows,
+        title=(
+            f"Serving benchmark — scenario={args.scenario}, "
+            f"{args.requests} requests, {args.devices} devices "
+            f"({num_a24}x A24), seed={args.seed}"
+        ),
+    )
+    return comparison + "\n\n" + last_report.render()
+
+
 #: Registry of experiment name -> (description, runner).
 EXPERIMENTS: Dict[str, tuple] = {
     "table1": ("Serpens design parameters", _table1),
@@ -125,6 +208,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "ablation-segment": ("Segment length sweep", _ablation_segment),
     "ablation-window": ("Reordering window sweep", _ablation_window),
     "ablation-channels": ("HBM channel scaling sweep", _ablation_channels),
+    "serve-bench": ("Multi-accelerator serving benchmark", _serve_bench),
 }
 
 
@@ -164,6 +248,41 @@ def build_parser() -> argparse.ArgumentParser:
         type=str,
         default=None,
         help="also write the rendered tables to this file",
+    )
+    serving = parser.add_argument_group("serve-bench options")
+    serving.add_argument(
+        "--devices", type=int, default=4, help="accelerators in the serving pool"
+    )
+    serving.add_argument(
+        "--requests", type=int, default=2000, help="requests in the generated trace"
+    )
+    serving.add_argument(
+        "--scenario",
+        type=str,
+        default="mixed",
+        choices=SERVE_SCENARIOS,
+        help="load scenario for serve-bench",
+    )
+    serving.add_argument(
+        "--max-batch", type=int, default=32, help="largest same-matrix batch"
+    )
+    serving.add_argument(
+        "--cache-capacity",
+        type=int,
+        default=None,
+        help="program-cache capacity in entries (default: unbounded)",
+    )
+    serving.add_argument(
+        "--gap-scale",
+        type=float,
+        default=1.0,
+        help="multiplier on arrival gaps (<1 compresses the trace)",
+    )
+    serving.add_argument(
+        "--a24",
+        type=int,
+        default=None,
+        help="devices built as Serpens-A24 (default: one quarter of the pool)",
     )
     return parser
 

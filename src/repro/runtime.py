@@ -17,7 +17,6 @@ iterative solver, a PageRank run, a batch of inferences).  The
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -26,8 +25,9 @@ import numpy as np
 
 from .formats import COOMatrix
 from .metrics import ExecutionReport
-from .preprocess import SerpensProgram, load_program, save_program
+from .preprocess import SerpensProgram
 from .serpens import SERPENS_A16, SerpensAccelerator, SerpensConfig
+from .serve.cache import ProgramCache, matrix_fingerprint
 
 __all__ = ["MatrixHandle", "SerpensRuntime"]
 
@@ -65,10 +65,21 @@ class SerpensRuntime:
         Optional directory where preprocessed programs are persisted; a
         matrix whose fingerprint is found there is loaded instead of being
         preprocessed again.
+    cache_capacity:
+        Optional bound on the program cache.  Applies to the in-memory
+        tier *and* the on-disk tier, so a long-lived runtime with a
+        ``cache_dir`` cannot grow the directory without bound.  ``None``
+        keeps both tiers unbounded (the historical behaviour).
+    program_cache:
+        Inject an existing :class:`~repro.serve.ProgramCache` (for example
+        one shared with a serving pool); overrides ``cache_dir`` and
+        ``cache_capacity``.
     """
 
     config: SerpensConfig = SERPENS_A16
     cache_dir: Optional[Path] = None
+    cache_capacity: Optional[int] = None
+    program_cache: Optional[ProgramCache] = None
     _accelerator: SerpensAccelerator = field(init=False)
     _matrices: Dict[str, _RegisteredMatrix] = field(init=False, default_factory=dict)
 
@@ -76,7 +87,12 @@ class SerpensRuntime:
         self._accelerator = SerpensAccelerator(self.config)
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        if self.program_cache is None:
+            self.program_cache = ProgramCache(
+                capacity=self.cache_capacity,
+                cache_dir=self.cache_dir,
+                disk_capacity=self.cache_capacity,
+            )
 
     # ------------------------------------------------------------------
     # Registration
@@ -84,12 +100,7 @@ class SerpensRuntime:
     @staticmethod
     def fingerprint(matrix: COOMatrix) -> str:
         """A stable content hash of the matrix (structure and values)."""
-        digest = hashlib.sha256()
-        digest.update(np.int64([matrix.num_rows, matrix.num_cols, matrix.nnz]).tobytes())
-        digest.update(np.ascontiguousarray(matrix.rows).tobytes())
-        digest.update(np.ascontiguousarray(matrix.cols).tobytes())
-        digest.update(np.ascontiguousarray(matrix.values).tobytes())
-        return digest.hexdigest()[:16]
+        return matrix_fingerprint(matrix)
 
     def register(self, matrix: COOMatrix, name: str = "matrix") -> MatrixHandle:
         """Preprocess (or load from cache) a matrix and return its handle.
@@ -106,10 +117,11 @@ class SerpensRuntime:
         if fingerprint in self._matrices:
             return self._matrices[fingerprint].handle
 
-        program = self._load_cached_program(fingerprint)
-        if program is None:
-            program = self._accelerator.preprocess(matrix)
-            self._store_cached_program(fingerprint, program)
+        program = self.program_cache.get_or_build(
+            fingerprint,
+            lambda: self._accelerator.preprocess(matrix),
+            params=self.config.to_partition_params(),
+        )
 
         handle = MatrixHandle(
             name=name,
@@ -123,25 +135,9 @@ class SerpensRuntime:
         )
         return handle
 
-    def _cache_path(self, fingerprint: str) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"serpens_program_{fingerprint}.npz"
-
-    def _load_cached_program(self, fingerprint: str) -> Optional[SerpensProgram]:
-        path = self._cache_path(fingerprint)
-        if path is None or not path.exists():
-            return None
-        program = load_program(path)
-        if program.params != self.config.to_partition_params():
-            # The cache was built for a different configuration; ignore it.
-            return None
-        return program
-
-    def _store_cached_program(self, fingerprint: str, program: SerpensProgram) -> None:
-        path = self._cache_path(fingerprint)
-        if path is not None:
-            save_program(path, program)
+    def cache_stats(self) -> Dict[str, float]:
+        """Hit/miss/eviction counters of the underlying program cache."""
+        return self.program_cache.stats()
 
     # ------------------------------------------------------------------
     # Execution

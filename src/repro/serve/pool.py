@@ -1,0 +1,265 @@
+"""A pool of simulated Serpens devices with matrix placement and sharding.
+
+A production deployment does not run one accelerator: it runs a rack of
+them — possibly mixed builds (Serpens-A16 cards next to A24 cards) — and a
+placement layer decides which card holds which matrix.  The
+:class:`AcceleratorPool` models that layer on top of the simulator:
+
+* each :class:`PooledDevice` wraps one :class:`~repro.serpens.SerpensAccelerator`
+  and tracks its own virtual-time availability and utilisation counters,
+* :meth:`AcceleratorPool.place` assigns a matrix to the least-loaded
+  device(s), optionally replicating it for throughput,
+* a matrix whose output vector exceeds every device's on-chip row capacity
+  (paper Eq. 3) is *row-sharded*: contiguous row blocks land on different
+  devices and a launch fans out to all of them, exactly how a multi-card
+  host splits an oversized graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..formats import COOMatrix
+from ..serpens import SERPENS_A16, SerpensAccelerator, SerpensConfig
+
+__all__ = ["AcceleratorPool", "PooledDevice", "Placement", "Shard", "shard_rows"]
+
+PLACEMENT_POLICIES = ("least_loaded", "round_robin")
+
+
+@dataclass
+class DeviceStats:
+    """Virtual-time utilisation counters of one pooled device."""
+
+    launches: int = 0
+    batches: int = 0
+    busy_seconds: float = 0.0
+    program_switches: int = 0
+    program_bytes_loaded: int = 0
+
+
+@dataclass
+class PooledDevice:
+    """One simulated accelerator card inside the pool."""
+
+    device_id: int
+    accelerator: SerpensAccelerator
+    busy_until: float = 0.0
+    resident_key: Optional[str] = None
+    placed_nnz: int = 0
+    stats: DeviceStats = field(default_factory=DeviceStats)
+
+    @property
+    def config(self) -> SerpensConfig:
+        return self.accelerator.config
+
+    @property
+    def name(self) -> str:
+        return f"dev{self.device_id}:{self.config.name}"
+
+    @property
+    def max_rows(self) -> int:
+        return self.config.max_rows
+
+    def idle_at(self, now: float) -> bool:
+        return self.busy_until <= now
+
+    def occupy(self, start: float, seconds: float, batch_size: int) -> None:
+        """Book one dispatched batch onto this device's lifetime counters."""
+        self.busy_until = start + seconds
+        self.stats.busy_seconds += seconds
+        self.stats.launches += batch_size
+        self.stats.batches += 1
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous row block of a matrix resident on one device."""
+
+    device_id: int
+    row_start: int
+    row_end: int
+
+    @property
+    def num_rows(self) -> int:
+        return self.row_end - self.row_start
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where a registered matrix lives in the pool.
+
+    ``replicas`` is a tuple of shard sets; each shard set covers every row
+    of the matrix.  An unsharded matrix replicated twice has two replicas
+    of one full-range shard each; an oversized matrix has a single replica
+    whose shards split the rows across devices.
+    """
+
+    fingerprint: str
+    replicas: Tuple[Tuple[Shard, ...], ...]
+
+    @property
+    def sharded(self) -> bool:
+        return len(self.replicas[0]) > 1
+
+    @property
+    def device_ids(self) -> Tuple[int, ...]:
+        return tuple(
+            sorted({shard.device_id for replica in self.replicas for shard in replica})
+        )
+
+
+def shard_rows(matrix: COOMatrix, boundaries: Sequence[int]) -> List[COOMatrix]:
+    """Split a matrix into contiguous row blocks at the given boundaries.
+
+    ``boundaries`` are the exclusive end rows of each block, ending at
+    ``matrix.num_rows``; each block keeps the full column dimension so the
+    shards share one x vector and their outputs concatenate to the full y.
+    """
+    if not boundaries or boundaries[-1] != matrix.num_rows:
+        raise ValueError("boundaries must end at matrix.num_rows")
+    blocks = []
+    start = 0
+    for end in boundaries:
+        if end <= start:
+            raise ValueError("boundaries must be strictly increasing")
+        mask = (matrix.rows >= start) & (matrix.rows < end)
+        blocks.append(
+            COOMatrix(
+                end - start,
+                matrix.num_cols,
+                matrix.rows[mask] - start,
+                matrix.cols[mask],
+                matrix.values[mask],
+            )
+        )
+        start = end
+    return blocks
+
+
+class AcceleratorPool:
+    """N simulated Serpens devices plus the matrix placement bookkeeping.
+
+    Parameters
+    ----------
+    configs:
+        One :class:`SerpensConfig` per device; mixed builds are allowed.
+    placement_policy:
+        ``"least_loaded"`` places on the device with the fewest resident
+        non-zeros; ``"round_robin"`` cycles through devices.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[SerpensConfig],
+        placement_policy: str = "least_loaded",
+    ) -> None:
+        if not configs:
+            raise ValueError("the pool needs at least one device")
+        if placement_policy not in PLACEMENT_POLICIES:
+            raise ValueError(
+                f"unknown placement policy {placement_policy!r}; "
+                f"use one of {PLACEMENT_POLICIES}"
+            )
+        self.placement_policy = placement_policy
+        self.devices: List[PooledDevice] = [
+            PooledDevice(device_id=i, accelerator=SerpensAccelerator(config))
+            for i, config in enumerate(configs)
+        ]
+        self._round_robin_next = 0
+
+    @classmethod
+    def homogeneous(
+        cls,
+        num_devices: int,
+        config: SerpensConfig = SERPENS_A16,
+        placement_policy: str = "least_loaded",
+    ) -> "AcceleratorPool":
+        """A pool of ``num_devices`` identical cards."""
+        return cls([config] * num_devices, placement_policy=placement_policy)
+
+    # ------------------------------------------------------------------
+    # Device access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def device(self, device_id: int) -> PooledDevice:
+        return self.devices[device_id]
+
+    def idle_devices(self, now: float) -> List[PooledDevice]:
+        """Devices free to start a batch at virtual time ``now``."""
+        return [d for d in self.devices if d.idle_at(now)]
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def place(
+        self, matrix: COOMatrix, fingerprint: str, replicas: int = 1
+    ) -> Placement:
+        """Choose device(s) for a matrix and record the load they take on.
+
+        A matrix that fits a single device is placed on the ``replicas``
+        least-loaded capable devices; one that fits no device is row-sharded
+        across as many devices as needed (replication is not combined with
+        sharding).
+        """
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        capable = [d for d in self.devices if d.max_rows >= matrix.num_rows]
+        if capable:
+            chosen = self._choose(capable, min(replicas, len(capable)))
+            replica_sets = []
+            for device in chosen:
+                device.placed_nnz += matrix.nnz
+                replica_sets.append(
+                    (Shard(device.device_id, 0, matrix.num_rows),)
+                )
+            return Placement(fingerprint=fingerprint, replicas=tuple(replica_sets))
+        return self._place_sharded(matrix, fingerprint)
+
+    def _choose(self, candidates: List[PooledDevice], count: int) -> List[PooledDevice]:
+        if self.placement_policy == "round_robin":
+            ordered = sorted(
+                candidates,
+                key=lambda d: (d.device_id - self._round_robin_next) % len(self.devices),
+            )
+            chosen = ordered[:count]
+            self._round_robin_next = (chosen[-1].device_id + 1) % len(self.devices)
+            return chosen
+        return sorted(candidates, key=lambda d: (d.placed_nnz, d.device_id))[:count]
+
+    def _place_sharded(self, matrix: COOMatrix, fingerprint: str) -> Placement:
+        total_capacity = sum(d.max_rows for d in self.devices)
+        if total_capacity < matrix.num_rows:
+            raise ValueError(
+                f"matrix with {matrix.num_rows} rows exceeds the pooled row "
+                f"capacity of {total_capacity} across {len(self.devices)} devices"
+            )
+        # Fill least-loaded devices first so sharding also balances the pool.
+        order = sorted(self.devices, key=lambda d: (d.placed_nnz, d.device_id))
+        shards = []
+        boundaries = []
+        start = 0
+        nnz_per_row = matrix.nnz_per_row()
+        for device in order:
+            if start >= matrix.num_rows:
+                break
+            end = min(start + device.max_rows, matrix.num_rows)
+            shards.append(Shard(device.device_id, start, end))
+            boundaries.append(end)
+            device.placed_nnz += int(np.sum(nnz_per_row[start:end]))
+            start = end
+        return Placement(fingerprint=fingerprint, replicas=(tuple(shards),))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def utilisation(self, makespan: float) -> List[float]:
+        """Per-device busy fraction of the virtual timeline."""
+        if makespan <= 0:
+            return [0.0 for __ in self.devices]
+        return [min(1.0, d.stats.busy_seconds / makespan) for d in self.devices]

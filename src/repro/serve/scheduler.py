@@ -1,0 +1,169 @@
+"""Request queue and dispatch policies for the serving layer.
+
+The scheduler owns everything between ``submit`` and a device picking work
+up: admission control (bounded queue depth, load-shedding beyond it),
+per-matrix FIFO queues, and the batching decision.  Batching matters for
+the same reason it does on real cards: switching the resident sparse-matrix
+program costs a stream-buffer reload over the host link, so launching k
+same-matrix SpMVs back-to-back pays that cost once instead of k times.
+
+Two policies are provided:
+
+* ``"fifo"`` — dispatch in arrival order; the batch coalesces the queued
+  requests that target the same matrix as the oldest request,
+* ``"sjf"`` — shortest-job-first across matrices: dispatch the queued
+  matrix with the smallest estimated per-launch time (classic latency
+  optimisation for mixed workloads; needs a cost oracle from the service).
+
+``max_batch=1`` degenerates either policy into naive one-request dispatch,
+which is the baseline the benchmarks compare against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set
+
+import numpy as np
+
+__all__ = ["Request", "Scheduler", "SCHEDULING_POLICIES"]
+
+SCHEDULING_POLICIES = ("fifo", "sjf")
+
+
+@dataclass
+class Request:
+    """One queued SpMV launch request."""
+
+    request_id: int
+    tenant: str
+    fingerprint: str
+    x: np.ndarray
+    arrival_time: float = 0.0
+    y: Optional[np.ndarray] = None
+    alpha: float = 1.0
+    beta: float = 0.0
+    seq: int = field(default=0, compare=False)
+
+
+class Scheduler:
+    """Bounded request queue with same-matrix batching.
+
+    Parameters
+    ----------
+    policy:
+        ``"fifo"`` or ``"sjf"``.
+    max_batch:
+        Most requests coalesced into one dispatch (1 = no batching).
+    max_queue_depth:
+        Admission limit; ``None`` admits everything.  A request arriving
+        at a full queue is shed, the way an overloaded service returns 429
+        instead of letting latency grow without bound.
+    """
+
+    def __init__(
+        self,
+        policy: str = "fifo",
+        max_batch: int = 32,
+        max_queue_depth: Optional[int] = None,
+    ) -> None:
+        if policy not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; use one of {SCHEDULING_POLICIES}"
+            )
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive (or None)")
+        self.policy = policy
+        self.max_batch = max_batch
+        self.max_queue_depth = max_queue_depth
+        self._queues: "OrderedDict[str, Deque[Request]]" = OrderedDict()
+        self._cost_fn: Optional[Callable[[str], float]] = None
+        self._seq = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.dispatched = 0
+        self.batches = 0
+        self.peak_depth = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Requests currently queued."""
+        return sum(len(q) for q in self._queues.values())
+
+    def admit(self, request: Request) -> bool:
+        """Queue a request; returns ``False`` when it is shed."""
+        if self.max_queue_depth is not None and self.depth >= self.max_queue_depth:
+            self.rejected += 1
+            return False
+        request.seq = self._seq
+        self._seq += 1
+        self._queues.setdefault(request.fingerprint, deque()).append(request)
+        self.admitted += 1
+        self.peak_depth = max(self.peak_depth, self.depth)
+        return True
+
+    def set_cost_fn(self, cost_fn: Callable[[str], float]) -> None:
+        """Install the per-launch cost oracle the SJF policy ranks by."""
+        self._cost_fn = cost_fn
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def queued_fingerprints(self) -> List[str]:
+        """Fingerprints with at least one queued request."""
+        return [fp for fp, q in self._queues.items() if q]
+
+    def next_batch(
+        self, runnable: Optional[Set[str]] = None
+    ) -> List[Request]:
+        """Pop the next batch of same-matrix requests.
+
+        ``runnable`` restricts the choice to matrices resident on the
+        device asking for work; ``None`` considers every queued matrix.
+        Returns an empty list when nothing dispatchable is queued.
+        """
+        fingerprint = self._pick_fingerprint(runnable)
+        if fingerprint is None:
+            return []
+        queue = self._queues[fingerprint]
+        batch = [queue.popleft() for __ in range(min(self.max_batch, len(queue)))]
+        if not queue:
+            del self._queues[fingerprint]
+        self.dispatched += len(batch)
+        self.batches += 1
+        return batch
+
+    def _pick_fingerprint(self, runnable: Optional[Set[str]]) -> Optional[str]:
+        candidates = [
+            (fp, queue[0])
+            for fp, queue in self._queues.items()
+            if queue and (runnable is None or fp in runnable)
+        ]
+        if not candidates:
+            return None
+        if self.policy == "sjf" and self._cost_fn is not None:
+            # Shortest estimated launch first; oldest request breaks ties.
+            return min(
+                candidates, key=lambda item: (self._cost_fn(item[0]), item[1].seq)
+            )[0]
+        return min(candidates, key=lambda item: item[1].seq)[0]
+
+    def stats(self) -> Dict[str, float]:
+        """Counter snapshot for telemetry."""
+        return {
+            "admitted": float(self.admitted),
+            "rejected": float(self.rejected),
+            "dispatched": float(self.dispatched),
+            "batches": float(self.batches),
+            "mean_batch_size": (
+                self.dispatched / self.batches if self.batches else 0.0
+            ),
+            "peak_depth": float(self.peak_depth),
+            "depth": float(self.depth),
+        }

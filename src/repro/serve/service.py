@@ -1,0 +1,578 @@
+"""`SpMVService`: a multi-accelerator serving facade over the simulator.
+
+This is the deployment story of the paper turned into a service: matrices
+are registered once (preprocessed lazily, cached in a bounded
+:class:`~repro.serve.cache.ProgramCache`), requests are submitted with
+arrival timestamps, and :meth:`SpMVService.drain` runs a deterministic
+discrete-event loop over a pool of simulated devices:
+
+* arrivals are admitted through the scheduler (bounded queue, load
+  shedding),
+* idle devices pull same-matrix batches; switching the resident matrix
+  charges a program reload over the host link, and a cache miss
+  additionally charges re-preprocessing — so batching and a warm cache
+  both show up as real latency wins,
+* sharded matrices fan one batch out to every device holding a row block
+  and the outputs concatenate back into the full vector.
+
+All timing is *virtual*: the clock only advances to arrival times and
+device completion times derived from the cycle model, so a run is exactly
+reproducible from its seed regardless of host speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..formats import COOMatrix, CSRMatrix
+from ..spmv import spmv
+from ..serpens import SERPENS_A16, SerpensConfig, SerpensSimulator
+from .cache import ProgramCache, matrix_fingerprint
+from .loadgen import LoadTrace
+from .pool import AcceleratorPool, Placement, PooledDevice, Shard, shard_rows
+from .scheduler import Request, Scheduler
+from .telemetry import ServiceTelemetry
+
+__all__ = ["RequestResult", "ServiceHandle", "ServiceReport", "SpMVService"]
+
+COMPUTE_MODES = ("reference", "simulate", "none")
+
+
+@dataclass(frozen=True)
+class ServiceHandle:
+    """Identifier of a matrix registered with the service."""
+
+    name: str
+    fingerprint: str
+    num_rows: int
+    num_cols: int
+    nnz: int
+    sharded: bool
+    device_ids: Tuple[int, ...]
+
+
+@dataclass
+class RequestResult:
+    """Outcome of one submitted request after ``drain``."""
+
+    request_id: int
+    tenant: str
+    matrix_name: str
+    y: Optional[np.ndarray]
+    arrival_time: float
+    start_time: float
+    finish_time: float
+    device_ids: Tuple[int, ...] = ()
+    batch_size: int = 0
+    rejected: bool = False
+
+    @property
+    def queue_seconds(self) -> float:
+        return max(0.0, self.start_time - self.arrival_time)
+
+    @property
+    def service_seconds(self) -> float:
+        return max(0.0, self.finish_time - self.start_time)
+
+    @property
+    def latency_seconds(self) -> float:
+        return max(0.0, self.finish_time - self.arrival_time)
+
+
+@dataclass
+class ServiceReport:
+    """Everything one ``drain`` produced: results plus telemetry."""
+
+    results: List[RequestResult]
+    telemetry: ServiceTelemetry
+    scheduler_stats: Dict[str, float]
+    cache_stats: Dict[str, float]
+    policy: str
+    num_devices: int
+
+    @property
+    def completed(self) -> List[RequestResult]:
+        return [r for r in self.results if not r.rejected]
+
+    @property
+    def rejected(self) -> List[RequestResult]:
+        return [r for r in self.results if r.rejected]
+
+    def latencies(self) -> List[float]:
+        return [r.latency_seconds for r in self.completed]
+
+    def render(self) -> str:
+        header = (
+            f"SpMV serving report — {self.num_devices} devices, "
+            f"policy={self.policy}, "
+            f"mean batch {self.scheduler_stats['mean_batch_size']:.2f}"
+        )
+        return header + "\n" + self.telemetry.render(self.cache_stats)
+
+
+@dataclass
+class _ShardRuntime:
+    """Execution-side view of one shard on one device."""
+
+    shard: Shard
+    matrix: COOMatrix
+    program_key: str
+    per_launch_seconds: float
+
+
+@dataclass
+class _ServedMatrix:
+    handle: ServiceHandle
+    matrix: COOMatrix
+    placement: Placement
+    replicas: List[List[_ShardRuntime]]
+    launches: int = 0
+
+    def cost_seconds(self) -> float:
+        """Per-launch cost the SJF policy ranks by (slowest shard)."""
+        return max(s.per_launch_seconds for s in self.replicas[0])
+
+
+class SpMVService:
+    """Serve SpMV launches across a pool of simulated Serpens devices.
+
+    Parameters
+    ----------
+    pool:
+        The device pool; defaults to ``num_devices`` homogeneous cards.
+    num_devices, config:
+        Shortcut pool construction when ``pool`` is not given.
+    policy, max_batch, max_queue_depth:
+        Scheduler knobs (see :class:`~repro.serve.scheduler.Scheduler`).
+    cache, cache_capacity:
+        The shared program cache, or the capacity of a fresh one.
+    replicas:
+        Devices each unsharded matrix is replicated onto (default 1).
+    compute:
+        ``"reference"`` computes results with the golden numpy kernel
+        (fast, exact), ``"simulate"`` runs the cycle-accurate datapath,
+        ``"none"`` skips numerics for timing-only studies.
+    timing_model:
+        Cycle model used for per-launch virtual time (``"detailed"`` or
+        ``"analytic"``).
+    program_load_gbps:
+        Host-link bandwidth charged when a device switches its resident
+        program (PCIe-class, 16 GB/s by default).
+    preprocess_mnnz_per_second:
+        Host preprocessing throughput (in millions of non-zeros per
+        second) charged when a dispatch misses the program cache.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[AcceleratorPool] = None,
+        num_devices: int = 4,
+        config: SerpensConfig = SERPENS_A16,
+        policy: str = "fifo",
+        max_batch: int = 32,
+        max_queue_depth: Optional[int] = None,
+        cache: Optional[ProgramCache] = None,
+        cache_capacity: Optional[int] = None,
+        replicas: int = 1,
+        compute: str = "reference",
+        timing_model: str = "detailed",
+        program_load_gbps: float = 16.0,
+        preprocess_mnnz_per_second: float = 20.0,
+    ) -> None:
+        if compute not in COMPUTE_MODES:
+            raise ValueError(
+                f"unknown compute mode {compute!r}; use one of {COMPUTE_MODES}"
+            )
+        self.pool = pool if pool is not None else AcceleratorPool.homogeneous(
+            num_devices, config
+        )
+        self.scheduler = Scheduler(
+            policy=policy, max_batch=max_batch, max_queue_depth=max_queue_depth
+        )
+        self.scheduler.set_cost_fn(self._cost_of)
+        self.cache = cache if cache is not None else ProgramCache(
+            capacity=cache_capacity
+        )
+        self.default_replicas = replicas
+        self.compute = compute
+        self.timing_model = timing_model
+        self.program_load_gbps = program_load_gbps
+        self.preprocess_mnnz_per_second = preprocess_mnnz_per_second
+        self._matrices: Dict[str, _ServedMatrix] = {}
+        self._pending: List[Request] = []
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        matrix: COOMatrix,
+        name: str = "matrix",
+        replicas: Optional[int] = None,
+    ) -> ServiceHandle:
+        """Place a matrix in the pool and return its serving handle.
+
+        Registration only runs placement and the per-device performance
+        estimates; the (expensive) preprocessing happens lazily on first
+        dispatch, through the bounded program cache.
+        """
+        if isinstance(matrix, CSRMatrix):
+            matrix = matrix.to_coo()
+        fingerprint = matrix_fingerprint(matrix)
+        existing = self._matrices.get(fingerprint)
+        if existing is not None:
+            return existing.handle
+
+        placement = self.pool.place(
+            matrix, fingerprint, replicas=replicas or self.default_replicas
+        )
+        replicas_rt: List[List[_ShardRuntime]] = []
+        if placement.sharded:
+            boundaries = [s.row_end for s in placement.replicas[0]]
+            blocks = shard_rows(matrix, boundaries)
+        for replica in placement.replicas:
+            shard_rts = []
+            for idx, shard in enumerate(replica):
+                device = self.pool.device(shard.device_id)
+                shard_matrix = blocks[idx] if placement.sharded else matrix
+                key = self._program_key(fingerprint, device, shard, placement.sharded)
+                estimate = device.accelerator.estimate(
+                    shard_matrix, matrix_name=name, model=self.timing_model
+                )
+                shard_rts.append(
+                    _ShardRuntime(
+                        shard=shard,
+                        matrix=shard_matrix,
+                        program_key=key,
+                        per_launch_seconds=estimate.seconds,
+                    )
+                )
+            replicas_rt.append(shard_rts)
+
+        handle = ServiceHandle(
+            name=name,
+            fingerprint=fingerprint,
+            num_rows=matrix.num_rows,
+            num_cols=matrix.num_cols,
+            nnz=matrix.nnz,
+            sharded=placement.sharded,
+            device_ids=placement.device_ids,
+        )
+        self._matrices[fingerprint] = _ServedMatrix(
+            handle=handle, matrix=matrix, placement=placement, replicas=replicas_rt
+        )
+        return handle
+
+    @staticmethod
+    def _program_key(
+        fingerprint: str, device: PooledDevice, shard: Shard, sharded: bool
+    ) -> str:
+        key = f"{fingerprint}@{device.config.name}"
+        if sharded:
+            key += f"@r{shard.row_start}-{shard.row_end}"
+        return key
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        handle: ServiceHandle,
+        x: np.ndarray,
+        tenant: str = "default",
+        arrival_time: float = 0.0,
+        y: Optional[np.ndarray] = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> int:
+        """Queue one launch request; returns its request id."""
+        entry = self._matrices.get(handle.fingerprint)
+        if entry is None:
+            raise KeyError(f"matrix {handle.name!r} is not registered with this service")
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (handle.num_cols,):
+            raise ValueError(
+                f"x has shape {x.shape}, expected ({handle.num_cols},)"
+            )
+        if arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        self._pending.append(
+            Request(
+                request_id=request_id,
+                tenant=tenant,
+                fingerprint=handle.fingerprint,
+                x=x,
+                arrival_time=float(arrival_time),
+                y=None if y is None else np.asarray(y, dtype=np.float64),
+                alpha=alpha,
+                beta=beta,
+            )
+        )
+        return request_id
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Draining (the discrete-event loop)
+    # ------------------------------------------------------------------
+    def drain(self) -> ServiceReport:
+        """Run every submitted request to completion in virtual time.
+
+        Each drain is its own timeline starting at t=0; resident programs
+        survive between drains (a warm restart), device utilisation
+        counters accumulate.
+        """
+        arrivals = sorted(self._pending, key=lambda r: (r.arrival_time, r.request_id))
+        self._pending = []
+        for device in self.pool.devices:
+            device.busy_until = 0.0
+        telemetry = ServiceTelemetry()
+        results: Dict[int, RequestResult] = {}
+
+        clock = 0.0
+        index = 0
+        while True:
+            while index < len(arrivals) and arrivals[index].arrival_time <= clock:
+                request = arrivals[index]
+                index += 1
+                if not self.scheduler.admit(request):
+                    telemetry.record_rejection(request.tenant)
+                    entry = self._matrices[request.fingerprint]
+                    results[request.request_id] = RequestResult(
+                        request_id=request.request_id,
+                        tenant=request.tenant,
+                        matrix_name=entry.handle.name,
+                        y=None,
+                        arrival_time=request.arrival_time,
+                        start_time=request.arrival_time,
+                        finish_time=request.arrival_time,
+                        rejected=True,
+                    )
+            telemetry.record_queue_depth(clock, self.scheduler.depth)
+
+            dispatched = True
+            while dispatched:
+                dispatched = False
+                for device in sorted(
+                    self.pool.devices, key=lambda d: (d.busy_until, d.device_id)
+                ):
+                    if not device.idle_at(clock):
+                        continue
+                    runnable = self._runnable_fingerprints(device, clock)
+                    if not runnable:
+                        continue
+                    batch = self.scheduler.next_batch(runnable)
+                    if not batch:
+                        continue
+                    self._execute_batch(batch, clock, device, telemetry, results)
+                    dispatched = True
+
+            next_times = []
+            if index < len(arrivals):
+                next_times.append(arrivals[index].arrival_time)
+            busy = [d.busy_until for d in self.pool.devices if d.busy_until > clock]
+            if busy:
+                next_times.append(min(busy))
+            if not next_times:
+                if self.scheduler.depth > 0:
+                    raise RuntimeError(
+                        "scheduler has queued requests but no device can serve them"
+                    )
+                break
+            clock = min(next_times)
+
+        report = ServiceReport(
+            results=[results[rid] for rid in sorted(results)],
+            telemetry=telemetry,
+            scheduler_stats=self.scheduler.stats(),
+            cache_stats=self.cache.stats(),
+            policy=self.scheduler.policy,
+            num_devices=len(self.pool),
+        )
+        return report
+
+    def run_trace(self, trace: LoadTrace) -> ServiceReport:
+        """Register a load-generator trace, submit every request, drain."""
+        handles = [
+            self.register(workload.matrix, name=workload.name)
+            for workload in trace.matrices
+        ]
+        for trace_request in trace.requests:
+            handle = handles[trace_request.matrix_id]
+            rng = np.random.default_rng([trace.seed, trace_request.x_seed])
+            x = rng.uniform(-1.0, 1.0, handle.num_cols)
+            self.submit(
+                handle,
+                x,
+                tenant=trace_request.tenant,
+                arrival_time=trace_request.arrival_time,
+            )
+        return self.drain()
+
+    # ------------------------------------------------------------------
+    # Dispatch internals
+    # ------------------------------------------------------------------
+    def _cost_of(self, fingerprint: str) -> float:
+        entry = self._matrices.get(fingerprint)
+        return entry.cost_seconds() if entry is not None else float("inf")
+
+    def _runnable_fingerprints(self, device: PooledDevice, now: float) -> Set[str]:
+        """Queued matrices this idle device could start right now."""
+        runnable = set()
+        for fingerprint in self.scheduler.queued_fingerprints():
+            entry = self._matrices.get(fingerprint)
+            if entry is None:
+                continue
+            if self._pick_replica(entry, device, now) is not None:
+                runnable.add(fingerprint)
+        return runnable
+
+    def _pick_replica(
+        self, entry: _ServedMatrix, device: PooledDevice, now: float
+    ) -> Optional[List[_ShardRuntime]]:
+        """A replica containing ``device`` whose devices are all idle."""
+        for replica in entry.replicas:
+            ids = {s.shard.device_id for s in replica}
+            if device.device_id not in ids:
+                continue
+            if all(self.pool.device(i).idle_at(now) for i in ids):
+                return replica
+        return None
+
+    def _execute_batch(
+        self,
+        batch: List[Request],
+        start: float,
+        device: PooledDevice,
+        telemetry: ServiceTelemetry,
+        results: Dict[int, RequestResult],
+    ) -> None:
+        entry = self._matrices[batch[0].fingerprint]
+        replica = self._pick_replica(entry, device, start)
+        if replica is None:  # pragma: no cover - guarded by _runnable_fingerprints
+            raise RuntimeError("dispatched a batch with no idle replica")
+
+        finish = start
+        programs = {}
+        for shard_rt in replica:
+            shard_device = self.pool.device(shard_rt.shard.device_id)
+            program, load_seconds = self._load_program(shard_rt, shard_device)
+            programs[shard_rt.shard.device_id] = program
+            shard_seconds = load_seconds + len(batch) * shard_rt.per_launch_seconds
+            shard_device.occupy(start, shard_seconds, len(batch))
+            telemetry.record_batch(
+                shard_device.name,
+                batch_size=len(batch),
+                busy_seconds=shard_seconds,
+                switched_program=load_seconds > 0,
+                traversed_edges=len(batch) * shard_rt.matrix.nnz,
+            )
+            finish = max(finish, start + shard_seconds)
+
+        entry.launches += len(batch)
+        for request in batch:
+            y = self._compute(entry, replica, programs, request)
+            results[request.request_id] = RequestResult(
+                request_id=request.request_id,
+                tenant=request.tenant,
+                matrix_name=entry.handle.name,
+                y=y,
+                arrival_time=request.arrival_time,
+                start_time=start,
+                finish_time=finish,
+                device_ids=tuple(sorted(s.shard.device_id for s in replica)),
+                batch_size=len(batch),
+            )
+            telemetry.record_request(
+                request.tenant,
+                latency_seconds=finish - request.arrival_time,
+                queue_seconds=start - request.arrival_time,
+            )
+            telemetry.observe_finish(finish)
+
+    def _load_program(self, shard_rt: _ShardRuntime, device: PooledDevice):
+        """Fetch the shard's program, charging switch + (on miss) rebuild time."""
+        if device.resident_key == shard_rt.program_key:
+            # Already resident in device HBM: the host cache is not consulted.
+            # Only the cycle-accurate mode needs the program data itself.
+            program = None
+            if self.compute == "simulate":
+                program = self.cache.get_or_build(
+                    shard_rt.program_key,
+                    lambda: device.accelerator.preprocess(shard_rt.matrix),
+                    params=device.config.to_partition_params(),
+                )
+            return program, 0.0
+        misses_before = self.cache.misses
+        program = self.cache.get_or_build(
+            shard_rt.program_key,
+            lambda: device.accelerator.preprocess(shard_rt.matrix),
+            params=device.config.to_partition_params(),
+        )
+        load_seconds = 0.0
+        if self.cache.misses > misses_before:
+            # Cold program: the host re-runs preprocessing before the upload.
+            load_seconds += shard_rt.matrix.nnz / (
+                self.preprocess_mnnz_per_second * 1e6
+            )
+        program_bytes = 8 * program.stored_elements
+        load_seconds += program_bytes / (self.program_load_gbps * 1e9)
+        device.resident_key = shard_rt.program_key
+        device.stats.program_switches += 1
+        device.stats.program_bytes_loaded += program_bytes
+        return program, load_seconds
+
+    def _compute(
+        self,
+        entry: _ServedMatrix,
+        replica: List[_ShardRuntime],
+        programs: Dict[int, object],
+        request: Request,
+    ) -> Optional[np.ndarray]:
+        if self.compute == "none":
+            return None
+        if self.compute == "reference":
+            return spmv(entry.matrix, request.x, request.y, request.alpha, request.beta)
+        # Cycle-accurate: run each shard's datapath and concatenate the rows.
+        pieces = []
+        for shard_rt in replica:
+            config = self.pool.device(shard_rt.shard.device_id).config
+            y_slice = (
+                None
+                if request.y is None
+                else request.y[shard_rt.shard.row_start : shard_rt.shard.row_end]
+            )
+            result = SerpensSimulator(config).run(
+                programs[shard_rt.shard.device_id],
+                request.x,
+                y_slice,
+                request.alpha,
+                request.beta,
+            )
+            pieces.append(result.y)
+        return np.concatenate(pieces)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def registered_handles(self) -> Tuple[ServiceHandle, ...]:
+        return tuple(entry.handle for entry in self._matrices.values())
+
+    def statistics(self) -> Dict[str, float]:
+        """Session-level counters across every drain so far."""
+        return {
+            "registered_matrices": float(len(self._matrices)),
+            "launches": float(sum(e.launches for e in self._matrices.values())),
+            "devices": float(len(self.pool)),
+            **{f"cache_{k}": v for k, v in self.cache.stats().items()},
+            **{f"scheduler_{k}": v for k, v in self.scheduler.stats().items()},
+        }

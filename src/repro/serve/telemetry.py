@@ -1,0 +1,304 @@
+"""Service telemetry: latency percentiles, throughput and queue metrics.
+
+The serving layer records the numbers an SRE dashboard for an accelerator
+fleet would plot: per-tenant p50/p95/p99 latency, per-device utilisation
+and program-switch counts, queue-depth over time, shed-request counts and
+program-cache hit rate.  Latencies are virtual-time seconds produced by the
+service's event loop, so every run is exactly reproducible.
+
+Built on :mod:`repro.metrics` conventions: aggregate throughput is reported
+both as requests/s and as MTEPS (traversed edges per second, the paper's
+headline metric), and tables render through the same plain-text formatter
+as the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..eval.reporting import format_float, format_table
+
+__all__ = ["LatencySummary", "ServiceTelemetry", "percentile"]
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The q-th percentile (0..100) of a sample set; 0.0 when empty."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    if len(samples) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of one latency population (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencySummary":
+        if len(samples) == 0:
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, p99=0.0, max=0.0)
+        array = np.asarray(samples, dtype=np.float64)
+        return cls(
+            count=int(array.size),
+            mean=float(array.mean()),
+            p50=float(np.percentile(array, 50)),
+            p95=float(np.percentile(array, 95)),
+            p99=float(np.percentile(array, 99)),
+            max=float(array.max()),
+        )
+
+    def as_millis(self) -> Dict[str, float]:
+        """The summary converted to milliseconds for rendering."""
+        return {
+            "count": float(self.count),
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.p50 * 1e3,
+            "p95_ms": self.p95 * 1e3,
+            "p99_ms": self.p99 * 1e3,
+            "max_ms": self.max * 1e3,
+        }
+
+
+@dataclass
+class _DeviceCounters:
+    launches: int = 0
+    batches: int = 0
+    busy_seconds: float = 0.0
+    program_switches: int = 0
+    traversed_edges: int = 0
+
+
+class ServiceTelemetry:
+    """Accumulates per-tenant, per-device and queue metrics for one run."""
+
+    def __init__(self) -> None:
+        self._tenant_latency: Dict[str, List[float]] = {}
+        self._tenant_queue: Dict[str, List[float]] = {}
+        self._tenant_rejected: Dict[str, int] = {}
+        self._devices: Dict[str, _DeviceCounters] = {}
+        self._queue_depth: List[Tuple[float, int]] = []
+        self.completed = 0
+        self.rejected = 0
+        self.makespan = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_request(
+        self, tenant: str, latency_seconds: float, queue_seconds: float
+    ) -> None:
+        self._tenant_latency.setdefault(tenant, []).append(latency_seconds)
+        self._tenant_queue.setdefault(tenant, []).append(queue_seconds)
+        self.completed += 1
+
+    def record_rejection(self, tenant: str) -> None:
+        self._tenant_rejected[tenant] = self._tenant_rejected.get(tenant, 0) + 1
+        self.rejected += 1
+
+    def record_batch(
+        self,
+        device_name: str,
+        batch_size: int,
+        busy_seconds: float,
+        switched_program: bool,
+        traversed_edges: int,
+    ) -> None:
+        counters = self._devices.setdefault(device_name, _DeviceCounters())
+        counters.launches += batch_size
+        counters.batches += 1
+        counters.busy_seconds += busy_seconds
+        counters.program_switches += 1 if switched_program else 0
+        counters.traversed_edges += traversed_edges
+
+    def record_queue_depth(self, now: float, depth: int) -> None:
+        self._queue_depth.append((now, depth))
+        self.makespan = max(self.makespan, now)
+
+    def observe_finish(self, finish_time: float) -> None:
+        self.makespan = max(self.makespan, finish_time)
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    @property
+    def tenants(self) -> List[str]:
+        return sorted(set(self._tenant_latency) | set(self._tenant_rejected))
+
+    def rejections(self, tenant: str) -> int:
+        """Requests shed by admission control for one tenant."""
+        return self._tenant_rejected.get(tenant, 0)
+
+    def latency(self, tenant: Optional[str] = None) -> LatencySummary:
+        """Latency summary for one tenant, or the whole population."""
+        if tenant is not None:
+            samples = self._tenant_latency.get(tenant, [])
+        else:
+            samples = [s for v in self._tenant_latency.values() for s in v]
+        return LatencySummary.from_samples(samples)
+
+    def queueing(self, tenant: Optional[str] = None) -> LatencySummary:
+        """Queue-wait summary (time between arrival and dispatch)."""
+        if tenant is not None:
+            samples = self._tenant_queue.get(tenant, [])
+        else:
+            samples = [s for v in self._tenant_queue.values() for s in v]
+        return LatencySummary.from_samples(samples)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per virtual second."""
+        return self.completed / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def aggregate_mteps(self) -> float:
+        """Traversed edges per second across the fleet (millions)."""
+        edges = sum(c.traversed_edges for c in self._devices.values())
+        return edges / self.makespan / 1e6 if self.makespan > 0 else 0.0
+
+    @property
+    def mean_queue_depth(self) -> float:
+        if not self._queue_depth:
+            return 0.0
+        return float(np.mean([depth for __, depth in self._queue_depth]))
+
+    @property
+    def peak_queue_depth(self) -> int:
+        if not self._queue_depth:
+            return 0
+        return max(depth for __, depth in self._queue_depth)
+
+    def device_rows(self) -> List[Dict[str, float]]:
+        """Per-device counter rows for rendering."""
+        rows = []
+        for name in sorted(self._devices):
+            counters = self._devices[name]
+            utilisation = (
+                counters.busy_seconds / self.makespan if self.makespan > 0 else 0.0
+            )
+            rows.append(
+                {
+                    "device": name,
+                    "launches": counters.launches,
+                    "batches": counters.batches,
+                    "mean_batch": (
+                        counters.launches / counters.batches if counters.batches else 0.0
+                    ),
+                    "switches": counters.program_switches,
+                    "busy_ms": counters.busy_seconds * 1e3,
+                    "utilisation": min(1.0, utilisation),
+                }
+            )
+        return rows
+
+    def snapshot(
+        self, cache_stats: Optional[Dict[str, float]] = None
+    ) -> Dict[str, float]:
+        """Flat metric dictionary, the shape a metrics exporter would push."""
+        overall = self.latency()
+        snapshot = {
+            "completed": float(self.completed),
+            "rejected": float(self.rejected),
+            "makespan_seconds": self.makespan,
+            "throughput_rps": self.throughput_rps,
+            "aggregate_mteps": self.aggregate_mteps,
+            "mean_queue_depth": self.mean_queue_depth,
+            "peak_queue_depth": float(self.peak_queue_depth),
+            "latency_p50_ms": overall.p50 * 1e3,
+            "latency_p95_ms": overall.p95 * 1e3,
+            "latency_p99_ms": overall.p99 * 1e3,
+        }
+        if cache_stats is not None:
+            snapshot["cache_hit_rate"] = cache_stats.get("hit_rate", 0.0)
+            snapshot["cache_evictions"] = cache_stats.get("evictions", 0.0)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, cache_stats: Optional[Dict[str, float]] = None) -> str:
+        """Human-readable report in the evaluation harness's table style."""
+        snapshot = self.snapshot(cache_stats)
+        lines = [
+            f"completed requests : {self.completed}",
+            f"shed requests      : {self.rejected}",
+            f"makespan           : {format_float(self.makespan * 1e3)} ms",
+            f"throughput         : {format_float(self.throughput_rps)} req/s "
+            f"({format_float(self.aggregate_mteps)} MTEPS)",
+            f"queue depth        : mean {format_float(self.mean_queue_depth)}, "
+            f"peak {self.peak_queue_depth}",
+        ]
+        if cache_stats is not None:
+            lines.append(
+                f"program cache      : {format_float(100 * snapshot['cache_hit_rate'])}% "
+                f"hit rate, {int(cache_stats.get('evictions', 0))} evictions"
+            )
+
+        tenant_rows = []
+        for tenant in self.tenants:
+            latency = self.latency(tenant).as_millis()
+            queueing = self.queueing(tenant)
+            tenant_rows.append(
+                [
+                    tenant,
+                    int(latency["count"]),
+                    self.rejections(tenant),
+                    latency["p50_ms"],
+                    latency["p95_ms"],
+                    latency["p99_ms"],
+                    queueing.p95 * 1e3,
+                ]
+            )
+        tables = [
+            format_table(
+                [
+                    "tenant",
+                    "requests",
+                    "shed",
+                    "p50 ms",
+                    "p95 ms",
+                    "p99 ms",
+                    "queue p95 ms",
+                ],
+                tenant_rows,
+                title="Per-tenant latency",
+            )
+        ]
+        device_rows = [
+            [
+                row["device"],
+                int(row["launches"]),
+                int(row["batches"]),
+                row["mean_batch"],
+                int(row["switches"]),
+                row["busy_ms"],
+                100 * row["utilisation"],
+            ]
+            for row in self.device_rows()
+        ]
+        tables.append(
+            format_table(
+                [
+                    "device",
+                    "launches",
+                    "batches",
+                    "mean batch",
+                    "switches",
+                    "busy ms",
+                    "util %",
+                ],
+                device_rows,
+                title="Per-device utilisation",
+            )
+        )
+        return "\n".join(lines) + "\n\n" + "\n\n".join(tables)

@@ -1,0 +1,186 @@
+"""Tests for the accelerator pool (placement, sharding) and the scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.generators import random_uniform
+from repro.serpens import SERPENS_A16, SERPENS_A24, SerpensConfig
+from repro.serve import AcceleratorPool, Request, Scheduler, shard_rows
+from repro.spmv import spmv
+
+
+def tiny_config(name="tiny", uram_depth=32):
+    return SerpensConfig(
+        name=name,
+        num_sparse_channels=2,
+        pes_per_channel=4,
+        urams_per_pe=2,
+        uram_depth=uram_depth,
+        segment_width=128,
+        dsp_latency=4,
+    )
+
+
+def make_request(request_id, fingerprint, arrival=0.0, tenant="t"):
+    return Request(
+        request_id=request_id,
+        tenant=tenant,
+        fingerprint=fingerprint,
+        x=np.ones(4),
+        arrival_time=arrival,
+    )
+
+
+class TestPoolPlacement:
+    def test_least_loaded_spreads_matrices(self):
+        pool = AcceleratorPool.homogeneous(3, tiny_config(uram_depth=256))
+        placements = [
+            pool.place(random_uniform(100, 100, 500, seed=i), f"fp{i}")
+            for i in range(3)
+        ]
+        used = {p.device_ids[0] for p in placements}
+        assert used == {0, 1, 2}
+
+    def test_round_robin_cycles(self):
+        pool = AcceleratorPool.homogeneous(
+            3, tiny_config(uram_depth=256), placement_policy="round_robin"
+        )
+        ids = [
+            pool.place(random_uniform(50, 50, 100 * (i + 1), seed=i), f"fp{i}").device_ids[0]
+            for i in range(4)
+        ]
+        assert ids == [0, 1, 2, 0]
+
+    def test_replication_uses_distinct_devices(self):
+        pool = AcceleratorPool.homogeneous(4, tiny_config(uram_depth=256))
+        placement = pool.place(random_uniform(80, 80, 400, seed=1), "fp", replicas=3)
+        assert len(placement.replicas) == 3
+        assert len(placement.device_ids) == 3
+        assert not placement.sharded
+
+    def test_mixed_configs_allowed(self):
+        pool = AcceleratorPool([SERPENS_A16, SERPENS_A24])
+        assert pool.device(0).config.name == "Serpens-A16"
+        assert pool.device(1).config.name == "Serpens-A24"
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AcceleratorPool([])
+        with pytest.raises(ValueError):
+            AcceleratorPool([SERPENS_A16], placement_policy="random")
+        pool = AcceleratorPool([SERPENS_A16])
+        with pytest.raises(ValueError):
+            pool.place(random_uniform(10, 10, 20, seed=1), "fp", replicas=0)
+
+
+class TestSharding:
+    def test_oversized_matrix_is_sharded(self):
+        config = tiny_config()
+        pool = AcceleratorPool.homogeneous(3, config)
+        per_device = config.max_rows
+        matrix = random_uniform(2 * per_device + 5, 200, 3000, seed=2)
+        placement = pool.place(matrix, "fp")
+        assert placement.sharded
+        shards = placement.replicas[0]
+        assert len(shards) == 3
+        assert shards[0].row_start == 0
+        assert shards[-1].row_end == matrix.num_rows
+        # Contiguous, non-overlapping row coverage.
+        for prev, cur in zip(shards, shards[1:]):
+            assert prev.row_end == cur.row_start
+        assert all(s.num_rows <= per_device for s in shards)
+
+    def test_sharding_beyond_pool_capacity_rejected(self):
+        config = tiny_config()
+        pool = AcceleratorPool.homogeneous(2, config)
+        too_tall = random_uniform(3 * config.max_rows, 100, 1000, seed=3)
+        with pytest.raises(ValueError):
+            pool.place(too_tall, "fp")
+
+    def test_shard_rows_concatenates_back(self):
+        matrix = random_uniform(300, 120, 2000, seed=4)
+        blocks = shard_rows(matrix, [100, 250, 300])
+        assert [b.num_rows for b in blocks] == [100, 150, 50]
+        assert sum(b.nnz for b in blocks) == matrix.nnz
+        x = np.random.default_rng(5).uniform(-1, 1, 120)
+        stitched = np.concatenate([spmv(b, x) for b in blocks])
+        np.testing.assert_allclose(stitched, spmv(matrix, x))
+
+    def test_shard_rows_invalid_boundaries(self):
+        matrix = random_uniform(100, 100, 500, seed=6)
+        with pytest.raises(ValueError):
+            shard_rows(matrix, [50])  # does not reach num_rows
+        with pytest.raises(ValueError):
+            shard_rows(matrix, [60, 60, 100])  # not strictly increasing
+
+
+class TestScheduler:
+    def test_fifo_batches_same_matrix(self):
+        scheduler = Scheduler(policy="fifo", max_batch=8)
+        for i, fp in enumerate(["a", "b", "a", "a", "b"]):
+            scheduler.admit(make_request(i, fp, arrival=i * 1e-6))
+        batch = scheduler.next_batch()
+        # Oldest request targets 'a'; the batch coalesces every queued 'a'.
+        assert [r.request_id for r in batch] == [0, 2, 3]
+        batch = scheduler.next_batch()
+        assert [r.request_id for r in batch] == [1, 4]
+        assert scheduler.depth == 0
+
+    def test_max_batch_limits_coalescing(self):
+        scheduler = Scheduler(policy="fifo", max_batch=2)
+        for i in range(5):
+            scheduler.admit(make_request(i, "a"))
+        assert len(scheduler.next_batch()) == 2
+        assert scheduler.depth == 3
+
+    def test_batch_of_one_is_naive_fifo(self):
+        scheduler = Scheduler(policy="fifo", max_batch=1)
+        for i, fp in enumerate(["a", "b", "a"]):
+            scheduler.admit(make_request(i, fp))
+        assert [r.request_id for r in scheduler.next_batch()] == [0]
+        assert [r.request_id for r in scheduler.next_batch()] == [1]
+        assert [r.request_id for r in scheduler.next_batch()] == [2]
+
+    def test_sjf_prefers_cheap_matrix(self):
+        scheduler = Scheduler(policy="sjf", max_batch=8)
+        scheduler.set_cost_fn({"slow": 1e-3, "fast": 1e-6}.__getitem__)
+        scheduler.admit(make_request(0, "slow"))
+        scheduler.admit(make_request(1, "fast"))
+        assert [r.request_id for r in scheduler.next_batch()] == [1]
+        assert [r.request_id for r in scheduler.next_batch()] == [0]
+
+    def test_runnable_filter_restricts_choice(self):
+        scheduler = Scheduler(policy="fifo", max_batch=8)
+        scheduler.admit(make_request(0, "a"))
+        scheduler.admit(make_request(1, "b"))
+        batch = scheduler.next_batch(runnable={"b"})
+        assert [r.request_id for r in batch] == [1]
+        assert scheduler.next_batch(runnable={"c"}) == []
+        assert scheduler.depth == 1
+
+    def test_admission_control_sheds(self):
+        scheduler = Scheduler(policy="fifo", max_queue_depth=2)
+        assert scheduler.admit(make_request(0, "a"))
+        assert scheduler.admit(make_request(1, "a"))
+        assert not scheduler.admit(make_request(2, "a"))
+        assert scheduler.rejected == 1
+        stats = scheduler.stats()
+        assert stats["admitted"] == 2
+        assert stats["peak_depth"] == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Scheduler(policy="lifo")
+        with pytest.raises(ValueError):
+            Scheduler(max_batch=0)
+        with pytest.raises(ValueError):
+            Scheduler(max_queue_depth=0)
+
+    def test_mean_batch_size_stat(self):
+        scheduler = Scheduler(policy="fifo", max_batch=8)
+        for i in range(4):
+            scheduler.admit(make_request(i, "a"))
+        scheduler.admit(make_request(4, "b"))
+        scheduler.next_batch()
+        scheduler.next_batch()
+        assert scheduler.stats()["mean_batch_size"] == pytest.approx(2.5)
