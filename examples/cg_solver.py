@@ -17,9 +17,9 @@ import time
 import numpy as np
 
 from repro.apps import conjugate_gradient
-from repro.baselines import CPUReference
+from repro.backends import SerpensEngine, Session, create
 from repro.generators import laplacian_2d
-from repro.serpens import SerpensAccelerator, SerpensConfig
+from repro.serpens import SerpensConfig
 from repro.spmv import spmv
 
 
@@ -43,37 +43,27 @@ def main() -> None:
         uram_depth=512,
         segment_width=512,
     )
-    accelerator = SerpensAccelerator(config)
-    program_cache = {}
-    accelerator_seconds = 0.0
-    spmv_launches = 0
-
-    def accelerated_spmv(matrix, x, y, alpha, beta):
-        nonlocal accelerator_seconds, spmv_launches
-        key = id(matrix)
-        if key not in program_cache:
-            program_cache[key] = accelerator.preprocess(matrix)
-        result, report = accelerator.run(matrix, x, y, alpha, beta, program=program_cache[key])
-        accelerator_seconds += report.seconds
-        spmv_launches += 1
-        return result
+    # A Session owns the program cache and the launch statistics; passing it
+    # as `engine=` routes every product through the simulated datapath.
+    session = Session(SerpensEngine(config))
 
     print("\nSolving with conjugate gradient on the simulated accelerator ...")
     wall_start = time.perf_counter()
-    result = conjugate_gradient(a, b, tolerance=1e-8, spmv_fn=accelerated_spmv)
+    result = conjugate_gradient(a, b, tolerance=1e-8, engine=session)
     wall_elapsed = time.perf_counter() - wall_start
 
+    stats = session.statistics()
     error = float(np.max(np.abs(result.x - x_true)))
     print(f"  converged          : {result.converged} in {result.iterations} iterations")
     print(f"  residual norm      : {result.residual_norm:.3e}")
     print(f"  max solution error : {error:.3e}")
-    print(f"  SpMV launches      : {spmv_launches}")
-    print(f"  projected Serpens time for all SpMVs : {accelerator_seconds * 1e3:.3f} ms")
+    print(f"  SpMV launches      : {int(stats['launches'])}")
+    print(f"  projected Serpens time for all SpMVs : {stats['accelerator_seconds'] * 1e3:.3f} ms")
     print(f"  (simulation wall-clock time          : {wall_elapsed:.1f} s)")
 
     print("\nCPU baseline for one SpMV on the same matrix ...")
-    __, cpu_report = CPUReference().run_spmv(a, matrix_name="laplacian")
-    serpens_one = accelerator.estimate(a, "laplacian")
+    cpu_report = create("cpu").estimate(a, "laplacian")
+    serpens_one = session.engine.estimate(a, "laplacian")
     print(f"  numpy CSR SpMV     : {cpu_report.milliseconds:.3f} ms")
     print(f"  Serpens (modeled)  : {serpens_one.milliseconds:.4f} ms")
 

@@ -1,11 +1,16 @@
 #!/usr/bin/env python3
-"""Quickstart: run one SpMV on the cycle-accurate Serpens simulator.
+"""Quickstart: one SpMV on the simulator, then the same matrix on every backend.
 
 The script builds a random sparse matrix, preprocesses it into the
 accelerator's stream format, simulates ``y = alpha * A x + beta * y`` on
 Serpens-A16, verifies the result against the golden kernel, and prints the
 performance report (execution time, GFLOP/s, MTEPS, bandwidth and energy
 efficiency) together with the phase-level cycle breakdown.
+
+It then tours ``repro.backends``: every registered engine — Serpens builds,
+the Sextans / GraphLily / K80 baselines and the CPU reference — estimates
+the same matrix through one uniform API, and a :class:`repro.backends.Session`
+shows the register-once / launch-many usage pattern.
 
 Run with::
 
@@ -14,7 +19,7 @@ Run with::
 
 import numpy as np
 
-from repro import SERPENS_A16, SerpensAccelerator
+from repro import SERPENS_A16, SerpensAccelerator, backends
 from repro.generators import random_uniform
 from repro.spmv import spmv
 
@@ -64,6 +69,33 @@ def main() -> None:
     print("\nCycle breakdown")
     for phase in ("x_stream_cycles", "y_stream_cycles", "compute_cycles"):
         print(f"  {phase:<18}: {int(report.extra[phase]):,}")
+
+    # ------------------------------------------------------------------
+    # The backend registry: the same matrix on every engine
+    # ------------------------------------------------------------------
+    print("\nRegistered backends:", ", ".join(backends.available()))
+    print(f"{'engine':<12} {'time (ms)':>10} {'GFLOP/s':>9} {'MTEPS':>8}")
+    for name in backends.available():
+        engine = backends.create(name)
+        if not engine.supports(matrix):
+            print(f"{name:<12} {'—':>10}")
+            continue
+        estimate = engine.estimate(matrix, matrix_name="quickstart")
+        print(
+            f"{name:<12} {estimate.milliseconds:>10.4f} "
+            f"{estimate.gflops:>9.2f} {estimate.mteps:>8.0f}"
+        )
+
+    # Register-once / launch-many through a backend-generic Session.
+    session = backends.Session("sextans")
+    handle = session.register(matrix, name="quickstart")
+    y_sess, sess_report = session.launch(handle, x, y_in, alpha, beta)
+    assert np.allclose(y_sess, reference, rtol=1e-4, atol=1e-5)
+    print(
+        f"\nSession on {sess_report.accelerator}: launch matched the golden "
+        f"kernel, modelled at {sess_report.milliseconds:.4f} ms "
+        f"(cache misses: {int(session.cache_stats()['misses'])})"
+    )
 
 
 if __name__ == "__main__":

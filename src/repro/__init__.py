@@ -22,9 +22,11 @@ Quickstart::
     print(report.milliseconds, "ms ->", report.gflops, "GFLOP/s")
 """
 
+from . import backends
+from .backends import MatrixHandle, Session, SpMVEngine
 from .formats import COOMatrix, CSCMatrix, CSRMatrix
 from .metrics import ExecutionReport
-from .runtime import MatrixHandle, SerpensRuntime
+from .runtime import SerpensRuntime
 from .serpens import (
     SERPENS_A16,
     SERPENS_A24,
@@ -45,7 +47,7 @@ from .serve import (
 )
 from .spmv import spmv
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "COOMatrix",
@@ -55,7 +57,10 @@ __all__ = [
     "SerpensAccelerator",
     "SerpensConfig",
     "SerpensRuntime",
+    "Session",
+    "SpMVEngine",
     "MatrixHandle",
+    "backends",
     "SERPENS_A16",
     "SERPENS_A24",
     "AcceleratorPool",

@@ -18,10 +18,35 @@ import numpy as np
 from ..formats import COOMatrix
 from ..spmv import spmv
 
-__all__ = ["SolveResult", "conjugate_gradient", "jacobi"]
+__all__ = ["SolveResult", "conjugate_gradient", "jacobi", "resolve_spmv_fn"]
 
 #: Signature of the SpMV hook: (matrix, x, y, alpha, beta) -> vector.
 SpMVCallable = Callable[[COOMatrix, np.ndarray, Optional[np.ndarray], float, float], np.ndarray]
+
+
+def resolve_spmv_fn(spmv_fn: Optional[SpMVCallable], engine) -> SpMVCallable:
+    """Resolve the matrix-vector hook from the ``spmv_fn`` / ``engine`` pair.
+
+    ``engine`` may be a backend registry name (``"serpens-a16"``), an
+    :class:`~repro.backends.SpMVEngine`, or a :class:`~repro.backends.Session`;
+    it is turned into an auto-registering hook so every product the caller
+    issues routes through that backend with cached programs.  Passing both
+    ``spmv_fn`` and ``engine`` is ambiguous and rejected; passing neither
+    falls back to the golden numpy kernel.
+
+    A registry *name* gets a fresh in-memory session per call, so repeated
+    calls (e.g. one forward pass per sample) re-run the once-per-matrix
+    preparation each time.  To amortise preparation across calls, create the
+    session once and pass it: ``session = Session("serpens-a16")`` then
+    ``engine=session``.
+    """
+    if spmv_fn is not None and engine is not None:
+        raise ValueError("pass either spmv_fn or engine, not both")
+    if engine is not None:
+        from ..backends import as_spmv_fn
+
+        return as_spmv_fn(engine)
+    return spmv_fn if spmv_fn is not None else _default_spmv
 
 
 @dataclass
@@ -58,7 +83,8 @@ def conjugate_gradient(
     b: np.ndarray,
     tolerance: float = 1e-8,
     max_iterations: Optional[int] = None,
-    spmv_fn: SpMVCallable = _default_spmv,
+    spmv_fn: Optional[SpMVCallable] = None,
+    engine=None,
 ) -> SolveResult:
     """Solve ``A x = b`` for symmetric positive-definite ``A``.
 
@@ -76,7 +102,11 @@ def conjugate_gradient(
         Hook for the matrix-vector product.  Passing an accelerator-backed
         function (see ``examples/cg_solver.py``) routes every product through
         the simulated Serpens datapath.
+    engine:
+        Alternative to ``spmv_fn``: a backend name, engine or session (see
+        :func:`resolve_spmv_fn`) every product is routed through.
     """
+    spmv_fn = resolve_spmv_fn(spmv_fn, engine)
     if matrix.num_rows != matrix.num_cols:
         raise ValueError("conjugate gradient requires a square matrix")
     b = np.asarray(b, dtype=np.float64)
@@ -126,14 +156,17 @@ def jacobi(
     b: np.ndarray,
     tolerance: float = 1e-8,
     max_iterations: int = 1000,
-    spmv_fn: SpMVCallable = _default_spmv,
+    spmv_fn: Optional[SpMVCallable] = None,
+    engine=None,
 ) -> SolveResult:
     """Solve ``A x = b`` with Jacobi iteration (requires non-zero diagonal).
 
     Each sweep is ``x_new = D^-1 (b - R x)`` where ``R = A - D``; the ``R x``
     product is issued through the SpMV hook in the accelerator's
-    ``alpha/beta`` form.
+    ``alpha/beta`` form.  ``engine`` routes the products through a backend
+    instead of an explicit hook (see :func:`resolve_spmv_fn`).
     """
+    spmv_fn = resolve_spmv_fn(spmv_fn, engine)
     if matrix.num_rows != matrix.num_cols:
         raise ValueError("Jacobi requires a square matrix")
     b = np.asarray(b, dtype=np.float64)

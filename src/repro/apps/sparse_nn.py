@@ -12,21 +12,15 @@ on the Serpens simulator and compare both results and projected time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..formats import COOMatrix
 from ..generators import random_uniform
-from ..spmv import spmv
+from .solvers import SpMVCallable, resolve_spmv_fn
 
 __all__ = ["SparseLayer", "SparseMLP", "prune_dense_weights"]
-
-SpMVCallable = Callable[[COOMatrix, np.ndarray, Optional[np.ndarray], float, float], np.ndarray]
-
-
-def _default_spmv(matrix: COOMatrix, x: np.ndarray, y, alpha: float, beta: float) -> np.ndarray:
-    return spmv(matrix, x, y, alpha, beta)
 
 
 def prune_dense_weights(weights: np.ndarray, keep_fraction: float) -> COOMatrix:
@@ -76,12 +70,19 @@ class SparseLayer:
         """Remaining (unpruned) weights."""
         return self.weights.nnz
 
-    def forward(self, x: np.ndarray, spmv_fn: SpMVCallable = _default_spmv) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        spmv_fn: Optional[SpMVCallable] = None,
+        engine=None,
+    ) -> np.ndarray:
         """Apply the layer to one input vector via the SpMV hook.
 
         The bias add is expressed through the SpMV ``beta`` term:
-        ``W x + 1.0 * bias``.
+        ``W x + 1.0 * bias``.  ``engine`` routes the product through a
+        backend (name, engine or session) instead of an explicit hook.
         """
+        spmv_fn = resolve_spmv_fn(spmv_fn, engine)
         pre_activation = spmv_fn(self.weights, x, self.bias, 1.0, 1.0)
         if self.activation == "relu":
             return np.maximum(pre_activation, 0.0)
@@ -145,8 +146,19 @@ class SparseMLP:
         """SpMV invocations per single-sample forward pass (one per layer)."""
         return len(self.layers)
 
-    def forward(self, x: np.ndarray, spmv_fn: SpMVCallable = _default_spmv) -> np.ndarray:
-        """Single-sample forward pass through every layer."""
+    def forward(
+        self,
+        x: np.ndarray,
+        spmv_fn: Optional[SpMVCallable] = None,
+        engine=None,
+    ) -> np.ndarray:
+        """Single-sample forward pass through every layer.
+
+        A shared ``engine`` (backend name, engine or session) is resolved
+        once, so every layer's product reuses the same session and its
+        program cache.
+        """
+        spmv_fn = resolve_spmv_fn(spmv_fn, engine)
         activation = np.asarray(x, dtype=np.float64)
         for layer in self.layers:
             activation = layer.forward(activation, spmv_fn)

@@ -1,0 +1,271 @@
+"""The engine contract every execution backend implements.
+
+The repo models several ways to execute (or estimate) one SpMV — the
+cycle-accurate Serpens simulator, the Sextans / GraphLily / K80 analytic
+baselines, and the numpy CPU reference.  Historically each had its own
+ad-hoc entry point; :class:`SpMVEngine` is the one contract that makes them
+interchangeable, the same way Sextans exposes one streaming interface across
+its SpMM/SpMV modes and SELL-C-sigma argues for a unified format so
+heterogeneous processors become swappable behind it.
+
+An engine answers five questions:
+
+* ``spec()`` — what are its static Table-2 numbers (clock, bandwidth, power)?
+* ``capabilities(matrix)`` — can it run this matrix, and if not, why?
+* ``prepare(matrix)`` — the once-per-matrix host work (preprocessing),
+  returning a :class:`PreparedMatrix` whose payload is cacheable,
+* ``execute(prepared, x, ...)`` — one ``y = alpha * A x + beta * y`` launch,
+  returning the vector *and* the :class:`~repro.metrics.ExecutionReport`,
+* ``estimate(matrix)`` — the report alone, without computing numerics.
+
+Engines whose timing is analytic (the baselines) still return exact numerics
+from ``execute`` by running the golden kernel; only the *report* is modelled.
+That is what lets a :class:`~repro.backends.Session` drive an iterative
+solver end-to-end on any registered backend.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..formats import COOMatrix, CSRMatrix
+from ..metrics import ExecutionReport
+from ..preprocess import PartitionParams
+
+__all__ = [
+    "EngineCapabilities",
+    "EngineSpec",
+    "PreparedMatrix",
+    "SpMVEngine",
+    "SpMVResult",
+]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Static specification row of the paper's Table 2.
+
+    This is the same shape the evaluation layer historically called
+    ``AcceleratorSpec``; :mod:`repro.eval.accelerators` re-exports it under
+    that name.
+    """
+
+    name: str
+    frequency_mhz: float
+    bandwidth_gbps: float
+    bandwidth_kind: str  # "utilized" or "maximum"
+    power_watts: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary view for table rendering."""
+        return {
+            "name": self.name,
+            "frequency_mhz": self.frequency_mhz,
+            "bandwidth_gbps": self.bandwidth_gbps,
+            "bandwidth_kind": self.bandwidth_kind,
+            "power_watts": self.power_watts,
+        }
+
+
+@dataclass(frozen=True)
+class EngineCapabilities:
+    """Whether (and why not) an engine can run one matrix."""
+
+    supported: bool
+    max_rows: Optional[int] = None  # None = unbounded output-row capacity
+    reason: Optional[str] = None
+
+
+@dataclass
+class PreparedMatrix:
+    """A matrix after an engine's once-per-matrix host work.
+
+    ``payload`` is the engine-specific artefact — a
+    :class:`~repro.preprocess.SerpensProgram` for the Serpens engines, a CSR
+    view for the model-timed baselines — and is what a
+    :class:`~repro.serve.ProgramCache` stores between launches.
+    """
+
+    engine: str
+    matrix: COOMatrix
+    name: str
+    fingerprint: str
+    payload: Any = None
+
+
+@dataclass
+class SpMVResult:
+    """Outcome of one ``execute`` call: the vector plus its report."""
+
+    y: Optional[np.ndarray]
+    report: ExecutionReport
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def _as_coo(matrix: COOMatrix) -> COOMatrix:
+    """Normalise CSR inputs to the COO form every model consumes."""
+    if isinstance(matrix, CSRMatrix):
+        return matrix.to_coo()
+    return matrix
+
+
+def _fingerprint(matrix: COOMatrix) -> str:
+    # Imported lazily: the serve package is allowed to import backends at
+    # module level, so backends must not import serve at module level.
+    from ..serve.cache import matrix_fingerprint
+
+    return matrix_fingerprint(matrix)
+
+
+class SpMVEngine(abc.ABC):
+    """Abstract base of every execution backend.
+
+    Subclasses set :attr:`name` (the registry key, e.g. ``"serpens-a16"``)
+    and implement :meth:`spec`, :meth:`build_payload`, :meth:`execute` and
+    :meth:`estimate`; everything else has a sensible default.
+    """
+
+    #: Registry key of the engine ("serpens-a16", "sextans", ...).
+    name: str = "engine"
+
+    # ------------------------------------------------------------------
+    # Static description
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def spec(self) -> EngineSpec:
+        """The engine's Table-2 specification row."""
+
+    # ------------------------------------------------------------------
+    # Capability queries
+    # ------------------------------------------------------------------
+    @property
+    def max_rows(self) -> Optional[int]:
+        """On-chip output-row capacity; ``None`` when unbounded."""
+        return None
+
+    def supports_rows(self, num_rows: int) -> bool:
+        """Whether an output vector of ``num_rows`` rows fits the engine.
+
+        Judged on the row count alone so callers can ask about *published*
+        full-size shapes without materialising the matrix (the Table 4
+        convention).
+        """
+        limit = self.max_rows
+        return limit is None or num_rows <= limit
+
+    def supports(self, matrix: COOMatrix) -> bool:
+        """Whether the engine can run this matrix."""
+        return self.supports_rows(matrix.num_rows)
+
+    def capabilities(self, matrix: COOMatrix) -> EngineCapabilities:
+        """Structured capability answer for one matrix."""
+        if self.supports(matrix):
+            return EngineCapabilities(supported=True, max_rows=self.max_rows)
+        if self.max_rows is not None and matrix.num_rows > self.max_rows:
+            reason = (
+                f"matrix with {matrix.num_rows} rows exceeds the output-row "
+                f"capacity of {self.spec().name} ({self.max_rows} rows)"
+            )
+        else:
+            # Unsupported for an engine-specific, non-row reason (a custom
+            # supports() override); don't blame a row limit that isn't there.
+            reason = (
+                f"matrix with shape {matrix.num_rows}x{matrix.num_cols} is "
+                f"not supported by {self.spec().name}"
+            )
+        return EngineCapabilities(supported=False, max_rows=self.max_rows, reason=reason)
+
+    # ------------------------------------------------------------------
+    # Preparation
+    # ------------------------------------------------------------------
+    def prepare(self, matrix: COOMatrix, name: str = "matrix") -> PreparedMatrix:
+        """Run the once-per-matrix host work and wrap the result."""
+        coo = _as_coo(matrix)
+        capabilities = self.capabilities(coo)
+        if not capabilities.supported:
+            raise ValueError(capabilities.reason)
+        return PreparedMatrix(
+            engine=self.name,
+            matrix=coo,
+            name=name,
+            fingerprint=_fingerprint(coo),
+            payload=self.build_payload(coo),
+        )
+
+    @abc.abstractmethod
+    def build_payload(self, matrix: COOMatrix) -> Any:
+        """The engine-specific prepared artefact for one matrix."""
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def execute(
+        self,
+        prepared: PreparedMatrix,
+        x: np.ndarray,
+        y: Optional[np.ndarray] = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+    ) -> SpMVResult:
+        """One ``y = alpha * A x + beta * y`` launch against a prepared matrix."""
+
+    def run(
+        self,
+        matrix: COOMatrix,
+        x: np.ndarray,
+        y: Optional[np.ndarray] = None,
+        alpha: float = 1.0,
+        beta: float = 0.0,
+        matrix_name: str = "matrix",
+    ) -> SpMVResult:
+        """Convenience one-shot: ``prepare`` then ``execute``."""
+        return self.execute(self.prepare(matrix, matrix_name), x, y, alpha, beta)
+
+    @abc.abstractmethod
+    def estimate(
+        self,
+        matrix: COOMatrix,
+        matrix_name: str = "matrix",
+        model: str = "detailed",
+    ) -> ExecutionReport:
+        """Performance report for one launch, without computing numerics.
+
+        ``model`` selects between timing models where the engine offers more
+        than one (the Serpens engines accept ``"detailed"`` / ``"analytic"``);
+        engines with a single model ignore it.
+        """
+
+    # ------------------------------------------------------------------
+    # Program-cache integration
+    # ------------------------------------------------------------------
+    def cache_params(self) -> Optional[PartitionParams]:
+        """Partition parameters a cached payload must match, if any.
+
+        Engines whose payload depends on architecture parameters (Serpens)
+        return them so a shared :class:`~repro.serve.ProgramCache` treats a
+        payload built for a different build as a miss; others return ``None``.
+        """
+        return None
+
+    def program_key(self, fingerprint: str) -> str:
+        """Cache key for one matrix's payload under this engine."""
+        return f"{fingerprint}@{self.name}"
+
+    def payload_bytes(self, payload: Any) -> int:
+        """Approximate size of a prepared payload, for transfer-time models."""
+        stored = getattr(payload, "stored_elements", None)
+        if stored is not None:
+            return 8 * int(stored)
+        nnz = getattr(payload, "nnz", None)
+        if nnz is not None:
+            num_rows = getattr(payload, "num_rows", 0)
+            return 12 * int(nnz) + 4 * (int(num_rows) + 1)
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -81,6 +81,14 @@ class K80Model:
 
     def supports(self, matrix: COOMatrix) -> bool:
         """The GPU supports any matrix that fits device memory (all evaluated ones do)."""
+        return self.supports_rows(matrix.num_rows)
+
+    def supports_rows(self, num_rows: int) -> bool:
+        """Explicit row-capacity answer: the GPU has no on-chip row limit.
+
+        Present so the evaluation layer can query every model uniformly
+        instead of special-casing the K80.
+        """
         return True
 
     # ------------------------------------------------------------------

@@ -112,6 +112,10 @@ class GraphLilyModel:
 
     def supports(self, matrix: COOMatrix) -> bool:
         """GraphLily tiles the output vector, so every matrix is supported."""
+        return self.supports_rows(matrix.num_rows)
+
+    def supports_rows(self, num_rows: int) -> bool:
+        """Row-capacity answer from the shape alone: tiling removes the limit."""
         return True
 
     def _partition_params(self) -> PartitionParams:

@@ -106,7 +106,11 @@ class SextansModel:
     # ------------------------------------------------------------------
     def supports(self, matrix: COOMatrix) -> bool:
         """Whether the output vector fits Sextans' on-chip buffers."""
-        return matrix.num_rows <= self.config.max_output_rows
+        return self.supports_rows(matrix.num_rows)
+
+    def supports_rows(self, num_rows: int) -> bool:
+        """Row-capacity answer from the shape alone (Table 4 convention)."""
+        return num_rows <= self.config.max_output_rows
 
     def _partition_params(self) -> PartitionParams:
         # Sextans shares one sparse element with 8 dense columns and keeps a

@@ -123,6 +123,44 @@ def _ablation_channels(args: argparse.Namespace) -> str:
     return render_channel_scaling_sweep(run_channel_scaling_sweep(scale=args.scale))
 
 
+def _backends(args: argparse.Namespace) -> str:
+    # Imported here so building the parser never instantiates engines.
+    from .backends import describe, create
+    from .eval.reporting import format_table
+
+    rows = []
+    for registration in describe():
+        engine = create(registration.name)
+        spec = engine.spec()
+        max_rows = engine.max_rows
+        rows.append(
+            [
+                registration.name,
+                spec.name,
+                spec.frequency_mhz,
+                spec.bandwidth_gbps,
+                spec.bandwidth_kind,
+                spec.power_watts,
+                f"{max_rows:,}" if max_rows is not None else "unbounded",
+                registration.description,
+            ]
+        )
+    return format_table(
+        [
+            "engine",
+            "spec name",
+            "MHz",
+            "GB/s",
+            "bandwidth",
+            "W",
+            "max rows",
+            "description",
+        ],
+        rows,
+        title="Registered SpMV engines (Table 2 specifications)",
+    )
+
+
 def _serve_bench(args: argparse.Namespace) -> str:
     # Imported here so the experiment registry stays importable even if the
     # serving layer is being refactored.
@@ -130,12 +168,19 @@ def _serve_bench(args: argparse.Namespace) -> str:
     from .serpens import SERPENS_A16, SERPENS_A24
     from .serve import AcceleratorPool, SpMVService, generate_trace
 
-    if args.devices < 1:
-        raise ValueError("--devices must be positive")
-    num_a24 = args.a24 if args.a24 is not None else args.devices // 4
-    if not 0 <= num_a24 <= args.devices:
-        raise ValueError("--a24 must be between 0 and --devices")
-    configs = [SERPENS_A24] * num_a24 + [SERPENS_A16] * (args.devices - num_a24)
+    if args.engines:
+        configs = [name.strip() for name in args.engines.split(",") if name.strip()]
+        if not configs:
+            raise ValueError("--engines must name at least one backend")
+        pool_label = f"{len(configs)} devices ({args.engines})"
+    else:
+        if args.devices < 1:
+            raise ValueError("--devices must be positive")
+        num_a24 = args.a24 if args.a24 is not None else args.devices // 4
+        if not 0 <= num_a24 <= args.devices:
+            raise ValueError("--a24 must be between 0 and --devices")
+        configs = [SERPENS_A24] * num_a24 + [SERPENS_A16] * (args.devices - num_a24)
+        pool_label = f"{args.devices} devices ({num_a24}x A24)"
 
     variants = [
         ("naive-fifo", "fifo", 1),
@@ -185,8 +230,7 @@ def _serve_bench(args: argparse.Namespace) -> str:
         rows,
         title=(
             f"Serving benchmark — scenario={args.scenario}, "
-            f"{args.requests} requests, {args.devices} devices "
-            f"({num_a24}x A24), seed={args.seed}"
+            f"{args.requests} requests, {pool_label}, seed={args.seed}"
         ),
     )
     return comparison + "\n\n" + last_report.render()
@@ -209,6 +253,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "ablation-window": ("Reordering window sweep", _ablation_window),
     "ablation-channels": ("HBM channel scaling sweep", _ablation_channels),
     "serve-bench": ("Multi-accelerator serving benchmark", _serve_bench),
+    "backends": ("Registered backend engines and their Table-2 specs", _backends),
 }
 
 
@@ -283,6 +328,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="devices built as Serpens-A24 (default: one quarter of the pool)",
+    )
+    serving.add_argument(
+        "--engines",
+        type=str,
+        default=None,
+        help=(
+            "comma-separated backend registry names for a heterogeneous pool "
+            "(e.g. 'serpens-a16,serpens-a24,sextans'; overrides --devices/--a24)"
+        ),
     )
     return parser
 

@@ -1,60 +1,53 @@
 """The evaluated accelerators and their Table 2 specifications.
 
-This module wires the four accelerator models into a uniform interface the
-experiment runners iterate over: every entry knows how to (a) report its
-static specification (frequency, bandwidth, power — the paper's Table 2) and
-(b) produce an :class:`~repro.metrics.ExecutionReport` for one matrix.
+The experiment runners iterate over :class:`AcceleratorUnderTest` rows, each
+a thin view over one registered :class:`~repro.backends.SpMVEngine`: the row
+knows how to (a) report the engine's static specification (frequency,
+bandwidth, power — the paper's Table 2) and (b) produce an
+:class:`~repro.metrics.ExecutionReport` for one matrix.  All capability and
+execution logic lives in the engines; this module only chooses which rows a
+table compares.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import List
 
-from ..baselines import GraphLilyModel, K80Model, SextansModel
+from ..backends import EngineSpec, SerpensEngine, SpMVEngine, create
 from ..formats import COOMatrix
-from ..metrics import (
-    GRAPHLILY_POWER,
-    K80_POWER,
-    SERPENS_POWER,
-    SEXTANS_POWER,
-    ExecutionReport,
-)
-from ..serpens import SERPENS_A16, SERPENS_A24, SerpensAccelerator, SerpensConfig
+from ..metrics import ExecutionReport
+from ..serpens import SERPENS_A16, SerpensConfig
+
+#: Compatibility alias: the evaluation layer historically defined this shape.
+AcceleratorSpec = EngineSpec
 
 __all__ = ["AcceleratorSpec", "AcceleratorUnderTest", "table2_specs", "build_accelerators"]
 
 
-@dataclass(frozen=True)
-class AcceleratorSpec:
-    """Static specification row of the paper's Table 2."""
-
-    name: str
-    frequency_mhz: float
-    bandwidth_gbps: float
-    bandwidth_kind: str  # "utilized" or "maximum"
-    power_watts: float
-
-    def as_dict(self) -> Dict[str, float]:
-        """Dictionary view for table rendering."""
-        return {
-            "name": self.name,
-            "frequency_mhz": self.frequency_mhz,
-            "bandwidth_gbps": self.bandwidth_gbps,
-            "bandwidth_kind": self.bandwidth_kind,
-            "power_watts": self.power_watts,
-        }
-
-
 @dataclass
 class AcceleratorUnderTest:
-    """One accelerator model plus the callable that evaluates a matrix."""
+    """One engine under evaluation, addressed by its comparison-row name."""
 
     name: str
-    spec: AcceleratorSpec
-    run: Callable[[COOMatrix, str], ExecutionReport]
-    supports: Callable[[COOMatrix], bool]
-    supports_rows: Callable[[int], bool] = lambda rows: True
+    engine: SpMVEngine
+
+    @property
+    def spec(self) -> AcceleratorSpec:
+        """Static specification row of the paper's Table 2."""
+        return self.engine.spec()
+
+    def run(self, matrix: COOMatrix, matrix_name: str) -> ExecutionReport:
+        """Evaluate one matrix (the tables use the timing estimate)."""
+        return self.engine.estimate(matrix, matrix_name)
+
+    def supports(self, matrix: COOMatrix) -> bool:
+        """Whether the engine can run this materialised matrix."""
+        return self.engine.supports(matrix)
+
+    def supports_rows(self, num_rows: int) -> bool:
+        """Capability judged on the published full-size row count alone."""
+        return self.engine.supports_rows(num_rows)
 
     def unsupported_report(
         self, matrix_name: str, num_rows: int, num_cols: int, nnz: int
@@ -65,6 +58,7 @@ class AcceleratorUnderTest:
         the shape but ``supported=False`` and a NaN time so aggregation code
         skips it.
         """
+        spec = self.spec
         return ExecutionReport(
             accelerator=self.name,
             matrix_name=matrix_name,
@@ -72,48 +66,21 @@ class AcceleratorUnderTest:
             num_cols=num_cols,
             nnz=nnz,
             cycles=0,
-            frequency_mhz=self.spec.frequency_mhz,
+            frequency_mhz=spec.frequency_mhz,
             seconds=float("nan"),
-            bandwidth_gbps=self.spec.bandwidth_gbps,
-            power_watts=self.spec.power_watts,
+            bandwidth_gbps=spec.bandwidth_gbps,
+            power_watts=spec.power_watts,
             supported=False,
         )
 
 
 def table2_specs(serpens_config: SerpensConfig = SERPENS_A16) -> List[AcceleratorSpec]:
-    """The specification rows of the paper's Table 2."""
-    sextans = SextansModel()
-    graphlily = GraphLilyModel()
-    k80 = K80Model()
+    """The specification rows of the paper's Table 2, straight from the registry."""
     return [
-        AcceleratorSpec(
-            name="Sextans",
-            frequency_mhz=sextans.config.frequency_mhz,
-            bandwidth_gbps=sextans.config.utilized_bandwidth_gbps,
-            bandwidth_kind="utilized",
-            power_watts=SEXTANS_POWER.measured(),
-        ),
-        AcceleratorSpec(
-            name="GraphLily",
-            frequency_mhz=graphlily.config.frequency_mhz,
-            bandwidth_gbps=graphlily.config.utilized_bandwidth_gbps,
-            bandwidth_kind="utilized",
-            power_watts=GRAPHLILY_POWER.measured(),
-        ),
-        AcceleratorSpec(
-            name=serpens_config.name,
-            frequency_mhz=serpens_config.frequency_mhz,
-            bandwidth_gbps=serpens_config.utilized_bandwidth_gbps,
-            bandwidth_kind="utilized",
-            power_watts=SERPENS_POWER.measured(),
-        ),
-        AcceleratorSpec(
-            name="Tesla K80",
-            frequency_mhz=k80.config.frequency_mhz,
-            bandwidth_gbps=k80.config.board_bandwidth_gbps,
-            bandwidth_kind="maximum",
-            power_watts=K80_POWER.measured(),
-        ),
+        create("sextans").spec(),
+        create("graphlily").spec(),
+        SerpensEngine(serpens_config).spec(),
+        create("k80").spec(),
     ]
 
 
@@ -122,41 +89,13 @@ def build_accelerators(
     include_gpu: bool = False,
 ) -> List[AcceleratorUnderTest]:
     """The accelerators compared in Table 4 (plus the K80 when requested)."""
-    sextans = SextansModel()
-    graphlily = GraphLilyModel()
-    serpens = SerpensAccelerator(serpens_config)
-    specs = {spec.name: spec for spec in table2_specs(serpens_config)}
-
     accelerators = [
+        AcceleratorUnderTest(name="Sextans", engine=create("sextans")),
+        AcceleratorUnderTest(name="GraphLily", engine=create("graphlily")),
         AcceleratorUnderTest(
-            name="Sextans",
-            spec=specs["Sextans"],
-            run=lambda m, name: sextans.run_spmv(m, name),
-            supports=sextans.supports,
-            supports_rows=lambda rows: rows <= sextans.config.max_output_rows,
-        ),
-        AcceleratorUnderTest(
-            name="GraphLily",
-            spec=specs["GraphLily"],
-            run=lambda m, name: graphlily.run_spmv(m, name),
-            supports=graphlily.supports,
-        ),
-        AcceleratorUnderTest(
-            name=serpens_config.name,
-            spec=specs[serpens_config.name],
-            run=lambda m, name: serpens.estimate(m, name, model="detailed"),
-            supports=serpens.supports,
-            supports_rows=lambda rows: rows <= serpens_config.max_rows,
+            name=serpens_config.name, engine=SerpensEngine(serpens_config)
         ),
     ]
     if include_gpu:
-        k80 = K80Model()
-        accelerators.append(
-            AcceleratorUnderTest(
-                name="K80",
-                spec=specs["Tesla K80"],
-                run=lambda m, name: k80.run_spmv(m, name),
-                supports=k80.supports,
-            )
-        )
+        accelerators.append(AcceleratorUnderTest(name="K80", engine=create("k80")))
     return accelerators

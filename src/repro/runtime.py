@@ -1,221 +1,64 @@
-"""Host-side runtime: manage preprocessed matrices across many SpMV launches.
+"""Deprecated single-accelerator runtime, now a thin alias of the Session API.
 
-The real Serpens deployment looks like this: the host preprocesses each
-sparse matrix once (seconds of CPU time), keeps the resulting stream buffers
-resident in HBM, and then launches thousands of SpMVs against them (an
-iterative solver, a PageRank run, a batch of inferences).  The
-:class:`SerpensRuntime` reproduces that usage pattern for the simulator:
+Historically :class:`SerpensRuntime` owned handle registration, the program
+cache and per-matrix statistics for one Serpens build.  That machinery is
+backend-generic and lives in :class:`repro.backends.Session`; this module
+keeps the old name importable (``from repro import SerpensRuntime``) as a
+deprecated subclass bound to a :class:`~repro.backends.SerpensEngine`.
 
-* matrices are registered once (optionally persisted to disk via the program
-  serialiser) and identified by a handle,
-* every launch reuses the cached program, mirroring how the paper amortises
-  preprocessing over 100 timed runs,
-* aggregate statistics (launch count, accelerator seconds, traversed edges)
-  are tracked per matrix and for the whole session — the numbers a capacity
-  planner would want from a production deployment.
+Migration::
+
+    # before                                   # after
+    from repro import SerpensRuntime           from repro.backends import Session
+    runtime = SerpensRuntime(config=cfg)       session = Session(cfg)
+                                               session = Session("serpens-a16")
+
+Every method (``register`` / ``launch`` / ``estimate`` / ``statistics`` /
+``spmv_callable`` / ``cache_stats``) carries over unchanged, and the on-disk
+program-cache layout is identical, so a ``cache_dir`` written by the old
+runtime is read by the new session.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from pathlib import Path
-from typing import Dict, Optional, Tuple
+from typing import Optional, Union
 
-import numpy as np
-
-from .formats import COOMatrix
-from .metrics import ExecutionReport
-from .preprocess import SerpensProgram
-from .serpens import SERPENS_A16, SerpensAccelerator, SerpensConfig
-from .serve.cache import ProgramCache, matrix_fingerprint
+from .backends import MatrixHandle, SerpensEngine, Session
+from .serpens import SERPENS_A16, SerpensConfig
 
 __all__ = ["MatrixHandle", "SerpensRuntime"]
 
 
-@dataclass(frozen=True)
-class MatrixHandle:
-    """Opaque identifier of a registered matrix."""
-
-    name: str
-    fingerprint: str
-    num_rows: int
-    num_cols: int
-    nnz: int
-
-
-@dataclass
-class _RegisteredMatrix:
-    handle: MatrixHandle
-    matrix: COOMatrix
-    program: SerpensProgram
-    launches: int = 0
-    accelerator_seconds: float = 0.0
-    traversed_edges: int = 0
-
-
-@dataclass
-class SerpensRuntime:
-    """A session that owns one accelerator configuration and its matrices.
+class SerpensRuntime(Session):
+    """Deprecated alias: a :class:`~repro.backends.Session` on one Serpens build.
 
     Parameters
     ----------
     config:
         The Serpens build to run on (defaults to Serpens-A16).
-    cache_dir:
-        Optional directory where preprocessed programs are persisted; a
-        matrix whose fingerprint is found there is loaded instead of being
-        preprocessed again.
-    cache_capacity:
-        Optional bound on the program cache.  Applies to the in-memory
-        tier *and* the on-disk tier, so a long-lived runtime with a
-        ``cache_dir`` cannot grow the directory without bound.  ``None``
-        keeps both tiers unbounded (the historical behaviour).
-    program_cache:
-        Inject an existing :class:`~repro.serve.ProgramCache` (for example
-        one shared with a serving pool); overrides ``cache_dir`` and
-        ``cache_capacity``.
+    cache_dir, cache_capacity, program_cache:
+        Forwarded to :class:`~repro.backends.Session`.
     """
 
-    config: SerpensConfig = SERPENS_A16
-    cache_dir: Optional[Path] = None
-    cache_capacity: Optional[int] = None
-    program_cache: Optional[ProgramCache] = None
-    _accelerator: SerpensAccelerator = field(init=False)
-    _matrices: Dict[str, _RegisteredMatrix] = field(init=False, default_factory=dict)
-
-    def __post_init__(self) -> None:
-        self._accelerator = SerpensAccelerator(self.config)
-        if self.cache_dir is not None:
-            self.cache_dir = Path(self.cache_dir)
-        if self.program_cache is None:
-            self.program_cache = ProgramCache(
-                capacity=self.cache_capacity,
-                cache_dir=self.cache_dir,
-                disk_capacity=self.cache_capacity,
-            )
-
-    # ------------------------------------------------------------------
-    # Registration
-    # ------------------------------------------------------------------
-    @staticmethod
-    def fingerprint(matrix: COOMatrix) -> str:
-        """A stable content hash of the matrix (structure and values)."""
-        return matrix_fingerprint(matrix)
-
-    def register(self, matrix: COOMatrix, name: str = "matrix") -> MatrixHandle:
-        """Preprocess (or load from cache) a matrix and return its handle.
-
-        Registering the same content twice returns the existing handle
-        without re-running preprocessing.
-        """
-        if not self._accelerator.supports(matrix):
-            raise ValueError(
-                f"matrix with {matrix.num_rows} rows exceeds the on-chip capacity "
-                f"of {self.config.name} ({self.config.max_rows} rows)"
-            )
-        fingerprint = self.fingerprint(matrix)
-        if fingerprint in self._matrices:
-            return self._matrices[fingerprint].handle
-
-        program = self.program_cache.get_or_build(
-            fingerprint,
-            lambda: self._accelerator.preprocess(matrix),
-            params=self.config.to_partition_params(),
-        )
-
-        handle = MatrixHandle(
-            name=name,
-            fingerprint=fingerprint,
-            num_rows=matrix.num_rows,
-            num_cols=matrix.num_cols,
-            nnz=matrix.nnz,
-        )
-        self._matrices[fingerprint] = _RegisteredMatrix(
-            handle=handle, matrix=matrix, program=program
-        )
-        return handle
-
-    def cache_stats(self) -> Dict[str, float]:
-        """Hit/miss/eviction counters of the underlying program cache."""
-        return self.program_cache.stats()
-
-    # ------------------------------------------------------------------
-    # Execution
-    # ------------------------------------------------------------------
-    def launch(
+    def __init__(
         self,
-        handle: MatrixHandle,
-        x: np.ndarray,
-        y: Optional[np.ndarray] = None,
-        alpha: float = 1.0,
-        beta: float = 0.0,
-    ) -> Tuple[np.ndarray, ExecutionReport]:
-        """Run one SpMV against a registered matrix."""
-        entry = self._entry(handle)
-        result, report = self._accelerator.run(
-            entry.matrix,
-            x,
-            y,
-            alpha,
-            beta,
-            program=entry.program,
-            matrix_name=handle.name,
+        config: SerpensConfig = SERPENS_A16,
+        cache_dir: Optional[Union[str, Path]] = None,
+        cache_capacity: Optional[int] = None,
+        program_cache=None,
+    ) -> None:
+        warnings.warn(
+            "SerpensRuntime is deprecated; use repro.backends.Session "
+            "(e.g. Session('serpens-a16') or Session(config))",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        entry.launches += 1
-        entry.accelerator_seconds += report.seconds
-        entry.traversed_edges += entry.matrix.nnz
-        return result, report
-
-    def estimate(self, handle: MatrixHandle, model: str = "detailed") -> ExecutionReport:
-        """Performance estimate for one launch against a registered matrix."""
-        entry = self._entry(handle)
-        return self._accelerator.estimate(entry.matrix, handle.name, model=model)
-
-    def _entry(self, handle: MatrixHandle) -> _RegisteredMatrix:
-        entry = self._matrices.get(handle.fingerprint)
-        if entry is None:
-            raise KeyError(f"matrix {handle.name!r} is not registered with this runtime")
-        return entry
-
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
-    @property
-    def registered_handles(self) -> Tuple[MatrixHandle, ...]:
-        """Handles of every registered matrix."""
-        return tuple(entry.handle for entry in self._matrices.values())
-
-    def statistics(self, handle: Optional[MatrixHandle] = None) -> Dict[str, float]:
-        """Aggregate launch statistics, per matrix or for the whole session."""
-        if handle is not None:
-            entry = self._entry(handle)
-            entries = [entry]
-        else:
-            entries = list(self._matrices.values())
-        launches = sum(e.launches for e in entries)
-        seconds = sum(e.accelerator_seconds for e in entries)
-        edges = sum(e.traversed_edges for e in entries)
-        return {
-            "registered_matrices": float(len(entries)),
-            "launches": float(launches),
-            "accelerator_seconds": seconds,
-            "traversed_edges": float(edges),
-            "average_mteps": (edges / seconds / 1e6) if seconds > 0 else 0.0,
-        }
-
-    def spmv_callable(self, handle: MatrixHandle):
-        """An ``spmv_fn`` hook bound to one registered matrix.
-
-        The returned callable has the signature the application layer
-        (:mod:`repro.apps`) expects, so a registered matrix can be plugged
-        straight into the conjugate-gradient or Jacobi solvers.
-        """
-        entry = self._entry(handle)
-
-        def run(matrix, x, y, alpha, beta):
-            if matrix is not entry.matrix and self.fingerprint(matrix) != handle.fingerprint:
-                raise ValueError("this hook is bound to a different matrix")
-            result, __ = self.launch(handle, x, y, alpha, beta)
-            return result
-
-        return run
+        super().__init__(
+            engine=SerpensEngine(config),
+            cache_dir=cache_dir,
+            cache_capacity=cache_capacity,
+            program_cache=program_cache,
+        )
+        self.config = config

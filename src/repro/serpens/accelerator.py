@@ -46,7 +46,11 @@ class SerpensAccelerator:
     # ------------------------------------------------------------------
     def supports(self, matrix: COOMatrix) -> bool:
         """Whether the matrix's output vector fits the on-chip buffers (Eq. 3)."""
-        return matrix.num_rows <= self.config.max_rows
+        return self.supports_rows(matrix.num_rows)
+
+    def supports_rows(self, num_rows: int) -> bool:
+        """Row-capacity answer from the shape alone (Eq. 3)."""
+        return num_rows <= self.config.max_rows
 
     def resources(self) -> ResourceUsage:
         """Estimated FPGA resource usage of this configuration."""

@@ -24,7 +24,7 @@ from .loadgen import (
     TraceRequest,
     generate_trace,
 )
-from .pool import AcceleratorPool, Placement, PooledDevice, Shard, shard_rows
+from .pool import AcceleratorPool, Placement, PooledDevice, Shard, as_engine, shard_rows
 from .scheduler import SCHEDULING_POLICIES, Request, Scheduler
 from .service import RequestResult, ServiceHandle, ServiceReport, SpMVService
 from .telemetry import LatencySummary, ServiceTelemetry, percentile
@@ -48,6 +48,7 @@ __all__ = [
     "Shard",
     "SpMVService",
     "TraceRequest",
+    "as_engine",
     "generate_trace",
     "matrix_fingerprint",
     "percentile",

@@ -11,10 +11,13 @@ resident and reusing them across thousands of launches.  The
   with stale programs,
 * hit/miss/eviction counters, the numbers a cache-sizing exercise needs.
 
-Keys are caller-chosen strings.  :class:`~repro.runtime.SerpensRuntime` keys
-by matrix fingerprint (one runtime serves one accelerator configuration);
-the multi-accelerator :class:`~repro.serve.service.SpMVService` appends a
-configuration tag so mixed A16/A24 pools never share an incompatible program.
+Keys are caller-chosen strings.  A :class:`~repro.backends.Session` keys by
+the engine's ``program_key`` (bare matrix fingerprints for Serpens engines,
+preserving the historical ``SerpensRuntime`` disk layout); the
+multi-accelerator :class:`~repro.serve.service.SpMVService` appends a
+configuration tag so mixed pools never share an incompatible program.
+Payloads that are not :class:`~repro.preprocess.SerpensProgram` instances
+(the model-timed baselines' CSR views) are cached in memory only.
 """
 
 from __future__ import annotations
@@ -106,7 +109,7 @@ class ProgramCache:
         """
         program = self._memory.get(key)
         if program is not None:
-            if params is not None and program.params != params:
+            if params is not None and getattr(program, "params", None) != params:
                 self.misses += 1
                 return None
             self._memory.move_to_end(key)
@@ -116,7 +119,7 @@ class ProgramCache:
 
         program = self._load_from_disk(key)
         if program is not None:
-            if params is not None and program.params != params:
+            if params is not None and getattr(program, "params", None) != params:
                 self.misses += 1
                 return None
             self._admit_to_memory(key, program)
@@ -233,6 +236,10 @@ class ProgramCache:
 
     def _store_to_disk(self, key: str, program: SerpensProgram) -> None:
         if self.cache_dir is None:
+            return
+        if not isinstance(program, SerpensProgram):
+            # Generic backend payloads (CSR views of the model-timed
+            # baselines) have no serialised form; they stay memory-only.
             return
         path = self._path_for(key)
         save_program(path, program)

@@ -1,12 +1,15 @@
-"""A pool of simulated Serpens devices with matrix placement and sharding.
+"""A pool of simulated accelerator devices with matrix placement and sharding.
 
 A production deployment does not run one accelerator: it runs a rack of
-them — possibly mixed builds (Serpens-A16 cards next to A24 cards) — and a
-placement layer decides which card holds which matrix.  The
-:class:`AcceleratorPool` models that layer on top of the simulator:
+them — possibly mixed builds (Serpens-A16 cards next to A24 cards next to a
+Sextans card) — and a placement layer decides which card holds which matrix.
+The :class:`AcceleratorPool` models that layer on top of the backend engine
+contract:
 
-* each :class:`PooledDevice` wraps one :class:`~repro.serpens.SerpensAccelerator`
-  and tracks its own virtual-time availability and utilisation counters,
+* each :class:`PooledDevice` wraps one
+  :class:`~repro.backends.SpMVEngine` (provisioned through
+  ``backends.create`` when given a registry name) and tracks its own
+  virtual-time availability and utilisation counters,
 * :meth:`AcceleratorPool.place` assigns a matrix to the least-loaded
   device(s), optionally replicating it for throughput,
 * a matrix whose output vector exceeds every device's on-chip row capacity
@@ -18,16 +21,33 @@ placement layer decides which card holds which matrix.  The
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..backends import SpMVEngine, resolve
 from ..formats import COOMatrix
-from ..serpens import SERPENS_A16, SerpensAccelerator, SerpensConfig
+from ..serpens import SERPENS_A16, SerpensConfig
 
-__all__ = ["AcceleratorPool", "PooledDevice", "Placement", "Shard", "shard_rows"]
+__all__ = [
+    "AcceleratorPool",
+    "PooledDevice",
+    "Placement",
+    "Shard",
+    "as_engine",
+    "shard_rows",
+]
 
 PLACEMENT_POLICIES = ("least_loaded", "round_robin")
+
+#: Anything the pool can turn into a device engine: a registry name, an
+#: engine instance, or (for backward compatibility) a Serpens build config.
+DeviceSpec = Union[str, SpMVEngine, SerpensConfig]
+
+
+def as_engine(spec: DeviceSpec) -> SpMVEngine:
+    """Provision one device engine from a name, engine, or Serpens config."""
+    return resolve(spec)
 
 
 @dataclass
@@ -46,23 +66,33 @@ class PooledDevice:
     """One simulated accelerator card inside the pool."""
 
     device_id: int
-    accelerator: SerpensAccelerator
+    engine: SpMVEngine
     busy_until: float = 0.0
     resident_key: Optional[str] = None
     placed_nnz: int = 0
     stats: DeviceStats = field(default_factory=DeviceStats)
 
     @property
-    def config(self) -> SerpensConfig:
-        return self.accelerator.config
+    def config(self):
+        """The engine's build configuration (a SerpensConfig for Serpens cards)."""
+        return getattr(self.engine, "config", None)
+
+    @property
+    def engine_name(self) -> str:
+        """Display name of the device's engine (its Table-2 spec name)."""
+        return self.engine.spec().name
 
     @property
     def name(self) -> str:
-        return f"dev{self.device_id}:{self.config.name}"
+        return f"dev{self.device_id}:{self.engine_name}"
 
     @property
-    def max_rows(self) -> int:
-        return self.config.max_rows
+    def max_rows(self) -> Optional[int]:
+        """On-chip output-row capacity; ``None`` when unbounded."""
+        return self.engine.max_rows
+
+    def supports_rows(self, num_rows: int) -> bool:
+        return self.engine.supports_rows(num_rows)
 
     def idle_at(self, now: float) -> bool:
         return self.busy_until <= now
@@ -141,12 +171,15 @@ def shard_rows(matrix: COOMatrix, boundaries: Sequence[int]) -> List[COOMatrix]:
 
 
 class AcceleratorPool:
-    """N simulated Serpens devices plus the matrix placement bookkeeping.
+    """N simulated devices plus the matrix placement bookkeeping.
 
     Parameters
     ----------
     configs:
-        One :class:`SerpensConfig` per device; mixed builds are allowed.
+        One device spec per card: a backend registry name (``"sextans"``),
+        an :class:`~repro.backends.SpMVEngine` instance, or a
+        :class:`SerpensConfig`.  Heterogeneous pools — A16 cards next to A24
+        cards next to a Sextans card — are expressed by mixing specs.
     placement_policy:
         ``"least_loaded"`` places on the device with the fewest resident
         non-zeros; ``"round_robin"`` cycles through devices.
@@ -154,7 +187,7 @@ class AcceleratorPool:
 
     def __init__(
         self,
-        configs: Sequence[SerpensConfig],
+        configs: Sequence[DeviceSpec],
         placement_policy: str = "least_loaded",
     ) -> None:
         if not configs:
@@ -166,8 +199,8 @@ class AcceleratorPool:
             )
         self.placement_policy = placement_policy
         self.devices: List[PooledDevice] = [
-            PooledDevice(device_id=i, accelerator=SerpensAccelerator(config))
-            for i, config in enumerate(configs)
+            PooledDevice(device_id=i, engine=as_engine(spec))
+            for i, spec in enumerate(configs)
         ]
         self._round_robin_next = 0
 
@@ -175,10 +208,14 @@ class AcceleratorPool:
     def homogeneous(
         cls,
         num_devices: int,
-        config: SerpensConfig = SERPENS_A16,
+        config: DeviceSpec = SERPENS_A16,
         placement_policy: str = "least_loaded",
     ) -> "AcceleratorPool":
-        """A pool of ``num_devices`` identical cards."""
+        """A pool of ``num_devices`` identical cards.
+
+        A registry-name ``config`` is provisioned once per device (each card
+        gets its own engine instance).
+        """
         return cls([config] * num_devices, placement_policy=placement_policy)
 
     # ------------------------------------------------------------------
@@ -209,7 +246,7 @@ class AcceleratorPool:
         """
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
-        capable = [d for d in self.devices if d.max_rows >= matrix.num_rows]
+        capable = [d for d in self.devices if d.supports_rows(matrix.num_rows)]
         if capable:
             chosen = self._choose(capable, min(replicas, len(capable)))
             replica_sets = []
@@ -233,14 +270,19 @@ class AcceleratorPool:
         return sorted(candidates, key=lambda d: (d.placed_nnz, d.device_id))[:count]
 
     def _place_sharded(self, matrix: COOMatrix, fingerprint: str) -> Placement:
-        total_capacity = sum(d.max_rows for d in self.devices)
+        # Sharding needs a known per-device row budget.  A device whose
+        # incapacity is not row-bound (custom supports_rows with
+        # max_rows=None) cannot host a shard, so it is excluded here.
+        shardable = [d for d in self.devices if d.max_rows is not None]
+        total_capacity = sum(d.max_rows for d in shardable)
         if total_capacity < matrix.num_rows:
             raise ValueError(
                 f"matrix with {matrix.num_rows} rows exceeds the pooled row "
-                f"capacity of {total_capacity} across {len(self.devices)} devices"
+                f"capacity of {total_capacity} across {len(shardable)} shardable "
+                f"devices"
             )
         # Fill least-loaded devices first so sharding also balances the pool.
-        order = sorted(self.devices, key=lambda d: (d.placed_nnz, d.device_id))
+        order = sorted(shardable, key=lambda d: (d.placed_nnz, d.device_id))
         shards = []
         boundaries = []
         start = 0

@@ -27,12 +27,13 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from ..backends import PreparedMatrix
 from ..formats import COOMatrix, CSRMatrix
 from ..spmv import spmv
-from ..serpens import SERPENS_A16, SerpensConfig, SerpensSimulator
+from ..serpens import SERPENS_A16
 from .cache import ProgramCache, matrix_fingerprint
 from .loadgen import LoadTrace
-from .pool import AcceleratorPool, Placement, PooledDevice, Shard, shard_rows
+from .pool import AcceleratorPool, DeviceSpec, Placement, PooledDevice, Shard, shard_rows
 from .scheduler import Request, Scheduler
 from .telemetry import ServiceTelemetry
 
@@ -144,7 +145,8 @@ class SpMVService:
     pool:
         The device pool; defaults to ``num_devices`` homogeneous cards.
     num_devices, config:
-        Shortcut pool construction when ``pool`` is not given.
+        Shortcut pool construction when ``pool`` is not given; ``config``
+        accepts a backend registry name, an engine, or a Serpens build.
     policy, max_batch, max_queue_depth:
         Scheduler knobs (see :class:`~repro.serve.scheduler.Scheduler`).
     cache, cache_capacity:
@@ -153,7 +155,8 @@ class SpMVService:
         Devices each unsharded matrix is replicated onto (default 1).
     compute:
         ``"reference"`` computes results with the golden numpy kernel
-        (fast, exact), ``"simulate"`` runs the cycle-accurate datapath,
+        (fast, exact), ``"simulate"`` runs each device engine's own
+        ``execute`` path (the cycle-accurate datapath on Serpens cards),
         ``"none"`` skips numerics for timing-only studies.
     timing_model:
         Cycle model used for per-launch virtual time (``"detailed"`` or
@@ -170,7 +173,7 @@ class SpMVService:
         self,
         pool: Optional[AcceleratorPool] = None,
         num_devices: int = 4,
-        config: SerpensConfig = SERPENS_A16,
+        config: DeviceSpec = SERPENS_A16,
         policy: str = "fifo",
         max_batch: int = 32,
         max_queue_depth: Optional[int] = None,
@@ -240,7 +243,7 @@ class SpMVService:
                 device = self.pool.device(shard.device_id)
                 shard_matrix = blocks[idx] if placement.sharded else matrix
                 key = self._program_key(fingerprint, device, shard, placement.sharded)
-                estimate = device.accelerator.estimate(
+                estimate = device.engine.estimate(
                     shard_matrix, matrix_name=name, model=self.timing_model
                 )
                 shard_rts.append(
@@ -271,7 +274,7 @@ class SpMVService:
     def _program_key(
         fingerprint: str, device: PooledDevice, shard: Shard, sharded: bool
     ) -> str:
-        key = f"{fingerprint}@{device.config.name}"
+        key = f"{fingerprint}@{device.engine_name}"
         if sharded:
             key += f"@r{shard.row_start}-{shard.row_end}"
         return key
@@ -500,22 +503,25 @@ class SpMVService:
 
     def _load_program(self, shard_rt: _ShardRuntime, device: PooledDevice):
         """Fetch the shard's program, charging switch + (on miss) rebuild time."""
+
+        def build():
+            # The protocol's preparation hook, skipping prepare()'s capability
+            # re-check and content fingerprint (placement already vetted the
+            # shard, and the cache key is the program key).
+            return device.engine.build_payload(shard_rt.matrix)
+
         if device.resident_key == shard_rt.program_key:
             # Already resident in device HBM: the host cache is not consulted.
-            # Only the cycle-accurate mode needs the program data itself.
+            # Only the engine-executed mode needs the program data itself.
             program = None
             if self.compute == "simulate":
                 program = self.cache.get_or_build(
-                    shard_rt.program_key,
-                    lambda: device.accelerator.preprocess(shard_rt.matrix),
-                    params=device.config.to_partition_params(),
+                    shard_rt.program_key, build, params=device.engine.cache_params()
                 )
             return program, 0.0
         misses_before = self.cache.misses
         program = self.cache.get_or_build(
-            shard_rt.program_key,
-            lambda: device.accelerator.preprocess(shard_rt.matrix),
-            params=device.config.to_partition_params(),
+            shard_rt.program_key, build, params=device.engine.cache_params()
         )
         load_seconds = 0.0
         if self.cache.misses > misses_before:
@@ -523,7 +529,7 @@ class SpMVService:
             load_seconds += shard_rt.matrix.nnz / (
                 self.preprocess_mnnz_per_second * 1e6
             )
-        program_bytes = 8 * program.stored_elements
+        program_bytes = device.engine.payload_bytes(program)
         load_seconds += program_bytes / (self.program_load_gbps * 1e9)
         device.resident_key = shard_rt.program_key
         device.stats.program_switches += 1
@@ -541,21 +547,25 @@ class SpMVService:
             return None
         if self.compute == "reference":
             return spmv(entry.matrix, request.x, request.y, request.alpha, request.beta)
-        # Cycle-accurate: run each shard's datapath and concatenate the rows.
+        # Engine-executed: run each shard through its device engine (the
+        # cycle-accurate datapath on Serpens cards) and concatenate the rows.
         pieces = []
         for shard_rt in replica:
-            config = self.pool.device(shard_rt.shard.device_id).config
+            device = self.pool.device(shard_rt.shard.device_id)
             y_slice = (
                 None
                 if request.y is None
                 else request.y[shard_rt.shard.row_start : shard_rt.shard.row_end]
             )
-            result = SerpensSimulator(config).run(
-                programs[shard_rt.shard.device_id],
-                request.x,
-                y_slice,
-                request.alpha,
-                request.beta,
+            prepared = PreparedMatrix(
+                engine=device.engine.name,
+                matrix=shard_rt.matrix,
+                name=entry.handle.name,
+                fingerprint=shard_rt.program_key,
+                payload=programs[shard_rt.shard.device_id],
+            )
+            result = device.engine.execute(
+                prepared, request.x, y_slice, request.alpha, request.beta
             )
             pieces.append(result.y)
         return np.concatenate(pieces)

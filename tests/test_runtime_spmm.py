@@ -83,13 +83,36 @@ class TestSerpensRuntime:
         np.testing.assert_allclose(y, spmv(matrix, x), rtol=1e-4, atol=1e-5)
         assert report.matrix_name == "demo"
 
-    def test_duplicate_registration_returns_same_handle(self):
+    def test_duplicate_registration_same_name_returns_same_handle(self):
+        runtime = SerpensRuntime(config=small_config())
+        matrix = random_uniform(100, 100, 600, seed=9)
+        h1 = runtime.register(matrix, name="a")
+        h2 = runtime.register(matrix.copy(), name="a")
+        assert h1 == h2
+        assert len(runtime.registered_handles) == 1
+
+    def test_duplicate_registration_new_name_records_alias(self):
         runtime = SerpensRuntime(config=small_config())
         matrix = random_uniform(100, 100, 600, seed=9)
         h1 = runtime.register(matrix, name="a")
         h2 = runtime.register(matrix.copy(), name="b")
-        assert h1 == h2
+        # The caller gets back the name it asked for, not the old one.
+        assert h2.name == "b"
+        assert h1.name == "a"
+        assert h1.fingerprint == h2.fingerprint
+        # One matrix is registered (preprocessing ran once); "b" is an alias.
         assert len(runtime.registered_handles) == 1
+        assert runtime.aliases(h1) == (h2,)
+        # Re-registering either name returns the recorded handle.
+        assert runtime.register(matrix, name="a") == h1
+        assert runtime.register(matrix, name="b") == h2
+        # Both handles launch against the same cached program.
+        x = np.ones(100)
+        y_a, report_a = runtime.launch(h1, x)
+        y_b, report_b = runtime.launch(h2, x)
+        np.testing.assert_allclose(y_a, y_b)
+        assert report_a.matrix_name == "a"
+        assert report_b.matrix_name == "b"
 
     def test_statistics_accumulate(self):
         runtime = SerpensRuntime(config=small_config())
@@ -167,3 +190,40 @@ class TestSerpensRuntime:
         hook = runtime.spmv_callable(runtime.register(a))
         with pytest.raises(ValueError):
             hook(other, np.ones(60), None, 1.0, 0.0)
+
+    def test_spmv_callable_accepts_equal_content(self):
+        # An equal-content copy (different object, same fingerprint) passes
+        # the bound-matrix check and launches.
+        runtime = SerpensRuntime(config=small_config())
+        a = random_uniform(60, 60, 300, seed=17)
+        hook = runtime.spmv_callable(runtime.register(a))
+        y = hook(a.copy(), np.ones(60), None, 1.0, 0.0)
+        np.testing.assert_allclose(y, spmv(a, np.ones(60)), rtol=1e-4, atol=1e-5)
+
+    def test_statistics_aggregate_per_matrix_and_session(self):
+        runtime = SerpensRuntime(config=small_config())
+        a = random_uniform(80, 80, 400, seed=19)
+        b = random_uniform(90, 90, 500, seed=20)
+        ha = runtime.register(a, name="a")
+        hb = runtime.register(b, name="b")
+        for __ in range(2):
+            runtime.launch(ha, np.ones(80))
+        runtime.launch(hb, np.ones(90))
+
+        stats_a = runtime.statistics(ha)
+        stats_b = runtime.statistics(hb)
+        overall = runtime.statistics()
+        assert stats_a["launches"] == 2
+        assert stats_a["traversed_edges"] == 2 * a.nnz
+        assert stats_b["launches"] == 1
+        assert stats_b["traversed_edges"] == b.nnz
+        assert overall["registered_matrices"] == 2
+        assert overall["launches"] == 3
+        assert overall["traversed_edges"] == 2 * a.nnz + b.nnz
+        assert overall["accelerator_seconds"] == pytest.approx(
+            stats_a["accelerator_seconds"] + stats_b["accelerator_seconds"]
+        )
+
+    def test_runtime_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="SerpensRuntime is deprecated"):
+            SerpensRuntime(config=small_config())

@@ -191,3 +191,11 @@ class TestCLI:
         assert main(["figure3", "--count", "40", "--seed", "3"]) == 0
         out = capsys.readouterr().out
         assert "Geomean throughput ratio" in out
+
+    def test_backends_command_lists_registry(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("serpens-a16", "serpens-a24", "sextans", "graphlily", "k80", "cpu"):
+            assert name in out
+        assert "Tesla K80" in out
+        assert "unbounded" in out

@@ -162,7 +162,7 @@ class TestRuntimeIntegration:
         def fail_preprocess(matrix):
             raise AssertionError("preprocessing ran despite a warm disk cache")
 
-        monkeypatch.setattr(second._accelerator, "preprocess", fail_preprocess)
+        monkeypatch.setattr(second.engine.accelerator, "preprocess", fail_preprocess)
         handle = second.register(matrix, name="cached")
         assert handle.fingerprint == matrix_fingerprint(matrix)
         assert second.cache_stats()["disk_hits"] == 1
