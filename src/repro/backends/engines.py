@@ -48,11 +48,17 @@ __all__ = [
 
 
 class SerpensEngine(SpMVEngine):
-    """The cycle-accurate Serpens simulator behind the engine contract."""
+    """The cycle-accurate Serpens simulator behind the engine contract.
 
-    def __init__(self, config: SerpensConfig = SERPENS_A16):
+    ``mode`` selects the simulator execution engine: ``"fast"`` (default,
+    vectorised columnar path) or ``"reference"`` (per-element oracle); see
+    :data:`repro.serpens.EXECUTION_MODES`.
+    """
+
+    def __init__(self, config: SerpensConfig = SERPENS_A16, mode: str = "fast"):
         self.config = config
-        self.accelerator = SerpensAccelerator(config)
+        self.mode = mode
+        self.accelerator = SerpensAccelerator(config, mode=mode)
         self.name = config.name.lower()
 
     def spec(self) -> EngineSpec:
@@ -294,8 +300,10 @@ class CPUEngine(SpMVEngine):
         return report
 
 
-def _a24_engine(config: SerpensConfig = SERPENS_A24) -> SerpensEngine:
-    return SerpensEngine(config)
+def _a24_engine(
+    config: SerpensConfig = SERPENS_A24, mode: str = "fast"
+) -> SerpensEngine:
+    return SerpensEngine(config, mode=mode)
 
 
 #: (name, factory, description, aliases) of every built-in engine.

@@ -9,8 +9,9 @@ and never needs to know the concrete class.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from .base import SpMVEngine
 
@@ -18,6 +19,8 @@ __all__ = [
     "available",
     "create",
     "describe",
+    "factory_accepts",
+    "provision",
     "register",
     "registration",
     "resolve",
@@ -141,18 +144,28 @@ def describe() -> Tuple[EngineRegistration, ...]:
     return tuple(_REGISTRY[name] for name in available())
 
 
-def resolve(engine: Union[str, SpMVEngine]) -> SpMVEngine:
+def resolve(engine: Union[str, SpMVEngine], **engine_kwargs) -> SpMVEngine:
     """Turn a registry name, engine instance, or Serpens config into an engine.
 
     Accepting a :class:`~repro.serpens.SerpensConfig` directly keeps the
     ``SerpensRuntime(config=cfg)`` → ``Session(cfg)`` migration a one-token
     change and gives the pool, the Session and the application hooks one
     common spec vocabulary.
+
+    ``engine_kwargs`` are forwarded to the factory when a fresh engine is
+    constructed (e.g. ``mode="reference"`` for the Serpens engines); passing
+    them alongside an already-built engine instance is an error, because the
+    instance's configuration cannot be changed here.
     """
     if isinstance(engine, SpMVEngine):
+        if engine_kwargs:
+            raise ValueError(
+                "engine keyword overrides cannot be applied to an "
+                f"already-constructed engine instance ({engine!r})"
+            )
         return engine
     if isinstance(engine, str):
-        return create(engine)
+        return create(engine, **engine_kwargs)
     # Imported lazily: registry must stay importable before engines.py (which
     # imports this module) has finished loading.
     from ..serpens import SerpensConfig
@@ -160,8 +173,38 @@ def resolve(engine: Union[str, SpMVEngine]) -> SpMVEngine:
     if isinstance(engine, SerpensConfig):
         from .engines import SerpensEngine
 
-        return SerpensEngine(engine)
+        return SerpensEngine(engine, **engine_kwargs)
     raise TypeError(
         "expected an engine name, an SpMVEngine, or a SerpensConfig, "
         f"got {type(engine).__name__}"
     )
+
+
+def factory_accepts(name: str, keyword: str) -> bool:
+    """Whether a registry entry's factory takes the given keyword argument."""
+    factory = _lookup(name).factory
+    try:
+        parameters = inspect.signature(factory).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return keyword in parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+
+
+def provision(
+    engine: Union[str, SpMVEngine], mode: Optional[str] = None
+) -> SpMVEngine:
+    """Resolve an engine spec, applying an execution ``mode`` where supported.
+
+    This is the tolerant counterpart of :func:`resolve` that the Session and
+    the serving pool share: already-built engine instances are returned as-is
+    (their mode was chosen at construction), factories that take no ``mode``
+    keyword — the model-timed baselines — are created without it, and only
+    mode-aware factories (the Serpens simulators) receive the override.
+    """
+    if mode is None or isinstance(engine, SpMVEngine):
+        return resolve(engine)
+    if isinstance(engine, str) and not factory_accepts(engine, "mode"):
+        return resolve(engine)
+    return resolve(engine, mode=mode)

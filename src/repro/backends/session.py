@@ -29,7 +29,7 @@ import numpy as np
 from ..formats import COOMatrix
 from ..metrics import ExecutionReport
 from .base import PreparedMatrix, SpMVEngine, _as_coo
-from .registry import resolve
+from .registry import provision
 
 __all__ = ["MatrixHandle", "Session", "as_spmv_fn"]
 
@@ -80,6 +80,12 @@ class Session:
         Inject an existing :class:`~repro.serve.ProgramCache` (for example
         one shared with a serving pool); overrides ``cache_dir`` and
         ``cache_capacity``.
+    engine_mode:
+        Optional simulator execution mode (``"fast"`` / ``"reference"``)
+        applied when ``engine`` is a registry name or a Serpens config, with
+        the same tolerant semantics as the serving pool (see
+        :func:`repro.backends.provision`): engines without a mode ignore it,
+        already-built instances keep the mode they were constructed with.
     """
 
     def __init__(
@@ -88,12 +94,13 @@ class Session:
         cache_dir: Optional[Union[str, Path]] = None,
         cache_capacity: Optional[int] = None,
         program_cache=None,
+        engine_mode: Optional[str] = None,
     ) -> None:
         # Imported lazily: serve imports backends at module level, so
         # backends must not import serve at module level.
         from ..serve.cache import ProgramCache
 
-        self.engine = resolve(engine)
+        self.engine = provision(engine, mode=engine_mode)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.cache_capacity = cache_capacity
         if program_cache is None:

@@ -194,7 +194,7 @@ def _serve_bench(args: argparse.Namespace) -> str:
             args.scenario, args.requests, seed=args.seed, gap_scale=args.gap_scale
         )
         service = SpMVService(
-            pool=AcceleratorPool(list(configs)),
+            pool=AcceleratorPool(list(configs), engine_mode=args.sim_mode),
             policy=policy,
             max_batch=max_batch,
             cache_capacity=args.cache_capacity,
@@ -336,6 +336,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "comma-separated backend registry names for a heterogeneous pool "
             "(e.g. 'serpens-a16,serpens-a24,sextans'; overrides --devices/--a24)"
+        ),
+    )
+    serving.add_argument(
+        "--sim-mode",
+        type=str,
+        default="fast",
+        choices=("fast", "reference"),
+        help=(
+            "simulator execution mode for the pool's Serpens engines: "
+            "'fast' (vectorised columnar engine) or 'reference' "
+            "(per-element datapath oracle)"
         ),
     )
     return parser

@@ -6,6 +6,11 @@ Sections 3.2 and 3.4 (segment partitioning, index coalescing, conflict-aware
 non-zero reordering, 64-bit element encoding).
 """
 
+from .columnar import (
+    ColumnarProgram,
+    ColumnarSegment,
+    build_columnar,
+)
 from .encode import (
     COLUMN_BITS,
     PAD_COLUMN_SENTINEL,
@@ -93,6 +98,9 @@ __all__ = [
     "SegmentProgram",
     "SerpensProgram",
     "build_program",
+    "ColumnarProgram",
+    "ColumnarSegment",
+    "build_columnar",
     "save_program",
     "load_program",
     "program_channel_words",

@@ -124,11 +124,27 @@ class SerpensProgram:
     nnz: int
     segments: List[SegmentProgram]
     reorder_stats: ReorderStats
+    #: Lazily built columnar view (see :meth:`columnar`); not part of the
+    #: program's identity, so it is excluded from equality and repr.
+    _columnar: Optional[object] = field(default=None, repr=False, compare=False)
 
     @property
     def num_segments(self) -> int:
         """Number of x segments."""
         return len(self.segments)
+
+    def columnar(self):
+        """The packed structure-of-arrays view the fast simulator path runs.
+
+        Built once per program (on first use after build or load) and cached,
+        so repeated launches never re-decode the lane streams.  Returns a
+        :class:`~repro.preprocess.ColumnarProgram`.
+        """
+        if self._columnar is None:
+            from .columnar import build_columnar
+
+            self._columnar = build_columnar(self)
+        return self._columnar
 
     @property
     def total_compute_slots(self) -> int:

@@ -19,7 +19,7 @@ from .resources import (
     theoretical_row_depth,
     theoretical_uram,
 )
-from .simulator import SerpensSimulator, SimulationResult
+from .simulator import EXECUTION_MODES, SerpensSimulator, SimulationResult
 from .spmm import SpMMResult, estimate_spmm, spmm_via_spmv
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "estimate_hazard_slots",
     "ProcessingEngine",
     "AccumulationHazardError",
+    "EXECUTION_MODES",
     "ResourceUsage",
     "U280_AVAILABLE",
     "estimate_resources",

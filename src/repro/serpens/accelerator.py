@@ -37,9 +37,22 @@ class SerpensAccelerator:
     ----------
     config:
         Architecture configuration; defaults to the paper's Serpens-A16.
+    mode:
+        Simulator execution mode: ``"fast"`` (default, vectorised columnar
+        engine) or ``"reference"`` (per-element datapath model).  Both are
+        bit-identical in results, cycles and traffic.
     """
 
     config: SerpensConfig = SERPENS_A16
+    mode: str = "fast"
+
+    def __post_init__(self) -> None:
+        from .simulator import EXECUTION_MODES
+
+        if self.mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {self.mode!r}; use one of {EXECUTION_MODES}"
+            )
 
     # ------------------------------------------------------------------
     # Capability queries
@@ -86,7 +99,7 @@ class SerpensAccelerator:
         """
         if isinstance(matrix, CSRMatrix):
             matrix = matrix.to_coo()
-        simulator = SerpensSimulator(self.config)
+        simulator = SerpensSimulator(self.config, mode=self.mode)
         result: SimulationResult = simulator.run(
             program if program is not None else matrix, x, y, alpha, beta
         )
@@ -99,6 +112,7 @@ class SerpensAccelerator:
             bytes_moved=result.bytes_moved,
             extra={
                 "pe_utilisation": result.pe_utilisation,
+                "busy_pe_utilisation": result.busy_pe_utilisation,
                 "x_stream_cycles": float(result.cycles.x_stream_cycles),
                 "y_stream_cycles": float(result.cycles.y_stream_cycles),
                 "compute_cycles": float(result.cycles.compute_cycles),

@@ -17,18 +17,35 @@ The simulator is functional *and* timed: it produces the numerical result
 breakdown (which the performance evaluation uses), and it verifies along the
 way that the preprocessed stream never violates the accumulation hazard
 window or touches off-chip memory randomly.
+
+Two execution modes produce that result:
+
+* ``mode="fast"`` (default) runs the columnar engine: each segment's lane
+  streams are decoded once into packed NumPy arrays
+  (:meth:`~repro.preprocess.SerpensProgram.columnar`), the fp32 multiplies
+  and accumulations are vectorised (``np.add.at`` preserves the per-row
+  accumulation order, so the numerics are bit-identical to the per-element
+  model), and the hazard window is checked with a sorted per-URAM-entry
+  issue-cycle scan instead of per-element dict tracking.
+* ``mode="reference"`` replays every encoded element through the
+  :class:`~repro.serpens.pe.ProcessingEngine` datapath model.  It is orders
+  of magnitude slower and exists as the verification oracle the fast path is
+  proven against (and as the only engine that can *emulate* broken hardware:
+  with ``strict_hazard_check=False`` a hazardful stream needs element-by-
+  element stale-read modelling, so the fast path delegates that case to it).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..formats import COOMatrix
 from ..hbm import BoardMemorySystem, FLOATS_PER_WORD
 from ..preprocess import (
+    ColumnarSegment,
     PartitionParams,
     SerpensProgram,
     build_program,
@@ -36,9 +53,12 @@ from ..preprocess import (
 )
 from .config import SerpensConfig
 from .cycle_model import CycleBreakdown
-from .pe import ProcessingEngine
+from .pe import AccumulationHazardError, ProcessingEngine
 
-__all__ = ["SimulationResult", "SerpensSimulator"]
+__all__ = ["EXECUTION_MODES", "SimulationResult", "SerpensSimulator"]
+
+#: Execution modes of :class:`SerpensSimulator`.
+EXECUTION_MODES = ("fast", "reference")
 
 
 @dataclass
@@ -52,11 +72,21 @@ class SimulationResult:
     cycles:
         Phase-level cycle breakdown.
     pe_utilisation:
-        Mean fraction of PE issue slots carrying real elements.
+        Mean fraction of PE issue slots carrying real elements, averaged
+        over *every* PE of the array — a PE idled by load imbalance counts
+        as 0, so whole idle channels drag the mean down the way they drag
+        real throughput down.
     bytes_moved:
         Total off-chip traffic of the run.
     traffic_by_role:
         Bytes moved per channel role (sparse_A, dense_x, dense_y_in, ...).
+    busy_pe_utilisation:
+        The historical utilisation number: the mean over only the PEs that
+        received at least one issue slot.
+    hazard_violations:
+        Accumulation-hazard violations observed in the stream (always 0 for
+        a correctly reordered program; non-zero only with
+        ``strict_hazard_check=False`` on ablation streams).
     """
 
     y: np.ndarray
@@ -64,6 +94,8 @@ class SimulationResult:
     pe_utilisation: float
     bytes_moved: int
     traffic_by_role: Dict[str, int] = field(default_factory=dict)
+    busy_pe_utilisation: float = 0.0
+    hazard_violations: int = 0
 
     @property
     def total_cycles(self) -> int:
@@ -71,13 +103,49 @@ class SimulationResult:
         return self.cycles.total
 
 
-class SerpensSimulator:
-    """Replay a preprocessed program on a module-level model of Serpens."""
+@dataclass
+class _Phase1Outcome:
+    """What either execution engine hands back from the compute phase."""
 
-    def __init__(self, config: SerpensConfig, strict_hazard_check: bool = True):
+    accumulated: np.ndarray
+    x_stream_cycles: int
+    compute_cycles: int
+    lane_slots: np.ndarray
+    lane_real: np.ndarray
+    hazard_violations: int
+
+
+class SerpensSimulator:
+    """Replay a preprocessed program on a module-level model of Serpens.
+
+    Parameters
+    ----------
+    config:
+        The Serpens build to model.
+    strict_hazard_check:
+        When True (default) a stream violating the accumulation hazard
+        window raises; when False the violation is counted and the broken
+        hardware behaviour is emulated (the ablation configuration).
+    mode:
+        ``"fast"`` (default) runs the vectorised columnar engine,
+        ``"reference"`` the per-element datapath model.  Both produce
+        bit-identical fp32 results, cycle breakdowns and traffic.
+    """
+
+    def __init__(
+        self,
+        config: SerpensConfig,
+        strict_hazard_check: bool = True,
+        mode: str = "fast",
+    ):
+        if mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {mode!r}; use one of {EXECUTION_MODES}"
+            )
         self.config = config
         self.params: PartitionParams = config.to_partition_params()
         self.strict_hazard_check = strict_hazard_check
+        self.mode = mode
         self.memory = self._build_memory_system()
         self.pes = self._build_pes()
 
@@ -156,6 +224,46 @@ class SerpensSimulator:
         # --------------------------------------------------------------
         # Phase 1: per-segment x streaming and sparse computation.
         # --------------------------------------------------------------
+        if self.mode == "fast":
+            phase1 = self._phase1_fast(program, x, x_channel, sparse_channels)
+        else:
+            phase1 = self._phase1_reference(program, x, x_channel, sparse_channels)
+
+        # --------------------------------------------------------------
+        # Phase 2: drain accumulators through CompY and write y.
+        # --------------------------------------------------------------
+        y_out = alpha * phase1.accumulated + beta * y_in
+
+        y_in_channel.stream_read(4 * program.num_rows)
+        y_out_channel.stream_write(4 * program.num_rows)
+        y_stream_cycles = -(-program.num_rows // FLOATS_PER_WORD)
+
+        mean_utilisation, busy_utilisation = _utilisation_summary(
+            phase1.lane_slots, phase1.lane_real
+        )
+
+        breakdown = CycleBreakdown(
+            x_stream_cycles=phase1.x_stream_cycles,
+            y_stream_cycles=y_stream_cycles,
+            compute_cycles=phase1.compute_cycles,
+            overhead_cycles=0,
+        )
+        return SimulationResult(
+            y=y_out,
+            cycles=breakdown,
+            pe_utilisation=mean_utilisation,
+            bytes_moved=self.memory.total_bytes,
+            traffic_by_role=self.memory.traffic_by_role(),
+            busy_pe_utilisation=busy_utilisation,
+            hazard_violations=phase1.hazard_violations,
+        )
+
+    # ------------------------------------------------------------------
+    # Reference engine: one ProcessingEngine.process call per issue slot
+    # ------------------------------------------------------------------
+    def _phase1_reference(
+        self, program: SerpensProgram, x: np.ndarray, x_channel, sparse_channels
+    ) -> _Phase1Outcome:
         x_stream_cycles = 0
         compute_cycles = 0
         global_cycle = 0
@@ -192,32 +300,15 @@ class SerpensSimulator:
             # hazard window across the boundary.
             global_cycle += segment_slots + self.params.dsp_latency
 
-        # --------------------------------------------------------------
-        # Phase 2: drain accumulators through CompY and write y.
-        # --------------------------------------------------------------
-        accumulated = self._gather_output(program.num_rows)
-        y_out = alpha * accumulated + beta * y_in
-
-        y_in_channel.stream_read(4 * program.num_rows)
-        y_out_channel.stream_write(4 * program.num_rows)
-        y_stream_cycles = -(-program.num_rows // FLOATS_PER_WORD)
-        global_cycle += y_stream_cycles
-
-        utilisations = [pe.utilisation for pe in self.pes if pe.cycles_busy > 0]
-        mean_utilisation = float(np.mean(utilisations)) if utilisations else 0.0
-
-        breakdown = CycleBreakdown(
+        return _Phase1Outcome(
+            accumulated=self._gather_output(program.num_rows),
             x_stream_cycles=x_stream_cycles,
-            y_stream_cycles=y_stream_cycles,
             compute_cycles=compute_cycles,
-            overhead_cycles=0,
-        )
-        return SimulationResult(
-            y=y_out,
-            cycles=breakdown,
-            pe_utilisation=mean_utilisation,
-            bytes_moved=self.memory.total_bytes,
-            traffic_by_role=self.memory.traffic_by_role(),
+            lane_slots=np.array([pe.cycles_busy for pe in self.pes], dtype=np.int64),
+            lane_real=np.array(
+                [pe.elements_processed for pe in self.pes], dtype=np.int64
+            ),
+            hazard_violations=sum(pe.hazard_violations for pe in self.pes),
         )
 
     def _gather_output(self, num_rows: int) -> np.ndarray:
@@ -239,3 +330,200 @@ class SerpensSimulator:
             valid = global_rows < num_rows
             y[global_rows[valid]] = buffer[valid]
         return y
+
+    # ------------------------------------------------------------------
+    # Fast engine: vectorised columnar execution
+    # ------------------------------------------------------------------
+    def _remap_program_pes(self, program_params: PartitionParams) -> Optional[np.ndarray]:
+        """Program-PE → simulator-PE translation for cross-config replay.
+
+        A program carries PE ids computed with *its own* lanes-per-channel
+        stride; the reference engine re-derives the PE from (channel, lane)
+        with the simulator's stride, so replaying a program on a different
+        build lands elements on the PEs that build would feed.  Returns the
+        per-program-PE id table, or ``None`` when the layouts match and ids
+        pass through unchanged.
+        """
+        if (
+            program_params.pes_per_channel == self.params.pes_per_channel
+            and program_params.total_pes == self.params.total_pes
+        ):
+            return None
+        program_pe = np.arange(program_params.total_pes, dtype=np.int64)
+        channel = program_pe // program_params.pes_per_channel
+        lane = program_pe % program_params.pes_per_channel
+        return channel * self.params.pes_per_channel + lane
+
+    def _phase1_fast(
+        self, program: SerpensProgram, x: np.ndarray, x_channel, sparse_channels
+    ) -> _Phase1Outcome:
+        columnar = program.columnar()
+        params = self.params
+        rows_per_pe = params.rows_per_pe
+        pe_remap = self._remap_program_pes(program.params)
+
+        # Vectorised hazard scan plus address validation over every segment,
+        # before any state is touched.  The verdict is a pure function of
+        # (program, simulator params), so it is cached on the columnar view
+        # and repeated launches skip the O(nnz log nnz) scan entirely.  A
+        # violating stream either raises (strict mode) or — since broken-
+        # hardware numerics depend on element-by-element stale reads — sends
+        # the whole run through the reference engine, which models them.
+        violations = columnar.validation_cache.get(params)
+        if violations is None:
+            violations = 0
+            for segment in columnar.segments:
+                if segment.value.size:
+                    self._check_addresses(segment, rows_per_pe)
+                violations += self._scan_hazards(segment, pe_remap, False)
+            columnar.validation_cache[params] = violations
+        if violations:
+            if self.strict_hazard_check:
+                for segment in columnar.segments:  # cold path: re-find the
+                    self._scan_hazards(segment, pe_remap, True)  # first pair
+            return self._phase1_reference(program, x, x_channel, sparse_channels)
+
+        accumulator = np.zeros(params.total_pes * rows_per_pe, dtype=np.float32)
+        x32 = x.astype(np.float32)
+        x_stream_cycles = 0
+        compute_cycles = 0
+        lane_slots = np.zeros(params.total_pes, dtype=np.int64)
+        lane_real = np.zeros(params.total_pes, dtype=np.int64)
+
+        for segment in columnar.segments:
+            segment_length = segment.segment_length
+            x_channel.stream_read(4 * segment_length)
+            x_stream_cycles += -(-segment_length // FLOATS_PER_WORD)
+            for channel, slots in enumerate(segment.channel_slots):
+                sparse_channels[channel].stream_read(
+                    8 * int(slots) * params.pes_per_channel
+                )
+            compute_cycles += segment.compute_slots
+            if pe_remap is None:
+                lane_slots += segment.lane_slots
+                lane_real += segment.lane_real
+            else:
+                np.add.at(lane_slots, pe_remap, segment.lane_slots)
+                np.add.at(lane_real, pe_remap, segment.lane_real)
+
+            if segment.value.size == 0:
+                continue
+            # fp32 multiply against the resident x segment, then an ordered
+            # grouped accumulate: np.add.at applies repeated indices in array
+            # order, which is each accumulator's lane slot order — exactly
+            # the reference model's fp32 accumulation sequence.
+            products = segment.value * x32[segment.col_start : segment.col_end][
+                segment.column_offset
+            ]
+            pe = segment.pe.astype(np.int64)
+            if pe_remap is not None:
+                pe = pe_remap[pe]
+            flat_index = pe * rows_per_pe + segment.local_row.astype(np.int64)
+            np.add.at(accumulator, flat_index, products)
+
+        return _Phase1Outcome(
+            accumulated=self._gather_fast(accumulator, program.num_rows, rows_per_pe),
+            x_stream_cycles=x_stream_cycles,
+            compute_cycles=compute_cycles,
+            lane_slots=lane_slots,
+            lane_real=lane_real,
+            hazard_violations=0,
+        )
+
+    def _check_addresses(self, segment: ColumnarSegment, rows_per_pe: int) -> None:
+        """Reject elements outside this build's URAM or segment ranges.
+
+        The columnar build already validates against the *program's* own
+        parameters; this re-checks against the simulator's build, which may
+        be smaller when a program is replayed on a different configuration.
+        """
+        worst_row = int(segment.local_row.max())
+        if worst_row >= rows_per_pe:
+            raise IndexError(
+                f"local row {worst_row} maps beyond the {rows_per_pe} rows one "
+                f"PE's accumulation buffer holds in this configuration"
+            )
+        worst_col = int(segment.column_offset.max())
+        if worst_col >= segment.segment_length:
+            raise IndexError(
+                f"column offset {worst_col} outside the "
+                f"{segment.segment_length}-element x segment"
+            )
+
+    def _scan_hazards(
+        self,
+        segment: ColumnarSegment,
+        pe_remap: Optional[np.ndarray],
+        raise_on_violation: bool,
+    ) -> int:
+        """Count hazard-window violations in one segment, vectorised.
+
+        Elements are keyed by their URAM entry (per PE) and grouped with a
+        *stable* sort, so within one entry they stay in the per-element
+        model's processing order (lane-major, slot-ascending); consecutive
+        issue-slot differences are then compared against the DSP latency —
+        including the negative differences that arise when a cross-config
+        replay collapses two program lanes onto one PE and a later-processed
+        lane revisits an entry at an earlier cycle, exactly the pairs the
+        reference model's last-issue tracking flags.  Segment boundaries need
+        no special casing: the pipeline drain between segments always exceeds
+        the hazard window.
+        """
+        window = self.params.dsp_latency
+        if segment.local_row.size < 2:
+            return 0
+        if window <= 1 and pe_remap is None:
+            # Within one lane, consecutive issues to an entry are always >= 1
+            # slot apart, so a window of 1 cannot be violated.  Under a lane-
+            # collapsing remap that shortcut is unsound: a later-processed
+            # lane can revisit an entry at an *earlier or equal* cycle
+            # (diff <= 0 < window), so the scan must run.
+            return 0
+        entries_per_pe = self.params.urams_per_pe * self.params.uram_depth
+        entry = segment.local_row // self.params.rows_per_uram_entry
+        pe = segment.pe.astype(np.int64)
+        if pe_remap is not None:
+            pe = pe_remap[pe]
+        entry_code = pe * entries_per_pe + entry
+        order = np.argsort(entry_code, kind="stable")
+        sorted_code = entry_code[order]
+        sorted_slot = segment.issue_slot[order].astype(np.int64)
+        same_entry = sorted_code[1:] == sorted_code[:-1]
+        too_close = (sorted_slot[1:] - sorted_slot[:-1]) < window
+        violating = same_entry & too_close
+        count = int(np.count_nonzero(violating))
+        if count and raise_on_violation:
+            first = int(np.argmax(violating))
+            code = int(sorted_code[first])
+            raise AccumulationHazardError(
+                f"PE {code // entries_per_pe}: URAM entry {code % entries_per_pe} "
+                f"accessed at segment-{segment.segment_index} slots "
+                f"{int(sorted_slot[first])} and {int(sorted_slot[first + 1])}, "
+                f"closer than the DSP latency {window}"
+            )
+        return count
+
+    def _gather_fast(
+        self, accumulator: np.ndarray, num_rows: int, rows_per_pe: int
+    ) -> np.ndarray:
+        """Drain the flat accumulator into a global row vector."""
+        if num_rows == 0:
+            return np.zeros(0, dtype=np.float64)
+        from ..preprocess import map_rows
+
+        mapping = map_rows(np.arange(num_rows, dtype=np.int64), self.params)
+        flat_index = mapping.pe * rows_per_pe + mapping.local_row
+        return accumulator[flat_index].astype(np.float64)
+
+
+def _utilisation_summary(
+    lane_slots: np.ndarray, lane_real: np.ndarray
+) -> Tuple[float, float]:
+    """Per-PE utilisation ratios reduced to (all-PE mean, busy-PE mean)."""
+    slots = np.asarray(lane_slots, dtype=np.float64)
+    real = np.asarray(lane_real, dtype=np.float64)
+    busy = slots > 0
+    ratios = np.divide(real, slots, out=np.zeros_like(real), where=busy)
+    mean_all = float(np.mean(ratios)) if ratios.size else 0.0
+    mean_busy = float(np.mean(ratios[busy])) if busy.any() else 0.0
+    return mean_all, mean_busy

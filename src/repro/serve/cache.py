@@ -91,6 +91,7 @@ class ProgramCache:
         self.disk_hits = 0
         self.evictions = 0
         self.disk_evictions = 0
+        self.stale_evictions = 0
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             self._adopt_existing_files()
@@ -104,12 +105,15 @@ class ProgramCache:
         """Return the cached program for ``key``, or ``None`` on a miss.
 
         When ``params`` is given, a stored program built for different
-        architecture parameters is treated as a miss (the caller rebuilds
-        and overwrites), mirroring the runtime's configuration check.
+        architecture parameters is treated as a miss *and evicted from both
+        tiers*: leaving the mismatched entry resident would burn memory and
+        disk capacity on a program no caller with these params can use, and
+        re-miss on every subsequent lookup.
         """
         program = self._memory.get(key)
         if program is not None:
             if params is not None and getattr(program, "params", None) != params:
+                self._evict_stale(key)
                 self.misses += 1
                 return None
             self._memory.move_to_end(key)
@@ -120,6 +124,7 @@ class ProgramCache:
         program = self._load_from_disk(key)
         if program is not None:
             if params is not None and getattr(program, "params", None) != params:
+                self._evict_stale(key)
                 self.misses += 1
                 return None
             self._admit_to_memory(key, program)
@@ -129,6 +134,16 @@ class ProgramCache:
 
         self.misses += 1
         return None
+
+    def _evict_stale(self, key: str) -> None:
+        """Drop a params-mismatched entry from the memory and disk tiers."""
+        self._memory.pop(key, None)
+        path = self._disk.pop(key, None)
+        if path is None and self.cache_dir is not None:
+            path = self._path_for(key)
+        if path is not None and path.exists():
+            path.unlink()
+        self.stale_evictions += 1
 
     def put(self, key: str, program: SerpensProgram) -> None:
         """Insert (or refresh) a program under ``key`` in both tiers."""
@@ -188,6 +203,7 @@ class ProgramCache:
             "disk_hits": float(self.disk_hits),
             "evictions": float(self.evictions),
             "disk_evictions": float(self.disk_evictions),
+            "stale_evictions": float(self.stale_evictions),
             "hit_rate": self.hit_rate,
             "memory_entries": float(len(self._memory)),
             "disk_entries": float(len(self._disk)),

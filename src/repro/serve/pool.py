@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from ..backends import SpMVEngine, resolve
+from ..backends import SpMVEngine, provision
 from ..formats import COOMatrix
 from ..serpens import SERPENS_A16, SerpensConfig
 
@@ -45,9 +45,17 @@ PLACEMENT_POLICIES = ("least_loaded", "round_robin")
 DeviceSpec = Union[str, SpMVEngine, SerpensConfig]
 
 
-def as_engine(spec: DeviceSpec) -> SpMVEngine:
-    """Provision one device engine from a name, engine, or Serpens config."""
-    return resolve(spec)
+def as_engine(spec: DeviceSpec, engine_mode: Optional[str] = None) -> SpMVEngine:
+    """Provision one device engine from a name, engine, or Serpens config.
+
+    ``engine_mode`` selects the simulator execution mode for engines that
+    have one (the Serpens simulators); model-timed engines in a
+    heterogeneous pool, whose factories take no ``mode``, ignore it.
+    Already-built engine instances are returned as-is — their mode was
+    chosen at construction.  (A thin alias of
+    :func:`repro.backends.provision`, kept for the pool's vocabulary.)
+    """
+    return provision(spec, mode=engine_mode)
 
 
 @dataclass
@@ -183,12 +191,17 @@ class AcceleratorPool:
     placement_policy:
         ``"least_loaded"`` places on the device with the fewest resident
         non-zeros; ``"round_robin"`` cycles through devices.
+    engine_mode:
+        Optional simulator execution mode (``"fast"`` / ``"reference"``)
+        applied to every provisioned engine whose factory accepts it (see
+        :func:`as_engine`).
     """
 
     def __init__(
         self,
         configs: Sequence[DeviceSpec],
         placement_policy: str = "least_loaded",
+        engine_mode: Optional[str] = None,
     ) -> None:
         if not configs:
             raise ValueError("the pool needs at least one device")
@@ -198,8 +211,9 @@ class AcceleratorPool:
                 f"use one of {PLACEMENT_POLICIES}"
             )
         self.placement_policy = placement_policy
+        self.engine_mode = engine_mode
         self.devices: List[PooledDevice] = [
-            PooledDevice(device_id=i, engine=as_engine(spec))
+            PooledDevice(device_id=i, engine=as_engine(spec, engine_mode=engine_mode))
             for i, spec in enumerate(configs)
         ]
         self._round_robin_next = 0
@@ -210,13 +224,18 @@ class AcceleratorPool:
         num_devices: int,
         config: DeviceSpec = SERPENS_A16,
         placement_policy: str = "least_loaded",
+        engine_mode: Optional[str] = None,
     ) -> "AcceleratorPool":
         """A pool of ``num_devices`` identical cards.
 
         A registry-name ``config`` is provisioned once per device (each card
         gets its own engine instance).
         """
-        return cls([config] * num_devices, placement_policy=placement_policy)
+        return cls(
+            [config] * num_devices,
+            placement_policy=placement_policy,
+            engine_mode=engine_mode,
+        )
 
     # ------------------------------------------------------------------
     # Device access

@@ -21,6 +21,7 @@ which is the baseline the benchmarks compare against.
 
 from __future__ import annotations
 
+import warnings
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Set
@@ -82,11 +83,13 @@ class Scheduler:
         self._queues: "OrderedDict[str, Deque[Request]]" = OrderedDict()
         self._cost_fn: Optional[Callable[[str], float]] = None
         self._seq = 0
+        self._sjf_fallback_warned = False
         self.admitted = 0
         self.rejected = 0
         self.dispatched = 0
         self.batches = 0
         self.peak_depth = 0
+        self.sjf_fallbacks = 0
 
     # ------------------------------------------------------------------
     # Admission
@@ -147,11 +150,25 @@ class Scheduler:
         ]
         if not candidates:
             return None
-        if self.policy == "sjf" and self._cost_fn is not None:
-            # Shortest estimated launch first; oldest request breaks ties.
-            return min(
-                candidates, key=lambda item: (self._cost_fn(item[0]), item[1].seq)
-            )[0]
+        if self.policy == "sjf":
+            if self._cost_fn is not None:
+                # Shortest estimated launch first; oldest request breaks ties.
+                return min(
+                    candidates, key=lambda item: (self._cost_fn(item[0]), item[1].seq)
+                )[0]
+            # No cost oracle installed: the policy cannot rank jobs, so make
+            # the FIFO fallback loud (once) and visible in stats() instead of
+            # silently degrading into arrival-order dispatch.
+            self.sjf_fallbacks += 1
+            if not self._sjf_fallback_warned:
+                self._sjf_fallback_warned = True
+                warnings.warn(
+                    "Scheduler(policy='sjf') is dispatching without a cost "
+                    "oracle and falls back to FIFO order; install one with "
+                    "set_cost_fn() to get shortest-job-first behaviour",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
         return min(candidates, key=lambda item: item[1].seq)[0]
 
     def stats(self) -> Dict[str, float]:
@@ -166,4 +183,5 @@ class Scheduler:
             ),
             "peak_depth": float(self.peak_depth),
             "depth": float(self.depth),
+            "sjf_fallbacks": float(self.sjf_fallbacks),
         }

@@ -167,6 +167,10 @@ class SpMVService:
     preprocess_mnnz_per_second:
         Host preprocessing throughput (in millions of non-zeros per
         second) charged when a dispatch misses the program cache.
+    engine_mode:
+        Optional simulator execution mode (``"fast"`` / ``"reference"``)
+        forwarded to the shortcut pool construction; ignored when an
+        explicit ``pool`` is given (its devices are already built).
     """
 
     def __init__(
@@ -174,6 +178,7 @@ class SpMVService:
         pool: Optional[AcceleratorPool] = None,
         num_devices: int = 4,
         config: DeviceSpec = SERPENS_A16,
+        engine_mode: Optional[str] = None,
         policy: str = "fifo",
         max_batch: int = 32,
         max_queue_depth: Optional[int] = None,
@@ -190,7 +195,7 @@ class SpMVService:
                 f"unknown compute mode {compute!r}; use one of {COMPUTE_MODES}"
             )
         self.pool = pool if pool is not None else AcceleratorPool.homogeneous(
-            num_devices, config
+            num_devices, config, engine_mode=engine_mode
         )
         self.scheduler = Scheduler(
             policy=policy, max_batch=max_batch, max_queue_depth=max_queue_depth

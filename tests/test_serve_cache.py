@@ -57,13 +57,24 @@ class TestProgramCacheMemory:
         assert cache.get("a") is programs["a"]
         assert cache.get("c") is programs["c"]
 
-    def test_params_mismatch_is_a_miss(self):
+    def test_params_mismatch_is_a_miss_and_evicts(self):
         cache = ProgramCache()
         matrix = random_uniform(60, 60, 400, seed=2)
         cache.put("m", build_program(matrix))
         other = small_config(segment_width=64).to_partition_params()
         assert cache.get("m", params=other) is None
+        # The mismatched program is evicted, not left burning LRU capacity:
+        # even a lookup with the original params now misses.
+        assert "m" not in cache
+        assert cache.get("m", params=small_config().to_partition_params()) is None
+        assert cache.stale_evictions == 1
+
+    def test_params_match_survives_lookup(self):
+        cache = ProgramCache()
+        matrix = random_uniform(60, 60, 400, seed=2)
+        cache.put("m", build_program(matrix))
         assert cache.get("m", params=small_config().to_partition_params()) is not None
+        assert cache.stale_evictions == 0
 
     def test_get_or_build_builds_once(self):
         cache = ProgramCache(capacity=4)
@@ -107,6 +118,32 @@ class TestProgramCacheDisk:
         assert reloaded is not None
         assert reloaded.nnz == a.nnz
         assert cache.disk_hits == 1
+
+    def test_params_mismatch_evicts_memory_and_disk(self, tmp_path):
+        cache = ProgramCache(capacity=4, cache_dir=tmp_path, disk_capacity=4)
+        cache.put("m", build_program(random_uniform(60, 60, 400, seed=30)))
+        assert len(list(tmp_path.glob("serpens_program_*.npz"))) == 1
+        other = small_config(segment_width=64).to_partition_params()
+        assert cache.get("m", params=other) is None
+        # Both tiers let go of the unusable program: no resident entry, no
+        # stale file, and a fresh cache over the same directory sees nothing.
+        assert "m" not in cache
+        assert cache.disk_keys() == []
+        assert list(tmp_path.glob("serpens_program_*.npz")) == []
+        assert ProgramCache(cache_dir=tmp_path).get("m") is None
+        assert cache.stale_evictions == 1
+
+    def test_params_mismatch_found_only_on_disk_is_evicted(self, tmp_path):
+        writer = ProgramCache(cache_dir=tmp_path)
+        writer.put("m", build_program(random_uniform(60, 60, 400, seed=31)))
+        # A fresh cache adopts the file, so the lookup goes through the disk
+        # tier; the mismatch must unlink the adopted file as well.
+        reader = ProgramCache(cache_dir=tmp_path)
+        other = small_config(segment_width=64).to_partition_params()
+        assert reader.get("m", params=other) is None
+        assert list(tmp_path.glob("serpens_program_*.npz")) == []
+        assert reader.stale_evictions == 1
+        assert reader.get("m", params=small_config().to_partition_params()) is None
 
     def test_adopts_existing_files(self, tmp_path):
         first = ProgramCache(cache_dir=tmp_path)

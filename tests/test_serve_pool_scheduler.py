@@ -148,6 +148,28 @@ class TestScheduler:
         scheduler.admit(make_request(1, "fast"))
         assert [r.request_id for r in scheduler.next_batch()] == [1]
         assert [r.request_id for r in scheduler.next_batch()] == [0]
+        assert scheduler.stats()["sjf_fallbacks"] == 0
+
+    def test_sjf_without_oracle_warns_once_and_records_fallback(self):
+        scheduler = Scheduler(policy="sjf", max_batch=1)
+        scheduler.admit(make_request(0, "slow"))
+        scheduler.admit(make_request(1, "fast"))
+        with pytest.warns(RuntimeWarning, match="cost oracle"):
+            first = scheduler.next_batch()
+        # FIFO fallback: arrival order, not cost order.
+        assert [r.request_id for r in first] == [0]
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")  # a second warning would raise
+            assert [r.request_id for r in scheduler.next_batch()] == [1]
+        assert scheduler.stats()["sjf_fallbacks"] == 2
+
+    def test_fifo_policy_records_no_sjf_fallbacks(self):
+        scheduler = Scheduler(policy="fifo", max_batch=1)
+        scheduler.admit(make_request(0, "a"))
+        scheduler.next_batch()
+        assert scheduler.stats()["sjf_fallbacks"] == 0
 
     def test_runnable_filter_restricts_choice(self):
         scheduler = Scheduler(policy="fifo", max_batch=8)

@@ -1,0 +1,345 @@
+"""Fast-path / reference equivalence tests for the Serpens simulator.
+
+The fast columnar engine is only trustworthy if it is *indistinguishable*
+from the per-element reference model: bit-identical fp32 numerics, identical
+cycle breakdowns and off-chip traffic, identical utilisation statistics, and
+identical hazard detection on streams that violate the accumulation window.
+These tests prove that contract across the generator suite and the ablation
+configurations.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.generators import (
+    banded_matrix,
+    block_sparse_matrix,
+    laplacian_2d,
+    random_uniform,
+    random_with_dense_rows,
+    rmat_graph,
+)
+from repro.preprocess import ColumnarProgram, build_program
+from repro.serpens import (
+    EXECUTION_MODES,
+    AccumulationHazardError,
+    SerpensConfig,
+    SerpensSimulator,
+)
+from repro.spmv import spmv
+
+
+def small_config(**overrides):
+    defaults = dict(
+        name="Serpens-fastpath",
+        num_sparse_channels=2,
+        pes_per_channel=4,
+        urams_per_pe=2,
+        uram_depth=128,
+        segment_width=64,
+        dsp_latency=4,
+    )
+    defaults.update(overrides)
+    return SerpensConfig(**defaults)
+
+
+def run_both_modes(matrix, config=None, alpha=1.0, beta=0.0, seed=0):
+    """Run one SpMV through both engines on a shared program."""
+    config = config or small_config()
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, matrix.num_cols)
+    y = rng.uniform(-1, 1, matrix.num_rows)
+    program = build_program(matrix, config.to_partition_params())
+    fast = SerpensSimulator(config, mode="fast").run(program, x, y, alpha, beta)
+    reference = SerpensSimulator(config, mode="reference").run(
+        program, x, y, alpha, beta
+    )
+    return fast, reference, (x, y)
+
+
+def assert_equivalent(fast, reference):
+    """The full fast-vs-reference contract, down to the bit."""
+    assert np.array_equal(fast.y, reference.y), "fp32 results must be bit-identical"
+    assert fast.cycles == reference.cycles
+    assert fast.total_cycles == reference.total_cycles
+    assert fast.bytes_moved == reference.bytes_moved
+    assert fast.traffic_by_role == reference.traffic_by_role
+    assert fast.pe_utilisation == reference.pe_utilisation
+    assert fast.busy_pe_utilisation == reference.busy_pe_utilisation
+    assert fast.hazard_violations == reference.hazard_violations
+
+
+#: (label, builder) for every generator family of the suite.
+GENERATOR_SUITE = [
+    ("random", lambda seed: random_uniform(240, 200, 2500, seed=seed)),
+    ("random-hot-rows", lambda seed: random_with_dense_rows(
+        180, 180, 2600, dense_row_share=0.6, seed=seed
+    )),
+    ("rmat", lambda seed: rmat_graph(300, 3200, seed=seed)),
+    ("banded", lambda seed: banded_matrix(220, bandwidth=5, seed=seed)),
+    ("block", lambda seed: block_sparse_matrix(
+        20, 20, block_size=10, block_density=0.02, seed=seed
+    )),
+    ("laplacian", lambda seed: laplacian_2d(15, 14)),
+]
+
+
+class TestEquivalenceAcrossGenerators:
+    @pytest.mark.parametrize("label,builder", GENERATOR_SUITE, ids=[g[0] for g in GENERATOR_SUITE])
+    @pytest.mark.parametrize("seed", [1, 7])
+    def test_bitwise_equivalence(self, label, builder, seed):
+        matrix = builder(seed)
+        fast, reference, (x, y) = run_both_modes(
+            matrix, alpha=1.5, beta=-0.5, seed=seed
+        )
+        assert_equivalent(fast, reference)
+        golden = spmv(matrix, x, y, 1.5, -0.5)
+        np.testing.assert_allclose(fast.y, golden, rtol=1e-4, atol=1e-5)
+
+    def test_equivalence_without_coalescing(self):
+        matrix = random_uniform(200, 200, 2200, seed=3)
+        fast, reference, __ = run_both_modes(
+            matrix, config=small_config(coalesce_rows=False)
+        )
+        assert_equivalent(fast, reference)
+
+    def test_equivalence_on_paper_configuration(self):
+        from repro.serpens import SERPENS_A16
+
+        matrix = rmat_graph(1500, 15_000, seed=5)
+        fast, reference, __ = run_both_modes(matrix, config=SERPENS_A16)
+        assert_equivalent(fast, reference)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(num_sparse_channels=4),  # more channels, same lane stride
+            dict(pes_per_channel=8),  # different lane stride
+        ],
+        ids=["more-channels", "wider-channels"],
+    )
+    def test_equivalence_replaying_on_a_larger_build(self, overrides):
+        # A program built for a small build replayed on a larger simulator:
+        # the reference engine re-derives PE ids with the simulator's stride,
+        # and the fast engine must land every element on the same PEs.
+        matrix = random_uniform(200, 200, 2500, seed=4)
+        program = build_program(matrix, small_config().to_partition_params())
+        bigger = small_config(**overrides)
+        x = np.random.default_rng(0).uniform(-1, 1, matrix.num_cols)
+        fast = SerpensSimulator(bigger, mode="fast").run(program, x)
+        reference = SerpensSimulator(bigger, mode="reference").run(program, x)
+        assert_equivalent(fast, reference)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_equivalence_replaying_on_a_narrower_build(self, seed):
+        # The lossy direction: a program built for wider channels replayed on
+        # a narrower build collapses several program lanes onto one simulator
+        # PE.  The merged streams usually violate the hazard window, so both
+        # engines must agree on detection (strict) and on the violation count
+        # plus the broken-hardware numerics (non-strict).
+        wide = small_config(pes_per_channel=8)
+        narrow = small_config(num_sparse_channels=4, pes_per_channel=4)
+        matrix = random_uniform(200, 200, 2500, seed=seed)
+        program = build_program(matrix, wide.to_partition_params())
+        x = np.random.default_rng(seed).uniform(-1, 1, matrix.num_cols)
+
+        outcomes = []
+        for mode in EXECUTION_MODES:
+            try:
+                outcomes.append(SerpensSimulator(narrow, mode=mode).run(program, x))
+            except AccumulationHazardError:
+                outcomes.append("hazard")
+        if isinstance(outcomes[0], str) or isinstance(outcomes[1], str):
+            assert outcomes[0] == outcomes[1]
+        else:
+            assert_equivalent(outcomes[0], outcomes[1])
+
+        fast = SerpensSimulator(narrow, strict_hazard_check=False, mode="fast").run(
+            program, x
+        )
+        reference = SerpensSimulator(
+            narrow, strict_hazard_check=False, mode="reference"
+        ).run(program, x)
+        assert_equivalent(fast, reference)
+
+    def test_lane_collapse_detects_hazards_even_with_window_one(self):
+        # A window of 1 is unviolable within one lane, but a lane-collapsing
+        # replay lets a later-processed lane revisit an entry at an earlier
+        # or equal cycle (diff <= 0 < 1) — the reference engine flags those,
+        # and the fast scan's window<=1 shortcut must not skip them.
+        wide = small_config(pes_per_channel=4, dsp_latency=1)
+        narrow = small_config(
+            num_sparse_channels=4, pes_per_channel=2, dsp_latency=1
+        )
+        matrix = random_uniform(120, 100, 900, seed=17)
+        program = build_program(matrix, wide.to_partition_params())
+        x = np.random.default_rng(17).uniform(-1, 1, matrix.num_cols)
+        for mode in EXECUTION_MODES:
+            with pytest.raises(AccumulationHazardError):
+                SerpensSimulator(narrow, mode=mode).run(program, x)
+        fast = SerpensSimulator(narrow, strict_hazard_check=False, mode="fast").run(
+            program, x
+        )
+        reference = SerpensSimulator(
+            narrow, strict_hazard_check=False, mode="reference"
+        ).run(program, x)
+        assert fast.hazard_violations > 0
+        assert_equivalent(fast, reference)
+
+    def test_validation_verdict_is_cached_per_build(self):
+        config = small_config()
+        matrix = random_uniform(120, 120, 1200, seed=16)
+        program = build_program(matrix, config.to_partition_params())
+        simulator = SerpensSimulator(config, mode="fast")
+        x = np.ones(matrix.num_cols)
+        simulator.run(program, x)
+        cache = program.columnar().validation_cache
+        assert cache == {config.to_partition_params(): 0}
+        # A different build gets its own verdict entry.
+        other = small_config(num_sparse_channels=4)
+        SerpensSimulator(other, mode="fast").run(program, x)
+        assert cache[other.to_partition_params()] == 0
+        assert len(cache) == 2
+
+    def test_equivalence_on_empty_matrix(self):
+        from repro.formats import COOMatrix
+
+        fast, reference, __ = run_both_modes(COOMatrix.empty(30, 30), beta=0.75)
+        assert_equivalent(fast, reference)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        num_rows=st.integers(min_value=1, max_value=120),
+        num_cols=st.integers(min_value=1, max_value=120),
+        density=st.floats(min_value=0.005, max_value=0.2),
+        alpha=st.floats(min_value=-2.0, max_value=2.0),
+        beta=st.floats(min_value=-2.0, max_value=2.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_equivalence_property(self, num_rows, num_cols, density, alpha, beta, seed):
+        nnz = max(1, int(num_rows * num_cols * density))
+        matrix = random_uniform(num_rows, num_cols, nnz, seed=seed)
+        fast, reference, __ = run_both_modes(matrix, alpha=alpha, beta=beta, seed=seed)
+        assert_equivalent(fast, reference)
+
+
+class TestHazardParity:
+    """Both engines must agree on streams that violate the hazard window."""
+
+    def hazardful_program(self, matrix, config):
+        # Reorder with window 1 (no constraint), then simulate with a larger
+        # window — the ablation showing the reordering is load-bearing.
+        loose = replace(config.to_partition_params(), dsp_latency=1)
+        return build_program(matrix, loose)
+
+    def test_strict_mode_raises_in_both_engines(self):
+        config = small_config()
+        matrix = random_uniform(200, 200, 3000, seed=9)
+        program = self.hazardful_program(matrix, config)
+        x = np.random.default_rng(0).uniform(-1, 1, matrix.num_cols)
+        for mode in EXECUTION_MODES:
+            with pytest.raises(AccumulationHazardError):
+                SerpensSimulator(config, mode=mode).run(program, x)
+
+    def test_non_strict_counts_and_numerics_match(self):
+        config = small_config()
+        matrix = random_uniform(200, 200, 3000, seed=9)
+        program = self.hazardful_program(matrix, config)
+        x = np.random.default_rng(0).uniform(-1, 1, matrix.num_cols)
+        fast = SerpensSimulator(config, strict_hazard_check=False, mode="fast").run(
+            program, x
+        )
+        reference = SerpensSimulator(
+            config, strict_hazard_check=False, mode="reference"
+        ).run(program, x)
+        assert fast.hazard_violations > 0
+        assert_equivalent(fast, reference)
+
+    def test_clean_stream_reports_zero_violations(self):
+        matrix = random_uniform(150, 150, 1800, seed=10)
+        fast, reference, __ = run_both_modes(matrix)
+        assert fast.hazard_violations == 0
+        assert reference.hazard_violations == 0
+
+
+class TestColumnarView:
+    def test_columnar_is_cached_on_the_program(self):
+        config = small_config()
+        matrix = random_uniform(100, 100, 900, seed=11)
+        program = build_program(matrix, config.to_partition_params())
+        first = program.columnar()
+        assert isinstance(first, ColumnarProgram)
+        assert program.columnar() is first
+
+    def test_columnar_accounts_for_every_nonzero(self):
+        config = small_config()
+        matrix = random_uniform(130, 140, 1500, seed=12)
+        program = build_program(matrix, config.to_partition_params())
+        columnar = program.columnar()
+        assert columnar.nnz == matrix.nnz
+        assert sum(seg.num_real for seg in columnar.segments) == matrix.nnz
+        assert sum(int(seg.lane_real.sum()) for seg in columnar.segments) == matrix.nnz
+        for seg, obj_seg in zip(columnar.segments, program.segments):
+            assert seg.compute_slots == obj_seg.compute_slots
+            assert int(seg.lane_slots.sum()) >= int(seg.lane_real.sum())
+
+    def test_columnar_survives_serialisation_round_trip(self, tmp_path):
+        from repro.preprocess import load_program, save_program
+
+        config = small_config()
+        matrix = random_uniform(90, 90, 800, seed=13)
+        program = build_program(matrix, config.to_partition_params())
+        save_program(tmp_path / "p.npz", program)
+        reloaded = load_program(tmp_path / "p.npz")
+        x = np.random.default_rng(1).uniform(-1, 1, matrix.num_cols)
+        original = SerpensSimulator(config, mode="fast").run(program, x)
+        replayed = SerpensSimulator(config, mode="fast").run(reloaded, x)
+        assert np.array_equal(original.y, replayed.y)
+        assert original.cycles == replayed.cycles
+
+    def test_program_reuse_across_fast_runs(self):
+        config = small_config()
+        matrix = random_uniform(150, 150, 1500, seed=14)
+        program = build_program(matrix, config.to_partition_params())
+        simulator = SerpensSimulator(config, mode="fast")
+        rng = np.random.default_rng(15)
+        for __ in range(3):
+            x = rng.uniform(-1, 1, matrix.num_cols)
+            result = simulator.run(program, x)
+            np.testing.assert_allclose(result.y, spmv(matrix, x), rtol=1e-4, atol=1e-5)
+
+
+class TestModeSelection:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="execution mode"):
+            SerpensSimulator(small_config(), mode="warp-speed")
+
+    def test_fast_is_the_default(self):
+        assert SerpensSimulator(small_config()).mode == "fast"
+
+    def test_utilisation_counts_idle_pes(self):
+        # One non-zero on a 2-channel build: only one channel's lanes get an
+        # issue slot (the owning lane carries the element, its siblings a
+        # padding bubble), the other channel idles entirely.  The busy-PE
+        # mean sees only the first channel; the all-PE mean also charges the
+        # idle channel, halving the number.
+        from repro.formats import COOMatrix
+
+        config = small_config()
+        matrix = COOMatrix.from_triples(16, 16, [(0, 0, 2.0)])
+        x = np.ones(16)
+        for mode in EXECUTION_MODES:
+            result = SerpensSimulator(config, mode=mode).run(matrix, x)
+            assert result.busy_pe_utilisation == pytest.approx(
+                1.0 / config.pes_per_channel
+            )
+            assert result.pe_utilisation == pytest.approx(1.0 / config.total_pes)
+            assert result.pe_utilisation < result.busy_pe_utilisation
