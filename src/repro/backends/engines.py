@@ -50,15 +50,23 @@ __all__ = [
 class SerpensEngine(SpMVEngine):
     """The cycle-accurate Serpens simulator behind the engine contract.
 
-    ``mode`` selects the simulator execution engine: ``"fast"`` (default,
-    vectorised columnar path) or ``"reference"`` (per-element oracle); see
-    :data:`repro.serpens.EXECUTION_MODES`.
+    ``mode`` selects the simulator execution engine and ``build_mode`` the
+    program builder ``prepare`` runs: ``"fast"`` (default, vectorised) or
+    ``"reference"`` (per-element oracle) for either; see
+    :data:`repro.serpens.EXECUTION_MODES` and
+    :data:`repro.preprocess.BUILD_MODES`.
     """
 
-    def __init__(self, config: SerpensConfig = SERPENS_A16, mode: str = "fast"):
+    def __init__(
+        self,
+        config: SerpensConfig = SERPENS_A16,
+        mode: str = "fast",
+        build_mode: str = "fast",
+    ):
         self.config = config
         self.mode = mode
-        self.accelerator = SerpensAccelerator(config, mode=mode)
+        self.build_mode = build_mode
+        self.accelerator = SerpensAccelerator(config, mode=mode, build_mode=build_mode)
         self.name = config.name.lower()
 
     def spec(self) -> EngineSpec:
@@ -301,9 +309,9 @@ class CPUEngine(SpMVEngine):
 
 
 def _a24_engine(
-    config: SerpensConfig = SERPENS_A24, mode: str = "fast"
+    config: SerpensConfig = SERPENS_A24, mode: str = "fast", build_mode: str = "fast"
 ) -> SerpensEngine:
-    return SerpensEngine(config, mode=mode)
+    return SerpensEngine(config, mode=mode, build_mode=build_mode)
 
 
 #: (name, factory, description, aliases) of every built-in engine.

@@ -193,18 +193,29 @@ def factory_accepts(name: str, keyword: str) -> bool:
 
 
 def provision(
-    engine: Union[str, SpMVEngine], mode: Optional[str] = None
+    engine: Union[str, SpMVEngine],
+    mode: Optional[str] = None,
+    build_mode: Optional[str] = None,
 ) -> SpMVEngine:
-    """Resolve an engine spec, applying an execution ``mode`` where supported.
+    """Resolve an engine spec, applying execution/build modes where supported.
 
     This is the tolerant counterpart of :func:`resolve` that the Session and
     the serving pool share: already-built engine instances are returned as-is
-    (their mode was chosen at construction), factories that take no ``mode``
-    keyword — the model-timed baselines — are created without it, and only
-    mode-aware factories (the Serpens simulators) receive the override.
+    (their modes were chosen at construction), factories that take no
+    ``mode`` / ``build_mode`` keyword — the model-timed baselines — are
+    created without them, and only mode-aware factories (the Serpens
+    simulators) receive the overrides.  ``mode`` selects the simulator
+    execution engine, ``build_mode`` the program builder ``prepare`` runs.
     """
-    if mode is None or isinstance(engine, SpMVEngine):
+    if isinstance(engine, SpMVEngine):
         return resolve(engine)
-    if isinstance(engine, str) and not factory_accepts(engine, "mode"):
-        return resolve(engine)
-    return resolve(engine, mode=mode)
+    kwargs = {}
+    if mode is not None:
+        kwargs["mode"] = mode
+    if build_mode is not None:
+        kwargs["build_mode"] = build_mode
+    if isinstance(engine, str):
+        kwargs = {
+            key: value for key, value in kwargs.items() if factory_accepts(engine, key)
+        }
+    return resolve(engine, **kwargs)

@@ -20,6 +20,7 @@ now a thin deprecated subclass bound to a :class:`~repro.backends.SerpensEngine`
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
@@ -53,6 +54,9 @@ class _RegisteredMatrix:
     launches: int = 0
     accelerator_seconds: float = 0.0
     traversed_edges: int = 0
+    #: Host wall-clock seconds spent preparing this matrix at registration
+    #: (near zero when the program cache already held the payload).
+    prepare_seconds: float = 0.0
 
     def known_as(self, name: str) -> Optional[MatrixHandle]:
         if name == self.handle.name:
@@ -86,6 +90,10 @@ class Session:
         the same tolerant semantics as the serving pool (see
         :func:`repro.backends.provision`): engines without a mode ignore it,
         already-built instances keep the mode they were constructed with.
+    build_mode:
+        Optional program-builder mode (``"fast"`` / ``"reference"``) applied
+        with the same tolerant semantics; it selects the preprocessing
+        pipeline ``prepare`` runs on cache misses.
     """
 
     def __init__(
@@ -95,12 +103,13 @@ class Session:
         cache_capacity: Optional[int] = None,
         program_cache=None,
         engine_mode: Optional[str] = None,
+        build_mode: Optional[str] = None,
     ) -> None:
         # Imported lazily: serve imports backends at module level, so
         # backends must not import serve at module level.
         from ..serve.cache import ProgramCache
 
-        self.engine = provision(engine, mode=engine_mode)
+        self.engine = provision(engine, mode=engine_mode, build_mode=build_mode)
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.cache_capacity = cache_capacity
         if program_cache is None:
@@ -149,11 +158,13 @@ class Session:
         # build_payload is the protocol's preparation hook; calling it
         # directly (rather than prepare()) avoids re-checking capabilities
         # and re-hashing the matrix, both done just above.
+        prepare_started = time.perf_counter()
         payload = self.program_cache.get_or_build(
             self.engine.program_key(fingerprint),
             lambda: self.engine.build_payload(matrix),
             params=self.engine.cache_params(),
         )
+        prepare_seconds = time.perf_counter() - prepare_started
         prepared = PreparedMatrix(
             engine=self.engine.name,
             matrix=matrix,
@@ -168,7 +179,9 @@ class Session:
             num_cols=matrix.num_cols,
             nnz=matrix.nnz,
         )
-        self._matrices[fingerprint] = _RegisteredMatrix(handle=handle, prepared=prepared)
+        self._matrices[fingerprint] = _RegisteredMatrix(
+            handle=handle, prepared=prepared, prepare_seconds=prepare_seconds
+        )
         return handle
 
     def cache_stats(self) -> Dict[str, float]:
@@ -233,6 +246,7 @@ class Session:
             "registered_matrices": float(len(entries)),
             "launches": float(launches),
             "accelerator_seconds": seconds,
+            "prepare_seconds": sum(e.prepare_seconds for e in entries),
             "traversed_edges": float(edges),
             "average_mteps": (edges / seconds / 1e6) if seconds > 0 else 0.0,
         }

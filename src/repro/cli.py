@@ -194,7 +194,9 @@ def _serve_bench(args: argparse.Namespace) -> str:
             args.scenario, args.requests, seed=args.seed, gap_scale=args.gap_scale
         )
         service = SpMVService(
-            pool=AcceleratorPool(list(configs), engine_mode=args.sim_mode),
+            pool=AcceleratorPool(
+                list(configs), engine_mode=args.sim_mode, build_mode=args.build_mode
+            ),
             policy=policy,
             max_batch=max_batch,
             cache_capacity=args.cache_capacity,
@@ -212,6 +214,7 @@ def _serve_bench(args: argparse.Namespace) -> str:
                 overall.p99 * 1e3,
                 report.scheduler_stats["mean_batch_size"],
                 100 * report.cache_stats["hit_rate"],
+                telemetry.prepare_count,
             ]
         )
         last_report = report
@@ -226,6 +229,7 @@ def _serve_bench(args: argparse.Namespace) -> str:
             "p99 ms",
             "mean batch",
             "cache hit %",
+            "cold builds",
         ],
         rows,
         title=(
@@ -347,6 +351,17 @@ def build_parser() -> argparse.ArgumentParser:
             "simulator execution mode for the pool's Serpens engines: "
             "'fast' (vectorised columnar engine) or 'reference' "
             "(per-element datapath oracle)"
+        ),
+    )
+    serving.add_argument(
+        "--build-mode",
+        type=str,
+        default="fast",
+        choices=("fast", "reference"),
+        help=(
+            "program-builder mode for the pool's Serpens engines: 'fast' "
+            "(vectorised array builder) or 'reference' (per-element oracle); "
+            "this is the host preprocessing every cache miss pays"
         ),
     )
     return parser

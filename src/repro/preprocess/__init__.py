@@ -14,15 +14,20 @@ from .columnar import (
 from .encode import (
     COLUMN_BITS,
     PAD_COLUMN_SENTINEL,
+    PAD_WORD,
     ROW_BITS,
     EncodedElement,
+    decode_array,
     decode_element,
     decode_stream,
+    encode_array,
     encode_element,
     encode_stream,
     is_padding_word,
     make_padding,
+    validate_packed_fields,
 )
+from .fastbuild import build_program_fast, schedule_lane_issue_slots
 from .mapping import (
     CapacityError,
     RowMapping,
@@ -45,6 +50,7 @@ from .partition import (
     segment_bounds,
 )
 from .program import (
+    BUILD_MODES,
     ChannelSegment,
     LaneStream,
     SegmentProgram,
@@ -65,11 +71,15 @@ __all__ = [
     "EncodedElement",
     "encode_element",
     "decode_element",
+    "encode_array",
+    "decode_array",
     "encode_stream",
     "decode_stream",
     "make_padding",
     "is_padding_word",
+    "validate_packed_fields",
     "PAD_COLUMN_SENTINEL",
+    "PAD_WORD",
     "COLUMN_BITS",
     "ROW_BITS",
     "PartitionParams",
@@ -98,6 +108,9 @@ __all__ = [
     "SegmentProgram",
     "SerpensProgram",
     "build_program",
+    "build_program_fast",
+    "schedule_lane_issue_slots",
+    "BUILD_MODES",
     "ColumnarProgram",
     "ColumnarSegment",
     "build_columnar",

@@ -97,6 +97,46 @@ class ColumnarSegment:
         """Real non-zeros carried by this segment."""
         return int(self.value.size)
 
+    @classmethod
+    def from_parts(
+        cls,
+        segment_index: int,
+        col_start: int,
+        col_end: int,
+        pe_parts: List[np.ndarray],
+        row_parts: List[np.ndarray],
+        col_parts: List[np.ndarray],
+        val_parts: List[np.ndarray],
+        slot_parts: List[np.ndarray],
+        lane_slots: np.ndarray,
+        lane_real: np.ndarray,
+        channel_slots: np.ndarray,
+    ) -> "ColumnarSegment":
+        """Assemble one segment from per-lane (or per-channel) array chunks.
+
+        Shared by every producer that accumulates the lane-major element
+        arrays piecewise (the object-form decoder, the deserialiser), so the
+        empty-segment fallbacks and dtypes live in one place.
+        """
+        empty_i32 = np.empty(0, dtype=np.int32)
+        return cls(
+            segment_index=segment_index,
+            col_start=col_start,
+            col_end=col_end,
+            pe=np.concatenate(pe_parts) if pe_parts else empty_i32,
+            local_row=np.concatenate(row_parts) if row_parts else empty_i32,
+            column_offset=np.concatenate(col_parts) if col_parts else empty_i32,
+            value=(
+                np.concatenate(val_parts)
+                if val_parts
+                else np.empty(0, dtype=np.float32)
+            ),
+            issue_slot=np.concatenate(slot_parts) if slot_parts else empty_i32,
+            lane_slots=lane_slots,
+            lane_real=lane_real,
+            channel_slots=channel_slots,
+        )
+
 
 @dataclass(frozen=True)
 class ColumnarProgram:
@@ -127,6 +167,17 @@ class ColumnarProgram:
     def total_compute_slots(self) -> int:
         """Total PE-array cycles spent on sparse elements (incl. padding)."""
         return sum(seg.compute_slots for seg in self.segments)
+
+    @property
+    def stored_elements(self) -> int:
+        """Elements stored in the accelerator-side format, padding included.
+
+        Every slot of every lane is materialised as a 64-bit element in HBM,
+        so this is ``pes_per_channel`` times the channel slot total.
+        """
+        return self.params.pes_per_channel * sum(
+            int(seg.channel_slots.sum()) for seg in self.segments
+        )
 
 
 def build_columnar(program: "SerpensProgram") -> ColumnarProgram:
@@ -191,20 +242,15 @@ def build_columnar(program: "SerpensProgram") -> ColumnarProgram:
                     np.fromiter((s for s, __ in real), dtype=np.int32, count=len(real))
                 )
 
-        empty_i32 = np.empty(0, dtype=np.int32)
-        columnar = ColumnarSegment(
+        columnar = ColumnarSegment.from_parts(
             segment_index=seg.segment_index,
             col_start=seg.col_start,
             col_end=seg.col_end,
-            pe=np.concatenate(pe_parts) if pe_parts else empty_i32,
-            local_row=np.concatenate(row_parts) if row_parts else empty_i32,
-            column_offset=np.concatenate(col_parts) if col_parts else empty_i32,
-            value=(
-                np.concatenate(val_parts)
-                if val_parts
-                else np.empty(0, dtype=np.float32)
-            ),
-            issue_slot=np.concatenate(slot_parts) if slot_parts else empty_i32,
+            pe_parts=pe_parts,
+            row_parts=row_parts,
+            col_parts=col_parts,
+            val_parts=val_parts,
+            slot_parts=slot_parts,
             lane_slots=lane_slots,
             lane_real=lane_real,
             channel_slots=channel_slots,

@@ -31,12 +31,16 @@ import numpy as np
 __all__ = [
     "EncodedElement",
     "PAD_COLUMN_SENTINEL",
+    "PAD_WORD",
     "COLUMN_BITS",
     "ROW_BITS",
     "encode_element",
     "decode_element",
+    "encode_array",
+    "decode_array",
     "make_padding",
     "is_padding_word",
+    "validate_packed_fields",
 ]
 
 #: Bits reserved for the in-segment column offset.
@@ -50,6 +54,35 @@ PAD_COLUMN_SENTINEL = (1 << COLUMN_BITS) - 1
 
 _MAX_COLUMN_OFFSET = PAD_COLUMN_SENTINEL - 1
 _MAX_LOCAL_ROW = (1 << ROW_BITS) - 1
+
+#: The 64-bit wire word of a padding element (column sentinel, row 0, value 0).
+PAD_WORD = np.uint64(PAD_COLUMN_SENTINEL << ROW_BITS) << np.uint64(32)
+
+
+def _column_range_error(offset: int) -> ValueError:
+    return ValueError(
+        f"column offset {offset} exceeds the {COLUMN_BITS}-bit segment range"
+    )
+
+
+def _row_range_error(row: int) -> ValueError:
+    return ValueError(f"local row {row} exceeds the {ROW_BITS}-bit range")
+
+
+def validate_packed_fields(local_row: np.ndarray, column_offset: np.ndarray) -> None:
+    """Range-check real (non-padding) element fields, vectorised.
+
+    The single validator behind :class:`EncodedElement`, :func:`encode_array`
+    and the fast program builder: column offsets must fit the segment range
+    (the padding sentinel excluded) and local rows the row-address field.
+    Raises ``ValueError`` naming the first out-of-range value.
+    """
+    row = np.asarray(local_row)
+    col = np.asarray(column_offset)
+    if col.size and (col.min() < 0 or col.max() > _MAX_COLUMN_OFFSET):
+        raise _column_range_error(int(col.min()) if col.min() < 0 else int(col.max()))
+    if row.size and (row.min() < 0 or row.max() > _MAX_LOCAL_ROW):
+        raise _row_range_error(int(row.min()) if row.min() < 0 else int(row.max()))
 
 
 @dataclass(frozen=True)
@@ -79,14 +112,9 @@ class EncodedElement:
         if self.is_padding:
             return
         if not 0 <= self.column_offset <= _MAX_COLUMN_OFFSET:
-            raise ValueError(
-                f"column offset {self.column_offset} exceeds the "
-                f"{COLUMN_BITS}-bit segment range"
-            )
+            raise _column_range_error(self.column_offset)
         if not 0 <= self.local_row <= _MAX_LOCAL_ROW:
-            raise ValueError(
-                f"local row {self.local_row} exceeds the {ROW_BITS}-bit range"
-            )
+            raise _row_range_error(self.local_row)
 
 
 def make_padding() -> EncodedElement:
@@ -127,6 +155,61 @@ def decode_element(word: int) -> EncodedElement:
 def is_padding_word(word: int) -> bool:
     """True when a 64-bit wire word encodes a padding element."""
     return ((word >> 32) >> ROW_BITS) == PAD_COLUMN_SENTINEL
+
+
+def encode_array(
+    local_row: np.ndarray,
+    column_offset: np.ndarray,
+    value: np.ndarray,
+    is_padding: np.ndarray = None,
+) -> np.ndarray:
+    """Pack parallel field arrays into their 64-bit wire words, vectorised.
+
+    This is the bulk counterpart of :func:`encode_element`: the same layout
+    (``[column_offset:14][local_row:18][fp32 value:32]``), the same range
+    checks, one ``uint64`` word per input element, with no per-element Python
+    objects.  ``is_padding`` (optional boolean mask) substitutes the padding
+    sentinel word for the marked elements regardless of their field values.
+    """
+    row = np.asarray(local_row, dtype=np.int64)
+    col = np.asarray(column_offset, dtype=np.int64)
+    val = np.asarray(value, dtype=np.float32)
+    # Validate the real elements before any padding substitution; the
+    # sentinel offset is reserved, so a non-padding element carrying it
+    # must fail loudly (as EncodedElement does), not encode as a bubble.
+    if is_padding is None:
+        validate_packed_fields(row, col)
+    else:
+        real = ~np.asarray(is_padding, dtype=bool)
+        validate_packed_fields(row[real], col[real])
+    if is_padding is not None:
+        pad = np.asarray(is_padding, dtype=bool)
+        row = np.where(pad, 0, row)
+        col = np.where(pad, PAD_COLUMN_SENTINEL, col)
+        val = np.where(pad, np.float32(0.0), val)
+    index_word = (col.astype(np.uint64) << np.uint64(ROW_BITS)) | row.astype(np.uint64)
+    value_bits = val.view(np.uint32).astype(np.uint64)
+    return (index_word << np.uint64(32)) | value_bits
+
+
+def decode_array(words: np.ndarray):
+    """Unpack 64-bit wire words into parallel field arrays, vectorised.
+
+    Returns ``(local_row, column_offset, value, is_padding)``; the first two
+    are ``int32``, ``value`` is the fp32 wire value, and padding elements
+    carry the same normalised fields as :func:`make_padding` (row 0, column
+    sentinel, value 0).  Bulk counterpart of :func:`decode_element`.
+    """
+    w = np.ascontiguousarray(words, dtype=np.uint64)
+    value = (w & np.uint64(0xFFFFFFFF)).astype(np.uint32).view(np.float32)
+    index_word = w >> np.uint64(32)
+    local_row = (index_word & np.uint64(_MAX_LOCAL_ROW)).astype(np.int32)
+    column_offset = (index_word >> np.uint64(ROW_BITS)).astype(np.int32)
+    is_padding = column_offset == PAD_COLUMN_SENTINEL
+    if is_padding.any():
+        local_row = np.where(is_padding, np.int32(0), local_row)
+        value = np.where(is_padding, np.float32(0.0), value)
+    return local_row, column_offset, value, is_padding
 
 
 def encode_stream(elements) -> np.ndarray:

@@ -1,0 +1,436 @@
+"""Vectorized program builder: COO arrays to a packed program in NumPy.
+
+This is the fast counterpart of the reference (per-element) preprocessing
+pipeline in :mod:`repro.preprocess.program`.  The reference path builds one
+Python :class:`~repro.preprocess.EncodedElement` per non-zero, schedules every
+lane with a per-element heap and re-decodes the objects into arrays for the
+fast simulator; this module produces the same program — bit-identically, down
+to slot order, padding bubbles and reorder statistics — with array passes:
+
+* row mapping and segment/channel/lane routing are pure index arithmetic
+  (:func:`repro.preprocess.map_rows` plus one composite-key sort),
+* the hazard-window scheduler reproduces
+  :func:`~repro.preprocess.schedule_conflict_free`'s longest-queue-first
+  greedy with a window-bucketed simulation: only *contended* conflict keys
+  (two or more elements in a lane) are stepped cycle by cycle — in lock-step
+  across every lane of every segment at once — while the long tail of
+  single-element keys is scheduled analytically as the sorted "parade" the
+  greedy degenerates to once contention drains,
+* the packed :class:`~repro.preprocess.ColumnarProgram` is assembled directly
+  from the scheduled arrays; the per-element object form is only materialised
+  lazily if a consumer asks for it.
+
+The scheduler equivalence argument, in brief: the greedy pops, per cycle, the
+ready key with the largest remaining count (ties by smallest key).  Keys with
+one element never re-enter cooldown, so among them the greedy always prefers
+the smallest — a sorted parade consumed head-first.  Keys with two or more
+elements ("hot" keys) are the only source of cooldown and padding, so they
+are simulated exactly; once every hot key of a lane is down to at most one
+remaining element *and* out of its hazard window, every remaining element is
+ready forever and the greedy provably pops them in ascending key order with
+no further padding — that suffix is emitted in one vectorised pass.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+from ..formats import COOMatrix
+from .columnar import ColumnarProgram, ColumnarSegment
+from .encode import validate_packed_fields
+from .mapping import check_capacity, map_rows
+from .params import PartitionParams
+from .partition import num_segments, segment_bounds
+from .reorder import ReorderStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .program import SerpensProgram
+
+__all__ = ["build_program_fast", "schedule_lane_issue_slots"]
+
+
+def schedule_lane_issue_slots(
+    lane: np.ndarray, key: np.ndarray, window: int
+) -> np.ndarray:
+    """Per-lane conflict-free issue slots, bit-identical to the reference.
+
+    Parameters
+    ----------
+    lane:
+        Integer lane id per element; lanes are scheduled independently, so
+        callers fold (segment, channel, lane) into one id.
+    key:
+        Conflict key per element (the URAM entry).  Elements sharing a key
+        within a lane are kept at least ``window`` slots apart.
+    window:
+        The DSP accumulation latency ``T``.
+
+    Returns the issue slot of every element within its lane — exactly the
+    slot :func:`~repro.preprocess.schedule_conflict_free` would assign when
+    run on the lane's elements in storage order (padding bubbles appear as
+    gaps in the returned slots).
+    """
+    if window < 1:
+        raise ValueError("window must be at least 1")
+    lane = np.asarray(lane, dtype=np.int64)
+    key = np.asarray(key, dtype=np.int64)
+    n = lane.size
+    issue = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return issue
+    key_floor = int(key.min())
+    if key_floor < 0:
+        # The priority encoding assumes non-negative keys; a uniform shift
+        # preserves the greedy's (count, smallest-key) ordering exactly.
+        key = key - key_floor
+    if window == 1:
+        # No hazard constraint: the reference keeps storage order per lane.
+        order = np.argsort(lane, kind="stable")
+        ls = lane[order]
+        starts = np.flatnonzero(np.r_[True, ls[1:] != ls[:-1]])
+        sizes = np.diff(np.r_[starts, n])
+        issue[order] = np.arange(n) - np.repeat(starts, sizes)
+        return issue
+
+    order = _stable_lane_key_order(lane, key)
+    gs = lane[order]
+    ks = key[order]
+    newgrp = np.r_[True, (gs[1:] != gs[:-1]) | (ks[1:] != ks[:-1])]
+    grp_start = np.flatnonzero(newgrp)
+    grp_count = np.diff(np.r_[grp_start, n])
+    grp_lane_g = gs[grp_start]
+    grp_key = ks[grp_start]
+
+    # Compact lane numbering over the lanes actually present.
+    lane_newgrp = np.r_[True, grp_lane_g[1:] != grp_lane_g[:-1]]
+    num_lanes = int(np.count_nonzero(lane_newgrp))
+    grp_lane = np.cumsum(lane_newgrp) - 1
+    els_lane = np.repeat(grp_lane, grp_count)
+
+    issue_s = np.full(n, -1, dtype=np.int64)
+    quiesce_t = np.zeros(num_lanes, dtype=np.int64)
+
+    multi = grp_count >= 2
+    if multi.any():
+        quiesce_t = _simulate_contention(
+            issue_s,
+            grp_start,
+            grp_count,
+            grp_key,
+            grp_lane,
+            multi,
+            num_lanes,
+            int(ks.max()),
+            window,
+        )
+
+    # Quiesced tail: every remaining element is the last of its key and out
+    # of cooldown, so the greedy pops them consecutively in ascending key
+    # order — which is exactly the (lane, key)-sorted residue of issue_s.
+    tail = np.flatnonzero(issue_s == -1)
+    if tail.size:
+        tl = els_lane[tail]
+        tstarts = np.flatnonzero(np.r_[True, tl[1:] != tl[:-1]])
+        tsizes = np.diff(np.r_[tstarts, tail.size])
+        ranks = np.arange(tail.size) - np.repeat(tstarts, tsizes)
+        issue_s[tail] = quiesce_t[tl] + ranks
+    issue[order] = issue_s
+    return issue
+
+
+def _stable_lane_key_order(lane: np.ndarray, key: np.ndarray) -> np.ndarray:
+    """Stable sort by (lane, key): one composite quicksort when the bits fit."""
+    n = lane.size
+    gb = int(lane.max()).bit_length()
+    kb = int(key.max()).bit_length()
+    nb = (n - 1).bit_length()
+    if gb + kb + nb <= 62 and lane.min() >= 0 and key.min() >= 0:
+        composite = (
+            (lane << np.int64(kb + nb))
+            | (key << np.int64(nb))
+            | np.arange(n, dtype=np.int64)
+        )
+        return np.argsort(composite)
+    return np.lexsort((key, lane))
+
+
+def _simulate_contention(
+    issue_s: np.ndarray,
+    grp_start: np.ndarray,
+    grp_count: np.ndarray,
+    grp_key: np.ndarray,
+    grp_lane: np.ndarray,
+    multi: np.ndarray,
+    num_lanes: int,
+    max_key: int,
+    window: int,
+) -> np.ndarray:
+    """Cycle-step the contended keys of every lane in lock-step.
+
+    Hot keys (two or more elements) are tracked with remaining count,
+    cooldown release cycle and priority; the per-lane head of the sorted
+    single-element "parade" competes as one extra candidate.  Every cycle
+    pops at most one winner per lane, exactly as the reference greedy.
+    Returns the per-lane quiesce cycle from which the analytic tail runs.
+    """
+    FAR = np.int64(1) << 60
+    # Priority = count * M + (M - 1 - key): count-major, then smallest key.
+    M = np.int64(1) << max(max_key, 1).bit_length()
+
+    hot_sel = np.flatnonzero(multi)
+    hot_lane = grp_lane[hot_sel]
+    hot_count = grp_count[hot_sel].astype(np.int64)
+    hot_start = grp_start[hot_sel]
+    hot_used = np.zeros(hot_sel.size, dtype=np.int64)
+    hot_release = np.zeros(hot_sel.size, dtype=np.int64)  # FAR once depleted
+    hot_prio = hot_count * M + (M - 1 - grp_key[hot_sel])
+
+    single_sel = np.flatnonzero(~multi)
+    par_elem = grp_start[single_sel]
+    par_key = grp_key[single_sel]
+    par_lane = grp_lane[single_sel]
+    lanes = np.arange(num_lanes)
+    par_end = np.searchsorted(par_lane, lanes, side="right")
+    par_ptr = np.searchsorted(par_lane, lanes)
+
+    # Hot groups are (lane, key)-sorted, so each lane owns one contiguous run.
+    hot_lanes_u, hot_seg_start = np.unique(hot_lane, return_index=True)
+
+    # Quiescence is tracked event-wise: the number of keys still above count
+    # one, and the latest cooldown release among keys with one element left.
+    lane_multi2 = np.bincount(hot_lane, minlength=num_lanes)
+    lane_pending = np.zeros(num_lanes, dtype=np.int64)
+    active = np.zeros(num_lanes, dtype=bool)
+    active[hot_lanes_u] = True
+    n_active = int(active.sum())
+    n_depleted = 0
+    quiesce_t = np.zeros(num_lanes, dtype=np.int64)
+
+    t = np.int64(0)
+    while n_active:
+        elig = hot_release <= t
+        eprio = np.where(elig, hot_prio, np.int64(-1))
+        seg_max = np.maximum.reduceat(eprio, hot_seg_start)
+        lane_hot_max = np.full(num_lanes, -1, dtype=np.int64)
+        lane_hot_max[hot_lanes_u] = seg_max
+
+        has_head = active & (par_ptr < par_end)
+        if par_key.size:
+            safe_ptr = np.minimum(par_ptr, par_key.size - 1)
+            head_prio = np.where(
+                has_head, M + (M - 1 - par_key[safe_ptr]), np.int64(-1)
+            )
+        else:
+            head_prio = np.full(num_lanes, -1, dtype=np.int64)
+
+        hot_wins_lane = active & (lane_hot_max > head_prio)
+        par_wins_lane = active & (head_prio > lane_hot_max)
+
+        if hot_wins_lane.any():
+            # Ties are impossible: priorities embed the (unique) key.
+            winner_prio = np.where(hot_wins_lane, lane_hot_max, np.int64(-2))
+            widx = np.flatnonzero(eprio == winner_prio[hot_lane])
+            issue_s[hot_start[widx] + hot_used[widx]] = t
+            hot_used[widx] += 1
+            hot_count[widx] -= 1
+            hot_prio[widx] -= M
+            depleted = hot_count[widx] == 0
+            hot_release[widx] = np.where(depleted, FAR, t + window)
+            wl = hot_lane[widx]
+            np.subtract.at(lane_multi2, wl[hot_count[widx] == 1], 1)
+            lane_pending[wl[~depleted]] = t + window
+            n_depleted += int(np.count_nonzero(depleted))
+        if par_wins_lane.any():
+            lidx = np.flatnonzero(par_wins_lane)
+            issue_s[par_elem[par_ptr[lidx]]] = t
+            par_ptr[lidx] += 1
+
+        newly = active & (lane_multi2 == 0) & (lane_pending <= t + 1)
+        if newly.any():
+            quiesce_t[newly] = t + 1
+            active &= ~newly
+            n_active -= int(np.count_nonzero(newly))
+
+        # Compact inert state out of the hot arrays: depleted keys (their
+        # last element is popped, release pinned at FAR) and keys of lanes
+        # that already quiesced.  Both are pure dead weight for every
+        # remaining per-cycle pass.
+        if (
+            n_active
+            and hot_count.size > 1024
+            and (2 * n_depleted > hot_count.size or 3 * n_active < hot_lanes_u.size)
+        ):
+            keep = (hot_count > 0) & active[hot_lane]
+            hot_lane = hot_lane[keep]
+            hot_count = hot_count[keep]
+            hot_start = hot_start[keep]
+            hot_used = hot_used[keep]
+            hot_release = hot_release[keep]
+            hot_prio = hot_prio[keep]
+            hot_lanes_u, hot_seg_start = np.unique(hot_lane, return_index=True)
+            n_depleted = 0
+        t += 1
+    return quiesce_t
+
+
+def build_program_fast(matrix: COOMatrix, params: PartitionParams) -> "SerpensProgram":
+    """Run the preprocessing pipeline entirely on arrays.
+
+    Produces a :class:`~repro.preprocess.SerpensProgram` backed by its packed
+    columnar form, bit-identical to ``build_program(..., "reference")`` in
+    encoded words, lane schedules, padding and statistics.
+    """
+    from .program import SerpensProgram
+
+    check_capacity(matrix.num_rows, params)
+    segment_count = num_segments(matrix.num_cols, params)
+    nnz = matrix.nnz
+    total_pes = params.total_pes
+
+    if nnz == 0:
+        segments = [
+            _empty_segment(s, matrix.num_cols, params) for s in range(segment_count)
+        ]
+        return SerpensProgram(
+            params=params,
+            num_rows=matrix.num_rows,
+            num_cols=matrix.num_cols,
+            nnz=0,
+            reorder_stats=ReorderStats(0, 0, 0),
+            columnar=ColumnarProgram(
+                params=params,
+                num_rows=matrix.num_rows,
+                num_cols=matrix.num_cols,
+                nnz=0,
+                segments=segments,
+            ),
+        )
+
+    mapping = map_rows(matrix.rows, params)
+    seg_idx = matrix.cols // params.segment_width
+    column_offset = matrix.cols - seg_idx * params.segment_width
+    lane_id = seg_idx * total_pes + mapping.pe
+
+    # The same range validation the reference path performs element by
+    # element (EncodedElement.__post_init__ and build_columnar).
+    validate_packed_fields(mapping.local_row, column_offset)
+    worst_row = int(mapping.local_row.max())
+    if worst_row >= params.rows_per_pe:
+        raise IndexError(
+            f"local row {worst_row} is beyond the {params.rows_per_pe} rows one "
+            f"PE's accumulation buffer holds"
+        )
+
+    issue = schedule_lane_issue_slots(lane_id, mapping.uram_entry, params.dsp_latency)
+
+    # Final columnar order: lane-major (pe ascending within segment), slot
+    # ascending within lane.
+    order = _lane_slot_order(lane_id, issue, int(issue.max()))
+    sorted_lane = lane_id[order]
+    issue_sorted64 = issue[order]
+    seg_bounds = np.searchsorted(
+        sorted_lane, np.arange(segment_count + 1, dtype=np.int64) * total_pes
+    )
+
+    # Per-lane aggregates over the dense (segment, pe) lane space: the last
+    # element of each lane's sorted run carries the lane's highest slot.
+    lane_space = segment_count * total_pes
+    lane_real_full = np.bincount(lane_id, minlength=lane_space)
+    run_end = np.r_[sorted_lane[1:] != sorted_lane[:-1], True]
+    lane_last = np.full(lane_space, -1, dtype=np.int64)
+    lane_last[sorted_lane[run_end]] = issue_sorted64[run_end]
+    pre_align_slots = lane_last + 1  # 0 for empty lanes
+
+    # Reorder statistics are pre-alignment, exactly as the reference
+    # accumulates them lane by lane.
+    total_slots = int(pre_align_slots.sum())
+    stats = ReorderStats(
+        num_elements=nnz, num_slots=total_slots, num_padding=total_slots - nnz
+    )
+
+    # Lock-step alignment: every lane of a channel runs as long as the
+    # channel's slowest lane.
+    by_channel = pre_align_slots.reshape(
+        segment_count, params.num_channels, params.pes_per_channel
+    )
+    channel_slots = by_channel.max(axis=2)  # (segments, channels)
+    lane_slots_aligned = np.repeat(
+        channel_slots, params.pes_per_channel, axis=1
+    )  # (segments, total_pes)
+
+    pe_sorted = mapping.pe[order].astype(np.int32)
+    row_sorted = mapping.local_row[order].astype(np.int32)
+    col_sorted = column_offset[order].astype(np.int32)
+    val_sorted = matrix.values[order].astype(np.float32)
+    issue_sorted = issue_sorted64.astype(np.int32)
+
+    segments: List[ColumnarSegment] = []
+    for s in range(segment_count):
+        lo, hi = int(seg_bounds[s]), int(seg_bounds[s + 1])
+        col_start, col_end = segment_bounds(s, matrix.num_cols, params)
+        segments.append(
+            ColumnarSegment(
+                segment_index=s,
+                col_start=col_start,
+                col_end=col_end,
+                pe=pe_sorted[lo:hi],
+                local_row=row_sorted[lo:hi],
+                column_offset=col_sorted[lo:hi],
+                value=val_sorted[lo:hi],
+                issue_slot=issue_sorted[lo:hi],
+                lane_slots=lane_slots_aligned[s].astype(np.int64),
+                lane_real=lane_real_full[s * total_pes : (s + 1) * total_pes].astype(
+                    np.int64
+                ),
+                channel_slots=channel_slots[s].astype(np.int64),
+            )
+        )
+
+    columnar = ColumnarProgram(
+        params=params,
+        num_rows=matrix.num_rows,
+        num_cols=matrix.num_cols,
+        nnz=nnz,
+        segments=segments,
+    )
+    return SerpensProgram(
+        params=params,
+        num_rows=matrix.num_rows,
+        num_cols=matrix.num_cols,
+        nnz=nnz,
+        reorder_stats=stats,
+        columnar=columnar,
+    )
+
+
+def _lane_slot_order(
+    lane_id: np.ndarray, issue: np.ndarray, max_slot_bound: int
+) -> np.ndarray:
+    """Sort elements by (lane, issue slot); slots are unique within a lane."""
+    lb = int(lane_id.max()).bit_length()
+    sb = max(max_slot_bound, 1).bit_length()
+    if lb + sb <= 62:
+        return np.argsort((lane_id << np.int64(sb)) | issue)
+    return np.lexsort((issue, lane_id))
+
+
+def _empty_segment(
+    segment: int, num_cols: int, params: PartitionParams
+) -> ColumnarSegment:
+    col_start, col_end = segment_bounds(segment, num_cols, params)
+    empty_i32 = np.empty(0, dtype=np.int32)
+    return ColumnarSegment(
+        segment_index=segment,
+        col_start=col_start,
+        col_end=col_end,
+        pe=empty_i32,
+        local_row=empty_i32,
+        column_offset=empty_i32,
+        value=np.empty(0, dtype=np.float32),
+        issue_slot=empty_i32,
+        lane_slots=np.zeros(params.total_pes, dtype=np.int64),
+        lane_real=np.zeros(params.total_pes, dtype=np.int64),
+        channel_slots=np.zeros(params.num_channels, dtype=np.int64),
+    )

@@ -7,15 +7,28 @@ to its owning PE lane, the per-lane streams are reordered to respect the
 floating-point accumulation hazard window, padding bubbles are inserted where
 needed, and each element is encoded into the 64-bit wire format.
 
-The result, a :class:`SerpensProgram`, is exactly what the cycle-accurate
-simulator replays, and its statistics (slots, padding, imbalance) feed the
-detailed performance model.
+Two builders produce the same :class:`SerpensProgram`:
+
+* ``build_mode="fast"`` (default) runs the vectorised array pipeline in
+  :mod:`repro.preprocess.fastbuild` — COO arrays straight to the packed
+  columnar form, no per-element Python objects,
+* ``build_mode="reference"`` runs the historical per-element pipeline (one
+  :class:`~repro.preprocess.EncodedElement` per non-zero, a heap scheduler
+  per lane).  It is the oracle the fast builder is proven bit-identical
+  against, mirroring the simulator's fast/reference engine split.
+
+Either way the packed columnar form is the program's source of truth for the
+fast simulator; the per-element object form (``segments`` of lane streams)
+is materialised lazily for consumers that want to walk individual elements.
+The result is exactly what the cycle-accurate simulator replays, and its
+statistics (slots, padding, imbalance) feed the detailed performance model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from functools import cached_property
+from typing import List, Optional
 
 import numpy as np
 
@@ -26,12 +39,27 @@ from .params import PartitionParams
 from .partition import num_segments, partition_nonzeros, segment_bounds
 from .reorder import ReorderStats, align_lanes, schedule_conflict_free
 
-__all__ = ["LaneStream", "ChannelSegment", "SegmentProgram", "SerpensProgram", "build_program"]
+__all__ = [
+    "BUILD_MODES",
+    "LaneStream",
+    "ChannelSegment",
+    "SegmentProgram",
+    "SerpensProgram",
+    "build_program",
+]
+
+#: Builder modes of :func:`build_program`.
+BUILD_MODES = ("fast", "reference")
 
 
 @dataclass
 class LaneStream:
-    """The ordered element stream of one PE lane within one segment."""
+    """The ordered element stream of one PE lane within one segment.
+
+    The slot/real/padding counters are cached after their first computation
+    (the packed builder pre-seeds them), so repeated property access never
+    re-scans the element list; mutate ``elements`` only before reading them.
+    """
 
     channel: int
     lane: int
@@ -42,7 +70,7 @@ class LaneStream:
         """Issue slots including padding."""
         return len(self.elements)
 
-    @property
+    @cached_property
     def num_real(self) -> int:
         """Non-padding elements."""
         return sum(1 for e in self.elements if not e.is_padding)
@@ -60,12 +88,12 @@ class ChannelSegment:
     channel: int
     lanes: List[LaneStream]
 
-    @property
+    @cached_property
     def num_slots(self) -> int:
         """Lock-step cycle count of the channel for this segment."""
         return max((lane.num_slots for lane in self.lanes), default=0)
 
-    @property
+    @cached_property
     def num_real(self) -> int:
         """Real elements carried by the channel in this segment."""
         return sum(lane.num_real for lane in self.lanes)
@@ -90,20 +118,24 @@ class SegmentProgram:
         """Number of x elements covered by the segment."""
         return self.col_end - self.col_start
 
-    @property
+    @cached_property
     def compute_slots(self) -> int:
         """Cycles the PE array spends on this segment (slowest channel)."""
         return max((ch.num_slots for ch in self.channels), default=0)
 
-    @property
+    @cached_property
     def num_real(self) -> int:
         """Real non-zeros processed in this segment."""
         return sum(ch.num_real for ch in self.channels)
 
 
-@dataclass
 class SerpensProgram:
     """A fully preprocessed matrix, ready for simulation or deployment.
+
+    The program is backed by whichever representation built it — the packed
+    :class:`~repro.preprocess.ColumnarProgram` (fast builder, deserialiser)
+    or the per-element segment list (reference builder) — and converts to the
+    other lazily.  Aggregate statistics are computed once and cached.
 
     Attributes
     ----------
@@ -111,33 +143,57 @@ class SerpensProgram:
         The architecture parameters the program was built for.
     num_rows, num_cols, nnz:
         Shape of the original matrix (padding not included in ``nnz``).
-    segments:
-        Per-segment instruction streams.
     reorder_stats:
         Aggregated hazard-padding statistics from the lane scheduler (before
         end-of-lane alignment padding).
     """
 
-    params: PartitionParams
-    num_rows: int
-    num_cols: int
-    nnz: int
-    segments: List[SegmentProgram]
-    reorder_stats: ReorderStats
-    #: Lazily built columnar view (see :meth:`columnar`); not part of the
-    #: program's identity, so it is excluded from equality and repr.
-    _columnar: Optional[object] = field(default=None, repr=False, compare=False)
+    def __init__(
+        self,
+        params: PartitionParams,
+        num_rows: int,
+        num_cols: int,
+        nnz: int,
+        segments: Optional[List[SegmentProgram]] = None,
+        reorder_stats: Optional[ReorderStats] = None,
+        columnar=None,
+    ) -> None:
+        if segments is None and columnar is None:
+            raise ValueError("a program needs segments or a columnar backing")
+        self.params = params
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+        self.nnz = nnz
+        self.reorder_stats = (
+            reorder_stats if reorder_stats is not None else ReorderStats(0, 0, 0)
+        )
+        self._segments = segments
+        self._columnar = columnar
+        self._total_compute_slots: Optional[int] = None
+        self._stored_elements: Optional[int] = None
 
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        backing = "columnar" if self._segments is None else "segments"
+        return (
+            f"SerpensProgram({self.num_rows}x{self.num_cols}, nnz={self.nnz}, "
+            f"segments={self.num_segments}, backing={backing})"
+        )
+
+    # ------------------------------------------------------------------
+    # Representations
+    # ------------------------------------------------------------------
     @property
-    def num_segments(self) -> int:
-        """Number of x segments."""
-        return len(self.segments)
+    def segments(self) -> List[SegmentProgram]:
+        """Per-segment instruction streams (materialised on first use)."""
+        if self._segments is None:
+            self._segments = _segments_from_columnar(self._columnar)
+        return self._segments
 
     def columnar(self):
         """The packed structure-of-arrays view the fast simulator path runs.
 
-        Built once per program (on first use after build or load) and cached,
-        so repeated launches never re-decode the lane streams.  Returns a
+        The fast builder produces it natively; for reference-built programs
+        it is decoded from the lane streams once and cached.  Returns a
         :class:`~repro.preprocess.ColumnarProgram`.
         """
         if self._columnar is None:
@@ -147,14 +203,31 @@ class SerpensProgram:
         return self._columnar
 
     @property
+    def num_segments(self) -> int:
+        """Number of x segments."""
+        if self._columnar is not None:
+            return self._columnar.num_segments
+        return len(self._segments)
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics (computed once, from whichever backing exists)
+    # ------------------------------------------------------------------
+    @property
     def total_compute_slots(self) -> int:
         """Total PE-array cycles spent on sparse elements (incl. padding)."""
-        return sum(seg.compute_slots for seg in self.segments)
+        if self._total_compute_slots is None:
+            if self._columnar is not None:
+                self._total_compute_slots = self._columnar.total_compute_slots
+            else:
+                self._total_compute_slots = sum(
+                    seg.compute_slots for seg in self._segments
+                )
+        return self._total_compute_slots
 
     @property
     def total_padding_slots(self) -> int:
         """Padding slots across all lanes, channels and segments."""
-        return sum(ch.num_padding for seg in self.segments for ch in seg.channels)
+        return self.stored_elements - self.nnz
 
     @property
     def stored_elements(self) -> int:
@@ -164,11 +237,14 @@ class SerpensProgram:
         sparse-matrix stream: every slot of every lane is materialised as a
         64-bit element in HBM.
         """
-        return sum(
-            ch.num_slots * self.params.pes_per_channel
-            for seg in self.segments
-            for ch in seg.channels
-        )
+        if self._stored_elements is None:
+            if self._columnar is not None:
+                self._stored_elements = self._columnar.stored_elements
+            else:
+                self._stored_elements = self.params.pes_per_channel * sum(
+                    ch.num_slots for seg in self._segments for ch in seg.channels
+                )
+        return self._stored_elements
 
     @property
     def padding_overhead(self) -> float:
@@ -178,18 +254,88 @@ class SerpensProgram:
     def channel_slot_totals(self) -> np.ndarray:
         """Per-channel total issue slots (for load-balance inspection)."""
         totals = np.zeros(self.params.num_channels, dtype=np.int64)
-        for seg in self.segments:
+        if self._columnar is not None:
+            for seg in self._columnar.segments:
+                totals += seg.channel_slots
+            return totals
+        for seg in self._segments:
             for ch in seg.channels:
                 totals[ch.channel] += ch.num_slots
         return totals
 
 
-def build_program(matrix: COOMatrix, params: PartitionParams) -> SerpensProgram:
+def _segments_from_columnar(columnar) -> List[SegmentProgram]:
+    """Materialise the per-element object form from the packed arrays.
+
+    Inverse of :func:`~repro.preprocess.build_columnar`: real elements land
+    at their recorded issue slots, every other slot is a padding bubble, and
+    the cached lane/channel counters are pre-seeded so no list is re-scanned.
+    Element values carry the fp32 wire precision the packed form stores.
+    """
+    params = columnar.params
+    pes_per_channel = params.pes_per_channel
+    segments: List[SegmentProgram] = []
+    for cs in columnar.segments:
+        pe_bounds = np.searchsorted(cs.pe, np.arange(params.total_pes + 1))
+        channels: List[ChannelSegment] = []
+        for channel in range(params.num_channels):
+            slots = int(cs.channel_slots[channel])
+            lanes: List[LaneStream] = []
+            for lane in range(pes_per_channel):
+                pe = channel * pes_per_channel + lane
+                lo, hi = int(pe_bounds[pe]), int(pe_bounds[pe + 1])
+                elements: List[EncodedElement] = [make_padding()] * slots
+                for slot, row, col, value in zip(
+                    cs.issue_slot[lo:hi].tolist(),
+                    cs.local_row[lo:hi].tolist(),
+                    cs.column_offset[lo:hi].tolist(),
+                    cs.value[lo:hi].tolist(),
+                ):
+                    elements[slot] = EncodedElement(
+                        local_row=row, column_offset=col, value=value
+                    )
+                stream = LaneStream(channel=channel, lane=lane, elements=elements)
+                stream.__dict__["num_real"] = hi - lo
+                lanes.append(stream)
+            channel_segment = ChannelSegment(channel=channel, lanes=lanes)
+            channel_segment.__dict__["num_slots"] = slots
+            channels.append(channel_segment)
+        segments.append(
+            SegmentProgram(
+                segment_index=cs.segment_index,
+                col_start=cs.col_start,
+                col_end=cs.col_end,
+                channels=channels,
+            )
+        )
+    return segments
+
+
+def build_program(
+    matrix: COOMatrix, params: PartitionParams, build_mode: str = "fast"
+) -> SerpensProgram:
     """Run the complete preprocessing pipeline on ``matrix``.
 
-    Raises :class:`repro.preprocess.mapping.CapacityError` if the matrix does
-    not fit the configuration's on-chip accumulation buffers.
+    ``build_mode`` selects the vectorised array builder (``"fast"``, the
+    default) or the per-element oracle (``"reference"``); their outputs are
+    bit-identical.  Raises :class:`repro.preprocess.mapping.CapacityError` if
+    the matrix does not fit the configuration's on-chip accumulation buffers.
     """
+    if build_mode not in BUILD_MODES:
+        raise ValueError(
+            f"unknown build mode {build_mode!r}; use one of {BUILD_MODES}"
+        )
+    if build_mode == "fast":
+        from .fastbuild import build_program_fast
+
+        return build_program_fast(matrix, params)
+    return _build_program_reference(matrix, params)
+
+
+def _build_program_reference(
+    matrix: COOMatrix, params: PartitionParams
+) -> SerpensProgram:
+    """The historical per-element pipeline (the fast builder's oracle)."""
     check_capacity(matrix.num_rows, params)
     mapping = map_rows(matrix.rows, params)
     groups = partition_nonzeros(matrix, params)

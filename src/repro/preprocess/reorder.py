@@ -21,6 +21,12 @@ The scheduler is a deterministic greedy list scheduler: at every cycle it
 chooses, among the conflict-free candidate groups, the one with the most
 remaining elements (longest-queue-first), which minimises padding for the
 hot-row distributions found in real matrices.
+
+:func:`schedule_conflict_free` is the per-lane reference implementation (a
+heap-driven cycle loop).  The vectorised program builder reproduces it
+bit-identically for every lane of every segment at once with
+:func:`repro.preprocess.schedule_lane_issue_slots`; this module remains the
+oracle that implementation is tested against.
 """
 
 from __future__ import annotations

@@ -8,6 +8,12 @@ channel ``uint64`` arrays (exactly the 64-bit wire words the Rd modules would
 fetch from HBM) plus a small metadata header, stored as a compressed ``.npz``
 archive.  Loading reconstitutes an identical program, so an expensive
 preprocessing run can be cached on disk next to the matrix it belongs to.
+
+Both directions run on the bulk codecs (:func:`~repro.preprocess.encode_array`
+/ :func:`~repro.preprocess.decode_array`) over the program's packed columnar
+form — no per-element ``struct`` calls — and loading rebuilds the columnar
+arrays directly, so a loaded program is immediately ready for the fast
+simulator path without re-decoding object streams.
 """
 
 from __future__ import annotations
@@ -17,9 +23,10 @@ from typing import Dict, List, Union
 
 import numpy as np
 
-from .encode import decode_element, encode_element
+from .columnar import ColumnarProgram, ColumnarSegment
+from .encode import PAD_WORD, decode_array, encode_array
 from .params import PartitionParams
-from .program import ChannelSegment, LaneStream, SegmentProgram, SerpensProgram
+from .program import SerpensProgram
 from .reorder import ReorderStats
 
 __all__ = ["save_program", "load_program", "program_channel_words"]
@@ -35,22 +42,36 @@ def program_channel_words(program: SerpensProgram, channel: int) -> np.ndarray:
     slot 0, lane 0 slot 1, ...), which is exactly the order a 512-bit bus word
     carries them in.
     """
-    if not 0 <= channel < program.params.num_channels:
+    params = program.params
+    if not 0 <= channel < params.num_channels:
         raise ValueError(f"channel {channel} out of range")
-    words: List[int] = []
-    for segment in program.segments:
-        channel_segment = segment.channels[channel]
-        slots = channel_segment.num_slots
-        for slot in range(slots):
-            for lane in channel_segment.lanes:
-                words.append(encode_element(lane.elements[slot]))
-    return np.array(words, dtype=np.uint64)
+    pes = params.pes_per_channel
+    columnar = program.columnar()
+    chunks: List[np.ndarray] = []
+    for segment in columnar.segments:
+        slots = int(segment.channel_slots[channel])
+        if slots == 0:
+            continue
+        words = np.full((slots, pes), PAD_WORD, dtype=np.uint64)
+        lo, hi = np.searchsorted(segment.pe, [channel * pes, (channel + 1) * pes])
+        if hi > lo:
+            lanes = segment.pe[lo:hi] - channel * pes
+            words[segment.issue_slot[lo:hi], lanes] = encode_array(
+                segment.local_row[lo:hi],
+                segment.column_offset[lo:hi],
+                segment.value[lo:hi],
+            )
+        chunks.append(words.reshape(-1))
+    if not chunks:
+        return np.empty(0, dtype=np.uint64)
+    return np.concatenate(chunks)
 
 
 def save_program(path: Union[str, Path], program: SerpensProgram) -> None:
     """Write a preprocessed program to ``path`` as a compressed ``.npz``."""
     path = Path(path)
     params = program.params
+    columnar = program.columnar()
     arrays: Dict[str, np.ndarray] = {
         "format_version": np.array([_FORMAT_VERSION], dtype=np.int64),
         "shape": np.array([program.num_rows, program.num_cols, program.nnz], dtype=np.int64),
@@ -75,15 +96,11 @@ def save_program(path: Union[str, Path], program: SerpensProgram) -> None:
             dtype=np.int64,
         ),
         "segment_bounds": np.array(
-            [[seg.col_start, seg.col_end] for seg in program.segments], dtype=np.int64
+            [[seg.col_start, seg.col_end] for seg in columnar.segments], dtype=np.int64
         ).reshape(-1, 2),
         "segment_slots": np.array(
-            [
-                [channel_segment.num_slots for channel_segment in seg.channels]
-                for seg in program.segments
-            ],
-            dtype=np.int64,
-        ).reshape(len(program.segments), params.num_channels),
+            [seg.channel_slots for seg in columnar.segments], dtype=np.int64
+        ).reshape(len(columnar.segments), params.num_channels),
     }
     for channel in range(params.num_channels):
         arrays[f"channel_{channel:02d}"] = program_channel_words(program, channel)
@@ -91,7 +108,11 @@ def save_program(path: Union[str, Path], program: SerpensProgram) -> None:
 
 
 def load_program(path: Union[str, Path]) -> SerpensProgram:
-    """Load a program previously written by :func:`save_program`."""
+    """Load a program previously written by :func:`save_program`.
+
+    The channel words are bulk-decoded straight into the packed columnar
+    arrays; the per-element object form stays lazy.
+    """
     path = Path(path)
     with np.load(path) as data:
         version = int(data["format_version"][0])
@@ -121,40 +142,70 @@ def load_program(path: Union[str, Path]) -> SerpensProgram:
             for channel in range(params.num_channels)
         }
 
-    segments: List[SegmentProgram] = []
-    channel_cursor = {channel: 0 for channel in range(params.num_channels)}
+    pes = params.pes_per_channel
+    segments: List[ColumnarSegment] = []
+    channel_cursor = [0] * params.num_channels
     for segment_index in range(segment_bounds.shape[0]):
         col_start, col_end = (int(v) for v in segment_bounds[segment_index])
-        channels: List[ChannelSegment] = []
+        pe_parts: List[np.ndarray] = []
+        row_parts: List[np.ndarray] = []
+        col_parts: List[np.ndarray] = []
+        val_parts: List[np.ndarray] = []
+        slot_parts: List[np.ndarray] = []
+        lane_real = np.zeros(params.total_pes, dtype=np.int64)
+        channel_slots = np.zeros(params.num_channels, dtype=np.int64)
         for channel in range(params.num_channels):
             slots = int(segment_slots[segment_index, channel])
-            lanes = [
-                LaneStream(channel=channel, lane=lane, elements=[])
-                for lane in range(params.pes_per_channel)
-            ]
+            channel_slots[channel] = slots
+            if slots == 0:
+                continue
             cursor = channel_cursor[channel]
-            words = channel_words[channel]
-            for slot in range(slots):
-                for lane in range(params.pes_per_channel):
-                    word = int(words[cursor])
-                    cursor += 1
-                    lanes[lane].elements.append(decode_element(word))
-            channel_cursor[channel] = cursor
-            channels.append(ChannelSegment(channel=channel, lanes=lanes))
+            words = channel_words[channel][cursor : cursor + slots * pes]
+            channel_cursor[channel] = cursor + slots * pes
+            local_row, column_offset, value, is_padding = decode_array(words)
+            # Stored slot-major (lane interleaved); the columnar layout is
+            # lane-major with slots ascending, i.e. the transpose.
+            real = ~is_padding.reshape(slots, pes).T
+            lane_idx, slot_idx = np.nonzero(real)
+            if lane_idx.size == 0:
+                continue
+            flat = slot_idx * pes + lane_idx
+            pe = (channel * pes + lane_idx).astype(np.int32)
+            pe_parts.append(pe)
+            row_parts.append(local_row[flat])
+            col_parts.append(column_offset[flat])
+            val_parts.append(value[flat])
+            slot_parts.append(slot_idx.astype(np.int32))
+            lane_real[channel * pes : (channel + 1) * pes] = real.sum(axis=1)
+
         segments.append(
-            SegmentProgram(
+            ColumnarSegment.from_parts(
                 segment_index=segment_index,
                 col_start=col_start,
                 col_end=col_end,
-                channels=channels,
+                pe_parts=pe_parts,
+                row_parts=row_parts,
+                col_parts=col_parts,
+                val_parts=val_parts,
+                slot_parts=slot_parts,
+                lane_slots=np.repeat(channel_slots, pes),
+                lane_real=lane_real,
+                channel_slots=channel_slots,
             )
         )
 
-    return SerpensProgram(
+    columnar = ColumnarProgram(
         params=params,
         num_rows=num_rows,
         num_cols=num_cols,
         nnz=nnz,
         segments=segments,
+    )
+    return SerpensProgram(
+        params=params,
+        num_rows=num_rows,
+        num_cols=num_cols,
+        nnz=nnz,
         reorder_stats=reorder_stats,
+        columnar=columnar,
     )

@@ -45,17 +45,21 @@ PLACEMENT_POLICIES = ("least_loaded", "round_robin")
 DeviceSpec = Union[str, SpMVEngine, SerpensConfig]
 
 
-def as_engine(spec: DeviceSpec, engine_mode: Optional[str] = None) -> SpMVEngine:
+def as_engine(
+    spec: DeviceSpec,
+    engine_mode: Optional[str] = None,
+    build_mode: Optional[str] = None,
+) -> SpMVEngine:
     """Provision one device engine from a name, engine, or Serpens config.
 
-    ``engine_mode`` selects the simulator execution mode for engines that
-    have one (the Serpens simulators); model-timed engines in a
-    heterogeneous pool, whose factories take no ``mode``, ignore it.
-    Already-built engine instances are returned as-is — their mode was
-    chosen at construction.  (A thin alias of
-    :func:`repro.backends.provision`, kept for the pool's vocabulary.)
+    ``engine_mode`` selects the simulator execution mode and ``build_mode``
+    the program builder for engines that have them (the Serpens simulators);
+    model-timed engines in a heterogeneous pool, whose factories take
+    neither keyword, ignore them.  Already-built engine instances are
+    returned as-is — their modes were chosen at construction.  (A thin alias
+    of :func:`repro.backends.provision`, kept for the pool's vocabulary.)
     """
-    return provision(spec, mode=engine_mode)
+    return provision(spec, mode=engine_mode, build_mode=build_mode)
 
 
 @dataclass
@@ -195,6 +199,10 @@ class AcceleratorPool:
         Optional simulator execution mode (``"fast"`` / ``"reference"``)
         applied to every provisioned engine whose factory accepts it (see
         :func:`as_engine`).
+    build_mode:
+        Optional program-builder mode (``"fast"`` / ``"reference"``) applied
+        with the same tolerant semantics; it selects the preprocessing
+        pipeline devices run on program-cache misses (warmup included).
     """
 
     def __init__(
@@ -202,6 +210,7 @@ class AcceleratorPool:
         configs: Sequence[DeviceSpec],
         placement_policy: str = "least_loaded",
         engine_mode: Optional[str] = None,
+        build_mode: Optional[str] = None,
     ) -> None:
         if not configs:
             raise ValueError("the pool needs at least one device")
@@ -212,8 +221,12 @@ class AcceleratorPool:
             )
         self.placement_policy = placement_policy
         self.engine_mode = engine_mode
+        self.build_mode = build_mode
         self.devices: List[PooledDevice] = [
-            PooledDevice(device_id=i, engine=as_engine(spec, engine_mode=engine_mode))
+            PooledDevice(
+                device_id=i,
+                engine=as_engine(spec, engine_mode=engine_mode, build_mode=build_mode),
+            )
             for i, spec in enumerate(configs)
         ]
         self._round_robin_next = 0
@@ -225,6 +238,7 @@ class AcceleratorPool:
         config: DeviceSpec = SERPENS_A16,
         placement_policy: str = "least_loaded",
         engine_mode: Optional[str] = None,
+        build_mode: Optional[str] = None,
     ) -> "AcceleratorPool":
         """A pool of ``num_devices`` identical cards.
 
@@ -235,6 +249,7 @@ class AcceleratorPool:
             [config] * num_devices,
             placement_policy=placement_policy,
             engine_mode=engine_mode,
+            build_mode=build_mode,
         )
 
     # ------------------------------------------------------------------

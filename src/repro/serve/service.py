@@ -22,6 +22,7 @@ reproducible from its seed regardless of host speed.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -171,6 +172,10 @@ class SpMVService:
         Optional simulator execution mode (``"fast"`` / ``"reference"``)
         forwarded to the shortcut pool construction; ignored when an
         explicit ``pool`` is given (its devices are already built).
+    build_mode:
+        Optional program-builder mode (``"fast"`` / ``"reference"``)
+        forwarded the same way; it selects the preprocessing pipeline
+        cache-missing dispatches run on the host.
     """
 
     def __init__(
@@ -179,6 +184,7 @@ class SpMVService:
         num_devices: int = 4,
         config: DeviceSpec = SERPENS_A16,
         engine_mode: Optional[str] = None,
+        build_mode: Optional[str] = None,
         policy: str = "fifo",
         max_batch: int = 32,
         max_queue_depth: Optional[int] = None,
@@ -195,7 +201,7 @@ class SpMVService:
                 f"unknown compute mode {compute!r}; use one of {COMPUTE_MODES}"
             )
         self.pool = pool if pool is not None else AcceleratorPool.homogeneous(
-            num_devices, config, engine_mode=engine_mode
+            num_devices, config, engine_mode=engine_mode, build_mode=build_mode
         )
         self.scheduler = Scheduler(
             policy=policy, max_batch=max_batch, max_queue_depth=max_queue_depth
@@ -472,7 +478,7 @@ class SpMVService:
         programs = {}
         for shard_rt in replica:
             shard_device = self.pool.device(shard_rt.shard.device_id)
-            program, load_seconds = self._load_program(shard_rt, shard_device)
+            program, load_seconds = self._load_program(shard_rt, shard_device, telemetry)
             programs[shard_rt.shard.device_id] = program
             shard_seconds = load_seconds + len(batch) * shard_rt.per_launch_seconds
             shard_device.occupy(start, shard_seconds, len(batch))
@@ -506,14 +512,25 @@ class SpMVService:
             )
             telemetry.observe_finish(finish)
 
-    def _load_program(self, shard_rt: _ShardRuntime, device: PooledDevice):
+    def _load_program(
+        self,
+        shard_rt: _ShardRuntime,
+        device: PooledDevice,
+        telemetry: Optional[ServiceTelemetry] = None,
+    ):
         """Fetch the shard's program, charging switch + (on miss) rebuild time."""
 
         def build():
             # The protocol's preparation hook, skipping prepare()'s capability
             # re-check and content fingerprint (placement already vetted the
-            # shard, and the cache key is the program key).
-            return device.engine.build_payload(shard_rt.matrix)
+            # shard, and the cache key is the program key).  Wall-clock host
+            # preprocessing time is surfaced through the telemetry so
+            # cache-miss cost is visible next to the latency percentiles.
+            started = time.perf_counter()
+            payload = device.engine.build_payload(shard_rt.matrix)
+            if telemetry is not None:
+                telemetry.record_prepare(time.perf_counter() - started)
+            return payload
 
         if device.resident_key == shard_rt.program_key:
             # Already resident in device HBM: the host cache is not consulted.

@@ -91,6 +91,11 @@ class ServiceTelemetry:
         self.completed = 0
         self.rejected = 0
         self.makespan = 0.0
+        #: Host wall-clock seconds spent preprocessing on program-cache
+        #: misses, and the number of such cold builds — the cost a request
+        #: pays when its matrix's program is not resident.
+        self.prepare_seconds = 0.0
+        self.prepare_count = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -120,6 +125,11 @@ class ServiceTelemetry:
         counters.busy_seconds += busy_seconds
         counters.program_switches += 1 if switched_program else 0
         counters.traversed_edges += traversed_edges
+
+    def record_prepare(self, seconds: float) -> None:
+        """Book one cold program build (host wall-clock, not virtual time)."""
+        self.prepare_seconds += seconds
+        self.prepare_count += 1
 
     def record_queue_depth(self, now: float, depth: int) -> None:
         self._queue_depth.append((now, depth))
@@ -217,6 +227,13 @@ class ServiceTelemetry:
             "latency_p50_ms": overall.p50 * 1e3,
             "latency_p95_ms": overall.p95 * 1e3,
             "latency_p99_ms": overall.p99 * 1e3,
+            "prepare_count": float(self.prepare_count),
+            "prepare_seconds": self.prepare_seconds,
+            "prepare_mean_ms": (
+                self.prepare_seconds / self.prepare_count * 1e3
+                if self.prepare_count
+                else 0.0
+            ),
         }
         if cache_stats is not None:
             snapshot["cache_hit_rate"] = cache_stats.get("hit_rate", 0.0)
@@ -237,6 +254,9 @@ class ServiceTelemetry:
             f"({format_float(self.aggregate_mteps)} MTEPS)",
             f"queue depth        : mean {format_float(self.mean_queue_depth)}, "
             f"peak {self.peak_queue_depth}",
+            f"host preprocessing : {self.prepare_count} cold builds, "
+            f"{format_float(self.prepare_seconds * 1e3)} ms wall-clock "
+            f"(mean {format_float(snapshot['prepare_mean_ms'])} ms)",
         ]
         if cache_stats is not None:
             lines.append(
