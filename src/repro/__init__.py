@@ -22,7 +22,8 @@ Quickstart::
     print(report.milliseconds, "ms ->", report.gflops, "GFLOP/s")
 """
 
-from . import backends
+from . import autotune, backends
+from .autotune import CostModel, EngineRouter, MatrixFeatures, extract_features
 from .backends import MatrixHandle, Session, SpMVEngine
 from .formats import COOMatrix, CSCMatrix, CSRMatrix
 from .metrics import ExecutionReport
@@ -47,7 +48,7 @@ from .serve import (
 )
 from .spmv import spmv
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "COOMatrix",
@@ -60,6 +61,11 @@ __all__ = [
     "Session",
     "SpMVEngine",
     "MatrixHandle",
+    "CostModel",
+    "EngineRouter",
+    "MatrixFeatures",
+    "extract_features",
+    "autotune",
     "backends",
     "SERPENS_A16",
     "SERPENS_A24",

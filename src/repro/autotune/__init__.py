@@ -1,0 +1,62 @@
+"""Cost-model-driven design-space exploration and per-matrix engine routing.
+
+The paper picks its configurations by sweeping (Tables 7–8) because the best
+build is matrix-dependent.  This package automates that choice end to end:
+
+* :mod:`~repro.autotune.features` — a deterministic, vectorised
+  :class:`MatrixFeatures` fingerprint computed straight from COO arrays,
+* :mod:`~repro.autotune.costmodel` — a :class:`CostModel` that corrects each
+  engine's analytic estimate with least-squares-fitted, JSON-serialisable
+  per-engine terms calibrated against executed (cycle-accurate) runs,
+* :mod:`~repro.autotune.search` — a :class:`DesignSpaceExplorer` ranking
+  Serpens channel variants and registered backends per matrix (exhaustive or
+  successive-halving), producing a :class:`TuningReport`,
+* :mod:`~repro.autotune.router` — an :class:`EngineRouter` that memoises
+  fingerprint → engine decisions and plugs into the serving layer as a
+  placement hint source and as the SJF scheduler's cost oracle.
+
+Quickstart::
+
+    from repro.autotune import EngineRouter
+    from repro.generators import random_uniform
+
+    router = EngineRouter()
+    router.calibrate([random_uniform(512, 512, 4096, seed=0)])
+    decision = router.route(random_uniform(1024, 1024, 16384, seed=1))
+    print(decision.engine_key, decision.predicted_seconds)
+"""
+
+from .costmodel import CalibrationSample, CostModel, fit_cost_model, measure_seconds
+from .features import FEATURE_NAMES, MatrixFeatures, extract_features
+from .router import EngineRouter, RoutingDecision, UnroutableMatrixError
+from .search import (
+    SEARCH_STRATEGIES,
+    CandidateResult,
+    CandidateSpec,
+    DesignSpaceExplorer,
+    TuningReport,
+    default_design_space,
+    serpens_channel_candidates,
+    tuned_fraction_within,
+)
+
+__all__ = [
+    "CalibrationSample",
+    "CandidateResult",
+    "CandidateSpec",
+    "CostModel",
+    "DesignSpaceExplorer",
+    "EngineRouter",
+    "FEATURE_NAMES",
+    "MatrixFeatures",
+    "RoutingDecision",
+    "SEARCH_STRATEGIES",
+    "TuningReport",
+    "UnroutableMatrixError",
+    "default_design_space",
+    "extract_features",
+    "fit_cost_model",
+    "measure_seconds",
+    "serpens_channel_candidates",
+    "tuned_fraction_within",
+]

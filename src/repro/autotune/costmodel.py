@@ -1,0 +1,286 @@
+"""Analytic-plus-calibrated latency prediction for registered engines.
+
+Every engine already answers :meth:`~repro.backends.SpMVEngine.estimate`
+with an analytic report.  Those estimates are good rankers inside one engine
+family but carry systematic, structure-dependent bias across families (the
+same reason the paper sweeps configurations instead of trusting Eq. 4).  The
+:class:`CostModel` keeps the analytic estimate as the backbone and fits a
+small per-engine multiplicative correction on top:
+
+    predicted_seconds = estimate_seconds * exp(w · [1, features])
+
+The weights are the ridge-regularised least-squares solution of the log
+residual ``log(measured / estimate)`` against the
+:data:`~repro.autotune.features.FEATURE_NAMES` vector — plain
+``numpy.linalg.lstsq`` on an augmented system, no external dependencies.
+An uncalibrated model predicts the raw estimate, so the predictor is always
+usable; calibration only sharpens it.  Models serialise to JSON for reuse
+across runs (:meth:`CostModel.to_json` / :meth:`CostModel.from_json`).
+
+:func:`fit_cost_model` is the batteries-included path: run a set of engines
+over a matrix suite, measure their executed reports (the cycle-accurate
+:class:`~repro.serpens.SimulationResult` timing on Serpens engines), and fit
+one correction per engine.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..backends import SpMVEngine
+from ..formats import COOMatrix
+from .features import FEATURE_NAMES, MatrixFeatures, extract_features
+
+__all__ = [
+    "CalibrationSample",
+    "CostModel",
+    "fit_cost_model",
+    "measure_seconds",
+]
+
+#: Clamp on the fitted log-correction so a degenerate fit can never predict
+#: absurd latencies (e^6 ≈ 400x is already far outside any real bias).
+_LOG_CLIP = 6.0
+
+
+@dataclass(frozen=True)
+class CalibrationSample:
+    """One (matrix, engine) observation the regression fits against."""
+
+    matrix_name: str
+    features: MatrixFeatures
+    estimated_seconds: float
+    measured_seconds: float
+
+    @property
+    def log_residual(self) -> float:
+        """The regression target: ``log(measured / estimate)``."""
+        return math.log(self.measured_seconds / self.estimated_seconds)
+
+
+@dataclass
+class _EngineFit:
+    """Fitted correction weights plus fit-quality bookkeeping."""
+
+    weights: np.ndarray  # length 1 + len(feature_names); bias first
+    samples: int = 0
+    rms_before: float = 0.0
+    rms_after: float = 0.0
+
+
+class CostModel:
+    """Per-engine multiplicative corrections over analytic estimates."""
+
+    def __init__(self, feature_names: Sequence[str] = FEATURE_NAMES) -> None:
+        self.feature_names: Tuple[str, ...] = tuple(feature_names)
+        self._fits: Dict[str, _EngineFit] = {}
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    @property
+    def engines(self) -> Tuple[str, ...]:
+        """Engines with a fitted correction, sorted."""
+        return tuple(sorted(self._fits))
+
+    def is_calibrated(self, engine_name: str) -> bool:
+        return engine_name in self._fits
+
+    def correction(self, engine_name: str, features: MatrixFeatures) -> float:
+        """The multiplicative factor applied to the analytic estimate."""
+        fit = self._fits.get(engine_name)
+        if fit is None:
+            return 1.0
+        design = np.concatenate(([1.0], features.as_vector()))
+        log_factor = float(np.clip(design @ fit.weights, -_LOG_CLIP, _LOG_CLIP))
+        return math.exp(log_factor)
+
+    def predict_seconds(
+        self,
+        engine_name: str,
+        features: MatrixFeatures,
+        estimated_seconds: float,
+    ) -> float:
+        """Corrected latency prediction for one launch."""
+        if estimated_seconds < 0:
+            raise ValueError("estimated_seconds must be non-negative")
+        return estimated_seconds * self.correction(engine_name, features)
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+    def calibrate(
+        self,
+        engine_name: str,
+        samples: Sequence[CalibrationSample],
+        ridge: float = 1e-3,
+    ) -> _EngineFit:
+        """Fit one engine's correction from measured samples.
+
+        Degenerate inputs are handled conservatively: engines with no valid
+        samples get no fit (correction stays 1.0), and the ridge term keeps
+        the solution bounded when features are collinear on tiny suites.
+        """
+        valid = [
+            s
+            for s in samples
+            if s.estimated_seconds > 0 and s.measured_seconds > 0
+        ]
+        if not valid:
+            self._fits.pop(engine_name, None)
+            return _EngineFit(weights=np.zeros(1 + len(self.feature_names)))
+        design = np.stack(
+            [np.concatenate(([1.0], s.features.as_vector())) for s in valid]
+        )
+        target = np.array([s.log_residual for s in valid], dtype=np.float64)
+        columns = design.shape[1]
+        # Ridge via augmentation: [A; sqrt(l)·I] w = [b; 0].  The bias column
+        # is regularised too, which is fine — a constant bias is exactly what
+        # tiny suites can estimate reliably.
+        augmented = np.vstack([design, math.sqrt(ridge) * np.eye(columns)])
+        rhs = np.concatenate([target, np.zeros(columns)])
+        weights, *_ = np.linalg.lstsq(augmented, rhs, rcond=None)
+        fit = _EngineFit(
+            weights=weights,
+            samples=len(valid),
+            rms_before=float(np.sqrt(np.mean(target**2))),
+            rms_after=float(np.sqrt(np.mean((target - design @ weights) ** 2))),
+        )
+        self._fits[engine_name] = fit
+        return fit
+
+    def fit_report(self) -> List[Dict[str, float]]:
+        """Per-engine fit-quality rows (samples, rms log error before/after)."""
+        return [
+            {
+                "engine": name,
+                "samples": float(fit.samples),
+                "rms_log_error_before": fit.rms_before,
+                "rms_log_error_after": fit.rms_after,
+            }
+            for name, fit in sorted(self._fits.items())
+        ]
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise the fitted model (weights + bookkeeping) to JSON."""
+        payload = {
+            "feature_names": list(self.feature_names),
+            "engines": {
+                name: {
+                    "weights": fit.weights.tolist(),
+                    "samples": fit.samples,
+                    "rms_before": fit.rms_before,
+                    "rms_after": fit.rms_after,
+                }
+                for name, fit in self._fits.items()
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CostModel":
+        payload = json.loads(text)
+        model = cls(feature_names=tuple(payload["feature_names"]))
+        for name, fit in payload["engines"].items():
+            weights = np.asarray(fit["weights"], dtype=np.float64)
+            if weights.size != 1 + len(model.feature_names):
+                raise ValueError(
+                    f"engine {name!r} has {weights.size} weights but the model "
+                    f"declares {len(model.feature_names)} features"
+                )
+            model._fits[name] = _EngineFit(
+                weights=weights,
+                samples=int(fit["samples"]),
+                rms_before=float(fit["rms_before"]),
+                rms_after=float(fit["rms_after"]),
+            )
+        return model
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "CostModel":
+        return cls.from_json(Path(path).read_text())
+
+
+def measure_seconds(
+    engine: SpMVEngine, matrix: COOMatrix, matrix_name: str = "matrix"
+) -> float:
+    """Measured per-launch seconds: one executed run through the engine.
+
+    On Serpens engines this is the cycle-accurate simulated time (the
+    ``SimulationResult`` cycle count at the build's clock); on model-timed
+    baselines it coincides with the analytic report, and on the CPU
+    reference it is host wall-clock.
+    """
+    x = np.ones(matrix.num_cols, dtype=np.float64)
+    result = engine.run(matrix, x, matrix_name=matrix_name)
+    return float(result.report.seconds)
+
+
+def fit_cost_model(
+    engines: Sequence[SpMVEngine],
+    matrices: Sequence[COOMatrix],
+    matrix_names: Optional[Sequence[str]] = None,
+    ridge: float = 1e-3,
+    model: Optional[CostModel] = None,
+    engine_keys: Optional[Sequence[str]] = None,
+    timing_model: str = "detailed",
+    measure_fn: Optional[
+        Callable[[SpMVEngine, COOMatrix, str], float]
+    ] = None,
+) -> CostModel:
+    """Calibrate one correction per engine against executed measurements.
+
+    Unsupported (matrix, engine) pairs are skipped the same way the paper's
+    tables skip matrices Sextans cannot run.  ``engine_keys`` overrides the
+    model key each engine's fit is stored under (default: ``engine.name``) —
+    the router uses this to key fits by candidate without touching the
+    engine instances.  ``timing_model`` must match the estimate model the
+    predictions will be applied to (the residual is relative to it).
+    ``measure_fn(engine, matrix, name)`` overrides how a measurement is
+    obtained (default: one executed run via :func:`measure_seconds`); the
+    explorer passes a memoising hook here so calibrating and then tuning a
+    suite simulates each pair once.
+    """
+    if matrix_names is None:
+        matrix_names = [f"matrix-{i}" for i in range(len(matrices))]
+    if len(matrix_names) != len(matrices):
+        raise ValueError("matrix_names must match matrices")
+    if engine_keys is None:
+        engine_keys = [engine.name for engine in engines]
+    if len(engine_keys) != len(engines):
+        raise ValueError("engine_keys must match engines")
+    if measure_fn is None:
+        measure_fn = measure_seconds
+    cost_model = model if model is not None else CostModel()
+    feature_cache = [extract_features(matrix) for matrix in matrices]
+    for engine, engine_key in zip(engines, engine_keys):
+        samples = []
+        for matrix, name, features in zip(matrices, matrix_names, feature_cache):
+            if not engine.capabilities(matrix).supported:
+                continue
+            estimated = float(
+                engine.estimate(matrix, matrix_name=name, model=timing_model).seconds
+            )
+            measured = measure_fn(engine, matrix, name)
+            samples.append(
+                CalibrationSample(
+                    matrix_name=name,
+                    features=features,
+                    estimated_seconds=estimated,
+                    measured_seconds=measured,
+                )
+            )
+        cost_model.calibrate(engine_key, samples, ridge=ridge)
+    return cost_model

@@ -1,0 +1,252 @@
+"""Vectorised structural fingerprints of sparse matrices.
+
+The best accelerator configuration is matrix-dependent (paper Tables 7–8):
+channel count, PE scaling and reordering all interact with the sparsity
+structure.  To *choose* a configuration per matrix, the autotuner first needs
+a compact, deterministic description of that structure — this module computes
+one straight from the COO/CSR NumPy arrays, with no Python-level loops.
+
+A :class:`MatrixFeatures` record carries three groups of numbers:
+
+* **shape** — rows, columns, non-zeros, density,
+* **row/column distribution** — mean/max row length, coefficient of
+  variation, Gini coefficient of the row-length histogram, empty-row
+  fraction, hottest-row share, column-length CV (x-vector reuse locality),
+  and the mean / p95 relative bandwidth (how far non-zeros sit from the
+  diagonal, the locality the x-segment buffers exploit),
+* **scheduling pressure** — the padding ratio and hazard pressure of the
+  conflict-aware reordering.  When a preprocessed
+  :class:`~repro.preprocess.SerpensProgram` (or its columnar form) is at
+  hand, the exact numbers are read off its slot counters; otherwise a
+  closed-form structural estimate is used (the ``(c-1)·T + 1`` lower bound
+  of a hazard-window-``T`` schedule applied to the hottest coalesced row
+  pair).
+
+Every feature is invariant under permutation of a duplicate-free COO triple
+list — all reductions go through ``np.bincount`` or order-free aggregates —
+which is what lets the router key decisions on content fingerprints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..formats import COOMatrix, CSRMatrix
+from ..preprocess import ColumnarProgram, PartitionParams, SerpensProgram
+
+__all__ = ["FEATURE_NAMES", "MatrixFeatures", "extract_features"]
+
+
+#: Feature-vector layout (the regression design matrix's column order).
+#: ``as_vector`` compresses the unbounded scale features through ``log1p``
+#: so the least-squares calibration sees comparable magnitudes.
+FEATURE_NAMES = (
+    "log_rows",
+    "log_cols",
+    "log_nnz",
+    "density",
+    "log_avg_row_nnz",
+    "row_cv",
+    "row_gini",
+    "empty_row_fraction",
+    "max_row_share",
+    "col_cv",
+    "bandwidth_mean",
+    "bandwidth_p95",
+    "padding_ratio",
+    "hazard_pressure",
+)
+
+
+@dataclass(frozen=True)
+class MatrixFeatures:
+    """Deterministic structural fingerprint of one sparse matrix."""
+
+    num_rows: int
+    num_cols: int
+    nnz: int
+    density: float
+    avg_row_nnz: float
+    max_row_nnz: int
+    row_cv: float
+    row_gini: float
+    empty_row_fraction: float
+    max_row_share: float
+    col_cv: float
+    bandwidth_mean: float
+    bandwidth_p95: float
+    padding_ratio: float
+    hazard_pressure: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary view (dataclass field order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def as_vector(self) -> np.ndarray:
+        """The regression feature vector, ordered as :data:`FEATURE_NAMES`."""
+        return np.array(
+            [
+                math.log1p(self.num_rows),
+                math.log1p(self.num_cols),
+                math.log1p(self.nnz),
+                self.density,
+                math.log1p(self.avg_row_nnz),
+                self.row_cv,
+                self.row_gini,
+                self.empty_row_fraction,
+                self.max_row_share,
+                self.col_cv,
+                self.bandwidth_mean,
+                self.bandwidth_p95,
+                self.padding_ratio,
+                self.hazard_pressure,
+            ],
+            dtype=np.float64,
+        )
+
+
+def _gini(sorted_counts: np.ndarray) -> float:
+    """Gini coefficient of a non-negative histogram (0 = uniform)."""
+    total = float(sorted_counts.sum())
+    n = sorted_counts.size
+    if n == 0 or total <= 0:
+        return 0.0
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float(2.0 * np.dot(ranks, sorted_counts) / (n * total) - (n + 1) / n)
+
+
+def _cv(counts: np.ndarray) -> float:
+    """Coefficient of variation (std / mean); 0 for an empty or zero mean."""
+    if counts.size == 0:
+        return 0.0
+    mean = float(counts.mean())
+    if mean <= 0:
+        return 0.0
+    return float(counts.std()) / mean
+
+
+def _schedule_pressure(
+    matrix: COOMatrix, params: PartitionParams
+) -> tuple:
+    """Closed-form (padding_ratio, hazard_pressure) estimate.
+
+    A lane scheduling ``n`` elements whose hottest accumulator entry holds
+    ``c`` of them under a hazard window of ``T`` cycles needs at least
+    ``max(n, (c-1)·T + 1)`` issue slots.  We apply that bound to the hottest
+    coalesced row pair against the balanced per-PE load ``nnz / total_pes``,
+    which is exactly the tension the conflict-aware reorderer resolves with
+    padding.
+    """
+    if matrix.nnz == 0:
+        return 0.0, 0.0
+    if params.coalesce_rows:
+        keys = matrix.rows // 2
+        num_keys = (matrix.num_rows + 1) // 2
+    else:
+        keys = matrix.rows
+        num_keys = matrix.num_rows
+    pair_counts = np.bincount(keys, minlength=max(1, num_keys))
+    hottest = int(pair_counts.max())
+    window = max(1, int(params.dsp_latency))
+    per_pe_load = max(1.0, matrix.nnz / params.total_pes)
+    min_slots = max(per_pe_load, (hottest - 1) * window + 1.0)
+    padding = min_slots - per_pe_load
+    hazard_pressure = padding / min_slots
+    # Alignment padding is bounded by the same imbalance; without lane
+    # assignments we fold it into one padded-slot share.
+    padding_ratio = padding / (per_pe_load + padding)
+    return float(padding_ratio), float(hazard_pressure)
+
+
+def _program_pressure(
+    program: Union[SerpensProgram, ColumnarProgram]
+) -> tuple:
+    """Exact (padding_ratio, hazard_pressure) from a preprocessed program."""
+    stored = int(program.stored_elements)
+    nnz = int(program.nnz)
+    padding_ratio = (stored - nnz) / stored if stored else 0.0
+    reorder_stats = getattr(program, "reorder_stats", None)
+    if reorder_stats is not None and reorder_stats.num_slots:
+        hazard_pressure = reorder_stats.num_padding / reorder_stats.num_slots
+    else:
+        # Columnar programs (or fast-built ones without reorder stats) don't
+        # split alignment from hazard padding; report the combined share.
+        hazard_pressure = padding_ratio
+    return float(padding_ratio), float(hazard_pressure)
+
+
+def extract_features(
+    matrix: Union[COOMatrix, CSRMatrix],
+    program: Optional[Union[SerpensProgram, ColumnarProgram]] = None,
+    params: Optional[PartitionParams] = None,
+) -> MatrixFeatures:
+    """Compute the structural fingerprint of one matrix.
+
+    Parameters
+    ----------
+    matrix:
+        The matrix, in COO or CSR form.
+    program:
+        Optional preprocessed program; when given, the padding ratio and
+        hazard pressure are read from its exact slot counters instead of the
+        structural estimate.
+    params:
+        Partition parameters for the structural estimate (ignored when
+        ``program`` is given); defaults to the Serpens-A16 build.
+    """
+    if isinstance(matrix, CSRMatrix):
+        matrix = matrix.to_coo()
+    num_rows, num_cols, nnz = matrix.num_rows, matrix.num_cols, matrix.nnz
+
+    row_counts = matrix.nnz_per_row().astype(np.float64)
+    col_counts = matrix.nnz_per_col().astype(np.float64)
+
+    if nnz == 0:
+        bandwidth_mean = 0.0
+        bandwidth_p95 = 0.0
+        max_row_nnz = 0
+        max_row_share = 0.0
+    else:
+        rel = np.abs(
+            matrix.cols.astype(np.float64) / max(1, num_cols)
+            - matrix.rows.astype(np.float64) / max(1, num_rows)
+        )
+        # Sorted before reduction so the summation order — and therefore the
+        # exact float result — is invariant under permutation of the triples.
+        rel = np.sort(rel)
+        bandwidth_mean = float(rel.mean())
+        bandwidth_p95 = float(np.percentile(rel, 95))
+        max_row_nnz = int(row_counts.max())
+        max_row_share = max_row_nnz / nnz
+
+    if program is not None:
+        padding_ratio, hazard_pressure = _program_pressure(program)
+    else:
+        if params is None:
+            params = PartitionParams()
+        padding_ratio, hazard_pressure = _schedule_pressure(matrix, params)
+
+    cells = num_rows * num_cols
+    return MatrixFeatures(
+        num_rows=num_rows,
+        num_cols=num_cols,
+        nnz=nnz,
+        density=nnz / cells if cells else 0.0,
+        avg_row_nnz=nnz / num_rows if num_rows else 0.0,
+        max_row_nnz=max_row_nnz,
+        row_cv=_cv(row_counts),
+        row_gini=_gini(np.sort(row_counts)),
+        empty_row_fraction=(
+            float((row_counts == 0).mean()) if num_rows else 0.0
+        ),
+        max_row_share=max_row_share,
+        col_cv=_cv(col_counts),
+        bandwidth_mean=bandwidth_mean,
+        bandwidth_p95=bandwidth_p95,
+        padding_ratio=padding_ratio,
+        hazard_pressure=hazard_pressure,
+    )

@@ -164,6 +164,7 @@ def _backends(args: argparse.Namespace) -> str:
 def _serve_bench(args: argparse.Namespace) -> str:
     # Imported here so the experiment registry stays importable even if the
     # serving layer is being refactored.
+    from .autotune import EngineRouter
     from .eval.reporting import format_table
     from .serpens import SERPENS_A16, SERPENS_A24
     from .serve import AcceleratorPool, SpMVService, generate_trace
@@ -182,26 +183,53 @@ def _serve_bench(args: argparse.Namespace) -> str:
         configs = [SERPENS_A24] * num_a24 + [SERPENS_A16] * (args.devices - num_a24)
         pool_label = f"{args.devices} devices ({num_a24}x A24)"
 
+    # label, scheduler policy, max batch, placement policy, routed?
     variants = [
-        ("naive-fifo", "fifo", 1),
-        ("batched-fifo", "fifo", args.max_batch),
-        ("batched-sjf", "sjf", args.max_batch),
+        ("naive-fifo", "fifo", 1, "least_loaded", False),
+        ("batched-fifo", "fifo", args.max_batch, "least_loaded", False),
+        ("batched-sjf", "sjf", args.max_batch, "least_loaded", False),
     ]
+    if args.autotune:
+        # The routed configuration is judged against blind round-robin
+        # placement, the comparison the autotune acceptance criterion names.
+        variants.append(("round-robin", "fifo", args.max_batch, "round_robin", False))
+        variants.append(("autotuned-sjf", "sjf", args.max_batch, "least_loaded", True))
+
     rows = []
     last_report = None
-    for label, policy, max_batch in variants:
+    for label, policy, max_batch, placement, routed in variants:
         trace = generate_trace(
             args.scenario, args.requests, seed=args.seed, gap_scale=args.gap_scale
         )
+        pool = AcceleratorPool(
+            list(configs),
+            placement_policy=placement,
+            engine_mode=args.sim_mode,
+            build_mode=args.build_mode,
+        )
+        router = None
+        if routed:
+            # Calibrate the per-engine cost model on the trace's own matrix
+            # set (executed, cycle-accurate measurements); the fitted
+            # predictor then drives placement hints and the SJF cost oracle.
+            router = EngineRouter.for_pool(pool)
+            router.calibrate(
+                [w.matrix for w in trace.matrices],
+                names=[w.name for w in trace.matrices],
+            )
         service = SpMVService(
-            pool=AcceleratorPool(
-                list(configs), engine_mode=args.sim_mode, build_mode=args.build_mode
-            ),
+            pool=pool,
             policy=policy,
             max_batch=max_batch,
             cache_capacity=args.cache_capacity,
+            router=router,
         )
         report = service.run_trace(trace)
+        if args.autotune:
+            # Steady-state comparison: a second identical drain reuses the
+            # resident programs, so placement quality is not drowned out by
+            # the one-time cold-build costs every variant pays identically.
+            report = service.run_trace(trace)
         telemetry = report.telemetry
         overall = telemetry.latency()
         rows.append(
@@ -235,9 +263,90 @@ def _serve_bench(args: argparse.Namespace) -> str:
         title=(
             f"Serving benchmark — scenario={args.scenario}, "
             f"{args.requests} requests, {pool_label}, seed={args.seed}"
+            + (", steady-state (warm cache)" if args.autotune else "")
         ),
     )
     return comparison + "\n\n" + last_report.render()
+
+
+def _tune(args: argparse.Namespace) -> str:
+    """Design-space exploration over a small generator suite."""
+    from .autotune import (
+        DesignSpaceExplorer,
+        default_design_space,
+        tuned_fraction_within,
+    )
+    from .eval.reporting import format_table
+    from .generators import sample_collection
+
+    channel_counts = tuple(
+        int(token) for token in args.channels.split(",") if token.strip()
+    )
+    if not channel_counts:
+        raise ValueError("--channels must name at least one channel count")
+    if args.tune_matrices < 1:
+        raise ValueError("--tune-matrices must be positive")
+
+    collection = sample_collection(
+        count=args.tune_matrices, seed=args.seed, nnz_min=2_000, nnz_max=30_000
+    )
+    matrices = [entry.materialize() for entry in collection]
+    names = [entry.name for entry in collection]
+
+    candidates = default_design_space(channel_counts=channel_counts)
+    explorer = DesignSpaceExplorer(candidates, strategy=args.strategy)
+    # One explorer does both passes: calibration memoises its executed
+    # measurements, so tuning the same suite never re-simulates a pair.
+    cost_model = explorer.calibrate(matrices, names=names)
+    reports = explorer.tune_suite(matrices, names=names)
+
+    fit_rows = [
+        [
+            row["engine"],
+            int(row["samples"]),
+            row["rms_log_error_before"],
+            row["rms_log_error_after"],
+        ]
+        for row in cost_model.fit_report()
+    ]
+    summary_rows = []
+    for report in reports:
+        chosen = report.chosen
+        summary_rows.append(
+            [
+                report.matrix_name,
+                report.nnz,
+                report.winner_key,
+                chosen.predicted_seconds * 1e3 if chosen else None,
+                (
+                    chosen.measured_seconds * 1e3
+                    if chosen and chosen.measured_seconds is not None
+                    else None
+                ),
+                100 * report.regret if report.regret is not None else None,
+            ]
+        )
+    parts = [
+        format_table(
+            ["engine", "samples", "rms log err (raw)", "rms log err (fit)"],
+            fit_rows,
+            title="Cost-model calibration (analytic estimate vs executed run)",
+        ),
+        format_table(
+            ["matrix", "nnz", "chosen", "predicted ms", "measured ms", "regret %"],
+            summary_rows,
+            title=(
+                f"Per-matrix tuning — strategy={args.strategy}, "
+                f"{len(reports)} matrices, seed={args.seed}"
+            ),
+        ),
+        (
+            f"chosen config within 10% of measured best on "
+            f"{100 * tuned_fraction_within(reports, 0.10):.0f}% of matrices"
+        ),
+        reports[-1].render(),
+    ]
+    return "\n\n".join(parts)
 
 
 #: Registry of experiment name -> (description, runner).
@@ -258,6 +367,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "ablation-channels": ("HBM channel scaling sweep", _ablation_channels),
     "serve-bench": ("Multi-accelerator serving benchmark", _serve_bench),
     "backends": ("Registered backend engines and their Table-2 specs", _backends),
+    "tune": ("Cost-model-driven design-space exploration", _tune),
 }
 
 
@@ -363,6 +473,35 @@ def build_parser() -> argparse.ArgumentParser:
             "(vectorised array builder) or 'reference' (per-element oracle); "
             "this is the host preprocessing every cache miss pays"
         ),
+    )
+    serving.add_argument(
+        "--autotune",
+        action="store_true",
+        help=(
+            "add routed variants to serve-bench: a round-robin placement "
+            "baseline and an autotuned pool whose calibrated cost model "
+            "drives placement hints and the SJF cost oracle"
+        ),
+    )
+    tuning = parser.add_argument_group("tune options")
+    tuning.add_argument(
+        "--strategy",
+        type=str,
+        default="exhaustive",
+        choices=("exhaustive", "halving"),
+        help="design-space search strategy for 'tune'",
+    )
+    tuning.add_argument(
+        "--channels",
+        type=str,
+        default="8,12,16,20,24",
+        help="comma-separated Serpens sparse-channel counts to explore",
+    )
+    tuning.add_argument(
+        "--tune-matrices",
+        type=int,
+        default=6,
+        help="matrices in the tuning suite (sampled small for simulation)",
     )
     return parser
 

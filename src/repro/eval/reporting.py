@@ -10,7 +10,12 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-__all__ = ["format_table", "format_float", "render_report_table"]
+__all__ = [
+    "format_table",
+    "format_float",
+    "render_report_table",
+    "render_tuning_report",
+]
 
 Cell = Union[str, int, float, bool, None]
 
@@ -79,3 +84,50 @@ def render_report_table(
     headers = [labels.get(col, col) for col in columns]
     table_rows = [[row.get(col) for col in columns] for row in rows]
     return format_table(headers, table_rows, title=title)
+
+
+def render_tuning_report(
+    matrix_name: str,
+    strategy: str,
+    calibrated: bool,
+    candidate_rows: Sequence[Mapping[str, Cell]],
+    channel_rows: Sequence[Mapping[str, Cell]] = (),
+    regret: Optional[float] = None,
+) -> str:
+    """Render one autotuning report in the evaluation harness's table style.
+
+    ``candidate_rows`` carry per-candidate predicted vs. measured latency
+    (dictionaries shaped by ``TuningReport.rows``); ``channel_rows`` the
+    Table-8-style Serpens channel-scaling view.  Kept here so the autotune
+    subsystem renders through the same formatter as every paper table.
+    """
+    marked = [
+        {**row, "candidate": ("* " if row.get("chosen") else "  ") + str(row["candidate"])}
+        for row in candidate_rows
+    ]
+    parts = [
+        render_report_table(
+            marked,
+            ["candidate", "channels", "MHz", "predicted_ms", "measured_ms", "GFLOP/s", "note"],
+            title=(
+                f"Design-space exploration — {matrix_name} "
+                f"(strategy={strategy}, "
+                f"cost model {'calibrated' if calibrated else 'uncalibrated'})"
+            ),
+            column_labels={"predicted_ms": "predicted ms", "measured_ms": "measured ms"},
+        )
+    ]
+    if regret is not None:
+        parts.append(
+            f"chosen configuration is {format_float(100 * regret)}% from the "
+            f"measured best"
+        )
+    if channel_rows:
+        parts.append(
+            render_report_table(
+                channel_rows,
+                ["channels", "MHz", "GFLOP/s", "chosen"],
+                title="Serpens channel scaling (Table-8 view)",
+            )
+        )
+    return "\n\n".join(parts)

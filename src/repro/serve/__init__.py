@@ -24,7 +24,15 @@ from .loadgen import (
     TraceRequest,
     generate_trace,
 )
-from .pool import AcceleratorPool, Placement, PooledDevice, Shard, as_engine, shard_rows
+from .pool import (
+    AcceleratorPool,
+    Placement,
+    PooledDevice,
+    RoutingHint,
+    Shard,
+    as_engine,
+    shard_rows,
+)
 from .scheduler import SCHEDULING_POLICIES, Request, Scheduler
 from .service import RequestResult, ServiceHandle, ServiceReport, SpMVService
 from .telemetry import LatencySummary, ServiceTelemetry, percentile
@@ -39,6 +47,7 @@ __all__ = [
     "ProgramCache",
     "Request",
     "RequestResult",
+    "RoutingHint",
     "SCENARIOS",
     "SCHEDULING_POLICIES",
     "Scheduler",

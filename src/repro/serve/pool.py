@@ -33,6 +33,7 @@ __all__ = [
     "AcceleratorPool",
     "PooledDevice",
     "Placement",
+    "RoutingHint",
     "Shard",
     "as_engine",
     "shard_rows",
@@ -115,6 +116,25 @@ class PooledDevice:
         self.stats.busy_seconds += seconds
         self.stats.launches += batch_size
         self.stats.batches += 1
+
+
+@dataclass(frozen=True)
+class RoutingHint:
+    """Placement preference produced by an autotuning router.
+
+    ``engine_names`` are engine registry names in preference order — the
+    router's predicted-fastest first, typically every engine whose predicted
+    latency is within the router's tolerance of the best, so the placement
+    policy can still balance load across near-equivalent devices instead of
+    piling every matrix onto one card.  ``predicted_seconds`` is the
+    predicted per-launch latency on the preferred engine.  The pool narrows
+    placement to capable devices matching any hinted engine, and falls back
+    to every capable device when no name matches — a hint is advice, not a
+    constraint.
+    """
+
+    engine_names: Tuple[str, ...]
+    predicted_seconds: float = float("nan")
 
 
 @dataclass(frozen=True)
@@ -269,18 +289,26 @@ class AcceleratorPool:
     # Placement
     # ------------------------------------------------------------------
     def place(
-        self, matrix: COOMatrix, fingerprint: str, replicas: int = 1
+        self,
+        matrix: COOMatrix,
+        fingerprint: str,
+        replicas: int = 1,
+        hint: Optional[RoutingHint] = None,
     ) -> Placement:
         """Choose device(s) for a matrix and record the load they take on.
 
         A matrix that fits a single device is placed on the ``replicas``
         least-loaded capable devices; one that fits no device is row-sharded
         across as many devices as needed (replication is not combined with
-        sharding).
+        sharding).  A :class:`RoutingHint` narrows the candidate devices to
+        the router's preferred engine when one is available (sharded
+        placements ignore hints — capacity decides).
         """
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         capable = [d for d in self.devices if d.supports_rows(matrix.num_rows)]
+        if capable and hint is not None:
+            capable = self._apply_hint(capable, hint)
         if capable:
             chosen = self._choose(capable, min(replicas, len(capable)))
             replica_sets = []
@@ -291,6 +319,19 @@ class AcceleratorPool:
                 )
             return Placement(fingerprint=fingerprint, replicas=tuple(replica_sets))
         return self._place_sharded(matrix, fingerprint)
+
+    @staticmethod
+    def _apply_hint(
+        capable: List[PooledDevice], hint: RoutingHint
+    ) -> List[PooledDevice]:
+        """Narrow capable devices to those matching any hinted engine."""
+        wanted = {name.strip().lower() for name in hint.engine_names}
+        preferred = [
+            d
+            for d in capable
+            if d.engine.name.lower() in wanted or d.engine_name.lower() in wanted
+        ]
+        return preferred if preferred else capable
 
     def _choose(self, candidates: List[PooledDevice], count: int) -> List[PooledDevice]:
         if self.placement_policy == "round_robin":

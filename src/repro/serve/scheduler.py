@@ -90,6 +90,9 @@ class Scheduler:
         self.batches = 0
         self.peak_depth = 0
         self.sjf_fallbacks = 0
+        #: Requests dispatched per matrix fingerprint — the routing-decision
+        #: record telemetry joins against per-engine dispatch counts.
+        self.dispatch_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Admission
@@ -140,6 +143,9 @@ class Scheduler:
             del self._queues[fingerprint]
         self.dispatched += len(batch)
         self.batches += 1
+        self.dispatch_counts[fingerprint] = (
+            self.dispatch_counts.get(fingerprint, 0) + len(batch)
+        )
         return batch
 
     def _pick_fingerprint(self, runnable: Optional[Set[str]]) -> Optional[str]:
@@ -184,4 +190,6 @@ class Scheduler:
             "peak_depth": float(self.peak_depth),
             "depth": float(self.depth),
             "sjf_fallbacks": float(self.sjf_fallbacks),
+            "distinct_matrices": float(len(self.dispatch_counts)),
+            "has_cost_oracle": 1.0 if self._cost_fn is not None else 0.0,
         }

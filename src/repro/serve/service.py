@@ -123,6 +123,9 @@ class _ShardRuntime:
     matrix: COOMatrix
     program_key: str
     per_launch_seconds: float
+    #: Router prediction for this shard's own device engine; ``None`` for
+    #: unrouted matrices (or engines outside the router's ranking).
+    predicted_seconds: Optional[float] = None
 
 
 @dataclass
@@ -132,9 +135,17 @@ class _ServedMatrix:
     placement: Placement
     replicas: List[List[_ShardRuntime]]
     launches: int = 0
+    #: Router-predicted per-launch seconds; ``None`` for unrouted matrices.
+    predicted_seconds: Optional[float] = None
 
     def cost_seconds(self) -> float:
-        """Per-launch cost the SJF policy ranks by (slowest shard)."""
+        """Per-launch cost the SJF policy ranks by.
+
+        The router's calibrated prediction when the matrix was routed,
+        otherwise the slowest shard's engine estimate.
+        """
+        if self.predicted_seconds is not None:
+            return self.predicted_seconds
         return max(s.per_launch_seconds for s in self.replicas[0])
 
 
@@ -176,6 +187,14 @@ class SpMVService:
         Optional program-builder mode (``"fast"`` / ``"reference"``)
         forwarded the same way; it selects the preprocessing pipeline
         cache-missing dispatches run on the host.
+    router:
+        Optional :class:`~repro.autotune.EngineRouter`.  When given, every
+        registration is routed — placement prefers devices of the predicted
+        best engine, the router's predictions become the SJF cost oracle,
+        and telemetry records per-engine dispatches and the mispredict
+        ratio.  Any object with ``route(matrix, name)`` / ``hint`` /
+        ``decision`` is accepted (duck-typed, so the serve layer never
+        imports the autotune package).
     """
 
     def __init__(
@@ -195,6 +214,7 @@ class SpMVService:
         timing_model: str = "detailed",
         program_load_gbps: float = 16.0,
         preprocess_mnnz_per_second: float = 20.0,
+        router=None,
     ) -> None:
         if compute not in COMPUTE_MODES:
             raise ValueError(
@@ -215,6 +235,7 @@ class SpMVService:
         self.timing_model = timing_model
         self.program_load_gbps = program_load_gbps
         self.preprocess_mnnz_per_second = preprocess_mnnz_per_second
+        self.router = router
         self._matrices: Dict[str, _ServedMatrix] = {}
         self._pending: List[Request] = []
         self._next_request_id = 0
@@ -241,9 +262,29 @@ class SpMVService:
         if existing is not None:
             return existing.handle
 
+        hint = None
+        decision = None
+        if self.router is not None:
+            # Deferred import so the serve layer depends on autotune only at
+            # call time (the same one-way layering the router keeps).
+            from ..autotune.router import UnroutableMatrixError
+
+            try:
+                decision = self.router.route(matrix, name=name)
+                hint = self.router.hint(fingerprint)
+            except UnroutableMatrixError:
+                # No single candidate engine can hold the matrix — the pool
+                # can still row-shard it, so fall back to unrouted placement
+                # (a hint is advice, not a constraint).  Any other error is
+                # a real configuration problem and propagates.
+                decision = None
         placement = self.pool.place(
-            matrix, fingerprint, replicas=replicas or self.default_replicas
+            matrix,
+            fingerprint,
+            replicas=replicas or self.default_replicas,
+            hint=hint,
         )
+        ranking = dict(decision.ranking) if decision is not None else {}
         replicas_rt: List[List[_ShardRuntime]] = []
         if placement.sharded:
             boundaries = [s.row_end for s in placement.replicas[0]]
@@ -263,9 +304,16 @@ class SpMVService:
                         matrix=shard_matrix,
                         program_key=key,
                         per_launch_seconds=estimate.seconds,
+                        # The prediction for this shard's own engine — the
+                        # hint tolerance lets placement land on any
+                        # near-equivalent engine, so the SJF cost and the
+                        # mispredict baseline must not use the router's
+                        # overall favourite.
+                        predicted_seconds=ranking.get(device.engine.name.lower()),
                     )
                 )
             replicas_rt.append(shard_rts)
+        predicted_seconds = self._placed_prediction(decision, replicas_rt)
 
         handle = ServiceHandle(
             name=name,
@@ -277,9 +325,29 @@ class SpMVService:
             device_ids=placement.device_ids,
         )
         self._matrices[fingerprint] = _ServedMatrix(
-            handle=handle, matrix=matrix, placement=placement, replicas=replicas_rt
+            handle=handle,
+            matrix=matrix,
+            placement=placement,
+            replicas=replicas_rt,
+            predicted_seconds=predicted_seconds,
         )
         return handle
+
+    @staticmethod
+    def _placed_prediction(
+        decision, replicas_rt: List[List[_ShardRuntime]]
+    ) -> Optional[float]:
+        """Matrix-level prediction: the slowest placed shard of replica 0.
+
+        Falls back to the router's best-ranked prediction when a placed
+        engine is outside the ranking (a router not built for this pool).
+        """
+        if decision is None:
+            return None
+        predictions = [s.predicted_seconds for s in replicas_rt[0]]
+        if any(p is None for p in predictions):
+            return decision.predicted_seconds
+        return max(predictions)
 
     @staticmethod
     def _program_key(
@@ -489,6 +557,18 @@ class SpMVService:
                 switched_program=load_seconds > 0,
                 traversed_edges=len(batch) * shard_rt.matrix.nnz,
             )
+            # Per-shard prediction where the router ranked this engine;
+            # matrix-level fallback keeps out-of-ranking engines counted as
+            # routed traffic rather than silently dropping them.
+            shard_prediction = shard_rt.predicted_seconds
+            if shard_prediction is None:
+                shard_prediction = entry.predicted_seconds
+            telemetry.record_routing(
+                shard_device.engine_name,
+                batch_size=len(batch),
+                simulated_seconds=shard_rt.per_launch_seconds,
+                predicted_seconds=shard_prediction,
+            )
             finish = max(finish, start + shard_seconds)
 
         entry.launches += len(batch)
@@ -601,10 +681,15 @@ class SpMVService:
 
     def statistics(self) -> Dict[str, float]:
         """Session-level counters across every drain so far."""
-        return {
+        stats = {
             "registered_matrices": float(len(self._matrices)),
             "launches": float(sum(e.launches for e in self._matrices.values())),
             "devices": float(len(self.pool)),
             **{f"cache_{k}": v for k, v in self.cache.stats().items()},
             **{f"scheduler_{k}": v for k, v in self.scheduler.stats().items()},
         }
+        if self.router is not None and hasattr(self.router, "stats"):
+            stats.update(
+                {f"router_{k}": v for k, v in self.router.stats().items()}
+            )
+        return stats

@@ -79,6 +79,24 @@ class _DeviceCounters:
     traversed_edges: int = 0
 
 
+@dataclass
+class _RoutingCounters:
+    """Per-engine routing record: dispatches plus prediction error."""
+
+    batches: int = 0
+    launches: int = 0
+    routed_launches: int = 0
+    mispredict_sum: float = 0.0
+    mispredict_samples: int = 0
+
+    @property
+    def mispredict_ratio(self) -> float:
+        """Mean ``|predicted − simulated| / simulated`` over dispatches."""
+        if not self.mispredict_samples:
+            return 0.0
+        return self.mispredict_sum / self.mispredict_samples
+
+
 class ServiceTelemetry:
     """Accumulates per-tenant, per-device and queue metrics for one run."""
 
@@ -87,6 +105,7 @@ class ServiceTelemetry:
         self._tenant_queue: Dict[str, List[float]] = {}
         self._tenant_rejected: Dict[str, int] = {}
         self._devices: Dict[str, _DeviceCounters] = {}
+        self._routing: Dict[str, _RoutingCounters] = {}
         self._queue_depth: List[Tuple[float, int]] = []
         self.completed = 0
         self.rejected = 0
@@ -125,6 +144,33 @@ class ServiceTelemetry:
         counters.busy_seconds += busy_seconds
         counters.program_switches += 1 if switched_program else 0
         counters.traversed_edges += traversed_edges
+
+    def record_routing(
+        self,
+        engine_name: str,
+        batch_size: int,
+        simulated_seconds: float,
+        predicted_seconds: Optional[float] = None,
+    ) -> None:
+        """Book one dispatch against the engine the matrix was routed to.
+
+        ``simulated_seconds`` is the per-launch virtual time the dispatch was
+        booked at (the engine's own estimate); ``predicted_seconds`` is the
+        router's prediction when the dispatch was routed, ``None`` for
+        unrouted traffic.  The mispredict ratio
+        ``|predicted − simulated| / simulated`` only accumulates over routed
+        dispatches.
+        """
+        counters = self._routing.setdefault(engine_name, _RoutingCounters())
+        counters.batches += 1
+        counters.launches += batch_size
+        if predicted_seconds is not None:
+            counters.routed_launches += batch_size
+            if simulated_seconds > 0:
+                counters.mispredict_sum += (
+                    abs(predicted_seconds - simulated_seconds) / simulated_seconds
+                )
+                counters.mispredict_samples += 1
 
     def record_prepare(self, seconds: float) -> None:
         """Book one cold program build (host wall-clock, not virtual time)."""
@@ -211,6 +257,29 @@ class ServiceTelemetry:
             )
         return rows
 
+    def routing_rows(self) -> List[Dict[str, float]]:
+        """Per-engine dispatch counts and prediction error for rendering."""
+        rows = []
+        for name in sorted(self._routing):
+            counters = self._routing[name]
+            rows.append(
+                {
+                    "engine": name,
+                    "batches": counters.batches,
+                    "launches": counters.launches,
+                    "routed_launches": counters.routed_launches,
+                    "mispredict_ratio": counters.mispredict_ratio,
+                }
+            )
+        return rows
+
+    @property
+    def mispredict_ratio(self) -> float:
+        """Fleet-wide mean ``|predicted − simulated| / simulated``."""
+        total = sum(c.mispredict_sum for c in self._routing.values())
+        samples = sum(c.mispredict_samples for c in self._routing.values())
+        return total / samples if samples else 0.0
+
     def snapshot(
         self, cache_stats: Optional[Dict[str, float]] = None
     ) -> Dict[str, float]:
@@ -234,6 +303,10 @@ class ServiceTelemetry:
                 if self.prepare_count
                 else 0.0
             ),
+            "routed_launches": float(
+                sum(c.routed_launches for c in self._routing.values())
+            ),
+            "mispredict_ratio": self.mispredict_ratio,
         }
         if cache_stats is not None:
             snapshot["cache_hit_rate"] = cache_stats.get("hit_rate", 0.0)
@@ -321,4 +394,31 @@ class ServiceTelemetry:
                 title="Per-device utilisation",
             )
         )
+        routing_rows = [
+            [
+                row["engine"],
+                int(row["batches"]),
+                int(row["launches"]),
+                int(row["routed_launches"]),
+                100 * row["mispredict_ratio"],
+            ]
+            for row in self.routing_rows()
+        ]
+        # Dispatches are recorded per engine for every service, but the
+        # routing table is only meaningful when a router actually routed
+        # traffic — unrouted reports keep their historical shape.
+        if any(row[3] for row in routing_rows):
+            tables.append(
+                format_table(
+                    [
+                        "engine",
+                        "batches",
+                        "launches",
+                        "routed",
+                        "mispredict %",
+                    ],
+                    routing_rows,
+                    title="Per-engine routing",
+                )
+            )
         return "\n".join(lines) + "\n\n" + "\n\n".join(tables)

@@ -1,0 +1,202 @@
+"""Tests for the design-space explorer (strategies, filtering, reports)."""
+
+import pytest
+
+from repro.autotune import (
+    CandidateSpec,
+    DesignSpaceExplorer,
+    default_design_space,
+    fit_cost_model,
+    serpens_channel_candidates,
+    tuned_fraction_within,
+)
+from repro.generators import laplacian_2d, random_uniform, rmat_adjacency
+from repro.serpens import SerpensConfig
+
+
+def generator_suite():
+    """A small, structurally diverse generator suite for tuning tests."""
+    return (
+        [
+            random_uniform(300, 300, 2500, seed=1),
+            random_uniform(600, 200, 3000, seed=2),
+            laplacian_2d(24, 24),
+            laplacian_2d(40, 16),
+            rmat_adjacency(512, 6.0, seed=3),
+            random_uniform(200, 800, 2000, seed=4),
+        ],
+        ["uni-300", "uni-600x200", "lap-24", "lap-40x16", "rmat-512", "uni-wide"],
+    )
+
+
+def small_space():
+    return default_design_space(channel_counts=(8, 16, 24))
+
+
+class TestDesignSpace:
+    def test_default_space_contents(self):
+        keys = [c.key for c in default_design_space()]
+        assert "serpens-a16" in keys
+        assert "serpens-a24" in keys
+        assert "sextans" in keys
+        assert "cpu" not in keys  # wall-clock measured: non-deterministic
+        assert len(set(keys)) == len(keys)
+
+    def test_channel_candidates_interpolate_frequency(self):
+        candidates = {c.key: c for c in serpens_channel_candidates((8, 16, 24))}
+        assert candidates["serpens-a16"].spec.frequency_mhz == 223.0
+        assert candidates["serpens-a24"].spec.frequency_mhz == 270.0
+        assert candidates["serpens-a8"].spec.frequency_mhz < 223.0
+
+    def test_duplicate_keys_rejected(self):
+        space = [
+            CandidateSpec(key="dup", spec="sextans"),
+            CandidateSpec(key="dup", spec="k80"),
+        ]
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer(space)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer(small_space(), strategy="genetic")
+
+
+class TestExhaustiveSearch:
+    def test_every_supported_candidate_measured(self):
+        explorer = DesignSpaceExplorer(small_space())
+        report = explorer.tune(random_uniform(300, 300, 2500, seed=1), "demo")
+        supported = [c for c in report.candidates if c.supported]
+        assert supported
+        assert all(c.measured_seconds is not None for c in supported)
+        assert report.winner_key is not None
+        assert report.chosen.supported
+
+    def test_capability_filtering(self):
+        tiny = SerpensConfig(
+            name="Serpens-Tiny",
+            num_sparse_channels=2,
+            pes_per_channel=4,
+            urams_per_pe=2,
+            uram_depth=8,
+            segment_width=64,
+        )
+        space = small_space() + [CandidateSpec(key="serpens-tiny", spec=tiny)]
+        explorer = DesignSpaceExplorer(space)
+        big = random_uniform(5_000, 200, 4_000, seed=5)
+        report = explorer.tune(big, "big")
+        tiny_result = report.candidate("serpens-tiny")
+        assert not tiny_result.supported
+        assert "exceeds" in tiny_result.reason
+        assert tiny_result.measured_seconds is None
+        assert report.winner_key != "serpens-tiny"
+
+    def test_calibrated_model_chooses_within_ten_percent(self):
+        # The subsystem's acceptance criterion: on the generator suite the
+        # calibrated predictor's chosen config must be within 10% of the
+        # true (measured) best for at least 90% of matrices.
+        matrices, names = generator_suite()
+        space = small_space()
+        explorer = DesignSpaceExplorer(space)
+        model = fit_cost_model(
+            [explorer.engine(c.key) for c in space], matrices, matrix_names=names
+        )
+        tuned = DesignSpaceExplorer(space, cost_model=model)
+        reports = tuned.tune_suite(matrices, names=names)
+        assert all(r.calibrated for r in reports)
+        assert tuned_fraction_within(reports, tolerance=0.10) >= 0.9
+
+    def test_explorer_calibrate_memoises_measurements(self):
+        matrices, names = generator_suite()
+        matrices, names = matrices[:3], names[:3]
+        explorer = DesignSpaceExplorer(small_space())
+        model = explorer.calibrate(matrices, names=names)
+        assert explorer.cost_model is model
+        measured_once = dict(explorer._measurements)
+        assert len(measured_once) == len(small_space()) * len(matrices)
+        # Tuning the same suite reuses every executed measurement.
+        reports = explorer.tune_suite(matrices, names=names)
+        assert explorer._measurements == measured_once
+        assert all(report.calibrated for report in reports)
+
+    def test_explorer_calibrate_matches_fit_cost_model(self):
+        # The in-place calibration and the standalone helper must agree when
+        # fitted against the same timing model.
+        matrices, names = generator_suite()
+        matrices, names = matrices[:2], names[:2]
+        space = small_space()
+        explorer = DesignSpaceExplorer(space)
+        inline = explorer.calibrate(matrices, names=names)
+        standalone = fit_cost_model(
+            [DesignSpaceExplorer(space).engine(c.key) for c in space],
+            matrices,
+            matrix_names=names,
+        )
+        from repro.autotune import extract_features
+
+        features = extract_features(matrices[0])
+        for candidate in space:
+            assert inline.predict_seconds(
+                candidate.key, features, 1e-5
+            ) == pytest.approx(
+                standalone.predict_seconds(candidate.key, features, 1e-5)
+            )
+
+    def test_uncalibrated_ranking_still_orders_serpens_family(self):
+        explorer = DesignSpaceExplorer(small_space())
+        report = explorer.tune(random_uniform(400, 400, 3000, seed=6), "m")
+        a8 = report.candidate("serpens-a8")
+        a24 = report.candidate("serpens-a24")
+        assert a24.predicted_seconds < a8.predicted_seconds
+        assert a24.measured_seconds < a8.measured_seconds
+
+
+class TestHalvingSearch:
+    def test_only_finalists_measured(self):
+        explorer = DesignSpaceExplorer(
+            small_space(), strategy="halving", finalists=2
+        )
+        report = explorer.tune(random_uniform(300, 300, 2500, seed=1), "demo")
+        measured = [c for c in report.candidates if c.measured_seconds is not None]
+        assert len(measured) == 2
+        assert all(c.rounds_survived > 0 for c in measured)
+        # The winner is one of the measured finalists.
+        assert report.chosen.measured_seconds is not None
+
+    def test_halving_agrees_with_exhaustive_on_easy_case(self):
+        matrix = random_uniform(300, 300, 2500, seed=1)
+        exhaustive = DesignSpaceExplorer(small_space()).tune(matrix, "m")
+        halving = DesignSpaceExplorer(small_space(), strategy="halving").tune(
+            matrix, "m"
+        )
+        assert halving.winner_key == exhaustive.winner_key
+
+
+class TestTuningReport:
+    def test_render_contains_tables(self):
+        explorer = DesignSpaceExplorer(small_space())
+        report = explorer.tune(laplacian_2d(20, 20), "lap")
+        rendered = report.render()
+        assert "Design-space exploration" in rendered
+        assert "Serpens channel scaling" in rendered
+        assert "*" in rendered  # the chosen row is marked
+
+    def test_channel_scaling_rows_sorted(self):
+        explorer = DesignSpaceExplorer(small_space())
+        report = explorer.tune(laplacian_2d(20, 20), "lap")
+        rows = report.channel_scaling_rows()
+        channels = [row["channels"] for row in rows]
+        assert channels == sorted(channels) == [8, 16, 24]
+        assert all(row["GFLOP/s"] is not None for row in rows)
+
+    def test_regret_zero_when_prediction_ranks_correctly(self):
+        explorer = DesignSpaceExplorer(small_space())
+        report = explorer.tune(random_uniform(300, 300, 2500, seed=1), "m")
+        assert report.regret is not None
+        assert report.regret >= 0.0
+
+    def test_prediction_only_reports_have_no_regret(self):
+        explorer = DesignSpaceExplorer(small_space(), measure=False)
+        report = explorer.tune(laplacian_2d(12, 12), "lap")
+        assert report.best_measured is None
+        assert report.regret is None
+        assert tuned_fraction_within([report]) == 0.0

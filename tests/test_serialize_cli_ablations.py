@@ -199,3 +199,44 @@ class TestCLI:
             assert name in out
         assert "Tesla K80" in out
         assert "unbounded" in out
+
+    def test_tune_command_registered(self):
+        assert "tune" in EXPERIMENTS
+
+    def test_tune_command_runs_tiny_suite(self, capsys):
+        assert main(
+            ["tune", "--tune-matrices", "2", "--channels", "8,16", "--seed", "11"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Cost-model calibration" in out
+        assert "Per-matrix tuning" in out
+        assert "within 10% of measured best" in out
+        assert "Serpens channel scaling" in out
+
+    def test_tune_rejects_empty_channels(self):
+        with pytest.raises(ValueError):
+            run_experiment(
+                "tune",
+                build_parser().parse_args(["tune", "--channels", " , "]),
+            )
+
+    def test_serve_bench_autotune_adds_routed_rows(self, capsys):
+        assert main(
+            [
+                "serve-bench",
+                "--requests",
+                "60",
+                "--scenario",
+                "solver-burst",
+                "--gap-scale",
+                "3",
+                "--engines",
+                "serpens-a16,graphlily",
+                "--autotune",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "round-robin" in out
+        assert "autotuned-sjf" in out
+        assert "steady-state" in out
+        assert "Per-engine routing" in out

@@ -206,3 +206,34 @@ class TestScheduler:
         scheduler.next_batch()
         scheduler.next_batch()
         assert scheduler.stats()["mean_batch_size"] == pytest.approx(2.5)
+
+    def test_dispatch_counts_track_per_matrix_routing(self):
+        scheduler = Scheduler(policy="fifo", max_batch=8)
+        for i, fp in enumerate(["a", "a", "b", "a"]):
+            scheduler.admit(make_request(i, fp))
+        scheduler.next_batch()
+        scheduler.next_batch()
+        assert scheduler.dispatch_counts == {"a": 3, "b": 1}
+        stats = scheduler.stats()
+        assert stats["distinct_matrices"] == 2.0
+        assert stats["has_cost_oracle"] == 0.0
+
+    def test_sjf_with_autotune_predictor_never_falls_back(self):
+        # The satellite requirement from the autotune PR: an attached
+        # predictor (EngineRouter.cost_fn) means SJF always ranks, so
+        # sjf_fallbacks stays 0; the once-warn path above covers bare use.
+        from repro.autotune import EngineRouter
+        from repro.generators import laplacian_2d
+        from repro.serve import AcceleratorPool
+
+        pool = AcceleratorPool(["serpens-a16", "sextans"])
+        router = EngineRouter.for_pool(pool)
+        fingerprint = router.route(laplacian_2d(16, 16)).fingerprint
+        scheduler = Scheduler(policy="sjf", max_batch=4)
+        scheduler.set_cost_fn(router.cost_fn())
+        for i in range(3):
+            scheduler.admit(make_request(i, fingerprint))
+        assert len(scheduler.next_batch()) == 3
+        stats = scheduler.stats()
+        assert stats["sjf_fallbacks"] == 0
+        assert stats["has_cost_oracle"] == 1.0
