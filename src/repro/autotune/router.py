@@ -248,3 +248,23 @@ class EngineRouter:
             key = f"routed_to_{decision.engine_key}"
             stats[key] = stats.get(key, 0.0) + 1.0
         return stats
+
+    def publish(self, registry) -> None:
+        """Publish routing decisions into a metrics registry.
+
+        ``registry`` is a :class:`repro.obs.MetricsRegistry` (duck-typed):
+        a ``router_routed_matrices`` gauge plus one labelled
+        ``router_decisions`` gauge per chosen engine, so routing skew is
+        queryable next to the serving metrics.
+        """
+        registry.gauge(
+            "router_routed_matrices", "matrices with a memoised routing decision"
+        ).set(float(len(self._decisions)))
+        per_engine: Dict[str, float] = {}
+        for decision in self._decisions.values():
+            per_engine[decision.engine_key] = per_engine.get(decision.engine_key, 0.0) + 1
+        decisions = registry.gauge(
+            "router_decisions", "routing decisions per chosen engine"
+        )
+        for engine_key, count in per_engine.items():
+            decisions.set(count, engine=engine_key)

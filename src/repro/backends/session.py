@@ -21,6 +21,7 @@ now a thin deprecated subclass bound to a :class:`~repro.backends.SerpensEngine`
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple, Union
@@ -94,6 +95,16 @@ class Session:
         Optional program-builder mode (``"fast"`` / ``"reference"``) applied
         with the same tolerant semantics; it selects the preprocessing
         pipeline ``prepare`` runs on cache misses.
+    tracer:
+        Optional :class:`repro.obs.Tracer` (duck-typed).  Registration then
+        records a host wall-clock ``prepare`` span per prepared matrix and
+        each launch records an ``execute`` span, so single-session work
+        shows up on the same Chrome-trace timeline as a serving run.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` (duck-typed).  Each
+        launch publishes the engine's execution report into it — per-engine
+        cycles, bytes moved, effective bandwidth, hazard violations and a
+        per-matrix latency histogram.
     """
 
     def __init__(
@@ -104,6 +115,8 @@ class Session:
         program_cache=None,
         engine_mode: Optional[str] = None,
         build_mode: Optional[str] = None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         # Imported lazily: serve imports backends at module level, so
         # backends must not import serve at module level.
@@ -119,6 +132,8 @@ class Session:
                 disk_capacity=cache_capacity,
             )
         self.program_cache = program_cache
+        self.tracer = tracer
+        self.metrics = metrics
         self._matrices: Dict[str, _RegisteredMatrix] = {}
 
     # ------------------------------------------------------------------
@@ -158,13 +173,28 @@ class Session:
         # build_payload is the protocol's preparation hook; calling it
         # directly (rather than prepare()) avoids re-checking capabilities
         # and re-hashing the matrix, both done just above.
-        prepare_started = time.perf_counter()
-        payload = self.program_cache.get_or_build(
-            self.engine.program_key(fingerprint),
-            lambda: self.engine.build_payload(matrix),
-            params=self.engine.cache_params(),
+        span_ctx = (
+            self.tracer.wall_span(
+                "prepare",
+                track="host:session",
+                matrix=name,
+                engine=self.engine.name,
+            )
+            if self.tracer is not None
+            else nullcontext()
         )
+        prepare_started = time.perf_counter()
+        with span_ctx:
+            payload = self.program_cache.get_or_build(
+                self.engine.program_key(fingerprint),
+                lambda: self.engine.build_payload(matrix),
+                params=self.engine.cache_params(),
+            )
         prepare_seconds = time.perf_counter() - prepare_started
+        if self.metrics is not None:
+            self.metrics.counter(
+                "session_prepare_seconds_total", "host preprocessing wall-clock"
+            ).inc(prepare_seconds, engine=self.engine.name)
         prepared = PreparedMatrix(
             engine=self.engine.name,
             matrix=matrix,
@@ -204,11 +234,49 @@ class Session:
         prepared = entry.prepared
         if handle.name != prepared.name:
             prepared = replace(prepared, name=handle.name)
-        result = self.engine.execute(prepared, x, y, alpha, beta)
+        span_ctx = (
+            self.tracer.wall_span(
+                "execute",
+                track="host:session",
+                matrix=handle.name,
+                engine=self.engine.name,
+            )
+            if self.tracer is not None
+            else nullcontext()
+        )
+        with span_ctx:
+            result = self.engine.execute(prepared, x, y, alpha, beta)
         entry.launches += 1
         entry.accelerator_seconds += result.report.seconds
         entry.traversed_edges += entry.prepared.matrix.nnz
+        if self.metrics is not None:
+            self._publish_launch(result.report)
         return result.y, result.report
+
+    def _publish_launch(self, report: ExecutionReport) -> None:
+        """Publish one launch's execution report into the metrics registry."""
+        engine = self.engine.name
+        self.metrics.counter(
+            "engine_launches_total", "launches executed per engine"
+        ).inc(1, engine=engine)
+        self.metrics.counter(
+            "engine_cycles_total", "simulated accelerator cycles"
+        ).inc(report.cycles, engine=engine)
+        self.metrics.counter(
+            "engine_bytes_moved_total", "simulated off-chip traffic"
+        ).inc(report.bytes_moved, engine=engine)
+        self.metrics.histogram(
+            "engine_launch_seconds", "modelled per-launch latency"
+        ).observe(report.seconds, engine=engine)
+        if report.effective_bandwidth_gbps:
+            self.metrics.gauge(
+                "engine_effective_bandwidth_gbps", "bytes moved / simulated seconds"
+            ).set(report.effective_bandwidth_gbps, engine=engine)
+        hazards = report.extra.get("hazard_violations")
+        if hazards:
+            self.metrics.counter(
+                "engine_hazard_violations_total", "accumulation-hazard violations"
+            ).inc(hazards, engine=engine)
 
     def estimate(self, handle: MatrixHandle, model: str = "detailed") -> ExecutionReport:
         """Performance estimate for one launch against a registered matrix."""

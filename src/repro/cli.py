@@ -161,7 +161,15 @@ def _backends(args: argparse.Namespace) -> str:
     )
 
 
-def _serve_bench(args: argparse.Namespace) -> str:
+def _serve_bench_payload(args: argparse.Namespace, tracer=None):
+    """Run every serve-bench variant; returns (payload, rendered report).
+
+    ``payload`` is the machine-readable result: the run configuration plus
+    one flat telemetry snapshot per variant.  It is what ``--json`` prints
+    and what the results store and ``BENCH_serve.json`` snapshots persist.
+    When a ``tracer`` is given it is attached to the *final* variant's
+    drain, so the exported trace covers exactly one timeline.
+    """
     # Imported here so the experiment registry stays importable even if the
     # serving layer is being refactored.
     from .autotune import EngineRouter
@@ -197,7 +205,9 @@ def _serve_bench(args: argparse.Namespace) -> str:
 
     rows = []
     last_report = None
-    for label, policy, max_batch, placement, routed in variants:
+    variant_payloads: Dict[str, Dict[str, float]] = {}
+    for index, (label, policy, max_batch, placement, routed) in enumerate(variants):
+        is_last = index == len(variants) - 1
         trace = generate_trace(
             args.scenario, args.requests, seed=args.seed, gap_scale=args.gap_scale
         )
@@ -224,11 +234,16 @@ def _serve_bench(args: argparse.Namespace) -> str:
             cache_capacity=args.cache_capacity,
             router=router,
         )
+        if is_last and tracer is not None and not args.autotune:
+            service.attach_tracer(tracer)
         report = service.run_trace(trace)
         if args.autotune:
             # Steady-state comparison: a second identical drain reuses the
             # resident programs, so placement quality is not drowned out by
             # the one-time cold-build costs every variant pays identically.
+            # The trace (if any) captures only this steady-state drain.
+            if is_last and tracer is not None:
+                service.attach_tracer(tracer)
             report = service.run_trace(trace)
         telemetry = report.telemetry
         overall = telemetry.latency()
@@ -245,6 +260,10 @@ def _serve_bench(args: argparse.Namespace) -> str:
                 telemetry.prepare_count,
             ]
         )
+        variant_payloads[label] = {
+            **telemetry.snapshot(),
+            "mean_batch_size": report.scheduler_stats["mean_batch_size"],
+        }
         last_report = report
 
     comparison = format_table(
@@ -266,7 +285,73 @@ def _serve_bench(args: argparse.Namespace) -> str:
             + (", steady-state (warm cache)" if args.autotune else "")
         ),
     )
-    return comparison + "\n\n" + last_report.render()
+    # Enough to reconstruct the exact run: the regression gate re-runs the
+    # baseline snapshot's stored config, so the device shape must round-trip.
+    config = {
+        "scenario": args.scenario,
+        "requests": args.requests,
+        "seed": args.seed,
+        "gap_scale": args.gap_scale,
+        "max_batch": args.max_batch,
+        "cache_capacity": args.cache_capacity,
+        "devices": args.devices,
+        "a24": args.a24,
+        "engines": args.engines,
+        "pool": pool_label,
+        "sim_mode": args.sim_mode,
+        "build_mode": args.build_mode,
+        "autotune": bool(args.autotune),
+    }
+    payload = {
+        "experiment": "serve-bench",
+        "scenario": args.scenario,
+        "config": config,
+        "variants": variant_payloads,
+    }
+    return payload, comparison + "\n\n" + last_report.render()
+
+
+def _serve_bench(args: argparse.Namespace) -> str:
+    from .obs import Tracer
+
+    tracer = Tracer() if args.trace else None
+    payload, rendered = _serve_bench_payload(args, tracer=tracer)
+    notes = []
+    if tracer is not None:
+        path = tracer.save(args.trace)
+        notes.append(f"wrote Chrome trace ({len(tracer.spans)} spans) to {path}")
+    if args.results_db:
+        from .obs import ResultsStore
+
+        with ResultsStore(args.results_db) as store:
+            for label, metrics in payload["variants"].items():
+                record = store.record(
+                    topic="serve-bench",
+                    scenario=args.scenario,
+                    engine=payload["config"]["pool"],
+                    config={**payload["config"], "variant": label},
+                    metrics=metrics,
+                )
+            notes.append(
+                f"recorded {len(payload['variants'])} runs in {args.results_db} "
+                f"(latest id {record.run_id}, rev {record.git_rev})"
+            )
+    if args.emit_bench:
+        from .obs import emit_bench_snapshot
+
+        path = emit_bench_snapshot(
+            args.emit_bench,
+            topic="serve",
+            scenario=args.scenario,
+            config=payload["config"],
+            variants=payload["variants"],
+        )
+        notes.append(f"wrote bench snapshot to {path}")
+    if args.json:
+        import json
+
+        return json.dumps(payload, indent=2, sort_keys=True, default=str)
+    return "\n\n".join([rendered] + notes)
 
 
 def _tune(args: argparse.Namespace) -> str:
@@ -326,6 +411,7 @@ def _tune(args: argparse.Namespace) -> str:
                 100 * report.regret if report.regret is not None else None,
             ]
         )
+    fraction_within = tuned_fraction_within(reports, 0.10)
     parts = [
         format_table(
             ["engine", "samples", "rms log err (raw)", "rms log err (fit)"],
@@ -342,11 +428,232 @@ def _tune(args: argparse.Namespace) -> str:
         ),
         (
             f"chosen config within 10% of measured best on "
-            f"{100 * tuned_fraction_within(reports, 0.10):.0f}% of matrices"
+            f"{100 * fraction_within:.0f}% of matrices"
         ),
         reports[-1].render(),
     ]
+
+    config = {
+        "strategy": args.strategy,
+        "channels": args.channels,
+        "tune_matrices": args.tune_matrices,
+        "seed": args.seed,
+    }
+    regrets = [r.regret for r in reports if r.regret is not None]
+    metrics = {
+        "fraction_within_10pct": fraction_within,
+        "mean_regret": sum(regrets) / len(regrets) if regrets else 0.0,
+        "matrices": float(len(reports)),
+    }
+    for row in cost_model.fit_report():
+        key = str(row["engine"]).replace("-", "_")
+        metrics[f"rms_log_error_after_{key}"] = float(row["rms_log_error_after"])
+    payload = {
+        "experiment": "tune",
+        "config": config,
+        "metrics": metrics,
+        "matrices": [
+            {
+                "matrix": report.matrix_name,
+                "nnz": report.nnz,
+                "chosen": report.winner_key,
+                "regret": report.regret,
+            }
+            for report in reports
+        ],
+    }
+    if args.results_db:
+        from .obs import ResultsStore
+
+        with ResultsStore(args.results_db) as store:
+            record = store.record(
+                topic="tune",
+                scenario=f"generator-suite-{args.tune_matrices}",
+                engine=args.strategy,
+                config=config,
+                metrics=metrics,
+            )
+        parts.append(
+            f"recorded run {record.run_id} (rev {record.git_rev}) in {args.results_db}"
+        )
+    if args.json:
+        import json
+
+        return json.dumps(payload, indent=2, sort_keys=True, default=str)
     return "\n\n".join(parts)
+
+
+#: Default location of the committed serve-bench regression baseline.
+DEFAULT_BENCH_BASELINE = "benchmarks/BENCH_serve.json"
+
+
+def _gate_args_from_config(config: Dict) -> argparse.Namespace:
+    """Rebuild serve-bench CLI args from a bench snapshot's stored config.
+
+    The regression gate must replay *exactly* the configuration the baseline
+    was recorded under — scenario, trace size, seed, pool shape — so the
+    committed snapshot, not the gate invocation, pins the workload.
+    """
+    argv = [
+        "serve-bench",
+        "--scenario", str(config["scenario"]),
+        "--requests", str(config["requests"]),
+        "--seed", str(config["seed"]),
+        "--gap-scale", str(config["gap_scale"]),
+        "--max-batch", str(config["max_batch"]),
+        "--sim-mode", str(config["sim_mode"]),
+        "--build-mode", str(config["build_mode"]),
+    ]
+    if config.get("cache_capacity") is not None:
+        argv += ["--cache-capacity", str(config["cache_capacity"])]
+    if config.get("engines"):
+        argv += ["--engines", str(config["engines"])]
+    else:
+        argv += ["--devices", str(config.get("devices", 4))]
+        if config.get("a24") is not None:
+            argv += ["--a24", str(config["a24"])]
+    if config.get("autotune"):
+        argv.append("--autotune")
+    return build_parser().parse_args(argv)
+
+
+def _results_gate(args: argparse.Namespace) -> tuple:
+    """``results gate``: re-run the pinned scenario, judge against baseline."""
+    from .obs import emit_bench_snapshot, load_bench_snapshot, regression_gate
+
+    baseline_path = args.baseline or DEFAULT_BENCH_BASELINE
+    if args.update_baseline:
+        payload, __ = _serve_bench_payload(args)
+        path = emit_bench_snapshot(
+            baseline_path,
+            topic="serve",
+            scenario=args.scenario,
+            config=payload["config"],
+            variants=payload["variants"],
+        )
+        return f"wrote regression baseline ({payload['config']}) to {path}", 0
+    baseline = load_bench_snapshot(baseline_path)
+    payload, __ = _serve_bench_payload(_gate_args_from_config(baseline["config"]))
+    result = regression_gate(baseline, payload["variants"])
+    return result.render(), 0 if result.passed else 1
+
+
+def _results(args: argparse.Namespace) -> tuple:
+    """The ``results`` command: list/show/compare stored runs, or gate CI.
+
+    Returns ``(rendered text, exit code)``; only ``gate`` (on regression)
+    and usage errors exit non-zero.
+    """
+    from .eval.reporting import format_float, format_table
+    from .obs import ResultsStore, compare_runs
+
+    sub = args.subcommand or "list"
+    if sub == "gate":
+        return _results_gate(args)
+    if sub not in ("list", "show", "compare"):
+        return (
+            f"unknown results subcommand {sub!r}; use list, show, compare or gate",
+            2,
+        )
+    if not args.results_db:
+        return ("the results command needs --results-db PATH", 2)
+
+    with ResultsStore(args.results_db) as store:
+        if sub == "list":
+            runs = store.list_runs(limit=args.limit)
+            if not runs:
+                return (f"no runs recorded in {args.results_db}", 0)
+            rows = [
+                [
+                    r.run_id,
+                    r.recorded_at,
+                    r.git_rev,
+                    r.topic,
+                    r.scenario,
+                    r.config.get("variant", "-"),
+                    r.config_fingerprint,
+                    (
+                        format_float(r.metrics["latency_p95_ms"])
+                        if "latency_p95_ms" in r.metrics
+                        else "-"
+                    ),
+                    (
+                        format_float(r.metrics["throughput_rps"])
+                        if "throughput_rps" in r.metrics
+                        else "-"
+                    ),
+                ]
+                for r in runs
+            ]
+            return (
+                format_table(
+                    [
+                        "id",
+                        "recorded",
+                        "rev",
+                        "topic",
+                        "scenario",
+                        "variant",
+                        "config",
+                        "p95 ms",
+                        "req/s",
+                    ],
+                    rows,
+                    title=f"Recorded runs — {args.results_db} (newest first)",
+                ),
+                0,
+            )
+
+        candidate = store.get(args.run) if args.run is not None else store.latest()
+        if candidate is None:
+            return (f"no runs recorded in {args.results_db}", 1)
+
+        if sub == "show":
+            metric_rows = [
+                [name, candidate.metrics[name]] for name in sorted(candidate.metrics)
+            ]
+            header = (
+                f"run {candidate.run_id} — {candidate.topic}/{candidate.scenario} "
+                f"on {candidate.engine}\n"
+                f"recorded {candidate.recorded_at} at rev {candidate.git_rev}, "
+                f"config {candidate.config_fingerprint}\n"
+                + "\n".join(
+                    f"  {key} = {candidate.config[key]}"
+                    for key in sorted(candidate.config)
+                )
+            )
+            return (
+                header
+                + "\n\n"
+                + format_table(["metric", "value"], metric_rows, title="Metrics"),
+                0,
+            )
+
+        # compare: explicit baseline run, or the newest earlier run with the
+        # same identity key (topic/scenario/engine/config fingerprint).
+        if args.baseline_run is not None:
+            baseline = store.get(args.baseline_run)
+        else:
+            baseline = next(
+                (
+                    r
+                    for r in store.list_runs(
+                        topic=candidate.topic,
+                        scenario=candidate.scenario,
+                        engine=candidate.engine,
+                    )
+                    if r.run_id < candidate.run_id
+                    and r.config_fingerprint == candidate.config_fingerprint
+                ),
+                None,
+            )
+            if baseline is None:
+                return (
+                    f"no earlier run matches run {candidate.run_id}'s key; "
+                    "pass --baseline-run ID",
+                    1,
+                )
+        return (compare_runs(baseline, candidate).render(), 0)
 
 
 #: Registry of experiment name -> (description, runner).
@@ -387,7 +694,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment to run: one of %s, 'all', or 'list'" % ", ".join(EXPERIMENTS),
+        help=(
+            "experiment to run: one of %s, 'all', 'list', or 'results'"
+            % ", ".join(EXPERIMENTS)
+        ),
+    )
+    parser.add_argument(
+        "subcommand",
+        nargs="?",
+        default=None,
+        help="subcommand for 'results': list (default), show, compare or gate",
     )
     parser.add_argument(
         "--scale",
@@ -503,6 +819,67 @@ def build_parser() -> argparse.ArgumentParser:
         default=6,
         help="matrices in the tuning suite (sampled small for simulation)",
     )
+    obs = parser.add_argument_group("observability options")
+    obs.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the run's machine-readable payload instead of tables "
+        "(serve-bench and tune)",
+    )
+    obs.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a Chrome trace-event JSON of the final serve-bench "
+        "variant's drain (open in chrome://tracing or Perfetto)",
+    )
+    obs.add_argument(
+        "--results-db",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="SQLite results store to record runs in / read with 'results'",
+    )
+    obs.add_argument(
+        "--emit-bench",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a BENCH_serve.json snapshot of the serve-bench variants",
+    )
+    obs.add_argument(
+        "--run",
+        type=int,
+        default=None,
+        help="run id for 'results show/compare' (default: the latest run)",
+    )
+    obs.add_argument(
+        "--baseline-run",
+        type=int,
+        default=None,
+        help="baseline run id for 'results compare' (default: the newest "
+        "earlier run with the same identity key)",
+    )
+    obs.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=f"bench snapshot for 'results gate' (default {DEFAULT_BENCH_BASELINE})",
+    )
+    obs.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with 'results gate': (re)write the baseline snapshot from a "
+        "fresh run instead of judging against it",
+    )
+    obs.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="rows shown by 'results list'",
+    )
     return parser
 
 
@@ -517,6 +894,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name.ljust(width)}  {description}")
         return 0
 
+    if args.experiment == "results":
+        # Not an experiment (kept out of EXPERIMENTS so 'all' stays a pure
+        # paper-reproduction sweep): inspect/compare the results store, or
+        # run the CI regression gate.
+        text, code = _results(args)
+        print(text)
+        return code
+
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     if any(name not in EXPERIMENTS for name in names):
         parser.error(f"unknown experiment {args.experiment!r}; use 'list' to see options")
@@ -526,6 +911,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         start = time.perf_counter()
         rendered = run_experiment(name, args)
         elapsed = time.perf_counter() - start
+        if args.json:
+            # Machine-readable mode: no headers, so stdout parses as JSON.
+            print(rendered)
+            outputs.append(rendered)
+            continue
         header = f"### {name} ({EXPERIMENTS[name][0]}) — {elapsed:.1f}s"
         block = f"{header}\n\n{rendered}\n"
         print(block)

@@ -1,0 +1,71 @@
+"""`repro.obs`: observability for the serving and tuning stack.
+
+Three complementary pieces:
+
+* :mod:`repro.obs.tracing` — per-request spans (admit → queue → batch →
+  dispatch → prepare → execute → complete) exportable as Chrome
+  trace-event JSON, so a `serve-bench` run opens in ``chrome://tracing``
+  or Perfetto,
+* :mod:`repro.obs.metrics` — a label-aware registry of counters, gauges
+  and histograms that the serving telemetry, program cache, router and
+  simulator all publish into,
+* :mod:`repro.obs.results` — a SQLite results store keyed by (git rev,
+  engine, scenario, config fingerprint), ``BENCH_*.json`` snapshot
+  emission, noise-band-aware run comparison, and the CI regression gate.
+
+Quickstart::
+
+    from repro.obs import Tracer, MetricsRegistry
+    from repro.serve import SpMVService, generate_trace
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    service = SpMVService(num_devices=2, tracer=tracer, metrics=metrics)
+    report = service.run_trace(generate_trace("mixed", 200, seed=0))
+    tracer.save("serve_trace.json")        # open in chrome://tracing
+    print(metrics.render())
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .results import (
+    DEFAULT_NOISE_BANDS,
+    HIGHER_IS_BETTER,
+    LOWER_IS_BETTER,
+    ComparedMetric,
+    Comparison,
+    GateResult,
+    ResultsStore,
+    RunRecord,
+    compare_runs,
+    config_fingerprint,
+    current_git_rev,
+    emit_bench_snapshot,
+    load_bench_snapshot,
+    regression_gate,
+)
+from .tracing import HOST_PID, VIRTUAL_PID, Span, TraceEvent, Tracer
+
+__all__ = [
+    "ComparedMetric",
+    "Comparison",
+    "Counter",
+    "DEFAULT_NOISE_BANDS",
+    "Gauge",
+    "GateResult",
+    "HIGHER_IS_BETTER",
+    "HOST_PID",
+    "Histogram",
+    "LOWER_IS_BETTER",
+    "MetricsRegistry",
+    "ResultsStore",
+    "RunRecord",
+    "Span",
+    "TraceEvent",
+    "Tracer",
+    "VIRTUAL_PID",
+    "compare_runs",
+    "config_fingerprint",
+    "current_git_rev",
+    "emit_bench_snapshot",
+    "load_bench_snapshot",
+    "regression_gate",
+]

@@ -1,0 +1,258 @@
+"""Label-aware metrics registry: counters, gauges and histograms.
+
+Until this module existed every subsystem exposed its own ad-hoc ``stats()``
+dictionary with its own naming, and a caller who wanted "cache hit rate next
+to p95 next to per-engine cycles" had to know every dialect.  The
+:class:`MetricsRegistry` is the one surface they all publish into:
+
+* :class:`Counter` — monotonically increasing totals
+  (``serve_requests_completed_total``, ``engine_cycles_total``),
+* :class:`Gauge` — point-in-time values (``cache_hit_rate``,
+  ``engine_effective_bandwidth_gbps``),
+* :class:`Histogram` — sample populations with order statistics
+  (``serve_request_latency_seconds``).
+
+Every metric takes free-form labels (``counter.inc(1, engine="serpens-a16")``),
+so one metric name covers a whole family the way Prometheus series do.
+Naming follows the Prometheus conventions: ``<subsystem>_<what>_<unit>``
+with ``_total`` for counters.
+
+``snapshot()`` flattens everything into one ``{name{label=value}: number}``
+dictionary (histograms expand into ``_count``/``_sum``/``_p50``/``_p95``/
+``_p99``/``_max`` series) — the payload a scrape endpoint would serve, and
+the payload the results store persists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..eval.reporting import format_table
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: A frozen, order-independent rendering of one label set.
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _format_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+
+
+class _Metric:
+    """Shared bookkeeping of one named metric family."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name or any(c.isspace() for c in name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    def label_keys(self) -> List[LabelKey]:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """A monotonically increasing total, per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for deltas")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + float(amount)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def label_keys(self) -> List[LabelKey]:
+        return sorted(self._values)
+
+
+class Gauge(_Metric):
+    """A point-in-time value, per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def label_keys(self) -> List[LabelKey]:
+        return sorted(self._values)
+
+
+class Histogram(_Metric):
+    """A sample population with order statistics, per label set.
+
+    Samples are kept exactly (these are offline runs, not an unbounded
+    production stream), so percentiles are true order statistics rather
+    than bucket interpolations.
+    """
+
+    kind = "histogram"
+
+    PERCENTILES = (50.0, 95.0, 99.0)
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._samples: Dict[LabelKey, List[float]] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        self._samples.setdefault(_label_key(labels), []).append(float(value))
+
+    def samples(self, **labels: object) -> List[float]:
+        return list(self._samples.get(_label_key(labels), []))
+
+    def summary(self, **labels: object) -> Dict[str, float]:
+        """count/sum/mean/p50/p95/p99/max of one label set (zeros if empty)."""
+        return self._summarise(self._samples.get(_label_key(labels), []))
+
+    @staticmethod
+    def _summarise(samples: List[float]) -> Dict[str, float]:
+        if not samples:
+            return {
+                "count": 0.0,
+                "sum": 0.0,
+                "mean": 0.0,
+                "p50": 0.0,
+                "p95": 0.0,
+                "p99": 0.0,
+                "max": 0.0,
+            }
+        array = np.asarray(samples, dtype=np.float64)
+        p50, p95, p99 = np.percentile(array, Histogram.PERCENTILES)
+        return {
+            "count": float(array.size),
+            "sum": float(array.sum()),
+            "mean": float(array.mean()),
+            "p50": float(p50),
+            "p95": float(p95),
+            "p99": float(p99),
+            "max": float(array.max()),
+        }
+
+    def label_keys(self) -> List[LabelKey]:
+        return sorted(self._samples)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    Asking for an existing name returns the existing metric; asking for it
+    as a *different* kind raises, so two subsystems can never silently
+    publish incompatible series under one name.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> _Metric:
+        return self._metrics[name]
+
+    def _get_or_create(self, cls, name: str, help: str) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} is already registered as a "
+                    f"{existing.kind}, not a {cls.kind}"
+                )
+            return existing
+        metric = cls(name, help)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help)
+
+    # ------------------------------------------------------------------
+    # Bulk publishing
+    # ------------------------------------------------------------------
+    def set_gauges(
+        self, stats: Mapping[str, float], prefix: str = "", **labels: object
+    ) -> None:
+        """Publish a flat ``stats()`` dictionary as one gauge per key.
+
+        The bridge from the historical ad-hoc stat dicts into the registry:
+        ``registry.set_gauges(cache.stats(), prefix="cache_")`` turns every
+        counter the cache tracks into a queryable gauge.
+        """
+        for key, value in stats.items():
+            self.gauge(f"{prefix}{key}").set(float(value), **labels)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """One flat ``{name{labels}: value}`` dictionary over every metric."""
+        out: Dict[str, float] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                for key in metric.label_keys():
+                    summary = metric._summarise(metric._samples[key])
+                    for stat, value in summary.items():
+                        out[f"{name}_{stat}{_format_labels(key)}"] = value
+            else:
+                for key in metric.label_keys():
+                    out[f"{name}{_format_labels(key)}"] = metric._values[key]
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.snapshot(), sort_keys=True)
+
+    def render(self, names: Optional[Iterable[str]] = None) -> str:
+        """The snapshot as an aligned text table (optionally filtered)."""
+        snapshot = self.snapshot()
+        selected = set(names) if names is not None else None
+        rows = []
+        for key in sorted(snapshot):
+            base = key.split("{", 1)[0]
+            family = base
+            for suffix in ("_count", "_sum", "_mean", "_p50", "_p95", "_p99", "_max"):
+                if base.endswith(suffix) and base[: -len(suffix)] in self._metrics:
+                    family = base[: -len(suffix)]
+                    break
+            if selected is not None and family not in selected:
+                continue
+            metric = self._metrics.get(family)
+            rows.append([key, metric.kind if metric else "?", snapshot[key]])
+        return format_table(["metric", "kind", "value"], rows, title="Metrics snapshot")

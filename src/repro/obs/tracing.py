@@ -1,0 +1,301 @@
+"""Per-request tracing with Chrome trace-event export.
+
+The serving layer's virtual-time event loop already knows, for every
+request, when it arrived, how long it queued, which device batch carried
+it, how much of the batch's busy window was program loading versus
+execution.  The :class:`Tracer` turns that knowledge into *spans* — named,
+timestamped intervals on named tracks — so one `serve-bench` run can be
+opened in ``chrome://tracing`` / `Perfetto <https://ui.perfetto.dev>`_ and
+read like a flight recorder: a ``tenant:<name>`` track per tenant showing
+``request`` spans with their ``queued``/``service`` phases, a device track
+per card showing ``batch`` spans split into ``program_load`` and
+``execute``, instant markers for admissions and load-shedding, and a
+``queue_depth`` counter series.
+
+Two clock domains coexist:
+
+* *virtual* time (the service's deterministic event-loop seconds), used by
+  every span the serving layer emits — ``pid=1`` in the exported trace,
+* *host* wall-clock time (``time.perf_counter`` relative to the tracer's
+  creation), used by :meth:`Tracer.wall_span` for host-side work such as
+  :class:`~repro.backends.Session` preprocessing — ``pid=2``.
+
+Chrome's trace viewer nests spans on one track by time containment; the
+tracer additionally records explicit parent links so tests (and tools) can
+check the span *tree* without re-deriving containment.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+__all__ = ["Span", "TraceEvent", "Tracer", "VIRTUAL_PID", "HOST_PID"]
+
+#: Process ids separating the two clock domains in the exported trace.
+VIRTUAL_PID = 1
+HOST_PID = 2
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed interval on one track."""
+
+    span_id: int
+    name: str
+    category: str
+    track: str
+    start_us: float
+    duration_us: float
+    args: Dict[str, Any] = field(default_factory=dict)
+    parent_id: Optional[int] = None
+    pid: int = VIRTUAL_PID
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A non-span event: an instant marker or a counter sample."""
+
+    phase: str  # "i" (instant) or "C" (counter)
+    name: str
+    category: str
+    track: str
+    ts_us: float
+    args: Dict[str, Any] = field(default_factory=dict)
+    pid: int = VIRTUAL_PID
+
+
+class Tracer:
+    """Collects spans and events; exports Chrome trace-event JSON.
+
+    All public recording methods take *seconds* (virtual or wall) and store
+    microseconds, the unit of the trace-event format.  A tracer is cheap
+    enough to leave attached permanently; pass ``enabled=False`` to turn
+    every recording call into a no-op without unthreading it.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.spans: List[Span] = []
+        self.events: List[TraceEvent] = []
+        self._next_id = 0
+        self._wall_epoch = time.perf_counter()
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.events)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        start_s: float,
+        duration_s: float,
+        track: str = "main",
+        category: str = "serve",
+        parent: Optional[int] = None,
+        pid: int = VIRTUAL_PID,
+        **args: Any,
+    ) -> Optional[int]:
+        """Record one completed span; returns its id (``None`` if disabled)."""
+        if not self.enabled:
+            return None
+        span_id = self._next_id
+        self._next_id += 1
+        self.spans.append(
+            Span(
+                span_id=span_id,
+                name=name,
+                category=category,
+                track=track,
+                start_us=start_s * 1e6,
+                duration_us=max(0.0, duration_s) * 1e6,
+                args=dict(args),
+                parent_id=parent,
+                pid=pid,
+            )
+        )
+        return span_id
+
+    def instant(
+        self,
+        name: str,
+        ts_s: float,
+        track: str = "main",
+        category: str = "serve",
+        pid: int = VIRTUAL_PID,
+        **args: Any,
+    ) -> None:
+        """Record an instant marker (a zero-duration event)."""
+        if not self.enabled:
+            return
+        self.events.append(
+            TraceEvent(
+                phase="i",
+                name=name,
+                category=category,
+                track=track,
+                ts_us=ts_s * 1e6,
+                args=dict(args),
+                pid=pid,
+            )
+        )
+
+    def counter(
+        self,
+        name: str,
+        ts_s: float,
+        values: Dict[str, float],
+        track: str = "counters",
+        category: str = "serve",
+    ) -> None:
+        """Record one sample of a counter series (rendered as a graph)."""
+        if not self.enabled:
+            return
+        self.events.append(
+            TraceEvent(
+                phase="C",
+                name=name,
+                category=category,
+                track=track,
+                ts_us=ts_s * 1e6,
+                args={k: float(v) for k, v in values.items()},
+            )
+        )
+
+    @contextmanager
+    def wall_span(
+        self,
+        name: str,
+        track: str = "host",
+        category: str = "host",
+        parent: Optional[int] = None,
+        **args: Any,
+    ) -> Iterator[None]:
+        """Context manager recording a host wall-clock span around its body."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter() - self._wall_epoch
+        try:
+            yield
+        finally:
+            duration = (time.perf_counter() - self._wall_epoch) - start
+            self.span(
+                name,
+                start,
+                duration,
+                track=track,
+                category=category,
+                parent=parent,
+                pid=HOST_PID,
+                **args,
+            )
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def find(self, name: str) -> List[Span]:
+        """Spans with the given name, in recording order."""
+        return [s for s in self.spans if s.name == name]
+
+    def roots(self) -> List[Span]:
+        """Spans with no recorded parent."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children(self, span: Union[int, Span]) -> List[Span]:
+        """Direct children of one span (by explicit parent links)."""
+        parent_id = span.span_id if isinstance(span, Span) else span
+        return [s for s in self.spans if s.parent_id == parent_id]
+
+    def tree(self) -> Dict[Optional[int], List[Span]]:
+        """Parent id → children mapping over every recorded span."""
+        out: Dict[Optional[int], List[Span]] = {}
+        for span in self.spans:
+            out.setdefault(span.parent_id, []).append(span)
+        return out
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> Dict[str, Any]:
+        """The trace as a Chrome trace-event JSON object.
+
+        Track names become thread names via metadata events, so the viewer
+        labels rows ``tenant:analytics`` / ``dev0:Serpens-A16`` instead of
+        bare thread ids.
+        """
+        tids: Dict[Tuple[int, str], int] = {}
+        trace_events: List[Dict[str, Any]] = []
+
+        def tid_for(pid: int, track: str) -> int:
+            key = (pid, track)
+            if key not in tids:
+                tids[key] = len(tids) + 1
+                trace_events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": tids[key],
+                        "args": {"name": track},
+                    }
+                )
+            return tids[key]
+
+        for pid, label in ((VIRTUAL_PID, "virtual-time"), (HOST_PID, "host-wall-clock")):
+            trace_events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        for span in self.spans:
+            args = dict(span.args)
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            trace_events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": span.start_us,
+                    "dur": span.duration_us,
+                    "pid": span.pid,
+                    "tid": tid_for(span.pid, span.track),
+                    "args": args,
+                }
+            )
+        for event in self.events:
+            entry = {
+                "name": event.name,
+                "cat": event.category,
+                "ph": event.phase,
+                "ts": event.ts_us,
+                "pid": event.pid,
+                "tid": tid_for(event.pid, event.track),
+                "args": dict(event.args),
+            }
+            if event.phase == "i":
+                entry["s"] = "t"  # instant scope: thread
+            trace_events.append(entry)
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the Chrome trace JSON to ``path`` and return it."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome(), indent=1))
+        return path

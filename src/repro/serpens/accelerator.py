@@ -128,6 +128,7 @@ class SerpensAccelerator:
                 "x_stream_cycles": float(result.cycles.x_stream_cycles),
                 "y_stream_cycles": float(result.cycles.y_stream_cycles),
                 "compute_cycles": float(result.cycles.compute_cycles),
+                "hazard_violations": float(result.hazard_violations),
             },
         )
         return result.y, report

@@ -209,6 +209,15 @@ class ProgramCache:
             "disk_entries": float(len(self._disk)),
         }
 
+    def publish(self, registry, prefix: str = "cache_") -> None:
+        """Publish the counter snapshot into a metrics registry.
+
+        ``registry`` is a :class:`repro.obs.MetricsRegistry` (duck-typed so
+        the serve layer never imports the obs package); every ``stats()``
+        key becomes a ``cache_*`` gauge.
+        """
+        registry.set_gauges(self.stats(), prefix=prefix)
+
     # ------------------------------------------------------------------
     # Memory tier
     # ------------------------------------------------------------------

@@ -223,6 +223,11 @@ class AcceleratorPool:
         Optional program-builder mode (``"fast"`` / ``"reference"``) applied
         with the same tolerant semantics; it selects the preprocessing
         pipeline devices run on program-cache misses (warmup included).
+    tracer:
+        Optional :class:`repro.obs.Tracer` (duck-typed).  When attached,
+        every placement decision emits an instant marker on the
+        ``placement`` track naming the chosen devices (and whether the
+        matrix was sharded).
     """
 
     def __init__(
@@ -231,6 +236,7 @@ class AcceleratorPool:
         placement_policy: str = "least_loaded",
         engine_mode: Optional[str] = None,
         build_mode: Optional[str] = None,
+        tracer=None,
     ) -> None:
         if not configs:
             raise ValueError("the pool needs at least one device")
@@ -242,6 +248,7 @@ class AcceleratorPool:
         self.placement_policy = placement_policy
         self.engine_mode = engine_mode
         self.build_mode = build_mode
+        self.tracer = tracer
         self.devices: List[PooledDevice] = [
             PooledDevice(
                 device_id=i,
@@ -317,8 +324,28 @@ class AcceleratorPool:
                 replica_sets.append(
                     (Shard(device.device_id, 0, matrix.num_rows),)
                 )
-            return Placement(fingerprint=fingerprint, replicas=tuple(replica_sets))
-        return self._place_sharded(matrix, fingerprint)
+            placement = Placement(
+                fingerprint=fingerprint, replicas=tuple(replica_sets)
+            )
+        else:
+            placement = self._place_sharded(matrix, fingerprint)
+        self._trace_placement(placement, hint)
+        return placement
+
+    def _trace_placement(
+        self, placement: Placement, hint: Optional[RoutingHint]
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                "place",
+                0.0,
+                track="placement",
+                category="placement",
+                matrix=placement.fingerprint[:8],
+                devices=[self.device(i).name for i in placement.device_ids],
+                sharded=placement.sharded,
+                hinted=hint is not None,
+            )
 
     @staticmethod
     def _apply_hint(

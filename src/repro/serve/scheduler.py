@@ -61,6 +61,10 @@ class Scheduler:
         Admission limit; ``None`` admits everything.  A request arriving
         at a full queue is shed, the way an overloaded service returns 429
         instead of letting latency grow without bound.
+    tracer:
+        Optional :class:`repro.obs.Tracer` (duck-typed).  When attached,
+        every admission decision emits an instant marker (``admit`` /
+        ``shed``) on the ``scheduler`` track at the request's arrival time.
     """
 
     def __init__(
@@ -68,6 +72,7 @@ class Scheduler:
         policy: str = "fifo",
         max_batch: int = 32,
         max_queue_depth: Optional[int] = None,
+        tracer=None,
     ) -> None:
         if policy not in SCHEDULING_POLICIES:
             raise ValueError(
@@ -80,6 +85,7 @@ class Scheduler:
         self.policy = policy
         self.max_batch = max_batch
         self.max_queue_depth = max_queue_depth
+        self.tracer = tracer
         self._queues: "OrderedDict[str, Deque[Request]]" = OrderedDict()
         self._cost_fn: Optional[Callable[[str], float]] = None
         self._seq = 0
@@ -106,13 +112,28 @@ class Scheduler:
         """Queue a request; returns ``False`` when it is shed."""
         if self.max_queue_depth is not None and self.depth >= self.max_queue_depth:
             self.rejected += 1
+            self._trace_admission("shed", request)
             return False
         request.seq = self._seq
         self._seq += 1
         self._queues.setdefault(request.fingerprint, deque()).append(request)
         self.admitted += 1
         self.peak_depth = max(self.peak_depth, self.depth)
+        self._trace_admission("admit", request)
         return True
+
+    def _trace_admission(self, outcome: str, request: Request) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(
+                outcome,
+                request.arrival_time,
+                track="scheduler",
+                category="scheduler",
+                request_id=request.request_id,
+                tenant=request.tenant,
+                matrix=request.fingerprint[:8],
+                depth=self.depth,
+            )
 
     def set_cost_fn(self, cost_fn: Callable[[str], float]) -> None:
         """Install the per-launch cost oracle the SJF policy ranks by."""

@@ -195,6 +195,20 @@ class SpMVService:
         ratio.  Any object with ``route(matrix, name)`` / ``hint`` /
         ``decision`` is accepted (duck-typed, so the serve layer never
         imports the autotune package).
+    tracer:
+        Optional :class:`repro.obs.Tracer` (duck-typed, like ``router``).
+        Every drain then emits the full request lifecycle as spans: an
+        ``admit``/``shed`` instant from the scheduler, a ``request`` span
+        per request (with ``queued`` and ``service`` children) on its
+        tenant's track, a ``batch`` span per dispatched batch (with
+        ``prepare`` and ``execute`` children) on each device's track, and a
+        ``queue_depth`` counter series — exportable as Chrome trace JSON.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` (duck-typed).  Each
+        drain publishes its telemetry, scheduler, cache and router stats
+        into it; in ``compute="simulate"`` mode the engines additionally
+        publish per-engine cycles, bytes moved, hazard violations and
+        effective bandwidth.
     """
 
     def __init__(
@@ -215,16 +229,25 @@ class SpMVService:
         program_load_gbps: float = 16.0,
         preprocess_mnnz_per_second: float = 20.0,
         router=None,
+        tracer=None,
+        metrics=None,
     ) -> None:
         if compute not in COMPUTE_MODES:
             raise ValueError(
                 f"unknown compute mode {compute!r}; use one of {COMPUTE_MODES}"
             )
+        self.tracer = tracer
+        self.metrics = metrics
         self.pool = pool if pool is not None else AcceleratorPool.homogeneous(
             num_devices, config, engine_mode=engine_mode, build_mode=build_mode
         )
+        if tracer is not None and self.pool.tracer is None:
+            self.pool.tracer = tracer
         self.scheduler = Scheduler(
-            policy=policy, max_batch=max_batch, max_queue_depth=max_queue_depth
+            policy=policy,
+            max_batch=max_batch,
+            max_queue_depth=max_queue_depth,
+            tracer=tracer,
         )
         self.scheduler.set_cost_fn(self._cost_of)
         self.cache = cache if cache is not None else ProgramCache(
@@ -239,6 +262,16 @@ class SpMVService:
         self._matrices: Dict[str, _ServedMatrix] = {}
         self._pending: List[Request] = []
         self._next_request_id = 0
+
+    def attach_tracer(self, tracer) -> None:
+        """(Re)wire a tracer through the service, scheduler and pool.
+
+        Useful to start tracing only after warmup drains: attach just
+        before the drain whose timeline should be captured.
+        """
+        self.tracer = tracer
+        self.scheduler.tracer = tracer
+        self.pool.tracer = tracer
 
     # ------------------------------------------------------------------
     # Registration
@@ -439,6 +472,10 @@ class SpMVService:
                         rejected=True,
                     )
             telemetry.record_queue_depth(clock, self.scheduler.depth)
+            if self.tracer is not None:
+                self.tracer.counter(
+                    "queue_depth", clock, {"depth": self.scheduler.depth}
+                )
 
             dispatched = True
             while dispatched:
@@ -471,6 +508,16 @@ class SpMVService:
                 break
             clock = min(next_times)
 
+        telemetry.attach_cache(self.cache.stats())
+        if self.metrics is not None:
+            telemetry.publish(self.metrics)
+            self.cache.publish(self.metrics)
+            self.metrics.set_gauges(self.scheduler.stats(), prefix="scheduler_")
+            if self.router is not None:
+                if hasattr(self.router, "publish"):
+                    self.router.publish(self.metrics)
+                elif hasattr(self.router, "stats"):
+                    self.metrics.set_gauges(self.router.stats(), prefix="router_")
         report = ServiceReport(
             results=[results[rid] for rid in sorted(results)],
             telemetry=telemetry,
@@ -544,12 +591,44 @@ class SpMVService:
 
         finish = start
         programs = {}
+        request_ids = [request.request_id for request in batch]
         for shard_rt in replica:
             shard_device = self.pool.device(shard_rt.shard.device_id)
+            misses_before = self.cache.misses
             program, load_seconds = self._load_program(shard_rt, shard_device, telemetry)
             programs[shard_rt.shard.device_id] = program
             shard_seconds = load_seconds + len(batch) * shard_rt.per_launch_seconds
             shard_device.occupy(start, shard_seconds, len(batch))
+            if self.tracer is not None:
+                batch_span = self.tracer.span(
+                    "batch",
+                    start,
+                    shard_seconds,
+                    track=shard_device.name,
+                    category="device",
+                    matrix=entry.handle.name,
+                    batch_size=len(batch),
+                    request_ids=request_ids,
+                )
+                if load_seconds > 0:
+                    self.tracer.span(
+                        "prepare",
+                        start,
+                        load_seconds,
+                        track=shard_device.name,
+                        category="device",
+                        parent=batch_span,
+                        cold_build=self.cache.misses > misses_before,
+                    )
+                self.tracer.span(
+                    "execute",
+                    start + load_seconds,
+                    shard_seconds - load_seconds,
+                    track=shard_device.name,
+                    category="device",
+                    parent=batch_span,
+                    launches=len(batch),
+                )
             telemetry.record_batch(
                 shard_device.name,
                 batch_size=len(batch),
@@ -591,6 +670,37 @@ class SpMVService:
                 queue_seconds=start - request.arrival_time,
             )
             telemetry.observe_finish(finish)
+            if self.tracer is not None:
+                track = f"tenant:{request.tenant}"
+                request_span = self.tracer.span(
+                    "request",
+                    request.arrival_time,
+                    finish - request.arrival_time,
+                    track=track,
+                    category="request",
+                    request_id=request.request_id,
+                    matrix=entry.handle.name,
+                    batch_size=len(batch),
+                    devices=[
+                        self.pool.device(s.shard.device_id).name for s in replica
+                    ],
+                )
+                self.tracer.span(
+                    "queued",
+                    request.arrival_time,
+                    start - request.arrival_time,
+                    track=track,
+                    category="request",
+                    parent=request_span,
+                )
+                self.tracer.span(
+                    "service",
+                    start,
+                    finish - start,
+                    track=track,
+                    category="request",
+                    parent=request_span,
+                )
 
     def _load_program(
         self,
@@ -669,8 +779,27 @@ class SpMVService:
             result = device.engine.execute(
                 prepared, request.x, y_slice, request.alpha, request.beta
             )
+            if self.metrics is not None:
+                self._publish_execution(device.engine_name, result.report)
             pieces.append(result.y)
         return np.concatenate(pieces)
+
+    def _publish_execution(self, engine_name: str, report) -> None:
+        """Publish one simulated launch's execution report per engine."""
+        self.metrics.counter(
+            "engine_cycles_total", "simulated accelerator cycles"
+        ).inc(report.cycles, engine=engine_name)
+        self.metrics.counter(
+            "engine_bytes_moved_total", "simulated off-chip traffic"
+        ).inc(report.bytes_moved, engine=engine_name)
+        self.metrics.gauge(
+            "engine_effective_bandwidth_gbps", "bytes moved / simulated seconds"
+        ).set(report.effective_bandwidth_gbps, engine=engine_name)
+        hazards = report.extra.get("hazard_violations")
+        if hazards:
+            self.metrics.counter(
+                "engine_hazard_violations_total", "accumulation-hazard violations"
+            ).inc(hazards, engine=engine_name)
 
     # ------------------------------------------------------------------
     # Introspection

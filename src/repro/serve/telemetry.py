@@ -115,6 +115,10 @@ class ServiceTelemetry:
         #: pays when its matrix's program is not resident.
         self.prepare_seconds = 0.0
         self.prepare_count = 0
+        #: Program-cache counters attached by the service at drain time, so
+        #: cache behaviour appears in every snapshot/render without callers
+        #: having to pass ``cache_stats=`` explicitly.
+        self.attached_cache_stats: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -176,6 +180,10 @@ class ServiceTelemetry:
         """Book one cold program build (host wall-clock, not virtual time)."""
         self.prepare_seconds += seconds
         self.prepare_count += 1
+
+    def attach_cache(self, cache_stats: Dict[str, float]) -> None:
+        """Attach program-cache counters so every snapshot includes them."""
+        self.attached_cache_stats = dict(cache_stats)
 
     def record_queue_depth(self, now: float, depth: int) -> None:
         self._queue_depth.append((now, depth))
@@ -308,16 +316,95 @@ class ServiceTelemetry:
             ),
             "mispredict_ratio": self.mispredict_ratio,
         }
+        if cache_stats is None:
+            cache_stats = self.attached_cache_stats
         if cache_stats is not None:
             snapshot["cache_hit_rate"] = cache_stats.get("hit_rate", 0.0)
+            snapshot["cache_hits"] = cache_stats.get("hits", 0.0)
+            snapshot["cache_misses"] = cache_stats.get("misses", 0.0)
             snapshot["cache_evictions"] = cache_stats.get("evictions", 0.0)
+            snapshot["cache_stale_evictions"] = cache_stats.get("stale_evictions", 0.0)
         return snapshot
+
+    # ------------------------------------------------------------------
+    # Metrics publishing
+    # ------------------------------------------------------------------
+    def publish(self, registry) -> None:
+        """Publish this run's telemetry into a metrics registry.
+
+        ``registry`` is a :class:`repro.obs.MetricsRegistry` (duck-typed, so
+        the serve layer never imports the obs package): per-tenant latency
+        and queue-wait histograms, completion/shed counters, per-device and
+        per-engine counters, and run-level gauges.  Counters accumulate
+        across drains when the same registry is reused.
+        """
+        latency = registry.histogram(
+            "serve_request_latency_seconds", "request latency (virtual time)"
+        )
+        queue_wait = registry.histogram(
+            "serve_queue_wait_seconds", "time between arrival and dispatch"
+        )
+        completed = registry.counter(
+            "serve_requests_completed_total", "completed requests"
+        )
+        shed = registry.counter("serve_requests_shed_total", "load-shed requests")
+        for tenant in self.tenants:
+            for sample in self._tenant_latency.get(tenant, []):
+                latency.observe(sample, tenant=tenant)
+            for sample in self._tenant_queue.get(tenant, []):
+                queue_wait.observe(sample, tenant=tenant)
+            if self._tenant_latency.get(tenant):
+                completed.inc(len(self._tenant_latency[tenant]), tenant=tenant)
+            if self.rejections(tenant):
+                shed.inc(self.rejections(tenant), tenant=tenant)
+
+        launches = registry.counter("device_launches_total", "per-device launches")
+        busy = registry.counter("device_busy_seconds_total", "per-device busy time")
+        switches = registry.counter(
+            "device_program_switches_total", "resident-program switches"
+        )
+        for name, counters in self._devices.items():
+            launches.inc(counters.launches, device=name)
+            busy.inc(counters.busy_seconds, device=name)
+            switches.inc(counters.program_switches, device=name)
+
+        engine_launches = registry.counter(
+            "engine_launches_total", "per-engine dispatched launches"
+        )
+        routed = registry.counter(
+            "engine_routed_launches_total", "launches with a router prediction"
+        )
+        mispredict = registry.gauge(
+            "engine_mispredict_ratio", "mean |predicted-simulated|/simulated"
+        )
+        for name, counters in self._routing.items():
+            engine_launches.inc(counters.launches, engine=name)
+            if counters.routed_launches:
+                routed.inc(counters.routed_launches, engine=name)
+            mispredict.set(counters.mispredict_ratio, engine=name)
+
+        registry.gauge("serve_makespan_seconds").set(self.makespan)
+        registry.gauge("serve_throughput_rps").set(self.throughput_rps)
+        registry.gauge("serve_aggregate_mteps").set(self.aggregate_mteps)
+        registry.gauge("serve_queue_depth_mean").set(self.mean_queue_depth)
+        registry.gauge("serve_queue_depth_peak").set(float(self.peak_queue_depth))
+        if self.prepare_count:
+            registry.counter(
+                "serve_cold_builds_total", "program-cache-miss preprocessing runs"
+            ).inc(self.prepare_count)
+            registry.counter(
+                "serve_prepare_seconds_total", "host wall-clock preprocessing time"
+            ).inc(self.prepare_seconds)
+        if self.attached_cache_stats is not None:
+            registry.set_gauges(self.attached_cache_stats, prefix="cache_")
 
     # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
     def render(self, cache_stats: Optional[Dict[str, float]] = None) -> str:
         """Human-readable report in the evaluation harness's table style."""
+        if cache_stats is None:
+            cache_stats = self.attached_cache_stats
         snapshot = self.snapshot(cache_stats)
         lines = [
             f"completed requests : {self.completed}",

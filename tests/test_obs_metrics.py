@@ -1,0 +1,124 @@
+"""Tests for repro.obs.metrics: counters, gauges, histograms, registry."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_accumulates_per_label_set(self):
+        counter = Counter("launches_total")
+        counter.inc(engine="a16")
+        counter.inc(2, engine="a16")
+        counter.inc(5, engine="a24")
+        assert counter.value(engine="a16") == 3.0
+        assert counter.value(engine="a24") == 5.0
+        assert counter.value(engine="missing") == 0.0
+
+    def test_label_order_is_irrelevant(self):
+        counter = Counter("c")
+        counter.inc(1, a="1", b="2")
+        assert counter.value(b="2", a="1") == 1.0
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("depth")
+        gauge.set(3.0)
+        gauge.set(1.5)
+        assert gauge.value() == 1.5
+
+
+class TestHistogram:
+    def test_summary_is_true_order_statistics(self):
+        hist = Histogram("latency_seconds")
+        for v in range(1, 101):
+            hist.observe(float(v))
+        summary = hist.summary()
+        assert summary["count"] == 100.0
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+
+    def test_empty_summary_is_zeros(self):
+        summary = Histogram("h").summary()
+        assert summary == {
+            "count": 0.0,
+            "sum": 0.0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
+
+    def test_samples_are_per_label_set(self):
+        hist = Histogram("h")
+        hist.observe(1.0, tenant="a")
+        hist.observe(2.0, tenant="b")
+        assert hist.samples(tenant="a") == [1.0]
+        assert hist.samples(tenant="b") == [2.0]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c", "help")
+        second = registry.counter("c")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("series")
+        with pytest.raises(TypeError, match="already registered as a counter"):
+            registry.gauge("series")
+
+    def test_invalid_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+
+    def test_set_gauges_bridges_stat_dicts(self):
+        registry = MetricsRegistry()
+        registry.set_gauges({"hits": 3, "hit_rate": 0.75}, prefix="cache_")
+        assert registry.gauge("cache_hits").value() == 3.0
+        assert registry.gauge("cache_hit_rate").value() == 0.75
+
+    def test_snapshot_flattens_with_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("launches_total").inc(2, engine="a16")
+        registry.gauge("depth").set(4.0)
+        snapshot = registry.snapshot()
+        assert snapshot["launches_total{engine=a16}"] == 2.0
+        assert snapshot["depth"] == 4.0
+
+    def test_snapshot_expands_histograms(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds")
+        hist.observe(1.0, tenant="t0")
+        hist.observe(3.0, tenant="t0")
+        snapshot = registry.snapshot()
+        assert snapshot["latency_seconds_count{tenant=t0}"] == 2.0
+        assert snapshot["latency_seconds_sum{tenant=t0}"] == 4.0
+        assert snapshot["latency_seconds_p50{tenant=t0}"] == 2.0
+
+    def test_to_json_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        assert json.loads(registry.to_json()) == {"c": 1.0}
+
+    def test_render_filters_histogram_families(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency_seconds").observe(1.0)
+        registry.counter("other_total").inc()
+        table = registry.render(names=["latency_seconds"])
+        assert "latency_seconds_p95" in table
+        assert "other_total" not in table

@@ -1,0 +1,194 @@
+"""Tests for repro.obs.results: the store, comparisons and the gate."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    ResultsStore,
+    compare_runs,
+    config_fingerprint,
+    emit_bench_snapshot,
+    load_bench_snapshot,
+    regression_gate,
+)
+
+CONFIG = {"scenario": "mixed", "requests": 100, "seed": 7}
+METRICS = {"latency_p95_ms": 3.0, "throughput_rps": 1000.0}
+
+
+class TestResultsStore:
+    def test_record_and_get_round_trip(self):
+        with ResultsStore() as store:
+            record = store.record(
+                topic="serve-bench",
+                scenario="mixed",
+                engine="pool",
+                config=CONFIG,
+                metrics=METRICS,
+                git_rev="abc1234",
+            )
+            loaded = store.get(record.run_id)
+        assert loaded.metrics == METRICS
+        assert loaded.config == CONFIG
+        assert loaded.git_rev == "abc1234"
+        assert loaded.config_fingerprint == config_fingerprint(CONFIG)
+
+    def test_get_unknown_id_raises(self):
+        with ResultsStore() as store:
+            with pytest.raises(KeyError):
+                store.get(99)
+
+    def test_list_runs_filters_and_orders_newest_first(self):
+        with ResultsStore() as store:
+            for scenario in ("mixed", "pagerank", "mixed"):
+                store.record("serve-bench", scenario, "pool", CONFIG, METRICS)
+            runs = store.list_runs(scenario="mixed")
+            assert [r.run_id for r in runs] == [3, 1]
+            assert store.list_runs(limit=1)[0].run_id == 3
+            assert store.list_runs(scenario="absent") == []
+
+    def test_latest(self):
+        with ResultsStore() as store:
+            assert store.latest() is None
+            store.record("tune", "suite", "halving", CONFIG, METRICS)
+            assert store.latest(topic="tune").run_id == 1
+
+    def test_persists_to_disk(self, tmp_path):
+        path = tmp_path / "runs.sqlite"
+        with ResultsStore(path) as store:
+            store.record("serve-bench", "mixed", "pool", CONFIG, METRICS)
+        with ResultsStore(path) as store:
+            assert store.latest().scenario == "mixed"
+
+    def test_config_fingerprint_is_order_independent(self):
+        assert config_fingerprint({"a": 1, "b": 2}) == config_fingerprint(
+            {"b": 2, "a": 1}
+        )
+        assert config_fingerprint({"a": 1}) != config_fingerprint({"a": 2})
+
+
+class TestCompareRuns:
+    def test_identical_runs_are_within_noise(self):
+        comparison = compare_runs(METRICS, METRICS)
+        assert all(m.classification == "within-noise" for m in comparison.metrics)
+        assert comparison.regressions == []
+
+    def test_latency_up_is_a_regression(self):
+        comparison = compare_runs(
+            {"latency_p95_ms": 3.0}, {"latency_p95_ms": 3.6}
+        )
+        (metric,) = comparison.metrics
+        assert metric.classification == "regressed"
+        assert metric.relative_delta == pytest.approx(0.2)
+
+    def test_latency_down_is_an_improvement(self):
+        comparison = compare_runs({"latency_p95_ms": 3.0}, {"latency_p95_ms": 2.0})
+        assert comparison.metrics[0].classification == "improved"
+
+    def test_throughput_down_is_a_regression(self):
+        comparison = compare_runs(
+            {"throughput_rps": 1000.0}, {"throughput_rps": 800.0}
+        )
+        assert comparison.metrics[0].classification == "regressed"
+
+    def test_directionless_metric_reads_changed(self):
+        comparison = compare_runs({"mystery": 1.0}, {"mystery": 10.0})
+        assert comparison.metrics[0].classification == "changed"
+
+    def test_noise_band_override(self):
+        comparison = compare_runs(
+            {"latency_p95_ms": 3.0},
+            {"latency_p95_ms": 3.6},
+            noise_bands={"latency_p95_ms": 0.5},
+        )
+        assert comparison.metrics[0].classification == "within-noise"
+
+    def test_zero_baseline_uses_absolute_band(self):
+        comparison = compare_runs({"rejected": 0.0}, {"rejected": 0.0})
+        metric = comparison.metrics[0]
+        assert metric.relative_delta is None
+        assert metric.classification == "within-noise"
+
+    def test_metrics_argument_restricts(self):
+        comparison = compare_runs(METRICS, METRICS, metrics=["latency_p95_ms"])
+        assert [m.name for m in comparison.metrics] == ["latency_p95_ms"]
+
+    def test_render_mentions_verdicts(self):
+        text = compare_runs(METRICS, {**METRICS, "throughput_rps": 1.0}).render()
+        assert "regressed" in text
+        assert "1 regressed" in text
+
+
+class TestBenchSnapshot:
+    def variants(self):
+        return {"batched-sjf": dict(METRICS), "naive-fifo": dict(METRICS)}
+
+    def test_emit_and_load_round_trip(self, tmp_path):
+        path = emit_bench_snapshot(
+            tmp_path / "BENCH_serve.json",
+            topic="serve",
+            scenario="mixed",
+            config=CONFIG,
+            variants=self.variants(),
+            git_rev="abc1234",
+        )
+        snapshot = load_bench_snapshot(path)
+        assert snapshot["schema"] == "repro.obs/bench-v1"
+        assert snapshot["git_rev"] == "abc1234"
+        assert snapshot["gate_metrics"] == ["latency_p95_ms", "throughput_rps"]
+        assert set(snapshot["noise_bands"]) == set(snapshot["gate_metrics"])
+        assert snapshot["variants"]["batched-sjf"] == METRICS
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValueError, match="not a repro.obs bench snapshot"):
+            load_bench_snapshot(path)
+
+
+class TestRegressionGate:
+    def baseline(self, tmp_path, **metric_overrides):
+        metrics = {**METRICS, **metric_overrides}
+        path = emit_bench_snapshot(
+            tmp_path / "BENCH_serve.json",
+            topic="serve",
+            scenario="mixed",
+            config=CONFIG,
+            variants={"batched-sjf": metrics},
+        )
+        return load_bench_snapshot(path)
+
+    def test_gate_passes_on_identical_metrics(self, tmp_path):
+        result = regression_gate(
+            self.baseline(tmp_path), {"batched-sjf": dict(METRICS)}
+        )
+        assert result.passed
+        assert "PASSED" in result.render()
+
+    def test_gate_fails_on_latency_regression(self, tmp_path):
+        current = {"batched-sjf": {**METRICS, "latency_p95_ms": 4.0}}
+        result = regression_gate(self.baseline(tmp_path), current)
+        assert not result.passed
+        assert any("latency_p95_ms" in failure for failure in result.failures)
+        assert "FAILED" in result.render()
+
+    def test_gate_ignores_improvements_and_noise(self, tmp_path):
+        current = {
+            "batched-sjf": {
+                "latency_p95_ms": 2.0,  # improvement
+                "throughput_rps": 1010.0,  # within the 5% band
+            }
+        }
+        assert regression_gate(self.baseline(tmp_path), current).passed
+
+    def test_missing_variant_fails_the_gate(self, tmp_path):
+        result = regression_gate(self.baseline(tmp_path), {})
+        assert not result.passed
+        assert any("missing" in failure for failure in result.failures)
+
+    def test_non_gate_metrics_cannot_fail(self, tmp_path):
+        # cache_hit_rate collapses, but it is not a gate metric.
+        baseline = self.baseline(tmp_path, cache_hit_rate=0.9)
+        current = {"batched-sjf": {**METRICS, "cache_hit_rate": 0.0}}
+        assert regression_gate(baseline, current).passed

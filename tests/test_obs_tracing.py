@@ -1,0 +1,141 @@
+"""Tests for repro.obs.tracing: spans, span trees and Chrome export."""
+
+import json
+
+import pytest
+
+from repro.obs import HOST_PID, VIRTUAL_PID, Tracer
+
+
+class TestRecording:
+    def test_span_returns_sequential_ids(self):
+        tracer = Tracer()
+        first = tracer.span("a", 0.0, 1.0)
+        second = tracer.span("b", 1.0, 1.0)
+        assert (first, second) == (0, 1)
+        assert len(tracer.spans) == 2
+
+    def test_span_stores_microseconds(self):
+        tracer = Tracer()
+        tracer.span("req", 0.5, 0.25)
+        span = tracer.spans[0]
+        assert span.start_us == pytest.approx(0.5e6)
+        assert span.duration_us == pytest.approx(0.25e6)
+        assert span.end_us == pytest.approx(0.75e6)
+
+    def test_negative_duration_clamped_to_zero(self):
+        tracer = Tracer()
+        tracer.span("glitch", 1.0, -0.5)
+        assert tracer.spans[0].duration_us == 0.0
+
+    def test_args_captured(self):
+        tracer = Tracer()
+        tracer.span("req", 0.0, 1.0, request_id=7, matrix="web-graph")
+        assert tracer.spans[0].args == {"request_id": 7, "matrix": "web-graph"}
+
+    def test_instant_and_counter_recorded_as_events(self):
+        tracer = Tracer()
+        tracer.instant("shed", 2.0, tenant="t0")
+        tracer.counter("queue_depth", 2.5, {"depth": 4})
+        phases = [e.phase for e in tracer.events]
+        assert phases == ["i", "C"]
+        assert tracer.events[1].args == {"depth": 4.0}
+        assert len(tracer) == 2
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a", 0.0, 1.0) is None
+        tracer.instant("i", 0.0)
+        tracer.counter("c", 0.0, {"v": 1})
+        with tracer.wall_span("w"):
+            pass
+        assert len(tracer) == 0
+
+
+class TestSpanTree:
+    def test_parent_links_and_queries(self):
+        tracer = Tracer()
+        root = tracer.span("request", 0.0, 3.0)
+        tracer.span("queued", 0.0, 1.0, parent=root)
+        tracer.span("service", 1.0, 2.0, parent=root)
+        assert [s.name for s in tracer.roots()] == ["request"]
+        assert sorted(s.name for s in tracer.children(root)) == ["queued", "service"]
+        tree = tracer.tree()
+        assert {s.name for s in tree[root]} == {"queued", "service"}
+
+    def test_find_by_name(self):
+        tracer = Tracer()
+        tracer.span("batch", 0.0, 1.0)
+        tracer.span("batch", 1.0, 1.0)
+        tracer.span("other", 0.0, 1.0)
+        assert len(tracer.find("batch")) == 2
+
+
+class TestWallSpan:
+    def test_wall_span_records_host_pid(self):
+        tracer = Tracer()
+        with tracer.wall_span("prepare", matrix="m0"):
+            pass
+        (span,) = tracer.find("prepare")
+        assert span.pid == HOST_PID
+        assert span.duration_us >= 0.0
+        assert span.args == {"matrix": "m0"}
+
+    def test_wall_span_records_even_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.wall_span("prepare"):
+                raise RuntimeError("boom")
+        assert len(tracer.find("prepare")) == 1
+
+
+class TestChromeExport:
+    def test_export_structure(self):
+        tracer = Tracer()
+        root = tracer.span("request", 0.0, 2.0, track="tenant:t0")
+        tracer.span("service", 1.0, 1.0, track="tenant:t0", parent=root)
+        tracer.instant("admit", 0.0, track="scheduler")
+        tracer.counter("queue_depth", 0.5, {"depth": 2})
+        doc = tracer.to_chrome()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "i", "C"}
+        # process metadata for both clock domains
+        processes = [e for e in events if e["name"] == "process_name"]
+        assert {e["pid"] for e in processes} == {VIRTUAL_PID, HOST_PID}
+        # instants carry thread scope
+        (instant,) = [e for e in events if e["ph"] == "i"]
+        assert instant["s"] == "t"
+
+    def test_tracks_become_named_threads(self):
+        tracer = Tracer()
+        tracer.span("a", 0.0, 1.0, track="dev0")
+        tracer.span("b", 0.0, 1.0, track="dev1")
+        tracer.span("c", 1.0, 1.0, track="dev0")
+        events = tracer.to_chrome()["traceEvents"]
+        names = {
+            e["args"]["name"]: (e["pid"], e["tid"])
+            for e in events
+            if e["name"] == "thread_name"
+        }
+        assert set(names) == {"dev0", "dev1"}
+        spans = [e for e in events if e["ph"] == "X"]
+        assert (spans[0]["pid"], spans[0]["tid"]) == names["dev0"]
+        assert (spans[0]["pid"], spans[0]["tid"]) == (spans[2]["pid"], spans[2]["tid"])
+        assert spans[0]["tid"] != spans[1]["tid"]
+
+    def test_parent_ids_exported_in_args(self):
+        tracer = Tracer()
+        root = tracer.span("request", 0.0, 2.0)
+        tracer.span("service", 0.0, 1.0, parent=root)
+        spans = [e for e in tracer.to_chrome()["traceEvents"] if e["ph"] == "X"]
+        assert spans[0]["args"]["span_id"] == root
+        assert spans[1]["args"]["parent_id"] == root
+
+    def test_save_round_trips(self, tmp_path):
+        tracer = Tracer()
+        tracer.span("request", 0.0, 1.0)
+        path = tracer.save(tmp_path / "trace.json")
+        loaded = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in loaded["traceEvents"])

@@ -1,0 +1,247 @@
+"""ServiceTelemetry edge cases, plus tracing/metrics service integration."""
+
+import numpy as np
+import pytest
+
+from repro.generators import random_uniform
+from repro.obs import MetricsRegistry, Tracer
+from repro.serpens import SerpensConfig
+from repro.serve import AcceleratorPool, ServiceTelemetry, SpMVService, generate_trace
+
+
+def small_config(name="Serpens-tel-test"):
+    return SerpensConfig(
+        name=name,
+        num_sparse_channels=2,
+        pes_per_channel=4,
+        urams_per_pe=2,
+        uram_depth=256,
+        segment_width=128,
+        dsp_latency=4,
+    )
+
+
+def small_service(**overrides):
+    defaults = dict(
+        pool=AcceleratorPool.homogeneous(2, small_config()),
+        policy="fifo",
+        max_batch=8,
+    )
+    defaults.update(overrides)
+    return SpMVService(**defaults)
+
+
+class TestTelemetryEdgeCases:
+    def test_zero_request_snapshot_is_all_zeros(self):
+        snapshot = ServiceTelemetry().snapshot()
+        assert snapshot["completed"] == 0.0
+        assert snapshot["throughput_rps"] == 0.0
+        assert snapshot["aggregate_mteps"] == 0.0
+        assert snapshot["latency_p95_ms"] == 0.0
+        assert snapshot["mean_queue_depth"] == 0.0
+        assert snapshot["mispredict_ratio"] == 0.0
+        # no cache attached, no cache keys
+        assert "cache_hit_rate" not in snapshot
+
+    def test_zero_request_render_does_not_crash(self):
+        text = ServiceTelemetry().render()
+        assert "completed requests : 0" in text
+
+    def test_single_sample_percentiles_collapse_to_that_sample(self):
+        telemetry = ServiceTelemetry()
+        telemetry.record_request("t0", latency_seconds=0.25, queue_seconds=0.1)
+        summary = telemetry.latency()
+        assert summary.count == 1
+        assert summary.p50 == summary.p95 == summary.p99 == summary.max == 0.25
+        assert telemetry.queueing("t0").p95 == pytest.approx(0.1)
+
+    def test_throughput_with_zero_elapsed_time_is_zero(self):
+        telemetry = ServiceTelemetry()
+        # a request completes but nothing ever advanced the virtual clock
+        telemetry.record_request("t0", latency_seconds=0.0, queue_seconds=0.0)
+        assert telemetry.makespan == 0.0
+        assert telemetry.throughput_rps == 0.0
+        assert telemetry.aggregate_mteps == 0.0
+
+    def test_mispredict_ratio_zero_without_routed_traffic(self):
+        telemetry = ServiceTelemetry()
+        # dispatches recorded, but none carried a router prediction
+        telemetry.record_routing("a16", batch_size=4, simulated_seconds=1e-3)
+        telemetry.record_routing("a16", batch_size=2, simulated_seconds=2e-3)
+        assert telemetry.mispredict_ratio == 0.0
+        assert telemetry.snapshot()["routed_launches"] == 0.0
+        (row,) = telemetry.routing_rows()
+        assert row["mispredict_ratio"] == 0.0
+        assert row["launches"] == 6
+
+    def test_mispredict_ratio_with_routed_traffic(self):
+        telemetry = ServiceTelemetry()
+        telemetry.record_routing(
+            "a16", batch_size=1, simulated_seconds=1e-3, predicted_seconds=2e-3
+        )
+        assert telemetry.mispredict_ratio == pytest.approx(1.0)
+
+    def test_attached_cache_stats_flow_into_snapshot(self):
+        telemetry = ServiceTelemetry()
+        telemetry.attach_cache(
+            {"hits": 3, "misses": 1, "hit_rate": 0.75, "evictions": 2,
+             "stale_evictions": 1}
+        )
+        snapshot = telemetry.snapshot()
+        assert snapshot["cache_hit_rate"] == 0.75
+        assert snapshot["cache_hits"] == 3.0
+        assert snapshot["cache_evictions"] == 2.0
+        assert snapshot["cache_stale_evictions"] == 1.0
+
+
+class TestServiceSnapshotIncludesCache:
+    def test_drain_report_snapshot_has_cache_stats_without_arguments(self):
+        service = small_service()
+        report = service.run_trace(generate_trace("mixed", 40, seed=3))
+        snapshot = report.telemetry.snapshot()
+        assert "cache_hit_rate" in snapshot
+        assert snapshot["cache_misses"] > 0
+        assert report.telemetry.attached_cache_stats is not None
+
+
+class TestServiceTracing:
+    def run_traced(self, requests=40):
+        tracer = Tracer()
+        service = small_service(tracer=tracer)
+        report = service.run_trace(generate_trace("mixed", requests, seed=5))
+        return tracer, report
+
+    def test_every_completed_request_has_a_span(self):
+        tracer, report = self.run_traced()
+        request_spans = tracer.find("request")
+        assert len(request_spans) == report.telemetry.completed
+
+    def test_request_spans_nest_queued_and_service(self):
+        tracer, __ = self.run_traced()
+        for span in tracer.find("request"):
+            names = sorted(s.name for s in tracer.children(span))
+            assert names == ["queued", "service"]
+            for child in tracer.children(span):
+                assert child.start_us >= span.start_us - 1e-6
+                assert child.end_us <= span.end_us + 1e-6
+
+    def test_batch_spans_carry_execute_children(self):
+        tracer, __ = self.run_traced()
+        batches = tracer.find("batch")
+        assert batches
+        for span in batches:
+            child_names = {s.name for s in tracer.children(span)}
+            assert "execute" in child_names
+            assert child_names <= {"prepare", "execute"}
+
+    def test_admission_instants_and_queue_counters_emitted(self):
+        tracer, report = self.run_traced()
+        admits = [e for e in tracer.events if e.phase == "i" and e.name == "admit"]
+        assert len(admits) == report.telemetry.completed + report.telemetry.rejected
+        counters = [e for e in tracer.events if e.phase == "C"]
+        assert counters and all(e.name == "queue_depth" for e in counters)
+
+    def test_attach_tracer_after_construction(self):
+        service = small_service()
+        tracer = Tracer()
+        service.attach_tracer(tracer)
+        assert service.scheduler.tracer is tracer
+        assert service.pool.tracer is tracer
+        service.run_trace(generate_trace("mixed", 20, seed=1))
+        assert tracer.find("request")
+
+    def test_tracing_does_not_change_results(self):
+        trace = generate_trace("mixed", 30, seed=9)
+        plain = small_service().run_trace(trace)
+        traced = small_service(tracer=Tracer()).run_trace(trace)
+        assert plain.telemetry.completed == traced.telemetry.completed
+        assert plain.telemetry.makespan == pytest.approx(traced.telemetry.makespan)
+        for a, b in zip(plain.results, traced.results):
+            np.testing.assert_allclose(a.y, b.y)
+
+
+class TestServiceMetrics:
+    def test_drain_publishes_serve_cache_and_engine_series(self):
+        registry = MetricsRegistry()
+        service = small_service(metrics=registry)
+        report = service.run_trace(generate_trace("mixed", 40, seed=5))
+        snapshot = registry.snapshot()
+        total_completed = sum(
+            value
+            for name, value in snapshot.items()
+            if name.startswith("serve_requests_completed_total")
+        )
+        assert total_completed == report.telemetry.completed
+        assert registry.gauge("serve_throughput_rps").value() > 0
+        assert "cache_hit_rate" in registry.names()
+        assert any(name.startswith("device_launches_total") for name in snapshot)
+        assert any(name.startswith("engine_launches_total") for name in snapshot)
+
+    def test_simulate_mode_publishes_execution_reports(self):
+        registry = MetricsRegistry()
+        service = small_service(metrics=registry, compute="simulate")
+        service.run_trace(generate_trace("mixed", 20, seed=5))
+        snapshot = registry.snapshot()
+        assert any(name.startswith("engine_cycles_total") for name in snapshot)
+        assert any(name.startswith("engine_bytes_moved_total") for name in snapshot)
+        assert any(
+            name.startswith("engine_effective_bandwidth_gbps") for name in snapshot
+        )
+
+    def test_counters_accumulate_across_drains(self):
+        registry = MetricsRegistry()
+        service = small_service(metrics=registry)
+        trace = generate_trace("mixed", 20, seed=2)
+        service.run_trace(trace)
+        first = sum(
+            value
+            for name, value in registry.snapshot().items()
+            if name.startswith("serve_requests_completed_total")
+        )
+        service.run_trace(trace)
+        second = sum(
+            value
+            for name, value in registry.snapshot().items()
+            if name.startswith("serve_requests_completed_total")
+        )
+        assert second == 2 * first
+
+    def test_publish_into_registry_directly(self):
+        telemetry = ServiceTelemetry()
+        telemetry.record_request("t0", 0.5, 0.1)
+        telemetry.observe_finish(1.0)
+        registry = MetricsRegistry()
+        telemetry.publish(registry)
+        assert registry.histogram("serve_request_latency_seconds").summary(
+            tenant="t0"
+        )["count"] == 1.0
+        assert registry.gauge("serve_throughput_rps").value() == pytest.approx(1.0)
+
+
+class TestSessionObservability:
+    def test_session_records_prepare_and_execute_wall_spans(self):
+        from repro.backends import Session
+        from repro.obs import HOST_PID
+
+        tracer = Tracer()
+        session = Session(small_config(), tracer=tracer)
+        matrix = random_uniform(40, 40, 200, seed=4)
+        handle = session.register(matrix, name="m0")
+        session.launch(handle, np.ones(40))
+        session.launch(handle, np.ones(40))
+        (prepare,) = tracer.find("prepare")
+        assert prepare.pid == HOST_PID
+        assert prepare.args["matrix"] == "m0"
+        assert len(tracer.find("execute")) == 2
+
+    def test_session_publishes_launch_metrics(self):
+        from repro.backends import Session
+
+        registry = MetricsRegistry()
+        session = Session(small_config(), metrics=registry)
+        handle = session.register(random_uniform(40, 40, 200, seed=4), name="m0")
+        session.launch(handle, np.ones(40))
+        snapshot = registry.snapshot()
+        assert any(name.startswith("engine_launches_total") for name in snapshot)
+        assert any(name.startswith("engine_cycles_total") for name in snapshot)
+        assert any(name.startswith("session_prepare_seconds_total") for name in snapshot)
