@@ -20,12 +20,16 @@ accelerator serving layer::
 
 It replays one load-generator trace under naive dispatch, batched FIFO and
 batched SJF scheduling, and reports throughput, tail latency and program-
-cache behaviour for each.
+cache behaviour for each.  ``--wall-clock --workers N`` additionally serves
+the same trace on a pool of real engine worker processes (shared-memory
+transport) and prints measured latency percentiles next to the modelled
+ones.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, List, Optional
@@ -182,6 +186,7 @@ def _serve_bench_payload(args: argparse.Namespace, tracer=None):
         if not configs:
             raise ValueError("--engines must name at least one backend")
         pool_label = f"{len(configs)} devices ({args.engines})"
+        engine_names = list(configs)
     else:
         if args.devices < 1:
             raise ValueError("--devices must be positive")
@@ -190,6 +195,9 @@ def _serve_bench_payload(args: argparse.Namespace, tracer=None):
             raise ValueError("--a24 must be between 0 and --devices")
         configs = [SERPENS_A24] * num_a24 + [SERPENS_A16] * (args.devices - num_a24)
         pool_label = f"{args.devices} devices ({num_a24}x A24)"
+        engine_names = ["serpens-a24"] * num_a24 + ["serpens-a16"] * (
+            args.devices - num_a24
+        )
 
     # label, scheduler policy, max batch, placement policy, routed?
     variants = [
@@ -266,6 +274,65 @@ def _serve_bench_payload(args: argparse.Namespace, tracer=None):
         }
         last_report = report
 
+    wallclock_rendered = None
+    if getattr(args, "wall_clock", False):
+        # Measured counterpart to the modelled variants above: the same
+        # trace served by real engine worker processes over shared memory.
+        # This is a saturation benchmark (arrival gaps are not replayed), so
+        # its latencies are wall-clock milliseconds, not virtual time.
+        from .parallel import WorkerPool
+
+        trace = generate_trace(
+            args.scenario, args.requests, seed=args.seed, gap_scale=args.gap_scale
+        )
+        with WorkerPool(
+            num_workers=args.workers,
+            engines=engine_names,
+            engine_mode=args.sim_mode,
+            build_mode=args.build_mode,
+            compute="simulate",
+            max_batch=args.max_batch,
+            results_path=args.results_db,
+            scenario=args.scenario,
+        ) as wc_pool:
+            wc_report = wc_pool.run_trace(trace)
+        snapshot = wc_report.snapshot()
+        variant_payloads[f"wallclock-w{args.workers}"] = snapshot
+        wallclock_rendered = format_table(
+            [
+                "workers",
+                "completed",
+                "req/s",
+                "p50 ms",
+                "p95 ms",
+                "p99 ms",
+                "makespan s",
+                "MTEPS",
+                "retries",
+                "respawns",
+                "inline",
+            ],
+            [
+                [
+                    args.workers,
+                    int(snapshot["requests"]),
+                    snapshot["throughput_rps"],
+                    snapshot["latency_p50_ms"],
+                    snapshot["latency_p95_ms"],
+                    snapshot["latency_p99_ms"],
+                    snapshot["makespan_seconds"],
+                    snapshot["aggregate_mteps"],
+                    int(snapshot["retries"]),
+                    int(snapshot["respawns"]),
+                    int(snapshot["inline_requests"]),
+                ]
+            ],
+            title=(
+                f"Wall-clock serving (measured) — engine {wc_report.engine}, "
+                f"compute={wc_report.compute}"
+            ),
+        )
+
     comparison = format_table(
         [
             "scheduler",
@@ -301,6 +368,8 @@ def _serve_bench_payload(args: argparse.Namespace, tracer=None):
         "sim_mode": args.sim_mode,
         "build_mode": args.build_mode,
         "autotune": bool(args.autotune),
+        "wall_clock": bool(getattr(args, "wall_clock", False)),
+        "workers": getattr(args, "workers", None),
     }
     payload = {
         "experiment": "serve-bench",
@@ -308,7 +377,10 @@ def _serve_bench_payload(args: argparse.Namespace, tracer=None):
         "config": config,
         "variants": variant_payloads,
     }
-    return payload, comparison + "\n\n" + last_report.render()
+    rendered = comparison + "\n\n" + last_report.render()
+    if wallclock_rendered is not None:
+        rendered += "\n\n" + wallclock_rendered
+    return payload, rendered
 
 
 def _serve_bench(args: argparse.Namespace) -> str:
@@ -514,6 +586,10 @@ def _gate_args_from_config(config: Dict) -> argparse.Namespace:
             argv += ["--a24", str(config["a24"])]
     if config.get("autotune"):
         argv.append("--autotune")
+    # Baselines written before the wall-clock mode existed have no
+    # wall_clock/workers keys; .get keeps them replayable.
+    if config.get("wall_clock"):
+        argv += ["--wall-clock", "--workers", str(config.get("workers") or 2)]
     return build_parser().parse_args(argv)
 
 
@@ -550,13 +626,27 @@ def _results(args: argparse.Namespace) -> tuple:
     sub = args.subcommand or "list"
     if sub == "gate":
         return _results_gate(args)
-    if sub not in ("list", "show", "compare"):
+    if sub not in ("list", "show", "compare", "merge"):
         return (
-            f"unknown results subcommand {sub!r}; use list, show, compare or gate",
+            f"unknown results subcommand {sub!r}; "
+            "use list, show, compare, merge or gate",
             2,
         )
     if not args.results_db:
         return ("the results command needs --results-db PATH", 2)
+
+    if sub == "merge":
+        if not args.source:
+            return ("results merge needs at least one --source PATH", 2)
+        missing = [path for path in args.source if not os.path.exists(path)]
+        if missing:
+            return (f"no such results database: {', '.join(missing)}", 2)
+        lines = []
+        with ResultsStore(args.results_db) as store:
+            for path in args.source:
+                lines.append(f"merged {store.merge(path)} runs from {path}")
+        lines.append(f"into {args.results_db}")
+        return ("\n".join(lines), 0)
 
     with ResultsStore(args.results_db) as store:
         if sub == "list":
@@ -703,7 +793,8 @@ def build_parser() -> argparse.ArgumentParser:
         "subcommand",
         nargs="?",
         default=None,
-        help="subcommand for 'results': list (default), show, compare or gate",
+        help="subcommand for 'results': list (default), show, compare, "
+        "merge or gate",
     )
     parser.add_argument(
         "--scale",
@@ -791,6 +882,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serving.add_argument(
+        "--wall-clock",
+        action="store_true",
+        help=(
+            "also serve the trace on a real worker-process pool (shared-"
+            "memory transport, one engine per worker) and report measured "
+            "wall-clock latency percentiles and throughput next to the "
+            "modelled numbers"
+        ),
+    )
+    serving.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker processes for --wall-clock (0 = serve inline)",
+    )
+    serving.add_argument(
         "--autotune",
         action="store_true",
         help=(
@@ -873,6 +980,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with 'results gate': (re)write the baseline snapshot from a "
         "fresh run instead of judging against it",
+    )
+    obs.add_argument(
+        "--source",
+        type=str,
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="shard database(s) folded into --results-db by 'results merge' "
+        "(repeatable)",
     )
     obs.add_argument(
         "--limit",

@@ -200,6 +200,34 @@ class ResultsStore:
         self._conn.commit()
         return RunRecord(**{**record.__dict__, "run_id": int(cursor.lastrowid)})
 
+    def merge(self, other: Union["ResultsStore", str, Path]) -> int:
+        """Fold every run of ``other`` into this store; returns the count.
+
+        Rows keep their recorded timestamps, git revisions and payloads but
+        receive fresh autoincrement ids in this store, so merging N shard
+        databases (the wall-clock worker pool records one store per worker)
+        never collides run ids.  A path argument is opened read-only for the
+        duration of the merge.
+        """
+        opened = None
+        if not isinstance(other, ResultsStore):
+            opened = other = ResultsStore(other)
+        try:
+            rows = other._conn.execute(
+                f"SELECT {self._COLUMNS} FROM runs ORDER BY id"
+            ).fetchall()
+            self._conn.executemany(
+                "INSERT INTO runs (recorded_at, git_rev, topic, scenario, engine,"
+                " config_fingerprint, config_json, metrics_json)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                [row[1:] for row in rows],
+            )
+            self._conn.commit()
+            return len(rows)
+        finally:
+            if opened is not None:
+                opened.close()
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------

@@ -1,0 +1,47 @@
+"""Wall-clock concurrent serving: shared-memory transport + worker pool.
+
+Everything else in the repo measures the Serpens design in *virtual* time —
+simulated cycles, discrete-event serving.  This package measures serving on
+the wall clock with real OS processes:
+
+* :mod:`repro.parallel.shm` — zero-copy shared-memory transport for COO
+  matrices and packed programs,
+* :mod:`repro.parallel.worker` — the engine worker process protocol,
+* :mod:`repro.parallel.pool` — :class:`WorkerPool`, the front-end that
+  shards a load trace across workers and reports measured latency
+  percentiles and throughput next to the modelled numbers
+  (``repro serve-bench --wall-clock``).
+"""
+
+from .pool import WallClockReport, WallClockResult, WorkerPool
+from .shm import (
+    ArraySpec,
+    ShmBlock,
+    ShmDescriptor,
+    attach_block,
+    coo_from_block,
+    program_from_block,
+    share_arrays,
+    share_coo,
+    share_program,
+)
+from .worker import BatchResult, WorkBatch, WorkerConfig, worker_main
+
+__all__ = [
+    "ArraySpec",
+    "BatchResult",
+    "ShmBlock",
+    "ShmDescriptor",
+    "WallClockReport",
+    "WallClockResult",
+    "WorkBatch",
+    "WorkerConfig",
+    "WorkerPool",
+    "attach_block",
+    "coo_from_block",
+    "program_from_block",
+    "share_arrays",
+    "share_coo",
+    "share_program",
+    "worker_main",
+]

@@ -1,0 +1,868 @@
+"""Wall-clock concurrent serving over a pool of engine worker processes.
+
+Where :class:`~repro.serve.SpMVService` answers *modelled* capacity questions
+in virtual time, :class:`WorkerPool` measures the real thing: it fans a load
+trace out to N :mod:`repro.parallel.worker` processes, ships matrices and
+prebuilt programs over shared memory (:mod:`repro.parallel.shm`), and reports
+measured wall-clock latency percentiles and aggregate throughput next to the
+modelled numbers.
+
+Wall-clock mode is a *saturation* benchmark: the trace's virtual arrival
+gaps (microseconds) are not replayed — every request is available up front,
+batches are dispatched as worker inflight slots free, and a request's
+latency is measured from its batch entering the worker's queue to its result
+arriving back.  Makespan and throughput therefore measure the pool at full
+load, the regime the paper's bandwidth argument is about.
+
+Robustness, because real processes die:
+
+* each worker is health-checked (liveness + a ping heartbeat on spawn and
+  respawn) and every inflight batch carries a deadline,
+* a dead or wedged worker is respawned, its matrices re-registered, and its
+  lost batches retried exactly once on the replacement,
+* a batch that fails twice — or the whole pool failing to start — degrades
+  to inline execution in the parent, so no request is ever lost,
+* duplicate results (a worker that replied and *then* died mid-batch) are
+  deduplicated by batch id, so no request is ever double-counted.
+
+Per-worker shard :class:`~repro.obs.ResultsStore` databases are merged into
+one store on shutdown via :meth:`~repro.obs.ResultsStore.merge`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import threading
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..backends import PreparedMatrix, SpMVEngine, provision
+from ..formats import COOMatrix
+from ..preprocess import SerpensProgram
+from ..serve.cache import matrix_fingerprint
+from ..serve.loadgen import LoadTrace
+from ..spmv import spmv
+from .shm import ShmBlock, share_coo, share_program
+from .worker import BatchResult, WorkBatch, WorkerConfig, worker_main
+
+__all__ = ["WallClockReport", "WallClockResult", "WorkerPool"]
+
+
+@dataclass
+class WallClockResult:
+    """One request's measured outcome."""
+
+    request_id: int
+    matrix_name: str
+    tenant: str
+    worker_id: int  # -1 when executed inline in the parent
+    y: Optional[np.ndarray]
+    latency_seconds: float
+    batch_size: int
+
+
+@dataclass
+class WallClockReport:
+    """Everything one wall-clock run measured."""
+
+    scenario: str
+    num_workers: int
+    compute: str
+    engine: str
+    results: List[WallClockResult]
+    makespan_seconds: float
+    engine_cycles: float
+    traversed_edges: float
+    batches: int
+    retries: int
+    respawns: int
+    inline_requests: int
+    prepare_count: int
+
+    def latencies(self) -> List[float]:
+        return [r.latency_seconds for r in self.results]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Measured metrics under the telemetry snapshot's names.
+
+        Mirrors :meth:`repro.serve.ServiceTelemetry.snapshot` keys where the
+        quantities correspond, so modelled and measured runs land in the same
+        columns of a results store.
+        """
+        latencies_ms = sorted(r.latency_seconds * 1e3 for r in self.results)
+        span = max(self.makespan_seconds, 1e-12)
+
+        def percentile(fraction: float) -> float:
+            if not latencies_ms:
+                return 0.0
+            return float(np.percentile(latencies_ms, fraction))
+
+        return {
+            "requests": float(len(self.results)),
+            "latency_p50_ms": percentile(50),
+            "latency_p95_ms": percentile(95),
+            "latency_p99_ms": percentile(99),
+            "throughput_rps": len(self.results) / span,
+            "aggregate_mteps": self.traversed_edges / span / 1e6,
+            "makespan_seconds": self.makespan_seconds,
+            "mean_batch_size": (
+                len(self.results) / self.batches if self.batches else 0.0
+            ),
+            "engine_cycles_total": self.engine_cycles,
+            "workers": float(self.num_workers),
+            "retries": float(self.retries),
+            "respawns": float(self.respawns),
+            "inline_requests": float(self.inline_requests),
+            "prepare_count": float(self.prepare_count),
+        }
+
+
+@dataclass
+class _Registered:
+    """Parent-side record of one matrix shared with the workers."""
+
+    key: str
+    name: str
+    matrix: COOMatrix
+    home: int
+    coo_block: ShmBlock
+    #: engine name -> shared prebuilt program (Serpens engines only).
+    program_blocks: Dict[str, ShmBlock] = field(default_factory=dict)
+    #: engine name -> parent-side payload for inline fallback execution.
+    payloads: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class _Slot:
+    """One worker slot; the process in it may be respawned."""
+
+    worker_id: int
+    engine: str
+    process: Optional[multiprocessing.Process] = None
+    tasks: Any = None
+    reply: Any = None
+    reader: Optional[threading.Thread] = None
+    placed_nnz: int = 0
+    respawns: int = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+
+@dataclass
+class _BatchState:
+    """Lifecycle of one dispatched batch."""
+
+    batch: WorkBatch
+    worker_id: int
+    requests: List[Tuple[int, str]]  # (request_id, tenant)
+    matrix: _Registered
+    enqueued_at: float = 0.0
+    retried: bool = False
+
+
+def _pump_replies(source, sink: "queue_module.Queue") -> None:
+    """Drain one worker's reply queue into the pool's in-process queue.
+
+    Runs as a daemon thread.  When the worker dies the queue either raises
+    (pipe closed) or blocks forever on a truncated message; either way the
+    thread is simply abandoned and the pool keeps running.
+    """
+    while True:
+        try:
+            sink.put(source.get())
+        except (EOFError, OSError):  # pragma: no cover - pipe torn down
+            return
+
+
+class WorkerPool:
+    """Shards SpMV requests across engine worker processes.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker process count; ``0`` serves everything inline in the parent
+        (the degraded mode the pool also falls back to on repeated failure).
+    engines:
+        One engine registry name for the whole pool, or one per worker
+        (cycled when shorter than ``num_workers``).
+    compute:
+        ``"simulate"`` (engine datapath, default), ``"reference"`` (golden
+        numpy kernel) or ``"none"``; the same modes the virtual-time service
+        takes, so measured and modelled runs compute identical numerics.
+    max_batch / max_inflight:
+        Largest same-matrix batch, and the bound on batches queued per
+        worker at once (backpressure, so a slow worker does not hoard work).
+    batch_timeout:
+        Seconds after which an unanswered batch declares its worker wedged.
+    results_path:
+        Merged results database; per-worker shards are written next to it as
+        ``<path>.shard<N>`` and folded in on :meth:`shutdown`.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        engines: Optional[Sequence[str]] = None,
+        engine_mode: Optional[str] = None,
+        build_mode: Optional[str] = None,
+        compute: str = "simulate",
+        max_batch: int = 8,
+        max_inflight: int = 2,
+        batch_timeout: float = 120.0,
+        spawn_timeout: float = 60.0,
+        results_path: Optional[str] = None,
+        scenario: str = "adhoc",
+        start_method: Optional[str] = None,
+        fail_on_batch: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        if num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
+        if compute not in ("simulate", "reference", "none"):
+            raise ValueError(f"unknown compute mode {compute!r}")
+        if isinstance(engines, str):
+            engines = [engines]
+        names = list(engines) if engines else ["serpens-a16"]
+        self.num_workers = num_workers
+        self.engine_mode = engine_mode
+        self.build_mode = build_mode
+        self.compute = compute
+        self.max_batch = max(1, max_batch)
+        self.max_inflight = max(1, max_inflight)
+        self.batch_timeout = batch_timeout
+        self.spawn_timeout = spawn_timeout
+        self.results_path = results_path
+        self.scenario = scenario
+        self._fail_on_batch = dict(fail_on_batch or {})
+        self._ctx = multiprocessing.get_context(
+            start_method
+            or ("fork" if "fork" in multiprocessing.get_all_start_methods() else None)
+        )
+        self._slots = [
+            _Slot(worker_id=i, engine=names[i % len(names)])
+            for i in range(num_workers)
+        ]
+        # Replies flow: worker -> its own mp queue -> a daemon reader thread
+        # -> this in-process queue.  The main thread only ever blocks here,
+        # so a worker dying mid-reply (truncating a pickled message on its
+        # pipe) wedges at most its abandoned reader thread, never the pool.
+        self._replies: "queue_module.Queue" = queue_module.Queue()
+        self._registered: Dict[str, _Registered] = {}
+        self._inline_engines: Dict[str, SpMVEngine] = {}
+        self._pending: Dict[str, List[Tuple[Any, ...]]] = {}
+        self._started = False
+        self._closed = False
+        self.retries = 0
+        self.respawns = 0
+        self.inline_requests = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn and health-check every worker (idempotent)."""
+        if self._started or not self.num_workers:
+            self._started = True
+            return
+        # The resource tracker must exist BEFORE the first fork: children
+        # then inherit the parent's tracker instead of lazily starting their
+        # own on first shm attach.  A worker-private tracker is a time bomb —
+        # when that worker dies, its tracker treats every segment the worker
+        # ever attached as leaked and unlinks them out from under the pool.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - private API drift
+            pass
+        for slot in self._slots:
+            self._spawn(slot)
+        self._started = True
+
+    def __enter__(self) -> "WorkerPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def _shard_path(self, worker_id: int) -> Optional[str]:
+        if self.results_path is None:
+            return None
+        return f"{self.results_path}.shard{worker_id}"
+
+    def _spawn(self, slot: _Slot) -> None:
+        """Start (or restart) the process in a slot and wait until healthy."""
+        config = WorkerConfig(
+            worker_id=slot.worker_id,
+            engine=slot.engine,
+            engine_mode=self.engine_mode,
+            build_mode=self.build_mode,
+            compute=self.compute,
+            results_path=self._shard_path(slot.worker_id),
+            scenario=self.scenario,
+            fail_on_batch=self._fail_on_batch.get(slot.worker_id),
+        )
+        slot.tasks = self._ctx.Queue()
+        slot.reply = self._ctx.Queue()
+        slot.process = self._ctx.Process(
+            target=worker_main,
+            args=(config, slot.tasks, slot.reply),
+            daemon=True,
+            name=f"repro-worker-{slot.worker_id}",
+        )
+        slot.process.start()
+        slot.reader = threading.Thread(
+            target=_pump_replies,
+            args=(slot.reply, self._replies),
+            daemon=True,
+            name=f"repro-reader-{slot.worker_id}",
+        )
+        slot.reader.start()
+        self._wait_for(
+            "ready", lambda msg: msg[1] == slot.worker_id, self.spawn_timeout
+        )
+        self.ping(slot.worker_id)
+
+    def ping(self, worker_id: int, timeout: Optional[float] = None) -> bool:
+        """Heartbeat one worker; raises ``TimeoutError`` when it is gone."""
+        slot = self._slots[worker_id]
+        token = uuid.uuid4().hex
+        slot.tasks.put(("ping", token))
+        self._wait_for(
+            "pong",
+            lambda msg: msg[1] == worker_id and msg[2] == token,
+            timeout if timeout is not None else self.spawn_timeout,
+        )
+        return True
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Stop workers, merge shard result stores, release shared memory."""
+        if self._closed:
+            return
+        self._closed = True
+        shard_paths: List[str] = []
+        if self._started and self.num_workers:
+            waiting = []
+            for slot in self._slots:
+                if slot.alive:
+                    slot.tasks.put(("stop",))
+                    waiting.append(slot.worker_id)
+            deadline = time.monotonic() + timeout
+            for worker_id in waiting:
+                try:
+                    msg = self._wait_for(
+                        "stopped",
+                        lambda m, w=worker_id: m[1] == w,
+                        max(0.1, deadline - time.monotonic()),
+                    )
+                    if msg[2]:
+                        shard_paths.append(msg[2])
+                except TimeoutError:
+                    pass
+            for slot in self._slots:
+                if slot.process is not None:
+                    slot.process.join(timeout=5.0)
+                    if slot.process.is_alive():  # pragma: no cover - stragglers
+                        slot.process.terminate()
+                        slot.process.join(timeout=5.0)
+                if slot.tasks is not None:
+                    # Never block interpreter exit on flushing tasks to a
+                    # worker that is no longer reading them.
+                    slot.tasks.cancel_join_thread()
+                    slot.tasks.close()
+        self._merge_shards(shard_paths)
+        for entry in self._registered.values():
+            entry.coo_block.unlink()
+            for block in entry.program_blocks.values():
+                block.unlink()
+        self._registered.clear()
+
+    def _merge_shards(self, shard_paths: List[str]) -> None:
+        if self.results_path is None:
+            return
+        from ..obs.results import ResultsStore
+
+        with ResultsStore(self.results_path) as store:
+            for shard in sorted(shard_paths):
+                if Path(shard).exists():
+                    store.merge(shard)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        matrix: COOMatrix,
+        name: str,
+        hint: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Share a matrix (and prebuilt programs) with every worker.
+
+        ``hint`` is a router-style preference list of engine names: the home
+        worker — the one the matrix's batches are dispatched to — is the
+        least-loaded (by placed nnz) worker whose engine matches a hinted
+        name, falling back to every worker when none matches (a hint is
+        advice, not a constraint, same as the virtual pool's placement).
+        Returns the matrix key used by :meth:`run_trace` internals.
+        """
+        self.start()
+        key = matrix_fingerprint(matrix)
+        if key in self._registered:
+            return key
+        entry = _Registered(
+            key=key,
+            name=name,
+            matrix=matrix,
+            home=self._place(matrix, hint),
+            coo_block=share_coo(matrix),
+        )
+        if self.compute == "simulate":
+            for engine_name in {slot.engine for slot in self._slots} or {""}:
+                if not engine_name:
+                    continue
+                payload = self._inline_engine(engine_name).build_payload(matrix)
+                entry.payloads[engine_name] = payload
+                if isinstance(payload, SerpensProgram):
+                    entry.program_blocks[engine_name] = share_program(payload)
+        self._registered[key] = entry
+        for slot in self._slots:
+            self._register_with_worker(slot, entry)
+        return key
+
+    def _place(self, matrix: COOMatrix, hint: Optional[Sequence[str]]) -> int:
+        if not self._slots:
+            return -1
+        candidates = self._slots
+        if hint:
+            wanted = {name.strip().lower() for name in hint}
+            hinted = [s for s in candidates if s.engine.lower() in wanted]
+            if hinted:
+                candidates = hinted
+        home = min(candidates, key=lambda s: (s.placed_nnz, s.worker_id))
+        home.placed_nnz += matrix.nnz
+        return home.worker_id
+
+    def _register_with_worker(self, slot: _Slot, entry: _Registered) -> None:
+        program_block = entry.program_blocks.get(slot.engine)
+        slot.tasks.put(
+            (
+                "register",
+                entry.key,
+                entry.name,
+                entry.coo_block.descriptor,
+                None if program_block is None else program_block.descriptor,
+            )
+        )
+        self._wait_for(
+            "registered",
+            lambda msg: msg[1] == slot.worker_id and msg[2] == entry.key,
+            self.spawn_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # Control-plane message routing
+    # ------------------------------------------------------------------
+    def _wait_for(self, kind: str, predicate, timeout: float) -> Tuple[Any, ...]:
+        """Next control message of ``kind`` matching ``predicate``.
+
+        Non-matching messages are buffered for their own consumers, so acks
+        and results can interleave freely on the one reply queue.
+        """
+        buffered = self._pending.get(kind, [])
+        for index, msg in enumerate(buffered):
+            if predicate(msg):
+                return buffered.pop(index)
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"timed out waiting for {kind!r} from worker")
+            try:
+                msg = self._replies.get(timeout=min(remaining, 0.25))
+            except queue_module.Empty:
+                continue
+            if msg[0] == kind and predicate(msg):
+                return msg
+            self._pending.setdefault(msg[0], []).append(msg)
+
+    def _next_message(self, timeout: float) -> Optional[Tuple[Any, ...]]:
+        """Next buffered or queued message of any kind (None on timeout)."""
+        for kind in ("result", "error"):
+            buffered = self._pending.get(kind)
+            if buffered:
+                return buffered.pop(0)
+        try:
+            return self._replies.get(timeout=timeout) if timeout else self._replies.get_nowait()
+        except queue_module.Empty:
+            return None
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_trace(
+        self,
+        trace: LoadTrace,
+        hints: Optional[Mapping[str, Sequence[str]]] = None,
+    ) -> WallClockReport:
+        """Serve a load trace and measure it on the wall clock.
+
+        ``hints`` optionally maps workload names to router engine-name
+        preference lists (see :meth:`register`).
+        """
+        if self._closed:
+            raise RuntimeError("pool is shut down")
+        started_ok = True
+        if self.num_workers:
+            try:
+                self.start()
+            except (TimeoutError, OSError):  # pragma: no cover - spawn failure
+                started_ok = False
+        keys: List[str] = []
+        if self.num_workers and started_ok:
+            for workload in trace.matrices:
+                keys.append(
+                    self.register(
+                        workload.matrix,
+                        workload.name,
+                        hint=(hints or {}).get(workload.name),
+                    )
+                )
+        else:
+            keys = [matrix_fingerprint(w.matrix) for w in trace.matrices]
+        batches = self._build_batches(trace, keys)
+        run_started = time.perf_counter()
+        if not self.num_workers or not started_ok:
+            results, cycles, edges = self._run_inline(trace, batches)
+            report_batches = len(batches)
+        else:
+            results, cycles, edges = self._run_pooled(trace, batches)
+            report_batches = len(batches)
+        makespan = time.perf_counter() - run_started
+        results.sort(key=lambda r: r.request_id)
+        return WallClockReport(
+            scenario=trace.scenario,
+            num_workers=self.num_workers,
+            compute=self.compute,
+            engine="+".join(sorted({s.engine for s in self._slots}))
+            or next(iter(self._inline_engines), "inline"),
+            results=results,
+            makespan_seconds=makespan,
+            engine_cycles=cycles,
+            traversed_edges=edges,
+            batches=report_batches,
+            retries=self.retries,
+            respawns=self.respawns,
+            inline_requests=self.inline_requests,
+            prepare_count=sum(
+                max(1, len(e.payloads)) for e in self._registered.values()
+            )
+            if self._registered
+            else len(set(keys)),
+        )
+
+    def _build_batches(
+        self, trace: LoadTrace, keys: List[str]
+    ) -> List[_BatchState]:
+        """Group consecutive same-matrix requests into bounded batches."""
+        states: List[_BatchState] = []
+        current: List[Tuple[int, str, np.ndarray]] = []
+        current_matrix: Optional[int] = None
+
+        def flush() -> None:
+            nonlocal current
+            if not current:
+                return
+            key = keys[current_matrix]
+            entry = self._registered.get(key)
+            matrix = (
+                entry.matrix
+                if entry is not None
+                else trace.matrices[current_matrix].matrix
+            )
+            if entry is None:
+                entry = _Registered(
+                    key=key,
+                    name=trace.matrices[current_matrix].name,
+                    matrix=matrix,
+                    home=-1,
+                    coo_block=None,  # inline-only: nothing is shared
+                )
+            states.append(
+                _BatchState(
+                    batch=WorkBatch(
+                        batch_id=len(states),
+                        matrix_key=key,
+                        request_ids=tuple(rid for rid, _, __ in current),
+                        xs=tuple(x for _, __, x in current),
+                    ),
+                    worker_id=entry.home,
+                    requests=[(rid, tenant) for rid, tenant, _ in current],
+                    matrix=entry,
+                )
+            )
+            current = []
+
+        for index, request in enumerate(trace.requests):
+            if (
+                request.matrix_id != current_matrix
+                or len(current) >= self.max_batch
+            ):
+                flush()
+                current_matrix = request.matrix_id
+            num_cols = trace.matrices[request.matrix_id].matrix.num_cols
+            current.append(
+                (index, request.tenant, trace.x_vector(request, num_cols))
+            )
+        flush()
+        return states
+
+    def _run_pooled(
+        self, trace: LoadTrace, batches: List[_BatchState]
+    ) -> Tuple[List[WallClockResult], float, float]:
+        ready: Dict[int, Deque[_BatchState]] = {
+            slot.worker_id: deque() for slot in self._slots
+        }
+        for state in batches:
+            ready[state.worker_id].append(state)
+        inflight: Dict[int, _BatchState] = {}
+        completed: Set[int] = set()
+        results: List[WallClockResult] = []
+        cycles = 0.0
+        edges = 0.0
+
+        def next_batch_for(slot: _Slot) -> Optional[_BatchState]:
+            queue = ready[slot.worker_id]
+            if queue:
+                return queue.popleft()
+            # Work stealing: every worker has every matrix registered, so an
+            # idle worker takes from the deepest backlog — without this a
+            # single-matrix trace would serialise onto one home worker.
+            victim = max(ready.values(), key=len)
+            if victim:
+                return victim.pop()
+            return None
+
+        def dispatch() -> None:
+            for slot in self._slots:
+                if not slot.alive:
+                    continue
+                while (
+                    sum(
+                        1 for s in inflight.values() if s.worker_id == slot.worker_id
+                    )
+                    < self.max_inflight
+                ):
+                    state = next_batch_for(slot)
+                    if state is None:
+                        break
+                    state.worker_id = slot.worker_id
+                    state.enqueued_at = time.perf_counter()
+                    inflight[state.batch.batch_id] = state
+                    slot.tasks.put(("execute", state.batch))
+
+        def complete(state: _BatchState, result: BatchResult, worker_id: int) -> None:
+            nonlocal cycles, edges
+            if state.batch.batch_id in completed:
+                return  # duplicate (worker replied, was declared dead anyway)
+            completed.add(state.batch.batch_id)
+            inflight.pop(state.batch.batch_id, None)
+            now = time.perf_counter()
+            cycles += result.engine_cycles
+            edges += float(len(state.requests)) * state.matrix.matrix.nnz
+            for (request_id, tenant), y in zip(state.requests, result.ys):
+                results.append(
+                    WallClockResult(
+                        request_id=request_id,
+                        matrix_name=state.matrix.name,
+                        tenant=tenant,
+                        worker_id=worker_id,
+                        y=y,
+                        latency_seconds=now - state.enqueued_at,
+                        batch_size=len(state.requests),
+                    )
+                )
+
+        states_by_id = {state.batch.batch_id: state for state in batches}
+        while len(completed) < len(batches):
+            dispatch()
+            msg = self._next_message(timeout=0.25)
+            if msg is not None:
+                kind = msg[0]
+                if kind == "result":
+                    result: BatchResult = msg[2]
+                    state = states_by_id.get(result.batch_id)
+                    if state is not None:
+                        complete(state, result, msg[1])
+                elif kind == "error":
+                    state = states_by_id.get(msg[2]) if msg[2] is not None else None
+                    if state is not None and state.batch.batch_id not in completed:
+                        inflight.pop(state.batch.batch_id, None)
+                        complete(
+                            state, self._execute_inline_state(state), worker_id=-1
+                        )
+                else:
+                    self._pending.setdefault(kind, []).append(msg)
+                continue
+            self._recover_dead_workers(inflight, ready, completed, complete)
+        return results, cycles, edges
+
+    def _recover_dead_workers(
+        self,
+        inflight: Dict[int, _BatchState],
+        ready: Dict[int, Deque[_BatchState]],
+        completed: Set[int],
+        complete,
+    ) -> None:
+        """Respawn dead/wedged workers; retry their batches once, then inline."""
+        now = time.perf_counter()
+        for slot in self._slots:
+            owned = [
+                state
+                for state in inflight.values()
+                if state.worker_id == slot.worker_id
+            ]
+            wedged = any(
+                now - state.enqueued_at > self.batch_timeout for state in owned
+            )
+            if slot.alive and not wedged:
+                continue
+            if not slot.alive and not owned:
+                # Died idle (e.g. between batches): just bring it back.
+                pass
+            if slot.alive:  # pragma: no cover - wedged but alive
+                slot.process.terminate()
+                slot.process.join(timeout=5.0)
+            # Drain any results the worker managed to send before dying so
+            # finished batches are not needlessly retried.
+            while True:
+                msg = self._next_message(timeout=0.0)
+                if msg is None:
+                    break
+                if msg[0] == "result":
+                    state = inflight.get(msg[2].batch_id)
+                    if state is not None:
+                        complete(state, msg[2], msg[1])
+                else:
+                    self._pending.setdefault(msg[0], []).append(msg)
+            lost = [
+                state
+                for state in inflight.values()
+                if state.worker_id == slot.worker_id
+            ]
+            for state in lost:
+                inflight.pop(state.batch.batch_id, None)
+            self.respawns += 1
+            slot.respawns += 1
+            # An injected fault fires once: the replacement worker is healthy.
+            self._fail_on_batch.pop(slot.worker_id, None)
+            # Abandon the dead worker's queues: nothing must ever block on
+            # flushing tasks into a pipe no one reads again.
+            slot.tasks.cancel_join_thread()
+            slot.tasks.close()
+            respawned = True
+            try:
+                self._spawn(slot)
+                for entry in self._registered.values():
+                    self._register_with_worker(slot, entry)
+            except TimeoutError:  # pragma: no cover - respawn failure
+                respawned = False
+            for state in lost:
+                if state.batch.batch_id in completed:
+                    continue
+                if not state.retried and respawned:
+                    state.retried = True
+                    self.retries += 1
+                    ready[slot.worker_id].append(state)
+                else:
+                    complete(state, self._execute_inline_state(state), worker_id=-1)
+
+    # ------------------------------------------------------------------
+    # Inline (degraded) execution
+    # ------------------------------------------------------------------
+    def _inline_engine(self, name: str) -> SpMVEngine:
+        engine = self._inline_engines.get(name)
+        if engine is None:
+            engine = provision(
+                name, mode=self.engine_mode, build_mode=self.build_mode
+            )
+            self._inline_engines[name] = engine
+        return engine
+
+    def _execute_inline_state(self, state: _BatchState) -> BatchResult:
+        """Execute one batch in the parent process (last-resort path)."""
+        self.inline_requests += len(state.requests)
+        entry = state.matrix
+        engine_name = (
+            self._slots[state.worker_id].engine
+            if 0 <= state.worker_id < len(self._slots)
+            else (self._slots[0].engine if self._slots else "serpens-a16")
+        )
+        started = time.perf_counter()
+        ys: List[Optional[np.ndarray]] = []
+        cycles = 0.0
+        if self.compute == "simulate":
+            engine = self._inline_engine(engine_name)
+            payload = entry.payloads.get(engine_name)
+            if payload is None:
+                payload = engine.build_payload(entry.matrix)
+                entry.payloads[engine_name] = payload
+            prepared = PreparedMatrix(
+                engine=engine.name,
+                matrix=entry.matrix,
+                name=entry.name,
+                fingerprint=entry.key,
+                payload=payload,
+            )
+            for x in state.batch.xs:
+                result = engine.execute(prepared, x)
+                ys.append(result.y)
+                cycles += float(result.report.cycles)
+        elif self.compute == "reference":
+            ys = [spmv(entry.matrix, x) for x in state.batch.xs]
+        else:
+            ys = [None] * len(state.batch.xs)
+        return BatchResult(
+            batch_id=state.batch.batch_id,
+            worker_id=-1,
+            matrix_key=state.batch.matrix_key,
+            request_ids=state.batch.request_ids,
+            ys=ys,
+            wall_seconds=time.perf_counter() - started,
+            engine_cycles=cycles,
+        )
+
+    def _run_inline(
+        self, trace: LoadTrace, batches: List[_BatchState]
+    ) -> Tuple[List[WallClockResult], float, float]:
+        """Serve the whole trace in the parent (num_workers=0 / pool down)."""
+        results: List[WallClockResult] = []
+        cycles = 0.0
+        edges = 0.0
+        for state in batches:
+            state.enqueued_at = time.perf_counter()
+            result = self._execute_inline_state(state)
+            now = time.perf_counter()
+            cycles += result.engine_cycles
+            edges += float(len(state.requests)) * state.matrix.matrix.nnz
+            for (request_id, tenant), y in zip(state.requests, result.ys):
+                results.append(
+                    WallClockResult(
+                        request_id=request_id,
+                        matrix_name=state.matrix.name,
+                        tenant=tenant,
+                        worker_id=-1,
+                        y=y,
+                        latency_seconds=now - state.enqueued_at,
+                        batch_size=len(state.requests),
+                    )
+                )
+        return results, cycles, edges

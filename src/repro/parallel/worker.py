@@ -1,0 +1,266 @@
+"""The engine worker process behind the wall-clock serving pool.
+
+One worker owns one provisioned :class:`~repro.backends.SpMVEngine` and
+serves batches against matrices it was handed over shared memory.  The
+protocol is deliberately small — five task tuples in, five reply tuples out —
+because everything bulky (the matrix, the preprocessed program) arrives as an
+:class:`~repro.parallel.shm.ShmDescriptor` and is mapped, not copied:
+
+===========================  =================================================
+task (on the worker's queue)  reply (on the shared results queue)
+===========================  =================================================
+``("register", key, name,     ``("registered", worker_id, key)``
+descriptor, prog_descriptor)``
+``("execute", WorkBatch)``    ``("result", worker_id, BatchResult)``
+``("ping", token)``           ``("pong", worker_id, token)``
+``("stop",)``                 ``("stopped", worker_id, results_path)``
+any failure                   ``("error", worker_id, batch_id, message)``
+===========================  =================================================
+
+On ``stop`` the worker writes its own shard
+:class:`~repro.obs.ResultsStore` (when configured with a path) so the pool
+can fold per-worker measurements into one database with
+:meth:`~repro.obs.ResultsStore.merge` afterwards.
+
+``fail_on_batch`` is the deterministic fault injector the worker-death tests
+use: the worker exits hard (``os._exit``) just before replying to that batch
+ordinal, exactly the window in which a crash would otherwise lose work.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..backends import PreparedMatrix, provision
+from ..spmv import spmv
+from .shm import ShmBlock, ShmDescriptor, coo_from_block, program_from_block
+
+__all__ = ["BatchResult", "WorkBatch", "WorkerConfig", "worker_main"]
+
+#: Exit code of an injected worker death (distinguishable from a crash).
+FAULT_EXIT_CODE = 13
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker process needs to provision and report."""
+
+    worker_id: int
+    engine: str = "serpens-a16"
+    engine_mode: Optional[str] = None
+    build_mode: Optional[str] = None
+    #: "simulate" runs the engine datapath, "reference" the golden numpy
+    #: kernel, "none" skips numerics (transport/scheduling overhead only).
+    compute: str = "simulate"
+    #: Shard results database written at ``stop`` (None = don't record).
+    results_path: Optional[str] = None
+    scenario: str = "adhoc"
+    #: Exit hard just before replying to this 0-based batch ordinal.
+    fail_on_batch: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class WorkBatch:
+    """One batch of launches against a single registered matrix."""
+
+    batch_id: int
+    matrix_key: str
+    request_ids: Tuple[int, ...]
+    xs: Tuple[np.ndarray, ...]
+
+    def __len__(self) -> int:
+        return len(self.request_ids)
+
+
+@dataclass
+class BatchResult:
+    """What one executed batch measured."""
+
+    batch_id: int
+    worker_id: int
+    matrix_key: str
+    request_ids: Tuple[int, ...]
+    ys: List[Optional[np.ndarray]]
+    wall_seconds: float
+    engine_cycles: float = 0.0
+    prepared: bool = False
+
+
+@dataclass
+class _Served:
+    """A matrix resident in this worker: mapped blocks plus prepared form."""
+
+    prepared: PreparedMatrix
+    blocks: List[ShmBlock] = field(default_factory=list)
+
+
+def _register(
+    config: WorkerConfig,
+    engine,
+    served: Dict[str, _Served],
+    key: str,
+    name: str,
+    coo_descriptor: ShmDescriptor,
+    program_descriptor: Optional[ShmDescriptor],
+) -> bool:
+    """Map a matrix (and optional prebuilt program) into this worker.
+
+    Returns whether registration did payload work (a build or a program
+    attach) rather than finding the matrix already resident.
+    """
+    if key in served:
+        return False
+    blocks = [coo_descriptor.attach()]
+    matrix = coo_from_block(blocks[0])
+    if program_descriptor is not None:
+        blocks.append(program_descriptor.attach())
+        payload = program_from_block(blocks[-1])
+    elif config.compute == "simulate":
+        payload = engine.build_payload(matrix)
+    else:
+        # Reference/none numerics never touch the payload; skip the build.
+        payload = None
+    served[key] = _Served(
+        prepared=PreparedMatrix(
+            engine=engine.name,
+            matrix=matrix,
+            name=name,
+            fingerprint=key,
+            payload=payload,
+        ),
+        blocks=blocks,
+    )
+    return True
+
+
+def _execute(
+    config: WorkerConfig, engine, entry: _Served, batch: WorkBatch
+) -> BatchResult:
+    """Run every launch of a batch, measuring wall time and engine cycles."""
+    started = time.perf_counter()
+    ys: List[Optional[np.ndarray]] = []
+    cycles = 0.0
+    for x in batch.xs:
+        if config.compute == "reference":
+            ys.append(spmv(entry.prepared.matrix, x))
+        elif config.compute == "simulate":
+            result = engine.execute(entry.prepared, x)
+            ys.append(result.y)
+            cycles += float(result.report.cycles)
+        else:
+            ys.append(None)
+    return BatchResult(
+        batch_id=batch.batch_id,
+        worker_id=config.worker_id,
+        matrix_key=batch.matrix_key,
+        request_ids=batch.request_ids,
+        ys=ys,
+        wall_seconds=time.perf_counter() - started,
+        engine_cycles=cycles,
+    )
+
+
+def _write_shard_store(
+    config: WorkerConfig, engine_name: str, totals: Dict[str, float]
+) -> None:
+    """Record this worker's lifetime totals into its shard results store."""
+    if config.results_path is None:
+        return
+    # Imported here so the worker process pays for sqlite only when asked to.
+    from ..obs.results import ResultsStore
+
+    with ResultsStore(config.results_path) as store:
+        store.record(
+            topic="serve-wallclock-shard",
+            scenario=config.scenario,
+            engine=engine_name,
+            config={
+                "worker_id": config.worker_id,
+                "engine": config.engine,
+                "compute": config.compute,
+            },
+            metrics=totals,
+        )
+
+
+def worker_main(config: WorkerConfig, tasks, results) -> None:
+    """Worker process entry point: serve tasks until ``stop``.
+
+    ``tasks`` is this worker's private queue; ``results`` is the pool-wide
+    reply queue (every reply is tagged with the worker id).
+    """
+    engine = provision(
+        config.engine, mode=config.engine_mode, build_mode=config.build_mode
+    )
+    served: Dict[str, _Served] = {}
+    totals = {
+        "batches": 0.0,
+        "requests": 0.0,
+        "busy_seconds": 0.0,
+        "engine_cycles": 0.0,
+        "registered_matrices": 0.0,
+    }
+    executed = 0
+    results.put(("ready", config.worker_id))
+    try:
+        while True:
+            task: Tuple[Any, ...] = tasks.get()
+            kind = task[0]
+            if kind == "stop":
+                totals["registered_matrices"] = float(len(served))
+                _write_shard_store(config, engine.name, totals)
+                results.put(("stopped", config.worker_id, config.results_path))
+                return
+            if kind == "ping":
+                results.put(("pong", config.worker_id, task[1]))
+                continue
+            if kind == "register":
+                _, key, name, coo_descriptor, program_descriptor = task
+                try:
+                    _register(
+                        config, engine, served, key, name,
+                        coo_descriptor, program_descriptor,
+                    )
+                except Exception:  # noqa: BLE001 - reported to the pool
+                    results.put(
+                        ("error", config.worker_id, None, traceback.format_exc())
+                    )
+                else:
+                    results.put(("registered", config.worker_id, key))
+                continue
+            if kind == "execute":
+                batch: WorkBatch = task[1]
+                try:
+                    entry = served[batch.matrix_key]
+                    result = _execute(config, engine, entry, batch)
+                except Exception:  # noqa: BLE001 - reported to the pool
+                    results.put(
+                        ("error", config.worker_id, batch.batch_id, traceback.format_exc())
+                    )
+                    continue
+                if config.fail_on_batch is not None and executed == config.fail_on_batch:
+                    # Deterministic injected death: the batch WAS computed but
+                    # the reply is never sent — the exact window the pool's
+                    # retry logic has to cover without losing or duplicating
+                    # the requests.
+                    os._exit(FAULT_EXIT_CODE)
+                executed += 1
+                totals["batches"] += 1.0
+                totals["requests"] += float(len(batch))
+                totals["busy_seconds"] += result.wall_seconds
+                totals["engine_cycles"] += result.engine_cycles
+                results.put(("result", config.worker_id, result))
+                continue
+            results.put(
+                ("error", config.worker_id, None, f"unknown task {kind!r}")
+            )
+    finally:
+        for entry in served.values():
+            for block in entry.blocks:
+                block.close()

@@ -35,7 +35,7 @@ from .params import PartitionParams
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .program import SerpensProgram
 
-__all__ = ["ColumnarSegment", "ColumnarProgram", "build_columnar"]
+__all__ = ["BUFFER_DTYPES", "ColumnarSegment", "ColumnarProgram", "build_columnar"]
 
 
 @dataclass(frozen=True)
@@ -138,6 +138,25 @@ class ColumnarSegment:
         )
 
 
+#: Dtypes of the flat buffer export (:meth:`ColumnarProgram.to_buffers`).
+#: Every per-element array is ``int32`` except ``value`` (``float32``, the
+#: wire precision); every per-segment counter table is ``int64``.
+BUFFER_DTYPES: Dict[str, str] = {
+    "shape": "int64",
+    "params": "int64",
+    "segment_bounds": "int64",
+    "segment_offsets": "int64",
+    "channel_slots": "int64",
+    "lane_slots": "int64",
+    "lane_real": "int64",
+    "pe": "int32",
+    "local_row": "int32",
+    "column_offset": "int32",
+    "issue_slot": "int32",
+    "value": "float32",
+}
+
+
 @dataclass(frozen=True)
 class ColumnarProgram:
     """A fully preprocessed matrix in structure-of-arrays form.
@@ -157,6 +176,153 @@ class ColumnarProgram:
     validation_cache: Dict[PartitionParams, int] = field(
         default_factory=dict, compare=False, repr=False
     )
+
+    # ------------------------------------------------------------------
+    # Flat buffer export (one codec for serialisation and shm transport)
+    # ------------------------------------------------------------------
+    def to_buffers(self) -> Dict[str, np.ndarray]:
+        """Export the program as named contiguous arrays.
+
+        The layout (dtypes in :data:`BUFFER_DTYPES`, ``S`` segments, ``C``
+        channels, ``P`` total PEs, ``N`` real elements overall):
+
+        * ``shape`` — ``int64[3]``: num_rows, num_cols, nnz,
+        * ``params`` — ``int64[7]``: num_channels, pes_per_channel,
+          segment_width, urams_per_pe, uram_depth, dsp_latency,
+          coalesce_rows (0/1),
+        * ``segment_bounds`` — ``int64[S, 2]``: each segment's
+          ``(col_start, col_end)``,
+        * ``segment_offsets`` — ``int64[S + 1]``: slice boundaries of each
+          segment's elements inside the flat element arrays,
+        * ``channel_slots`` / ``lane_slots`` / ``lane_real`` —
+          ``int64[S, C]`` / ``int64[S, P]`` / ``int64[S, P]`` counter tables,
+        * ``pe``, ``local_row``, ``column_offset``, ``issue_slot`` —
+          ``int32[N]`` and ``value`` — ``float32[N]``: the per-element
+          streams of every segment concatenated in segment order (each
+          segment keeping its lane-major slot order).
+
+        Every consumer of a serialised program — the ``.npz`` writer in
+        :mod:`repro.preprocess.serialize` and the shared-memory transport in
+        :mod:`repro.parallel.shm` — shares this one layout, and
+        :meth:`from_buffers` reconstructs the program from zero-copy views
+        of the arrays.
+        """
+        counts = np.array([seg.value.size for seg in self.segments], dtype=np.int64)
+        offsets = np.zeros(len(self.segments) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+
+        def flat(field_name: str, dtype: str) -> np.ndarray:
+            parts = [getattr(seg, field_name) for seg in self.segments]
+            if not parts:
+                return np.empty(0, dtype=dtype)
+            return np.concatenate(parts).astype(dtype, copy=False)
+
+        params = self.params
+        num_segments = len(self.segments)
+        return {
+            "shape": np.array([self.num_rows, self.num_cols, self.nnz], dtype=np.int64),
+            "params": np.array(
+                [
+                    params.num_channels,
+                    params.pes_per_channel,
+                    params.segment_width,
+                    params.urams_per_pe,
+                    params.uram_depth,
+                    params.dsp_latency,
+                    1 if params.coalesce_rows else 0,
+                ],
+                dtype=np.int64,
+            ),
+            "segment_bounds": np.array(
+                [[seg.col_start, seg.col_end] for seg in self.segments],
+                dtype=np.int64,
+            ).reshape(num_segments, 2),
+            "segment_offsets": offsets,
+            "channel_slots": np.vstack(
+                [seg.channel_slots for seg in self.segments]
+            ).astype(np.int64, copy=False)
+            if num_segments
+            else np.empty((0, params.num_channels), dtype=np.int64),
+            "lane_slots": np.vstack([seg.lane_slots for seg in self.segments]).astype(
+                np.int64, copy=False
+            )
+            if num_segments
+            else np.empty((0, params.total_pes), dtype=np.int64),
+            "lane_real": np.vstack([seg.lane_real for seg in self.segments]).astype(
+                np.int64, copy=False
+            )
+            if num_segments
+            else np.empty((0, params.total_pes), dtype=np.int64),
+            "pe": flat("pe", "int32"),
+            "local_row": flat("local_row", "int32"),
+            "column_offset": flat("column_offset", "int32"),
+            "issue_slot": flat("issue_slot", "int32"),
+            "value": flat("value", "float32"),
+        }
+
+    @classmethod
+    def from_buffers(cls, buffers: Dict[str, np.ndarray]) -> "ColumnarProgram":
+        """Rebuild a program from :meth:`to_buffers` arrays.
+
+        Per-segment element arrays are *views* (zero-copy slices) into the
+        given flat arrays, so a program mapped out of shared memory never
+        duplicates the element streams — the caller just has to keep the
+        backing buffer alive for the program's lifetime.
+        """
+        missing = sorted(set(BUFFER_DTYPES) - set(buffers))
+        if missing:
+            raise KeyError(f"program buffers are missing arrays: {missing}")
+        p = np.asarray(buffers["params"], dtype=np.int64)
+        params = PartitionParams(
+            num_channels=int(p[0]),
+            pes_per_channel=int(p[1]),
+            segment_width=int(p[2]),
+            urams_per_pe=int(p[3]),
+            uram_depth=int(p[4]),
+            dsp_latency=int(p[5]),
+            coalesce_rows=bool(p[6]),
+        )
+        num_rows, num_cols, nnz = (int(v) for v in buffers["shape"])
+        bounds = np.asarray(buffers["segment_bounds"], dtype=np.int64).reshape(-1, 2)
+        offsets = np.asarray(buffers["segment_offsets"], dtype=np.int64)
+        num_segments = bounds.shape[0]
+        if offsets.shape != (num_segments + 1,):
+            raise ValueError(
+                f"segment_offsets has shape {offsets.shape}, expected "
+                f"({num_segments + 1},)"
+            )
+        channel_slots = np.asarray(buffers["channel_slots"], dtype=np.int64)
+        lane_slots = np.asarray(buffers["lane_slots"], dtype=np.int64)
+        lane_real = np.asarray(buffers["lane_real"], dtype=np.int64)
+        elements = {
+            name: np.asarray(buffers[name], dtype=BUFFER_DTYPES[name])
+            for name in ("pe", "local_row", "column_offset", "issue_slot", "value")
+        }
+        segments = []
+        for index in range(num_segments):
+            lo, hi = int(offsets[index]), int(offsets[index + 1])
+            segments.append(
+                ColumnarSegment(
+                    segment_index=index,
+                    col_start=int(bounds[index, 0]),
+                    col_end=int(bounds[index, 1]),
+                    pe=elements["pe"][lo:hi],
+                    local_row=elements["local_row"][lo:hi],
+                    column_offset=elements["column_offset"][lo:hi],
+                    value=elements["value"][lo:hi],
+                    issue_slot=elements["issue_slot"][lo:hi],
+                    lane_slots=lane_slots[index],
+                    lane_real=lane_real[index],
+                    channel_slots=channel_slots[index],
+                )
+            )
+        return cls(
+            params=params,
+            num_rows=num_rows,
+            num_cols=num_cols,
+            nnz=nnz,
+            segments=segments,
+        )
 
     @property
     def num_segments(self) -> int:

@@ -9,11 +9,16 @@ fetch from HBM) plus a small metadata header, stored as a compressed ``.npz``
 archive.  Loading reconstitutes an identical program, so an expensive
 preprocessing run can be cached on disk next to the matrix it belongs to.
 
-Both directions run on the bulk codecs (:func:`~repro.preprocess.encode_array`
-/ :func:`~repro.preprocess.decode_array`) over the program's packed columnar
-form — no per-element ``struct`` calls — and loading rebuilds the columnar
-arrays directly, so a loaded program is immediately ready for the fast
-simulator path without re-decoding object streams.
+Since format version 2 the archive stores the program's flat buffer export
+(:meth:`~repro.preprocess.ColumnarProgram.to_buffers` — the same documented
+array layout the shared-memory transport in :mod:`repro.parallel.shm` ships
+between processes, so disk and shm serialisation share one codec) plus the
+reorder statistics.  Loading rebuilds the packed columnar arrays directly via
+:meth:`~repro.preprocess.ColumnarProgram.from_buffers`, so a loaded program
+is immediately ready for the fast simulator path without re-decoding object
+streams.  :func:`program_channel_words` still exports the per-channel
+``uint64`` wire words (exactly what the Rd modules would fetch from HBM) for
+hardware-facing consumers.
 """
 
 from __future__ import annotations
@@ -23,15 +28,20 @@ from typing import Dict, List, Union
 
 import numpy as np
 
-from .columnar import ColumnarProgram, ColumnarSegment
-from .encode import PAD_WORD, decode_array, encode_array
-from .params import PartitionParams
+from .columnar import BUFFER_DTYPES, ColumnarProgram
+from .encode import PAD_WORD, encode_array
 from .program import SerpensProgram
 from .reorder import ReorderStats
 
-__all__ = ["save_program", "load_program", "program_channel_words"]
+__all__ = [
+    "save_program",
+    "load_program",
+    "program_channel_words",
+    "program_from_buffers",
+    "reorder_stats_array",
+]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def program_channel_words(program: SerpensProgram, channel: int) -> np.ndarray:
@@ -67,145 +77,71 @@ def program_channel_words(program: SerpensProgram, channel: int) -> np.ndarray:
     return np.concatenate(chunks)
 
 
+def reorder_stats_array(program: SerpensProgram) -> np.ndarray:
+    """The program's reorder statistics as an ``int64[3]`` array.
+
+    Shared by every serialiser of a full :class:`SerpensProgram` (the
+    ``.npz`` writer here, the shm transport): the columnar buffer export
+    covers the program body, this covers the one piece of program state that
+    lives outside it.
+    """
+    return np.array(
+        [
+            program.reorder_stats.num_elements,
+            program.reorder_stats.num_slots,
+            program.reorder_stats.num_padding,
+        ],
+        dtype=np.int64,
+    )
+
+
+def program_from_buffers(
+    buffers: Dict[str, np.ndarray], reorder_stats: np.ndarray
+) -> SerpensProgram:
+    """Rebuild a full program from its buffer export plus reorder stats.
+
+    The inverse of ``program.columnar().to_buffers()`` +
+    :func:`reorder_stats_array`; the element arrays of the returned program
+    are zero-copy views into ``buffers``.
+    """
+    columnar = ColumnarProgram.from_buffers(buffers)
+    stats = np.asarray(reorder_stats, dtype=np.int64)
+    return SerpensProgram(
+        params=columnar.params,
+        num_rows=columnar.num_rows,
+        num_cols=columnar.num_cols,
+        nnz=columnar.nnz,
+        reorder_stats=ReorderStats(
+            num_elements=int(stats[0]),
+            num_slots=int(stats[1]),
+            num_padding=int(stats[2]),
+        ),
+        columnar=columnar,
+    )
+
+
 def save_program(path: Union[str, Path], program: SerpensProgram) -> None:
     """Write a preprocessed program to ``path`` as a compressed ``.npz``."""
     path = Path(path)
-    params = program.params
-    columnar = program.columnar()
     arrays: Dict[str, np.ndarray] = {
         "format_version": np.array([_FORMAT_VERSION], dtype=np.int64),
-        "shape": np.array([program.num_rows, program.num_cols, program.nnz], dtype=np.int64),
-        "params": np.array(
-            [
-                params.num_channels,
-                params.pes_per_channel,
-                params.segment_width,
-                params.urams_per_pe,
-                params.uram_depth,
-                params.dsp_latency,
-                1 if params.coalesce_rows else 0,
-            ],
-            dtype=np.int64,
-        ),
-        "reorder_stats": np.array(
-            [
-                program.reorder_stats.num_elements,
-                program.reorder_stats.num_slots,
-                program.reorder_stats.num_padding,
-            ],
-            dtype=np.int64,
-        ),
-        "segment_bounds": np.array(
-            [[seg.col_start, seg.col_end] for seg in columnar.segments], dtype=np.int64
-        ).reshape(-1, 2),
-        "segment_slots": np.array(
-            [seg.channel_slots for seg in columnar.segments], dtype=np.int64
-        ).reshape(len(columnar.segments), params.num_channels),
+        "reorder_stats": reorder_stats_array(program),
+        **program.columnar().to_buffers(),
     }
-    for channel in range(params.num_channels):
-        arrays[f"channel_{channel:02d}"] = program_channel_words(program, channel)
     np.savez_compressed(path, **arrays)
 
 
 def load_program(path: Union[str, Path]) -> SerpensProgram:
     """Load a program previously written by :func:`save_program`.
 
-    The channel words are bulk-decoded straight into the packed columnar
-    arrays; the per-element object form stays lazy.
+    The stored arrays rebuild the packed columnar form directly; the
+    per-element object form stays lazy.
     """
     path = Path(path)
     with np.load(path) as data:
         version = int(data["format_version"][0])
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported program format version {version}")
-        num_rows, num_cols, nnz = (int(v) for v in data["shape"])
-        p = data["params"]
-        params = PartitionParams(
-            num_channels=int(p[0]),
-            pes_per_channel=int(p[1]),
-            segment_width=int(p[2]),
-            urams_per_pe=int(p[3]),
-            uram_depth=int(p[4]),
-            dsp_latency=int(p[5]),
-            coalesce_rows=bool(p[6]),
-        )
-        stats = data["reorder_stats"]
-        reorder_stats = ReorderStats(
-            num_elements=int(stats[0]),
-            num_slots=int(stats[1]),
-            num_padding=int(stats[2]),
-        )
-        segment_bounds = data["segment_bounds"]
-        segment_slots = data["segment_slots"]
-        channel_words = {
-            channel: data[f"channel_{channel:02d}"]
-            for channel in range(params.num_channels)
-        }
-
-    pes = params.pes_per_channel
-    segments: List[ColumnarSegment] = []
-    channel_cursor = [0] * params.num_channels
-    for segment_index in range(segment_bounds.shape[0]):
-        col_start, col_end = (int(v) for v in segment_bounds[segment_index])
-        pe_parts: List[np.ndarray] = []
-        row_parts: List[np.ndarray] = []
-        col_parts: List[np.ndarray] = []
-        val_parts: List[np.ndarray] = []
-        slot_parts: List[np.ndarray] = []
-        lane_real = np.zeros(params.total_pes, dtype=np.int64)
-        channel_slots = np.zeros(params.num_channels, dtype=np.int64)
-        for channel in range(params.num_channels):
-            slots = int(segment_slots[segment_index, channel])
-            channel_slots[channel] = slots
-            if slots == 0:
-                continue
-            cursor = channel_cursor[channel]
-            words = channel_words[channel][cursor : cursor + slots * pes]
-            channel_cursor[channel] = cursor + slots * pes
-            local_row, column_offset, value, is_padding = decode_array(words)
-            # Stored slot-major (lane interleaved); the columnar layout is
-            # lane-major with slots ascending, i.e. the transpose.
-            real = ~is_padding.reshape(slots, pes).T
-            lane_idx, slot_idx = np.nonzero(real)
-            if lane_idx.size == 0:
-                continue
-            flat = slot_idx * pes + lane_idx
-            pe = (channel * pes + lane_idx).astype(np.int32)
-            pe_parts.append(pe)
-            row_parts.append(local_row[flat])
-            col_parts.append(column_offset[flat])
-            val_parts.append(value[flat])
-            slot_parts.append(slot_idx.astype(np.int32))
-            lane_real[channel * pes : (channel + 1) * pes] = real.sum(axis=1)
-
-        segments.append(
-            ColumnarSegment.from_parts(
-                segment_index=segment_index,
-                col_start=col_start,
-                col_end=col_end,
-                pe_parts=pe_parts,
-                row_parts=row_parts,
-                col_parts=col_parts,
-                val_parts=val_parts,
-                slot_parts=slot_parts,
-                lane_slots=np.repeat(channel_slots, pes),
-                lane_real=lane_real,
-                channel_slots=channel_slots,
-            )
-        )
-
-    columnar = ColumnarProgram(
-        params=params,
-        num_rows=num_rows,
-        num_cols=num_cols,
-        nnz=nnz,
-        segments=segments,
-    )
-    return SerpensProgram(
-        params=params,
-        num_rows=num_rows,
-        num_cols=num_cols,
-        nnz=nnz,
-        reorder_stats=reorder_stats,
-        columnar=columnar,
-    )
+        buffers = {name: data[name] for name in data.files if name in BUFFER_DTYPES}
+        reorder_stats = data["reorder_stats"]
+    return program_from_buffers(buffers, reorder_stats)

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -61,16 +61,37 @@ class MatrixWorkload:
 
 @dataclass
 class LoadTrace:
-    """A reproducible request trace over a set of matrices."""
+    """A reproducible request trace over a set of matrices.
+
+    ``shard`` is ``None`` for a whole-trace generation, or ``(index, count)``
+    when the trace is one independent substream of a sharded generation (see
+    :func:`generate_trace`); it feeds the x-vector derivation so shards never
+    replay each other's input vectors either.
+    """
 
     scenario: str
     seed: int
     matrices: List[MatrixWorkload]
     requests: List[TraceRequest]
+    shard: Optional[Tuple[int, int]] = None
 
     @property
     def num_requests(self) -> int:
         return len(self.requests)
+
+    def x_vector(self, request: TraceRequest, num_cols: int) -> np.ndarray:
+        """The reproducible input vector of one trace request.
+
+        Centralised so every consumer — the virtual-time service, the
+        wall-clock worker pool — derives bitwise-identical vectors.  Sharded
+        traces mix the shard index into the stream key, so concurrent shards
+        draw from independent substreams.
+        """
+        key = [self.seed, request.x_seed]
+        if self.shard is not None:
+            key = [self.seed, self.shard[0], request.x_seed]
+        rng = np.random.default_rng(key)
+        return rng.uniform(-1.0, 1.0, num_cols)
 
     @property
     def duration(self) -> float:
@@ -242,6 +263,7 @@ def generate_trace(
     num_requests: int,
     seed: int = 0,
     gap_scale: float = 1.0,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> LoadTrace:
     """Build a reproducible request trace for one scenario.
 
@@ -250,12 +272,21 @@ def generate_trace(
     scenario:
         One of :data:`SCENARIOS`.
     num_requests:
-        Total requests in the trace.
+        Total requests in the trace (per shard, when sharded).
     seed:
         Seeds both the matrices and the arrival process.
     gap_scale:
         Multiplier on every arrival gap: below 1.0 compresses the trace
         (more overload), above 1.0 relaxes it.
+    shard:
+        ``(index, count)`` to generate the ``index``-th of ``count``
+        *independent* substreams of the same (scenario, seed) pair — each
+        shard's generator is one child of
+        ``numpy.random.SeedSequence([crc32(scenario), seed]).spawn(count)``,
+        so concurrent workers driving their own shard draw statistically
+        independent matrices, arrivals and x vectors instead of every worker
+        replaying the same sequence, while the whole sharded generation
+        stays reproducible from the single (scenario, seed, count) triple.
     """
     if scenario not in SCENARIOS:
         raise ValueError(
@@ -265,7 +296,15 @@ def generate_trace(
         raise ValueError("num_requests must be positive")
     if gap_scale <= 0:
         raise ValueError("gap_scale must be positive")
-    rng = np.random.default_rng([zlib.crc32(scenario.encode()), seed])
+    entropy = np.random.SeedSequence([zlib.crc32(scenario.encode()), seed])
+    if shard is not None:
+        index, count = shard
+        if count < 1:
+            raise ValueError("shard count must be positive")
+        if not 0 <= index < count:
+            raise ValueError(f"shard index {index} outside [0, {count})")
+        entropy = entropy.spawn(count)[index]
+    rng = np.random.default_rng(entropy)
     matrices, raw = SCENARIOS[scenario](num_requests, rng, gap_scale)
     raw.sort(key=lambda item: (item[0], item[1]))
     requests = [
@@ -274,4 +313,10 @@ def generate_trace(
         )
         for index, (arrival, matrix_id, tenant) in enumerate(raw)
     ]
-    return LoadTrace(scenario=scenario, seed=seed, matrices=matrices, requests=requests)
+    return LoadTrace(
+        scenario=scenario,
+        seed=seed,
+        matrices=matrices,
+        requests=requests,
+        shard=shard,
+    )

@@ -536,8 +536,7 @@ class SpMVService:
         ]
         for trace_request in trace.requests:
             handle = handles[trace_request.matrix_id]
-            rng = np.random.default_rng([trace.seed, trace_request.x_seed])
-            x = rng.uniform(-1.0, 1.0, handle.num_cols)
+            x = trace.x_vector(trace_request, handle.num_cols)
             self.submit(
                 handle,
                 x,

@@ -203,3 +203,89 @@ class TestExistingCliStillWorks:
         assert code == 0
         assert "### serve-bench" in out
         assert "Serving benchmark" in out
+
+
+class TestResultsMerge:
+    def test_merge_folds_shard_databases(self, capsys, tmp_path):
+        shard_a = tmp_path / "a.sqlite"
+        shard_b = tmp_path / "b.sqlite"
+        for path in (shard_a, shard_b):
+            code, __ = run_cli(BENCH + ["--results-db", str(path)], capsys)
+            assert code == 0
+        merged = tmp_path / "merged.sqlite"
+        code, out = run_cli(
+            [
+                "results", "merge",
+                "--results-db", str(merged),
+                "--source", str(shard_a),
+                "--source", str(shard_b),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert str(shard_a) in out and str(shard_b) in out
+        with ResultsStore(merged) as store:
+            runs = store.list_runs()
+        # Both shards' serve-bench variants, with fresh non-colliding ids.
+        assert len(runs) == 6
+        assert len({r.run_id for r in runs}) == 6
+
+    def test_merge_requires_sources(self, capsys, tmp_path):
+        code, out = run_cli(
+            ["results", "merge", "--results-db", str(tmp_path / "x.sqlite")],
+            capsys,
+        )
+        assert code == 2
+        assert "--source" in out
+
+    def test_merge_rejects_missing_source(self, capsys, tmp_path):
+        code, out = run_cli(
+            [
+                "results", "merge",
+                "--results-db", str(tmp_path / "x.sqlite"),
+                "--source", str(tmp_path / "absent.sqlite"),
+            ],
+            capsys,
+        )
+        assert code == 2
+        assert "absent.sqlite" in out
+
+
+class TestWallClockServeBench:
+    ARGS = [
+        "serve-bench",
+        "--requests", "16",
+        "--devices", "1",
+        "--scenario", "solver-burst",
+        "--seed", "3",
+        "--wall-clock",
+        "--workers", "1",
+    ]
+
+    def test_wall_clock_variant_reported_and_recorded(self, capsys, tmp_path):
+        db_path = tmp_path / "wallclock.sqlite"
+        code, out = run_cli(self.ARGS + ["--results-db", str(db_path)], capsys)
+        assert code == 0
+        assert "Wall-clock serving (measured)" in out
+        with ResultsStore(db_path) as store:
+            bench = store.list_runs(topic="serve-bench")
+            shards = store.list_runs(topic="serve-wallclock-shard")
+        variants = {r.config["variant"] for r in bench}
+        assert "wallclock-w1" in variants
+        wallclock = next(r for r in bench if r.config["variant"] == "wallclock-w1")
+        assert wallclock.metrics["requests"] == 16.0
+        assert wallclock.metrics["latency_p95_ms"] > 0.0
+        assert wallclock.config["wall_clock"] is True
+        assert wallclock.config["workers"] == 1
+        # The pool's own per-worker shard, folded into the same database.
+        assert len(shards) == 1
+
+    def test_wall_clock_json_payload(self, capsys):
+        code, out = run_cli(self.ARGS + ["--json"], capsys)
+        assert code == 0
+        payload = json.loads(out)
+        assert "wallclock-w1" in payload["variants"]
+        snapshot = payload["variants"]["wallclock-w1"]
+        assert snapshot["requests"] == 16.0
+        assert snapshot["workers"] == 1.0
+        assert payload["config"]["wall_clock"] is True

@@ -192,3 +192,61 @@ class TestRegressionGate:
         baseline = self.baseline(tmp_path, cache_hit_rate=0.9)
         current = {"batched-sjf": {**METRICS, "cache_hit_rate": 0.0}}
         assert regression_gate(baseline, current).passed
+
+
+class TestMerge:
+    def seeded(self, store, count, scenario="mixed"):
+        for index in range(count):
+            store.record(
+                "serve-bench",
+                scenario,
+                "pool",
+                CONFIG,
+                METRICS,
+                git_rev=f"rev{index}",
+            )
+
+    def test_merge_folds_runs_with_fresh_ids(self, tmp_path):
+        shard_path = tmp_path / "shard.sqlite"
+        with ResultsStore(shard_path) as shard:
+            self.seeded(shard, 2, scenario="pagerank")
+        with ResultsStore() as store:
+            self.seeded(store, 3)
+            merged = store.merge(shard_path)
+            runs = store.list_runs()
+        assert merged == 2
+        # No id collisions: merged rows get fresh autoincrement ids.
+        assert sorted(r.run_id for r in runs) == [1, 2, 3, 4, 5]
+        assert sum(r.scenario == "pagerank" for r in runs) == 2
+
+    def test_merge_preserves_payload_rev_and_timestamp(self, tmp_path):
+        shard_path = tmp_path / "shard.sqlite"
+        with ResultsStore(shard_path) as shard:
+            original = shard.record(
+                "serve-wallclock-shard",
+                "mixed",
+                "serpens-a16",
+                {"worker_id": 0},
+                {"batches": 4.0},
+                git_rev="deadbee",
+            )
+        with ResultsStore() as store:
+            store.merge(shard_path)
+            merged = store.list_runs(topic="serve-wallclock-shard")[0]
+        assert merged.git_rev == "deadbee"
+        assert merged.recorded_at == original.recorded_at
+        assert merged.config == {"worker_id": 0}
+        assert merged.metrics == {"batches": 4.0}
+
+    def test_merge_accepts_open_store(self):
+        with ResultsStore() as source, ResultsStore() as dest:
+            self.seeded(source, 2)
+            assert dest.merge(source) == 2
+            assert len(dest.list_runs()) == 2
+
+    def test_merge_empty_source_is_a_noop(self, tmp_path):
+        shard_path = tmp_path / "empty.sqlite"
+        ResultsStore(shard_path).close()
+        with ResultsStore() as store:
+            assert store.merge(shard_path) == 0
+            assert store.list_runs() == []

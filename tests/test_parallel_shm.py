@@ -1,0 +1,154 @@
+"""Tests for repro.parallel.shm: zero-copy shared-memory transport."""
+
+import numpy as np
+import pytest
+
+from repro.formats import COOMatrix
+from repro.generators import random_uniform
+from repro.parallel import (
+    attach_block,
+    coo_from_block,
+    program_from_block,
+    share_arrays,
+    share_coo,
+    share_program,
+)
+from repro.preprocess import build_program
+from repro.serpens import SerpensConfig
+from repro.spmv import spmv
+
+
+def small_params():
+    return SerpensConfig(
+        name="unit",
+        num_sparse_channels=2,
+        pes_per_channel=4,
+        urams_per_pe=2,
+        uram_depth=128,
+        segment_width=64,
+        dsp_latency=4,
+    ).to_partition_params()
+
+
+class TestShareArrays:
+    def test_round_trip_is_bitwise(self):
+        rng = np.random.default_rng(0)
+        arrays = {
+            "a": rng.uniform(-1, 1, 1000),
+            "b": rng.integers(0, 1 << 40, 317, dtype=np.int64),
+            "c": np.array([], dtype=np.float32),
+        }
+        with share_arrays(arrays) as owned:
+            attached = attach_block(owned.descriptor)
+            try:
+                views = attached.arrays()
+                for name, original in arrays.items():
+                    assert views[name].dtype == original.dtype
+                    np.testing.assert_array_equal(views[name], original)
+            finally:
+                attached.close()
+
+    def test_offsets_are_64_byte_aligned(self):
+        arrays = {
+            "odd": np.ones(7, dtype=np.int8),
+            "next": np.arange(5, dtype=np.float64),
+        }
+        with share_arrays(arrays) as block:
+            for spec in block.descriptor.arrays:
+                assert spec.offset % 64 == 0
+
+    def test_views_share_pages_not_copies(self):
+        with share_arrays({"x": np.zeros(8)}) as owned:
+            attached = attach_block(owned.descriptor)
+            try:
+                attached.arrays()["x"][3] = 42.0
+                assert owned.arrays()["x"][3] == 42.0
+            finally:
+                attached.close()
+
+    def test_attacher_cannot_unlink(self):
+        with share_arrays({"x": np.zeros(4)}) as owned:
+            attached = attach_block(owned.descriptor)
+            try:
+                with pytest.raises(PermissionError):
+                    attached.unlink()
+            finally:
+                attached.close()
+
+    def test_closed_block_rejects_array_access(self):
+        block = share_arrays({"x": np.zeros(4)})
+        block.unlink()
+        with pytest.raises(ValueError):
+            block.arrays()
+        # close/unlink stay idempotent after the fact.
+        block.close()
+
+    def test_attach_after_unlink_raises(self):
+        block = share_arrays({"x": np.zeros(4)})
+        descriptor = block.descriptor
+        block.unlink()
+        with pytest.raises(FileNotFoundError):
+            attach_block(descriptor)
+
+
+class TestCooCodec:
+    def test_round_trip_is_bitwise(self):
+        matrix = random_uniform(120, 90, 800, seed=3)
+        with share_coo(matrix) as block:
+            loaded = coo_from_block(block)
+            assert loaded.num_rows == matrix.num_rows
+            assert loaded.num_cols == matrix.num_cols
+            np.testing.assert_array_equal(loaded.rows, matrix.rows)
+            np.testing.assert_array_equal(loaded.cols, matrix.cols)
+            np.testing.assert_array_equal(loaded.values, matrix.values)
+
+    def test_empty_matrix_round_trips(self):
+        empty = COOMatrix(
+            num_rows=10,
+            num_cols=7,
+            rows=np.array([], dtype=np.int64),
+            cols=np.array([], dtype=np.int64),
+            values=np.array([], dtype=np.float64),
+        )
+        with share_coo(empty) as block:
+            loaded = coo_from_block(block)
+            assert loaded.num_rows == 10
+            assert loaded.num_cols == 7
+            assert loaded.nnz == 0
+
+    def test_mapped_matrix_computes_identically(self):
+        matrix = random_uniform(100, 100, 900, seed=4)
+        x = np.random.default_rng(5).uniform(-1, 1, 100)
+        with share_coo(matrix) as block:
+            np.testing.assert_array_equal(
+                spmv(coo_from_block(block), x), spmv(matrix, x)
+            )
+
+
+class TestProgramCodec:
+    def test_round_trip_preserves_structure_bitwise(self):
+        matrix = random_uniform(150, 150, 1800, seed=1)
+        program = build_program(matrix, small_params())
+        with share_program(program) as block:
+            loaded = program_from_block(block)
+            assert loaded.num_rows == program.num_rows
+            assert loaded.num_cols == program.num_cols
+            assert loaded.nnz == program.nnz
+            assert loaded.num_segments == program.num_segments
+            assert loaded.params == program.params
+            assert loaded.reorder_stats == program.reorder_stats
+            original = program.columnar().to_buffers()
+            mapped = loaded.columnar().to_buffers()
+            assert set(mapped) == set(original)
+            for name, buffer in original.items():
+                np.testing.assert_array_equal(mapped[name], buffer)
+
+    def test_descriptor_is_small_relative_to_payload(self):
+        # The whole point: the descriptor crossing the queue is tiny; the
+        # arrays stay in the segment.
+        import pickle
+
+        matrix = random_uniform(200, 200, 4000, seed=6)
+        with share_coo(matrix) as block:
+            assert len(pickle.dumps(block.descriptor)) < 1024
+            assert block.nbytes > 4000 * 8

@@ -126,3 +126,45 @@ class TestServeBenchCLI:
         assert pool.device(0).engine.mode == "reference"
         with pytest.raises(SystemExit):
             parser.parse_args(["serve-bench", "--sim-mode", "warp"])
+
+
+class TestShardedTraces:
+    def test_shards_are_reproducible_and_independent(self):
+        first = generate_trace("mixed", num_requests=100, seed=3, shard=(0, 4))
+        again = generate_trace("mixed", num_requests=100, seed=3, shard=(0, 4))
+        other = generate_trace("mixed", num_requests=100, seed=3, shard=(1, 4))
+        assert first.shard == (0, 4)
+        assert first.requests == again.requests
+        # Sibling shards draw from independent substreams of the same root.
+        assert first.requests != other.requests
+
+    def test_shard_index_feeds_x_vectors(self):
+        shard_a = generate_trace("pagerank", num_requests=10, seed=5, shard=(0, 2))
+        shard_b = generate_trace("pagerank", num_requests=10, seed=5, shard=(1, 2))
+        cols = shard_a.matrices[0].matrix.num_cols
+        # Even if two shards happened to draw the same x_seed, the shard
+        # index in the stream key keeps their input vectors distinct.
+        request_a, request_b = shard_a.requests[0], shard_b.requests[0]
+        xa = shard_a.x_vector(request_a, cols)
+        xb = shard_b.x_vector(
+            type(request_b)(
+                arrival_time=request_b.arrival_time,
+                matrix_id=request_b.matrix_id,
+                tenant=request_b.tenant,
+                x_seed=request_a.x_seed,
+            ),
+            cols,
+        )
+        assert not (xa == xb).all()
+
+    def test_x_vector_is_deterministic(self):
+        trace = generate_trace("mixed", num_requests=20, seed=9)
+        request = trace.requests[0]
+        cols = trace.matrices[request.matrix_id].matrix.num_cols
+        assert (trace.x_vector(request, cols) == trace.x_vector(request, cols)).all()
+
+    def test_invalid_shard_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace("mixed", num_requests=10, seed=0, shard=(4, 4))
+        with pytest.raises(ValueError):
+            generate_trace("mixed", num_requests=10, seed=0, shard=(-1, 2))
