@@ -1,0 +1,52 @@
+"""repro.analysis — architecture-invariant linter and runtime sanitizers.
+
+Static side (``serpens-repro analyze``): an import-layering checker driven
+by the committed ``analysis/layers.toml`` DAG, an AST rule-plugin framework
+with numerics-safety and registry-hygiene rules, and live engine-protocol
+introspection — all reporting uniform ``RPR###`` findings with ``file:line``
+provenance and honoring inline ``# repro: ignore[RPR###] reason``
+suppressions.
+
+Runtime side: :class:`ShmAuditor` and :class:`PoolMonitor` hook into
+:mod:`repro.parallel` through its duck-typed install points to assert
+balanced shared-memory lifecycles and bounded-wait/lock-order discipline.
+``parallel`` never imports this package; whoever wants sanitizing installs
+the hook.
+"""
+
+from .config import AnalysisConfig, LayerSpec, find_layers_file, load_config
+from .findings import CODE_DESCRIPTIONS, Finding, SuppressionTable, render_findings
+from .imports import ImportEdge, ModuleInfo, collect_modules, module_edges
+from .layers import check_layers
+from .protocol import check_engine_protocol
+from .rules import LintRule, all_rules, register_rule, run_rules
+from .runner import AnalysisReport, analyze_tree, default_tree_root
+from .sanitize import PoolMonitor, SanitizerError, ShmAuditor, ShmLifecycleError
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisReport",
+    "CODE_DESCRIPTIONS",
+    "Finding",
+    "ImportEdge",
+    "LayerSpec",
+    "LintRule",
+    "ModuleInfo",
+    "PoolMonitor",
+    "SanitizerError",
+    "ShmAuditor",
+    "ShmLifecycleError",
+    "SuppressionTable",
+    "all_rules",
+    "analyze_tree",
+    "check_engine_protocol",
+    "check_layers",
+    "collect_modules",
+    "default_tree_root",
+    "find_layers_file",
+    "load_config",
+    "module_edges",
+    "register_rule",
+    "render_findings",
+    "run_rules",
+]

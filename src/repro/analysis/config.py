@@ -1,0 +1,189 @@
+"""The committed analyzer configuration (``analysis/layers.toml``).
+
+The layer DAG, the hot-path package list, and the engine-name vocabulary are
+*data*, not code: they live in a TOML file committed at the repository root
+so a reviewer can see the architecture contract change in the same diff that
+changes the architecture.
+
+The file has three tables::
+
+    [analysis]
+    root = "repro"                      # the package the DAG talks about
+
+    [numerics]
+    hot_paths = ["serpens", "preprocess", "baselines"]
+
+    [layers.<package>]
+    allow = ["formats", ...]            # eager (module-level) imports allowed
+    lazy  = ["obs", ...]                # allowed only inside a function body
+
+Any dependency not listed is forbidden; a package with no ``[layers.*]``
+table at all is an undeclared layer and every import from it is a finding.
+Python 3.11+ parses with :mod:`tomllib`; older interpreters fall back to a
+built-in parser for exactly this subset (tables, string/bool scalars, and
+string arrays) so the analyzer has zero third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+__all__ = ["AnalysisConfig", "LayerSpec", "find_layers_file", "load_config"]
+
+#: Default location of the layer contract, relative to the repository root.
+DEFAULT_LAYERS_PATH = Path("analysis") / "layers.toml"
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One package's declared dependencies."""
+
+    name: str
+    allow: Tuple[str, ...] = ()
+    lazy: Tuple[str, ...] = ()
+
+    def permits(self, target: str, lazy: bool) -> bool:
+        if target == self.name or target in self.allow:
+            return True
+        return lazy and target in self.lazy
+
+
+@dataclass
+class AnalysisConfig:
+    """Everything the static rules need, decoded from ``layers.toml``."""
+
+    root_package: str = "repro"
+    layers: Dict[str, LayerSpec] = field(default_factory=dict)
+    hot_paths: Tuple[str, ...] = ()
+    #: Engine-name vocabulary for RPR202; empty means "ask the registry".
+    engine_names: Tuple[str, ...] = ()
+    path: Optional[Path] = None
+
+    def resolved_engine_names(self) -> Tuple[str, ...]:
+        if self.engine_names:
+            return self.engine_names
+        # Imported lazily: the analyzer must stay importable (and fixture
+        # trees analyzable) without constructing any engine.
+        from ..backends.names import BUILTIN_ENGINE_NAMES
+
+        return BUILTIN_ENGINE_NAMES
+
+
+_TABLE = re.compile(r"^\[(?P<name>[^\]]+)\]$")
+_KEY_VALUE = re.compile(r"^(?P<key>[A-Za-z0-9_\-]+)\s*=\s*(?P<value>.+)$")
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing comment (this subset never puts '#' inside strings
+    except in comments that follow a complete value)."""
+    in_string = False
+    for index, char in enumerate(line):
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            return line[:index]
+    return line
+
+
+def _parse_value(text: str):
+    text = text.strip()
+    if text.startswith("["):
+        if not text.endswith("]"):
+            raise ValueError(f"unterminated array in layers.toml: {text!r}")
+        body = text[1:-1].strip()
+        if not body:
+            return []
+        return [_parse_value(item) for item in body.split(",") if item.strip()]
+    if text.startswith('"') and text.endswith('"') and len(text) >= 2:
+        return text[1:-1]
+    if text in ("true", "false"):
+        return text == "true"
+    raise ValueError(f"unsupported TOML value in layers.toml: {text!r}")
+
+
+def _parse_toml_subset(text: str) -> Dict[str, object]:
+    """Parse the tables/strings/bools/string-arrays subset of TOML."""
+    document: Dict[str, object] = {}
+    table: Dict[str, object] = document
+    pending = ""
+    for raw in text.splitlines():
+        line = _strip_comment(raw).strip()
+        if not line:
+            continue
+        if pending:
+            # Continuation of a multi-line array value.
+            line = pending + " " + line
+            pending = ""
+        if "[" in line.partition("=")[2] and not line.rstrip().endswith("]"):
+            pending = line
+            continue
+        match = _TABLE.match(line)
+        if match is not None:
+            table = document
+            for part in match.group("name").split("."):
+                # Quoted keys like [layers."<root>"] carry no dots here,
+                # so stripping quotes after the split is sufficient.
+                key = part.strip().strip('"')
+                table = table.setdefault(key, {})  # type: ignore[assignment]
+            continue
+        match = _KEY_VALUE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable layers.toml line: {raw!r}")
+        table[match.group("key")] = _parse_value(match.group("value"))
+    return document
+
+
+def _load_toml(path: Path) -> Dict[str, object]:
+    try:
+        import tomllib  # Python 3.11+
+    except ImportError:
+        return _parse_toml_subset(path.read_text())
+    with open(path, "rb") as handle:
+        return tomllib.load(handle)
+
+
+def find_layers_file(start: Optional[Path] = None) -> Optional[Path]:
+    """Locate ``analysis/layers.toml`` by walking up from ``start``.
+
+    Defaults to walking up from this package's source directory, which finds
+    the committed file for both in-repo and ``pip install -e`` layouts.
+    """
+    origin = (start or Path(__file__).resolve().parent)
+    for directory in (origin, *origin.parents):
+        candidate = directory / DEFAULT_LAYERS_PATH
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(path: Optional[Path] = None) -> AnalysisConfig:
+    """Load the analyzer configuration, raising when no file can be found."""
+    layers_path = Path(path) if path is not None else find_layers_file()
+    if layers_path is None or not layers_path.is_file():
+        raise FileNotFoundError(
+            "no analysis/layers.toml found; pass --layers PATH or commit one "
+            "at the repository root"
+        )
+    document = _load_toml(layers_path)
+    meta = document.get("analysis", {})
+    numerics = document.get("numerics", {})
+    rules = document.get("rules", {})
+    layer_tables = document.get("layers", {})
+    layers = {
+        name: LayerSpec(
+            name=name,
+            allow=tuple(spec.get("allow", ())),
+            lazy=tuple(spec.get("lazy", ())),
+        )
+        for name, spec in layer_tables.items()
+    }
+    return AnalysisConfig(
+        root_package=str(meta.get("root", "repro")),
+        layers=layers,
+        hot_paths=tuple(numerics.get("hot_paths", ())),
+        engine_names=tuple(rules.get("engine_names", ())),
+        path=layers_path,
+    )

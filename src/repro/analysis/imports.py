@@ -1,0 +1,158 @@
+"""Import-graph extraction for the layering checker.
+
+Parses every module under a package tree into a list of first-party
+:class:`ImportEdge` records: *which package imported which*, with file:line
+provenance and whether the import is eager (module level, paid at import
+time) or lazy (inside a function body, paid at call time).  The distinction
+matters because several intended cycles in this repo are broken exactly by
+lazy imports — ``backends → serve.cache`` for fingerprints, ``parallel →
+obs`` for shard result stores — and the layer DAG permits those edges only
+in their lazy form.
+
+Imports guarded by ``typing.TYPE_CHECKING`` are classified as lazy: they
+never execute at runtime, so they cannot create import-time coupling.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["ImportEdge", "ModuleInfo", "collect_modules", "module_edges"]
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One first-party import: source package -> target package."""
+
+    source: str  # top-level package (or module) under the root, e.g. "serve"
+    target: str
+    module: str  # fully dotted imported module, e.g. "repro.obs.results"
+    path: str
+    line: int
+    lazy: bool
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the analyzed tree."""
+
+    path: Path
+    relpath: str  # e.g. "serve/pool.py", relative to the package root
+    package: str  # top-level node: "serve", "cli", or "<root>" for __init__
+    tree: ast.AST
+    lines: Sequence[str]
+
+
+def _top_level(relparts: Tuple[str, ...]) -> str:
+    """The layer node a file belongs to.
+
+    ``serve/pool.py`` -> ``serve``; top-level modules like ``cli.py`` are
+    their own nodes; the package ``__init__.py`` is the ``<root>`` node.
+    """
+    if len(relparts) == 1:
+        stem = relparts[0][: -len(".py")] if relparts[0].endswith(".py") else relparts[0]
+        return "<root>" if stem == "__init__" else stem
+    return relparts[0]
+
+
+def collect_modules(root: Path) -> List[ModuleInfo]:
+    """Parse every ``*.py`` file under a package directory."""
+    root = Path(root)
+    modules: List[ModuleInfo] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        text = path.read_text()
+        modules.append(
+            ModuleInfo(
+                path=path,
+                relpath=str(rel),
+                package=_top_level(rel.parts),
+                tree=ast.parse(text, filename=str(path)),
+                lines=text.splitlines(),
+            )
+        )
+    return modules
+
+
+class _ImportVisitor(ast.NodeVisitor):
+    """Collect first-party imports, tracking function depth and TYPE_CHECKING."""
+
+    def __init__(self, root_package: str, module_dir_parts: Tuple[str, ...]) -> None:
+        self.root_package = root_package
+        self.module_dir_parts = module_dir_parts
+        self.depth = 0
+        self.type_checking = 0
+        self.found: List[Tuple[str, int, bool]] = []  # (module, line, lazy)
+
+    # -- scope tracking ------------------------------------------------
+    def visit_FunctionDef(self, node: ast.AST) -> None:
+        self.depth += 1
+        self.generic_visit(node)
+        self.depth -= 1
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_Lambda = visit_FunctionDef
+
+    def visit_If(self, node: ast.If) -> None:
+        test = node.test
+        guarded = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+            isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+        )
+        if guarded:
+            self.type_checking += 1
+            for child in node.body:
+                self.visit(child)
+            self.type_checking -= 1
+            for child in node.orelse:
+                self.visit(child)
+        else:
+            self.generic_visit(node)
+
+    @property
+    def _lazy(self) -> bool:
+        return self.depth > 0 or self.type_checking > 0
+
+    # -- imports -------------------------------------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == self.root_package or alias.name.startswith(
+                self.root_package + "."
+            ):
+                self.found.append((alias.name, node.lineno, self._lazy))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            base = [self.root_package, *self.module_dir_parts]
+            hops = node.level - 1
+            if hops:
+                base = base[:-hops] if hops <= len(self.module_dir_parts) else base[:1]
+            parts = base + (node.module.split(".") if node.module else [])
+            self.found.append((".".join(parts), node.lineno, self._lazy))
+        elif node.module and (
+            node.module == self.root_package
+            or node.module.startswith(self.root_package + ".")
+        ):
+            self.found.append((node.module, node.lineno, self._lazy))
+
+
+def module_edges(
+    module: ModuleInfo, root_package: str, tree_root: Optional[Path] = None
+) -> Iterator[ImportEdge]:
+    """First-party import edges of one module."""
+    rel = Path(module.relpath)
+    visitor = _ImportVisitor(root_package, tuple(rel.parts[:-1]))
+    visitor.visit(module.tree)
+    for dotted, line, lazy in visitor.found:
+        parts = dotted.split(".")
+        target = parts[1] if len(parts) > 1 else "<root>"
+        yield ImportEdge(
+            source=module.package,
+            target=target,
+            module=dotted,
+            path=module.relpath,
+            line=line,
+            lazy=lazy,
+        )

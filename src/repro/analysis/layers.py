@@ -1,0 +1,103 @@
+"""Architecture-invariant checking: enforce the declared layer DAG.
+
+The import graph extracted by :mod:`repro.analysis.imports` is judged
+against the committed ``analysis/layers.toml``:
+
+* an **eager** (module-level) import must be in the source layer's ``allow``
+  list — otherwise it is :data:`RPR101 <repro.analysis.findings>`,
+* a **lazy** (function-scoped) import may additionally be in the ``lazy``
+  list; a lazy import of a layer listed nowhere is ``RPR102``,
+* an import *from* a package with no ``[layers.*]`` declaration at all is
+  ``RPR101`` too — the DAG must stay total, so adding a subsystem forces a
+  conscious edit to the contract file.
+
+The config is default-deny: the absence of an edge is the invariant.  This
+is how "``serve``/``backends``/``autotune`` never import ``obs``" and
+"nothing imports ``cli``" stay true as the tree grows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .config import AnalysisConfig
+from .findings import Finding
+from .imports import ImportEdge, ModuleInfo, module_edges
+
+__all__ = ["check_layers", "layer_edges"]
+
+#: Layer nodes exempt from declaration (the package root re-exports freely,
+#: but still must not import cli — it has its own table when needed).
+_IMPLICIT_SELF = "<root>"
+
+
+def layer_edges(
+    modules: Iterable[ModuleInfo], config: AnalysisConfig
+) -> List[ImportEdge]:
+    """Every first-party package-to-package import edge of the tree."""
+    edges: List[ImportEdge] = []
+    for module in modules:
+        edges.extend(module_edges(module, config.root_package))
+    return edges
+
+
+def check_layers(
+    modules: Iterable[ModuleInfo], config: AnalysisConfig
+) -> List[Finding]:
+    """Judge the tree's import graph against the declared DAG."""
+    findings: List[Finding] = []
+    undeclared_reported = set()
+    for edge in layer_edges(modules, config):
+        if edge.target == edge.source:
+            continue
+        spec = config.layers.get(edge.source)
+        if spec is None:
+            if edge.source not in undeclared_reported:
+                undeclared_reported.add(edge.source)
+                findings.append(
+                    Finding(
+                        code="RPR101",
+                        path=edge.path,
+                        line=edge.line,
+                        message=(
+                            f"package '{edge.source}' has no [layers.{edge.source}] "
+                            "declaration in analysis/layers.toml; the layer DAG "
+                            "must stay total"
+                        ),
+                    )
+                )
+            continue
+        if spec.permits(edge.target, lazy=edge.lazy):
+            continue
+        if edge.lazy:
+            findings.append(
+                Finding(
+                    code="RPR102",
+                    path=edge.path,
+                    line=edge.line,
+                    message=(
+                        f"lazy import of '{edge.module}': layer "
+                        f"'{edge.source}' may not depend on '{edge.target}' "
+                        "even behind a function boundary"
+                    ),
+                )
+            )
+        else:
+            hint = (
+                "; move it inside the function that needs it"
+                if edge.target in spec.lazy
+                else ""
+            )
+            findings.append(
+                Finding(
+                    code="RPR101",
+                    path=edge.path,
+                    line=edge.line,
+                    message=(
+                        f"module-level import of '{edge.module}': layer "
+                        f"'{edge.source}' may not eagerly depend on "
+                        f"'{edge.target}'{hint}"
+                    ),
+                )
+            )
+    return findings

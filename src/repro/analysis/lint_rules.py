@@ -1,0 +1,229 @@
+"""The built-in AST lint rules (RPR201–RPR203).
+
+Each rule encodes one invariant the repo already relies on but nothing
+checked until now:
+
+* **RPR201 float64 creep** — the fast paths are bit-identical to their fp32
+  reference oracles, which makes them exactly as ordering-sensitive as the
+  SELL-C-σ paper describes for wide-SIMD SpMV.  A stray ``np.sum`` (dtype
+  unstated), ``np.dot`` (always promotes) or ``astype(np.float64)`` inside a
+  hot-path package silently changes accumulation width and breaks bitwise
+  parity, so all three are findings there.
+* **RPR202 engine-name literal** — engine names are registry vocabulary;
+  outside :mod:`repro.backends` they must come from
+  :mod:`repro.backends.names` constants, never be retyped as literals.
+* **RPR203 mutable default** — a ``def f(x=[])`` default is shared across
+  calls; with long-lived Session/pool objects that is state leakage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from .config import AnalysisConfig
+from .findings import Finding
+from .imports import ModuleInfo
+from .rules import LintRule, register_rule
+
+__all__ = [
+    "EngineNameLiteralRule",
+    "Float64CreepRule",
+    "MutableDefaultRule",
+]
+
+#: numpy aliases recognised in ``np.sum`` / ``np.float64`` attribute chains.
+_NUMPY_NAMES = {"np", "numpy"}
+
+#: astype/dtype spellings that widen to 64-bit floats.
+_FLOAT64_SPELLINGS = {"float64", "double", "float_"}
+#: dtype spellings that keep fp32 accumulation.
+_FLOAT32_SPELLINGS = {"float32", "single"}
+
+
+def _numpy_attr(node: ast.AST) -> Optional[str]:
+    """'sum' for ``np.sum`` / ``numpy.sum``; None for anything else."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in _NUMPY_NAMES
+    ):
+        return node.attr
+    return None
+
+
+def _dtype_spelling(node: ast.AST) -> Optional[str]:
+    """The dtype a node names: 'float64' for np.float64/'float64'/float."""
+    attr = _numpy_attr(node)
+    if attr is not None:
+        return attr
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.lstrip("<>=")  # tolerate '<f8'-free spellings
+    if isinstance(node, ast.Name) and node.id == "float":
+        return "float64"  # bare float IS float64 for numpy
+    return None
+
+
+def _is_float64(node: ast.AST) -> bool:
+    spelling = _dtype_spelling(node)
+    return spelling in _FLOAT64_SPELLINGS or spelling in {"f8", "<f8"}
+
+
+def _has_fp32_dtype_kw(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "dtype":
+            return _dtype_spelling(keyword.value) in _FLOAT32_SPELLINGS
+    return False
+
+
+@register_rule
+class Float64CreepRule(LintRule):
+    """RPR201: float64 accumulation creep in hot-path packages."""
+
+    code = "RPR201"
+    name = "float64-creep"
+    description = (
+        "hot paths must keep fp32 accumulation bit-identical to the oracle: "
+        "np.sum needs an explicit fp32 dtype, np.dot always promotes, and "
+        "astype(float64) widens silently"
+    )
+
+    def check(self, module: ModuleInfo, config: AnalysisConfig) -> Iterator[Finding]:
+        if module.package not in config.hot_paths:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            numpy_fn = _numpy_attr(node.func)
+            if numpy_fn == "dot":
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "np.dot in a hot path promotes mixed inputs to float64; "
+                    "use an explicitly fp32-typed product (or suppress with "
+                    "a reason if the widths are already pinned)",
+                )
+            elif numpy_fn == "sum" and not _has_fp32_dtype_kw(node):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "np.sum in a hot path without dtype=np.float32 "
+                    "accumulates in the input's (possibly widened) dtype",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+                and _is_float64(node.args[0])
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    "astype(float64) in a hot path widens fp32 data; keep "
+                    "accumulation fp32 and widen only at the output ABI "
+                    "boundary (with a suppression naming that boundary)",
+                )
+
+
+def _docstring_lines(tree: ast.AST) -> Set[int]:
+    """Line numbers covered by docstring expressions (skipped by RPR202)."""
+    lines: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+            body = getattr(node, "body", [])
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                start = body[0].lineno
+                end = getattr(body[0], "end_lineno", start)
+                lines.update(range(start, end + 1))
+    return lines
+
+
+@register_rule
+class EngineNameLiteralRule(LintRule):
+    """RPR202: hard-coded engine-name literal outside repro.backends."""
+
+    code = "RPR202"
+    name = "engine-name-literal"
+    description = (
+        "engine names must flow through repro.backends.names constants so "
+        "the registry stays the single source of the vocabulary"
+    )
+
+    def check(self, module: ModuleInfo, config: AnalysisConfig) -> Iterator[Finding]:
+        if module.package == "backends":
+            return
+        names = set(config.resolved_engine_names())
+        skip = _docstring_lines(module.tree)
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value in names
+                and node.lineno not in skip
+            ):
+                constant = "ENGINE_" + node.value.upper().replace("-", "_")
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"hard-coded engine name {node.value!r}; import "
+                    f"repro.backends.{constant} (registry vocabulary) instead",
+                )
+
+
+_MUTABLE_CALLS = {"dict", "list", "set"}
+
+
+def _mutable_default(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.List):
+        return "[]"
+    if isinstance(node, ast.Dict):
+        return "{}"
+    if isinstance(node, ast.Set):
+        return "{...}"
+    if isinstance(node, ast.ListComp):
+        return "list comprehension"
+    if isinstance(node, ast.DictComp):
+        return "dict comprehension"
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    ):
+        return f"{node.func.id}()"
+    return None
+
+
+@register_rule
+class MutableDefaultRule(LintRule):
+    """RPR203: mutable default argument shared across calls."""
+
+    code = "RPR203"
+    name = "mutable-default"
+    description = (
+        "def f(x=[]) evaluates the default once; every call then shares one "
+        "mutable object — use None and materialise inside the body"
+    )
+
+    def check(self, module: ModuleInfo, config: AnalysisConfig) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults: Tuple[ast.AST, ...] = tuple(node.args.defaults) + tuple(
+                d for d in node.args.kw_defaults if d is not None
+            )
+            for default in defaults:
+                spelled = _mutable_default(default)
+                if spelled is not None:
+                    yield self.finding(
+                        module,
+                        default.lineno,
+                        f"mutable default {spelled} in {node.name}(); "
+                        "default to None and build a fresh object per call",
+                    )

@@ -1,0 +1,144 @@
+"""RPR204: SpMVEngine protocol conformance for every registered engine.
+
+The registry accepts any factory; nothing guarantees what it returns still
+answers the five-question engine contract (``spec`` / ``capabilities`` /
+``prepare`` / ``execute`` / ``estimate``) with signatures the Session, the
+pool, and the workers actually call.  This check instantiates each
+registered factory and *introspects* the bound methods: every canonical call
+shape used anywhere in the tree must bind cleanly against the method's
+signature.  Findings point at the defining method's real ``file:line`` so a
+non-conformant adapter reads like any other lint hit.
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .findings import Finding
+
+__all__ = ["check_engine_protocol"]
+
+
+class _Anything:
+    """Placeholder bound into signatures (never called, only bound)."""
+
+
+#: method -> (positional placeholder count, keyword call shapes to bind).
+_CANONICAL_CALLS: Dict[str, Tuple[int, Tuple[Dict[str, object], ...]]] = {
+    "spec": (0, ({},)),
+    "capabilities": (1, ({},)),
+    "prepare": (1, ({}, {"name": "matrix"})),
+    "execute": (2, ({}, {"y": None, "alpha": 1.0, "beta": 0.0})),
+    "estimate": (1, ({}, {"matrix_name": "matrix", "model": "detailed"})),
+}
+
+
+def _provenance(method) -> Tuple[str, int]:
+    """(file, line) of a bound method's definition, best effort."""
+    try:
+        func = inspect.unwrap(method)
+        code = getattr(func, "__code__", None) or func.__func__.__code__
+        return str(Path(code.co_filename)), int(code.co_firstlineno)
+    except (AttributeError, TypeError):
+        return "<unknown>", 0
+
+
+def _class_provenance(cls: type) -> Tuple[str, int]:
+    try:
+        path = inspect.getsourcefile(cls) or "<unknown>"
+        _, line = inspect.getsourcelines(cls)
+        return str(path), int(line)
+    except (OSError, TypeError):
+        return "<unknown>", 0
+
+
+def check_engine_protocol(
+    engines: Optional[Mapping[str, object]] = None,
+) -> List[Finding]:
+    """Verify every registered engine against the SpMVEngine contract.
+
+    ``engines`` overrides the registry (name -> engine instance) so fixture
+    tests can check seeded non-conformant classes without registering them.
+    """
+    findings: List[Finding] = []
+    if engines is None:
+        # Imported lazily so the static rules never construct engines.
+        from ..backends import registry
+
+        engines = {}
+        for name in registry.available():
+            try:
+                engines[name] = registry.registration(name).factory()
+            except Exception as error:  # noqa: BLE001 - reported as a finding
+                findings.append(
+                    Finding(
+                        code="RPR204",
+                        path="<registry>",
+                        line=0,
+                        message=f"engine {name!r}: factory raised {error!r}",
+                    )
+                )
+
+    from ..backends.base import SpMVEngine
+
+    for name, engine in engines.items():
+        if not isinstance(engine, SpMVEngine):
+            path, line = _class_provenance(type(engine))
+            findings.append(
+                Finding(
+                    code="RPR204",
+                    path=path,
+                    line=line,
+                    message=(
+                        f"engine {name!r}: {type(engine).__name__} is not an "
+                        "SpMVEngine subclass"
+                    ),
+                )
+            )
+            continue
+        for method_name, (positional, keyword_shapes) in _CANONICAL_CALLS.items():
+            method = getattr(engine, method_name, None)
+            if not callable(method):
+                path, line = _class_provenance(type(engine))
+                findings.append(
+                    Finding(
+                        code="RPR204",
+                        path=path,
+                        line=line,
+                        message=(
+                            f"engine {name!r}: required method "
+                            f"{method_name}() is missing or not callable"
+                        ),
+                    )
+                )
+                continue
+            try:
+                signature = inspect.signature(method)
+            except (TypeError, ValueError):
+                continue  # builtins without introspectable signatures
+            placeholders = tuple(_Anything() for _ in range(positional))
+            for keywords in keyword_shapes:
+                try:
+                    signature.bind(*placeholders, **keywords)
+                except TypeError as error:
+                    path, line = _provenance(method)
+                    shape = ", ".join(
+                        ["<arg>"] * positional
+                        + [f"{key}=..." for key in keywords]
+                    )
+                    findings.append(
+                        Finding(
+                            code="RPR204",
+                            path=path,
+                            line=line,
+                            message=(
+                                f"engine {name!r}: {method_name}({shape}) does "
+                                f"not bind against its signature {signature} "
+                                f"({error})"
+                            ),
+                        )
+                    )
+                    break
+    return findings

@@ -1,0 +1,81 @@
+"""The rule-plugin framework behind the AST lint pass.
+
+A rule is a small class with an ``RPR###`` code and a ``check(module,
+config)`` generator; :func:`run_rules` drives every registered rule over
+every parsed module, then applies the file's inline suppression table.
+Adding a rule is::
+
+    @register_rule
+    class MyRule(LintRule):
+        code = "RPR2xx"
+        name = "my-rule"
+        description = "one line of rationale"
+
+        def check(self, module, config):
+            yield self.finding(module, node.lineno, "message")
+
+Rules see the parsed AST (``module.tree``), the raw lines, and the shared
+:class:`~repro.analysis.config.AnalysisConfig`, so behavior is driven by the
+committed ``layers.toml`` rather than by constants buried in rule code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Type
+
+from .config import AnalysisConfig
+from .findings import Finding, SuppressionTable
+from .imports import ModuleInfo
+
+__all__ = ["LintRule", "all_rules", "register_rule", "run_rules"]
+
+
+class LintRule:
+    """Base class of one AST lint rule."""
+
+    code: str = "RPR000"
+    name: str = "unnamed"
+    description: str = ""
+
+    def check(
+        self, module: ModuleInfo, config: AnalysisConfig
+    ) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleInfo, line: int, message: str) -> Finding:
+        return Finding(code=self.code, path=module.relpath, line=line, message=message)
+
+
+_RULES: List[Type[LintRule]] = []
+
+
+def register_rule(rule_class: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator adding a rule to the default rule set."""
+    _RULES.append(rule_class)
+    return rule_class
+
+
+def all_rules() -> List[LintRule]:
+    """Fresh instances of every registered rule."""
+    # Imported for its registration side effects; idempotent.
+    from . import lint_rules  # noqa: F401
+
+    return [rule_class() for rule_class in _RULES]
+
+
+def run_rules(
+    modules: Iterable[ModuleInfo],
+    config: AnalysisConfig,
+    rules: Iterable[LintRule] = None,
+) -> List[Finding]:
+    """Run the rule set over a parsed tree, honoring inline suppressions."""
+    active = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for module in modules:
+        table = SuppressionTable(module.relpath, module.lines)
+        findings.extend(table.violations())
+        for rule in active:
+            for finding in rule.check(module, config):
+                if not table.suppresses(finding.code, finding.line):
+                    findings.append(finding)
+    return findings

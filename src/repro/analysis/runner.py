@@ -1,0 +1,114 @@
+"""Run the full static analysis over a package tree and report.
+
+:func:`analyze_tree` is the one entry point the CLI verb, the CI gate, and
+the tests all call: parse the tree, check the layer DAG, run every lint
+rule, optionally introspect the live engine registry, and fold everything
+into an :class:`AnalysisReport` that renders as text or as a JSON payload
+following the ResultsStore conventions from PR 6 (a flat ``record`` dict
+plus per-code counts, so regression gating can diff runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .config import AnalysisConfig, load_config
+from .findings import CODE_DESCRIPTIONS, Finding, render_findings
+from .imports import ModuleInfo, collect_modules
+from .layers import check_layers
+from .protocol import check_engine_protocol
+from .rules import run_rules
+
+__all__ = ["AnalysisReport", "analyze_tree", "default_tree_root"]
+
+
+def default_tree_root() -> Path:
+    """The installed ``repro`` package directory (the tree we self-analyze)."""
+    return Path(__file__).resolve().parent.parent
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analyzer run produced."""
+
+    root: Path
+    config: AnalysisConfig
+    findings: List[Finding] = field(default_factory=list)
+    modules_scanned: int = 0
+    engines_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> Dict[str, int]:
+        """Findings per rule code, every known code present (zeros included)."""
+        out = {code: 0 for code in sorted(CODE_DESCRIPTIONS)}
+        for finding in self.findings:
+            out[finding.code] = out.get(finding.code, 0) + 1
+        return out
+
+    def render(self, verbose: bool = False) -> str:
+        lines: List[str] = []
+        if self.findings:
+            lines.append(render_findings(self.findings))
+            lines.append("")
+        total = len(self.findings)
+        noun = "finding" if total == 1 else "findings"
+        lines.append(
+            f"analyzed {self.modules_scanned} modules under {self.root.name}/ "
+            f"({self.engines_checked} registered engines): {total} {noun}"
+        )
+        if verbose or self.findings:
+            for code, count in self.counts().items():
+                if count or verbose:
+                    lines.append(f"  {code} x{count}  {CODE_DESCRIPTIONS[code]}")
+        return "\n".join(lines)
+
+    def as_payload(self) -> Dict[str, object]:
+        """JSON payload following the ResultsStore record conventions."""
+        return {
+            "kind": "analysis",
+            "root": str(self.root),
+            "layers_file": str(self.config.path) if self.config.path else None,
+            "modules_scanned": self.modules_scanned,
+            "engines_checked": self.engines_checked,
+            "clean": self.clean,
+            "counts": self.counts(),
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+
+def analyze_tree(
+    root: Optional[Path] = None,
+    config: Optional[AnalysisConfig] = None,
+    layers_path: Optional[Path] = None,
+    check_protocol: bool = True,
+) -> AnalysisReport:
+    """Run layering + lint (+ optionally engine-protocol) checks on a tree.
+
+    ``check_protocol`` should be False when analyzing a fixture tree that is
+    not the installed package — protocol conformance introspects the *live*
+    registry, which only makes sense for the real tree.
+    """
+    tree_root = Path(root) if root is not None else default_tree_root()
+    if config is None:
+        config = load_config(layers_path)
+    modules: List[ModuleInfo] = collect_modules(tree_root)
+    findings = check_layers(modules, config)
+    findings.extend(run_rules(modules, config))
+    engines_checked = 0
+    if check_protocol:
+        from ..backends import registry
+
+        engines_checked = len(registry.available())
+        findings.extend(check_engine_protocol())
+    return AnalysisReport(
+        root=tree_root,
+        config=config,
+        findings=findings,
+        modules_scanned=len(modules),
+        engines_checked=engines_checked,
+    )

@@ -28,7 +28,14 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..backends import SpMVEngine, available, provision
+from ..backends import (
+    ENGINE_GRAPHLILY,
+    ENGINE_K80,
+    ENGINE_SEXTANS,
+    SpMVEngine,
+    available,
+    provision,
+)
 from ..eval.reporting import render_tuning_report
 from ..formats import COOMatrix
 from ..serpens import SERPENS_A16, SERPENS_A24, SerpensConfig
@@ -51,7 +58,7 @@ SEARCH_STRATEGIES = ("exhaustive", "halving")
 #: Backends included in the default design space.  The CPU reference is
 #: excluded because its measured wall-clock timing is host-dependent, which
 #: would make tuning reports non-deterministic.
-DEFAULT_BACKENDS = ("sextans", "graphlily", "k80")
+DEFAULT_BACKENDS = (ENGINE_SEXTANS, ENGINE_GRAPHLILY, ENGINE_K80)
 
 
 def _scaled_frequency(num_channels: int) -> float:

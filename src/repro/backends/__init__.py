@@ -39,6 +39,16 @@ from .engines import (
     SextansEngine,
     register_builtin_engines,
 )
+from .names import (
+    BUILTIN_ENGINE_NAMES,
+    DEFAULT_ENGINE,
+    ENGINE_CPU,
+    ENGINE_GRAPHLILY,
+    ENGINE_K80,
+    ENGINE_SERPENS_A16,
+    ENGINE_SERPENS_A24,
+    ENGINE_SEXTANS,
+)
 from .registry import (
     available,
     create,
@@ -55,7 +65,15 @@ from .session import MatrixHandle, Session, as_spmv_fn
 register_builtin_engines()
 
 __all__ = [
+    "BUILTIN_ENGINE_NAMES",
     "CPUEngine",
+    "DEFAULT_ENGINE",
+    "ENGINE_CPU",
+    "ENGINE_GRAPHLILY",
+    "ENGINE_K80",
+    "ENGINE_SERPENS_A16",
+    "ENGINE_SERPENS_A24",
+    "ENGINE_SEXTANS",
     "EngineCapabilities",
     "EngineSpec",
     "GraphLilyEngine",

@@ -35,6 +35,7 @@ from ..metrics import (
 )
 from ..preprocess import PartitionParams
 from ..serpens import SERPENS_A16, SERPENS_A24, SerpensAccelerator, SerpensConfig
+from . import names
 from .base import EngineSpec, PreparedMatrix, SpMVEngine, SpMVResult
 from .registry import register
 
@@ -317,37 +318,37 @@ def _a24_engine(
 #: (name, factory, description, aliases) of every built-in engine.
 BUILTIN_ENGINES = (
     (
-        "serpens-a16",
+        names.ENGINE_SERPENS_A16,
         SerpensEngine,
         "Cycle-accurate Serpens simulator, 16 sparse HBM channels (223 MHz)",
         ("serpens",),
     ),
     (
-        "serpens-a24",
+        names.ENGINE_SERPENS_A24,
         _a24_engine,
         "Cycle-accurate Serpens simulator, 24 sparse HBM channels (270 MHz)",
         (),
     ),
     (
-        "sextans",
+        names.ENGINE_SEXTANS,
         SextansEngine,
         "Sextans SpMM accelerator in SpMV mode (analytic timing)",
         (),
     ),
     (
-        "graphlily",
+        names.ENGINE_GRAPHLILY,
         GraphLilyEngine,
         "GraphLily graph-linear-algebra overlay (analytic timing)",
         (),
     ),
     (
-        "k80",
+        names.ENGINE_K80,
         K80Engine,
         "cuSPARSE csrmv roofline on an Nvidia Tesla K80",
         ("tesla-k80",),
     ),
     (
-        "cpu",
+        names.ENGINE_CPU,
         CPUEngine,
         "Numpy CSR reference on the host CPU (measured timing)",
         ("cpu-numpy",),

@@ -1,0 +1,52 @@
+"""Canonical registry names of the built-in engines.
+
+Everything outside :mod:`repro.backends` that needs to say "the Serpens-A16
+engine" imports these constants instead of spelling the registry key as a
+string literal.  That keeps the registry the single source of truth for the
+vocabulary — a renamed engine is a one-file change plus the type checker's
+help — and it is what the ``RPR202`` lint rule of :mod:`repro.analysis`
+enforces: a hard-coded engine-name literal anywhere else in the tree is a
+finding.
+
+This module is deliberately dependency-free (strings only) so importing a
+name never constructs an engine or pulls in the simulator stack.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BUILTIN_ENGINE_NAMES",
+    "DEFAULT_ENGINE",
+    "ENGINE_CPU",
+    "ENGINE_GRAPHLILY",
+    "ENGINE_K80",
+    "ENGINE_SERPENS_A16",
+    "ENGINE_SERPENS_A24",
+    "ENGINE_SEXTANS",
+]
+
+#: Cycle-accurate Serpens simulator, 16 sparse HBM channels.
+ENGINE_SERPENS_A16 = "serpens-a16"
+#: Cycle-accurate Serpens simulator, 24 sparse HBM channels.
+ENGINE_SERPENS_A24 = "serpens-a24"
+#: Sextans SpMM accelerator in SpMV mode (analytic timing).
+ENGINE_SEXTANS = "sextans"
+#: GraphLily graph-linear-algebra overlay (analytic timing).
+ENGINE_GRAPHLILY = "graphlily"
+#: cuSPARSE csrmv roofline on an Nvidia Tesla K80.
+ENGINE_K80 = "k80"
+#: Numpy CSR reference on the host CPU (measured timing).
+ENGINE_CPU = "cpu"
+
+#: The engine used when a caller does not choose one.
+DEFAULT_ENGINE = ENGINE_SERPENS_A16
+
+#: Canonical names of every built-in engine, in registry order.
+BUILTIN_ENGINE_NAMES = (
+    ENGINE_SERPENS_A16,
+    ENGINE_SERPENS_A24,
+    ENGINE_SEXTANS,
+    ENGINE_GRAPHLILY,
+    ENGINE_K80,
+    ENGINE_CPU,
+)

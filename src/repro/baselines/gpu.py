@@ -22,7 +22,6 @@ is the comparison the paper makes.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 

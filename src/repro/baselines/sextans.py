@@ -28,7 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from ..formats import COOMatrix
 from ..metrics import SEXTANS_POWER, ExecutionReport

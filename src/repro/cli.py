@@ -32,7 +32,7 @@ import argparse
 import os
 import sys
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from .eval.experiments import (
     render_channel_scaling_sweep,
@@ -177,6 +177,7 @@ def _serve_bench_payload(args: argparse.Namespace, tracer=None):
     # Imported here so the experiment registry stays importable even if the
     # serving layer is being refactored.
     from .autotune import EngineRouter
+    from .backends import ENGINE_SERPENS_A16, ENGINE_SERPENS_A24
     from .eval.reporting import format_table
     from .serpens import SERPENS_A16, SERPENS_A24
     from .serve import AcceleratorPool, SpMVService, generate_trace
@@ -195,7 +196,7 @@ def _serve_bench_payload(args: argparse.Namespace, tracer=None):
             raise ValueError("--a24 must be between 0 and --devices")
         configs = [SERPENS_A24] * num_a24 + [SERPENS_A16] * (args.devices - num_a24)
         pool_label = f"{args.devices} devices ({num_a24}x A24)"
-        engine_names = ["serpens-a24"] * num_a24 + ["serpens-a16"] * (
+        engine_names = [ENGINE_SERPENS_A24] * num_a24 + [ENGINE_SERPENS_A16] * (
             args.devices - num_a24
         )
 
@@ -746,6 +747,45 @@ def _results(args: argparse.Namespace) -> tuple:
         return (compare_runs(baseline, candidate).render(), 0)
 
 
+def _analyze(args: argparse.Namespace) -> tuple:
+    """The ``analyze`` command: run the static analyzer over the tree.
+
+    Returns ``(rendered text, exit code)``.  Findings are always rendered;
+    only ``--strict`` (the CI gate) turns them into a non-zero exit.  The
+    ``rules`` subcommand lists every RPR code with its rationale.
+    """
+    import json as json_module
+    from pathlib import Path
+
+    from .analysis import CODE_DESCRIPTIONS, analyze_tree, load_config
+
+    if args.subcommand == "rules":
+        width = max(len(code) for code in CODE_DESCRIPTIONS)
+        return (
+            "\n".join(
+                f"{code.ljust(width)}  {description}"
+                for code, description in sorted(CODE_DESCRIPTIONS.items())
+            ),
+            0,
+        )
+    if args.subcommand not in (None, "tree"):
+        return (
+            f"unknown analyze subcommand {args.subcommand!r}; "
+            "use 'tree' (default) or 'rules'",
+            2,
+        )
+    try:
+        config = load_config(Path(args.layers) if args.layers else None)
+    except (FileNotFoundError, ValueError) as error:
+        return (str(error), 2)
+    report = analyze_tree(config=config)
+    if args.json:
+        text = json_module.dumps(report.as_payload(), indent=2, sort_keys=True)
+    else:
+        text = report.render(verbose=args.strict)
+    return text, (1 if args.strict and not report.clean else 0)
+
+
 #: Registry of experiment name -> (description, runner).
 EXPERIMENTS: Dict[str, tuple] = {
     "table1": ("Serpens design parameters", _table1),
@@ -785,8 +825,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help=(
-            "experiment to run: one of %s, 'all', 'list', or 'results'"
-            % ", ".join(EXPERIMENTS)
+            "experiment to run: one of %s, 'all', 'list', 'results', or "
+            "'analyze'" % ", ".join(EXPERIMENTS)
         ),
     )
     parser.add_argument(
@@ -794,7 +834,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help="subcommand for 'results': list (default), show, compare, "
-        "merge or gate",
+        "merge or gate; for 'analyze': tree (default) or rules",
     )
     parser.add_argument(
         "--scale",
@@ -996,6 +1036,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=20,
         help="rows shown by 'results list'",
     )
+    analysis = parser.add_argument_group("analyze options")
+    analysis.add_argument(
+        "--strict",
+        action="store_true",
+        help="with 'analyze': exit non-zero when any finding remains "
+        "(the CI invariants gate)",
+    )
+    analysis.add_argument(
+        "--layers",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="layer-contract TOML for 'analyze' (default: the committed "
+        "analysis/layers.toml found above the package)",
+    )
     return parser
 
 
@@ -1015,6 +1070,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         # paper-reproduction sweep): inspect/compare the results store, or
         # run the CI regression gate.
         text, code = _results(args)
+        print(text)
+        return code
+
+    if args.experiment == "analyze":
+        # Also not an experiment: the architecture-invariant linter over
+        # the installed package tree ('analyze --strict' is the CI gate).
+        text, code = _analyze(args)
         print(text)
         return code
 

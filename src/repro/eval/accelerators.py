@@ -14,7 +14,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from ..backends import EngineSpec, SerpensEngine, SpMVEngine, create
+from ..backends import (
+    ENGINE_GRAPHLILY,
+    ENGINE_K80,
+    ENGINE_SEXTANS,
+    EngineSpec,
+    SerpensEngine,
+    SpMVEngine,
+    create,
+)
 from ..formats import COOMatrix
 from ..metrics import ExecutionReport
 from ..serpens import SERPENS_A16, SerpensConfig
@@ -77,10 +85,10 @@ class AcceleratorUnderTest:
 def table2_specs(serpens_config: SerpensConfig = SERPENS_A16) -> List[AcceleratorSpec]:
     """The specification rows of the paper's Table 2, straight from the registry."""
     return [
-        create("sextans").spec(),
-        create("graphlily").spec(),
+        create(ENGINE_SEXTANS).spec(),
+        create(ENGINE_GRAPHLILY).spec(),
         SerpensEngine(serpens_config).spec(),
-        create("k80").spec(),
+        create(ENGINE_K80).spec(),
     ]
 
 
@@ -90,12 +98,12 @@ def build_accelerators(
 ) -> List[AcceleratorUnderTest]:
     """The accelerators compared in Table 4 (plus the K80 when requested)."""
     accelerators = [
-        AcceleratorUnderTest(name="Sextans", engine=create("sextans")),
-        AcceleratorUnderTest(name="GraphLily", engine=create("graphlily")),
+        AcceleratorUnderTest(name="Sextans", engine=create(ENGINE_SEXTANS)),
+        AcceleratorUnderTest(name="GraphLily", engine=create(ENGINE_GRAPHLILY)),
         AcceleratorUnderTest(
             name=serpens_config.name, engine=SerpensEngine(serpens_config)
         ),
     ]
     if include_gpu:
-        accelerators.append(AcceleratorUnderTest(name="K80", engine=create("k80")))
+        accelerators.append(AcceleratorUnderTest(name="K80", engine=create(ENGINE_K80)))
     return accelerators

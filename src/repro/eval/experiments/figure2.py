@@ -13,7 +13,7 @@ but still schedulable with no extra padding on this example.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -10,7 +10,7 @@ reproduce that structure synthetically.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional
 
 import numpy as np
 

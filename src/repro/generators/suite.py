@@ -24,7 +24,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..formats import COOMatrix
-from .random_uniform import random_uniform, random_with_dense_rows
+from .random_uniform import random_uniform
 from .rmat import rmat_graph
 from .structured import banded_matrix, block_sparse_matrix
 

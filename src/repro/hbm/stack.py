@@ -9,7 +9,7 @@ figure the paper quotes (e.g. 19 channels -> 273 GB/s for Serpens-A16).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from .channel import DDR4_CHANNEL, HBM_CHANNEL, ChannelConfig, MemoryChannel
 

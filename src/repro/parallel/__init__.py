@@ -13,13 +13,14 @@ the wall clock with real OS processes:
   (``repro serve-bench --wall-clock``).
 """
 
-from .pool import WallClockReport, WallClockResult, WorkerPool
+from .pool import WallClockReport, WallClockResult, WorkerPool, install_monitor
 from .shm import (
     ArraySpec,
     ShmBlock,
     ShmDescriptor,
     attach_block,
     coo_from_block,
+    install_auditor,
     program_from_block,
     share_arrays,
     share_coo,
@@ -39,6 +40,8 @@ __all__ = [
     "WorkerPool",
     "attach_block",
     "coo_from_block",
+    "install_auditor",
+    "install_monitor",
     "program_from_block",
     "share_arrays",
     "share_coo",

@@ -43,7 +43,7 @@ from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Set, Tup
 
 import numpy as np
 
-from ..backends import PreparedMatrix, SpMVEngine, provision
+from ..backends import DEFAULT_ENGINE, PreparedMatrix, SpMVEngine, provision
 from ..formats import COOMatrix
 from ..preprocess import SerpensProgram
 from ..serve.cache import matrix_fingerprint
@@ -52,7 +52,42 @@ from ..spmv import spmv
 from .shm import ShmBlock, share_coo, share_program
 from .worker import BatchResult, WorkBatch, WorkerConfig, worker_main
 
-__all__ = ["WallClockReport", "WallClockResult", "WorkerPool"]
+__all__ = ["WallClockReport", "WallClockResult", "WorkerPool", "install_monitor"]
+
+#: Optional concurrency monitor (duck-typed: ``wait_started``/``wait_finished``,
+#: ``section``, ``reader_loop_started``/``reader_pumped``).  The sanitizer in
+#: repro.analysis installs itself here; this module never imports analysis.
+_MONITOR = None
+
+
+def install_monitor(monitor) -> None:
+    """Install (or with ``None`` remove) the pool concurrency monitor."""
+    global _MONITOR
+    _MONITOR = monitor
+
+
+class _NullSection:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return None
+
+
+_NULL_SECTION = _NullSection()
+
+
+def _mon_section(name: str):
+    return _NULL_SECTION if _MONITOR is None else _MONITOR.section(name)
+
+
+def _mon_wait_start(kind: str, timeout: float):
+    return None if _MONITOR is None else _MONITOR.wait_started(kind, timeout)
+
+
+def _mon_wait_end(token) -> None:
+    if token is not None and _MONITOR is not None:
+        _MONITOR.wait_finished(token)
 
 
 @dataclass
@@ -169,18 +204,22 @@ class _BatchState:
     retried: bool = False
 
 
-def _pump_replies(source, sink: "queue_module.Queue") -> None:
+def _pump_replies(source, sink: "queue_module.Queue", worker_id: int = -1) -> None:
     """Drain one worker's reply queue into the pool's in-process queue.
 
     Runs as a daemon thread.  When the worker dies the queue either raises
     (pipe closed) or blocks forever on a truncated message; either way the
     thread is simply abandoned and the pool keeps running.
     """
+    if _MONITOR is not None:
+        _MONITOR.reader_loop_started(worker_id)
     while True:
         try:
             sink.put(source.get())
         except (EOFError, OSError):  # pragma: no cover - pipe torn down
             return
+        if _MONITOR is not None:
+            _MONITOR.reader_pumped(worker_id)
 
 
 class WorkerPool:
@@ -230,7 +269,7 @@ class WorkerPool:
             raise ValueError(f"unknown compute mode {compute!r}")
         if isinstance(engines, str):
             engines = [engines]
-        names = list(engines) if engines else ["serpens-a16"]
+        names = list(engines) if engines else [DEFAULT_ENGINE]
         self.num_workers = num_workers
         self.engine_mode = engine_mode
         self.build_mode = build_mode
@@ -322,7 +361,7 @@ class WorkerPool:
         slot.process.start()
         slot.reader = threading.Thread(
             target=_pump_replies,
-            args=(slot.reply, self._replies),
+            args=(slot.reply, self._replies, slot.worker_id),
             daemon=True,
             name=f"repro-reader-{slot.worker_id}",
         )
@@ -336,7 +375,8 @@ class WorkerPool:
         """Heartbeat one worker; raises ``TimeoutError`` when it is gone."""
         slot = self._slots[worker_id]
         token = uuid.uuid4().hex
-        slot.tasks.put(("ping", token))
+        with _mon_section("tasks"):
+            slot.tasks.put(("ping", token))
         self._wait_for(
             "pong",
             lambda msg: msg[1] == worker_id and msg[2] == token,
@@ -354,7 +394,8 @@ class WorkerPool:
             waiting = []
             for slot in self._slots:
                 if slot.alive:
-                    slot.tasks.put(("stop",))
+                    with _mon_section("tasks"):
+                        slot.tasks.put(("stop",))
                     waiting.append(slot.worker_id)
             deadline = time.monotonic() + timeout
             for worker_id in waiting:
@@ -453,15 +494,16 @@ class WorkerPool:
 
     def _register_with_worker(self, slot: _Slot, entry: _Registered) -> None:
         program_block = entry.program_blocks.get(slot.engine)
-        slot.tasks.put(
-            (
-                "register",
-                entry.key,
-                entry.name,
-                entry.coo_block.descriptor,
-                None if program_block is None else program_block.descriptor,
+        with _mon_section("tasks"):
+            slot.tasks.put(
+                (
+                    "register",
+                    entry.key,
+                    entry.name,
+                    entry.coo_block.descriptor,
+                    None if program_block is None else program_block.descriptor,
+                )
             )
-        )
         self._wait_for(
             "registered",
             lambda msg: msg[1] == slot.worker_id and msg[2] == entry.key,
@@ -482,17 +524,21 @@ class WorkerPool:
             if predicate(msg):
                 return buffered.pop(index)
         deadline = time.monotonic() + timeout
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise TimeoutError(f"timed out waiting for {kind!r} from worker")
-            try:
-                msg = self._replies.get(timeout=min(remaining, 0.25))
-            except queue_module.Empty:
-                continue
-            if msg[0] == kind and predicate(msg):
-                return msg
-            self._pending.setdefault(msg[0], []).append(msg)
+        token = _mon_wait_start(kind, timeout)
+        try:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(f"timed out waiting for {kind!r} from worker")
+                try:
+                    msg = self._replies.get(timeout=min(remaining, 0.25))
+                except queue_module.Empty:
+                    continue
+                if msg[0] == kind and predicate(msg):
+                    return msg
+                self._pending.setdefault(msg[0], []).append(msg)
+        finally:
+            _mon_wait_end(token)
 
     def _next_message(self, timeout: float) -> Optional[Tuple[Any, ...]]:
         """Next buffered or queued message of any kind (None on timeout)."""
@@ -500,10 +546,13 @@ class WorkerPool:
             buffered = self._pending.get(kind)
             if buffered:
                 return buffered.pop(0)
+        token = _mon_wait_start("message", timeout) if timeout else None
         try:
             return self._replies.get(timeout=timeout) if timeout else self._replies.get_nowait()
         except queue_module.Empty:
             return None
+        finally:
+            _mon_wait_end(token)
 
     # ------------------------------------------------------------------
     # Execution
@@ -667,7 +716,8 @@ class WorkerPool:
                     state.worker_id = slot.worker_id
                     state.enqueued_at = time.perf_counter()
                     inflight[state.batch.batch_id] = state
-                    slot.tasks.put(("execute", state.batch))
+                    with _mon_section("tasks"):
+                        slot.tasks.put(("execute", state.batch))
 
         def complete(state: _BatchState, result: BatchResult, worker_id: int) -> None:
             nonlocal cycles, edges
@@ -804,7 +854,7 @@ class WorkerPool:
         engine_name = (
             self._slots[state.worker_id].engine
             if 0 <= state.worker_id < len(self._slots)
-            else (self._slots[0].engine if self._slots else "serpens-a16")
+            else (self._slots[0].engine if self._slots else DEFAULT_ENGINE)
         )
         started = time.perf_counter()
         ys: List[Optional[np.ndarray]] = []

@@ -45,6 +45,7 @@ __all__ = [
     "ShmBlock",
     "ShmDescriptor",
     "attach_block",
+    "install_auditor",
     "coo_from_block",
     "coo_to_arrays",
     "program_from_block",
@@ -57,6 +58,22 @@ __all__ = [
 #: Byte alignment of each array inside a segment (cache-line friendly, and
 #: safe for every dtype the codecs use).
 _ALIGN = 64
+
+#: Optional lifecycle auditor (duck-typed: anything with
+#: ``record(event, name, owner=..., nbytes=...)``).  The sanitizer in
+#: repro.analysis installs itself here; this module never imports analysis.
+_AUDITOR = None
+
+
+def install_auditor(auditor) -> None:
+    """Install (or with ``None`` remove) the segment-lifecycle auditor."""
+    global _AUDITOR
+    _AUDITOR = auditor
+
+
+def _audit(event: str, name: str, owner: bool = False, nbytes: int = 0) -> None:
+    if _AUDITOR is not None:
+        _AUDITOR.record(event, name, owner=owner, nbytes=nbytes)
 
 
 def _aligned(offset: int) -> int:
@@ -157,6 +174,7 @@ class ShmBlock:
         self._views.clear()
         self._closed = True
         self._shm.close()
+        _audit("close", self.name, owner=self.owner)
 
     def unlink(self) -> None:
         """Destroy the segment; owner-only, implies :meth:`close`."""
@@ -170,6 +188,7 @@ class ShmBlock:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already unlinked
             pass
+        _audit("unlink", self.name, owner=True)
 
     def __enter__(self) -> "ShmBlock":
         return self
@@ -215,6 +234,7 @@ def share_arrays(
     descriptor = ShmDescriptor(
         shm_name=shm.name, arrays=tuple(specs), nbytes=total
     )
+    _audit("create", shm.name, owner=True, nbytes=total)
     block = ShmBlock(shm, descriptor, owner=True)
     views = block.arrays()
     for name, array in normalised.items():
@@ -229,6 +249,7 @@ def attach_block(descriptor: ShmDescriptor) -> ShmBlock:
     Raises ``FileNotFoundError`` when the owner has already unlinked it.
     """
     shm = shared_memory.SharedMemory(name=descriptor.shm_name)
+    _audit("attach", descriptor.shm_name, owner=False, nbytes=descriptor.nbytes)
     return ShmBlock(shm, descriptor, owner=False)
 
 

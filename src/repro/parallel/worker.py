@@ -37,7 +37,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..backends import PreparedMatrix, provision
+from ..backends import DEFAULT_ENGINE, PreparedMatrix, provision
 from ..spmv import spmv
 from .shm import ShmBlock, ShmDescriptor, coo_from_block, program_from_block
 
@@ -52,7 +52,7 @@ class WorkerConfig:
     """Everything a worker process needs to provision and report."""
 
     worker_id: int
-    engine: str = "serpens-a16"
+    engine: str = DEFAULT_ENGINE
     engine_mode: Optional[str] = None
     build_mode: Optional[str] = None
     #: "simulate" runs the engine datapath, "reference" the golden numpy

@@ -1,0 +1,29 @@
+"""Shared fixtures: the shm-leak sanitizer for the parallel test modules.
+
+Every test in a ``test_parallel_*`` module runs under a fresh
+:class:`repro.analysis.ShmAuditor` installed into the shared-memory
+transport.  At teardown the auditor asserts balanced lifecycles — a test
+that creates a segment and never unlinks it (or attaches and never closes)
+fails with the RPR301 findings, pointing at the creation site.  Other
+modules are untouched: the auditor costs a dict update per lifecycle event
+and nothing at all when not installed.
+"""
+
+import pytest
+
+from repro.analysis import ShmAuditor
+from repro.parallel import shm as parallel_shm
+
+
+@pytest.fixture(autouse=True)
+def shm_leak_sanitizer(request):
+    if not request.module.__name__.startswith("test_parallel"):
+        yield None
+        return
+    auditor = ShmAuditor()
+    parallel_shm.install_auditor(auditor)
+    try:
+        yield auditor
+        auditor.assert_balanced()
+    finally:
+        parallel_shm.install_auditor(None)

@@ -1,0 +1,93 @@
+"""Tests for RPR204: SpMVEngine protocol conformance by introspection."""
+
+import numpy as np
+
+from repro.analysis import check_engine_protocol
+from repro.backends import SpMVEngine, available, create
+
+
+class TestLiveRegistry:
+    def test_every_registered_engine_conforms(self):
+        findings = check_engine_protocol()
+        assert findings == [], "\n".join(f.render() for f in findings)
+        assert len(available()) >= 6  # the check actually saw the registry
+
+
+class NotAnEngine:
+    """Quacks vaguely but is not an SpMVEngine subclass."""
+
+    def spec(self):
+        return None
+
+
+class MissingExecute(SpMVEngine):
+    # Overriding the abstract method with a non-callable satisfies the ABC
+    # machinery but not the protocol check.
+    execute = None
+
+    def spec(self):
+        return None
+
+    def build_payload(self, matrix):
+        return None
+
+    def estimate(self, matrix, matrix_name="matrix", model="detailed"):
+        return None
+
+
+class WrongExecuteSignature(SpMVEngine):
+    def spec(self):
+        return None
+
+    def build_payload(self, matrix):
+        return None
+
+    def execute(self, prepared):  # drops x/y/alpha/beta
+        return None
+
+    def estimate(self, matrix, matrix_name="matrix", model="detailed"):
+        return None
+
+
+class TestSeededNonConformance:
+    def test_non_subclass_fires_once_with_class_provenance(self):
+        findings = check_engine_protocol(engines={"fake": NotAnEngine()})
+        assert [f.code for f in findings] == ["RPR204"]
+        assert "not an SpMVEngine subclass" in findings[0].message
+        assert findings[0].path.endswith("test_analysis_protocol.py")
+        assert findings[0].line > 0
+
+    def test_missing_method_fires_once(self):
+        findings = check_engine_protocol(engines={"partial": MissingExecute()})
+        assert [f.code for f in findings] == ["RPR204"]
+        assert "execute()" in findings[0].message
+
+    def test_wrong_signature_points_at_the_defining_line(self):
+        findings = check_engine_protocol(
+            engines={"narrow": WrongExecuteSignature()}
+        )
+        assert [f.code for f in findings] == ["RPR204"]
+        finding = findings[0]
+        assert "execute" in finding.message
+        assert finding.path.endswith("test_analysis_protocol.py")
+        # The line is the def execute line of WrongExecuteSignature.
+        import inspect
+
+        __, start = inspect.getsourcelines(WrongExecuteSignature.execute)
+        assert finding.line == start
+
+    def test_conforming_engine_is_silent(self):
+        engine = create("cpu")
+        assert check_engine_protocol(engines={"cpu": engine}) == []
+
+    def test_canonical_shapes_match_a_real_call(self):
+        # The shapes the checker binds are the ones the serving stack uses;
+        # prove one of them against a live engine end to end.
+        from repro.generators import random_uniform
+
+        engine = create("cpu")
+        matrix = random_uniform(num_rows=32, num_cols=32, nnz=96, seed=7)
+        prepared = engine.prepare(matrix, name="matrix")
+        x = np.ones(matrix.num_cols, dtype=np.float32)
+        result = engine.execute(prepared, x, y=None, alpha=1.0, beta=0.0)
+        assert result.y.shape == (matrix.num_rows,)
