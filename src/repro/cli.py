@@ -23,7 +23,14 @@ batched SJF scheduling, and reports throughput, tail latency and program-
 cache behaviour for each.  ``--wall-clock --workers N`` additionally serves
 the same trace on a pool of real engine worker processes (shared-memory
 transport) and prints measured latency percentiles next to the modelled
-ones.
+ones.  ``--open-loop`` replays the trace's recorded arrival gaps instead of
+saturating the pool, ``--deadline-ms`` gives every request a latency budget
+(expired work is shed, not served late), and ``--fault-plan PLAN`` injects a
+declarative fault schedule (worker crashes, hangs, slowdowns, dropped
+replies) to exercise the resilience machinery::
+
+    python -m repro.cli serve-bench --wall-clock --workers 2 \
+        --fault-plan benchmarks/faults_standard.toml --deadline-ms 2000
 """
 
 from __future__ import annotations
@@ -279,10 +286,21 @@ def _serve_bench_payload(args: argparse.Namespace, tracer=None):
     if getattr(args, "wall_clock", False):
         # Measured counterpart to the modelled variants above: the same
         # trace served by real engine worker processes over shared memory.
-        # This is a saturation benchmark (arrival gaps are not replayed), so
-        # its latencies are wall-clock milliseconds, not virtual time.
+        # Saturation by default; --open-loop replays the trace's recorded
+        # arrival gaps instead.  Latencies are wall-clock milliseconds, not
+        # virtual time.
         from .parallel import WorkerPool
 
+        fault_plan = None
+        if getattr(args, "fault_plan", None):
+            from .resilience import load_fault_plan
+
+            fault_plan = load_fault_plan(args.fault_plan)
+        deadline_s = (
+            args.deadline_ms / 1e3
+            if getattr(args, "deadline_ms", None)
+            else None
+        )
         trace = generate_trace(
             args.scenario, args.requests, seed=args.seed, gap_scale=args.gap_scale
         )
@@ -295,8 +313,14 @@ def _serve_bench_payload(args: argparse.Namespace, tracer=None):
             max_batch=args.max_batch,
             results_path=args.results_db,
             scenario=args.scenario,
+            fault_plan=fault_plan,
         ) as wc_pool:
-            wc_report = wc_pool.run_trace(trace)
+            wc_report = wc_pool.run_trace(
+                trace,
+                open_loop=bool(getattr(args, "open_loop", False)),
+                arrival_scale=getattr(args, "arrival_scale", 1.0),
+                deadline_s=deadline_s,
+            )
         snapshot = wc_report.snapshot()
         variant_payloads[f"wallclock-w{args.workers}"] = snapshot
         wallclock_rendered = format_table(
@@ -312,6 +336,11 @@ def _serve_bench_payload(args: argparse.Namespace, tracer=None):
                 "retries",
                 "respawns",
                 "inline",
+                "degraded",
+                "shed",
+                "ddl miss",
+                "hedges",
+                "faults",
             ],
             [
                 [
@@ -326,11 +355,22 @@ def _serve_bench_payload(args: argparse.Namespace, tracer=None):
                     int(snapshot["retries"]),
                     int(snapshot["respawns"]),
                     int(snapshot["inline_requests"]),
+                    int(snapshot["degraded_batches"]),
+                    int(snapshot["shed_requests"]),
+                    int(snapshot["deadline_misses"]),
+                    int(snapshot["hedges"]),
+                    int(snapshot["faults_planned"]),
                 ]
             ],
             title=(
                 f"Wall-clock serving (measured) — engine {wc_report.engine}, "
                 f"compute={wc_report.compute}"
+                + (", open-loop" if getattr(args, "open_loop", False) else "")
+                + (
+                    f", fault plan {fault_plan.name}"
+                    if fault_plan is not None
+                    else ""
+                )
             ),
         )
 
@@ -371,6 +411,10 @@ def _serve_bench_payload(args: argparse.Namespace, tracer=None):
         "autotune": bool(args.autotune),
         "wall_clock": bool(getattr(args, "wall_clock", False)),
         "workers": getattr(args, "workers", None),
+        "fault_plan": getattr(args, "fault_plan", None),
+        "deadline_ms": getattr(args, "deadline_ms", None),
+        "open_loop": bool(getattr(args, "open_loop", False)),
+        "arrival_scale": getattr(args, "arrival_scale", 1.0),
     }
     payload = {
         "experiment": "serve-bench",
@@ -588,9 +632,18 @@ def _gate_args_from_config(config: Dict) -> argparse.Namespace:
     if config.get("autotune"):
         argv.append("--autotune")
     # Baselines written before the wall-clock mode existed have no
-    # wall_clock/workers keys; .get keeps them replayable.
+    # wall_clock/workers keys; .get keeps them replayable.  The same goes
+    # for the resilience knobs added later.
     if config.get("wall_clock"):
         argv += ["--wall-clock", "--workers", str(config.get("workers") or 2)]
+        if config.get("fault_plan"):
+            argv += ["--fault-plan", str(config["fault_plan"])]
+        if config.get("deadline_ms"):
+            argv += ["--deadline-ms", str(config["deadline_ms"])]
+        if config.get("open_loop"):
+            argv.append("--open-loop")
+        if config.get("arrival_scale") not in (None, 1.0):
+            argv += ["--arrival-scale", str(config["arrival_scale"])]
     return build_parser().parse_args(argv)
 
 
@@ -936,6 +989,43 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=2,
         help="worker processes for --wall-clock (0 = serve inline)",
+    )
+    serving.add_argument(
+        "--fault-plan",
+        type=str,
+        default=None,
+        metavar="PLAN",
+        help=(
+            "TOML/JSON fault plan injected into the --wall-clock worker "
+            "pool (crashes, hangs, slowdowns, dropped replies; see "
+            "benchmarks/faults_standard.toml)"
+        ),
+    )
+    serving.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help=(
+            "per-request latency budget for --wall-clock; requests whose "
+            "deadline passes before dispatch are shed instead of served late"
+        ),
+    )
+    serving.add_argument(
+        "--open-loop",
+        action="store_true",
+        help=(
+            "replay the trace's recorded arrival gaps in --wall-clock "
+            "(open-loop load) instead of saturating the pool"
+        ),
+    )
+    serving.add_argument(
+        "--arrival-scale",
+        type=float,
+        default=1.0,
+        help=(
+            "multiplier on replayed arrival times for --open-loop "
+            "(>1 slows the trace down, <1 compresses it)"
+        ),
     )
     serving.add_argument(
         "--autotune",

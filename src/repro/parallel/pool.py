@@ -7,23 +7,43 @@ prebuilt programs over shared memory (:mod:`repro.parallel.shm`), and reports
 measured wall-clock latency percentiles and aggregate throughput next to the
 modelled numbers.
 
-Wall-clock mode is a *saturation* benchmark: the trace's virtual arrival
-gaps (microseconds) are not replayed — every request is available up front,
-batches are dispatched as worker inflight slots free, and a request's
+Wall-clock mode drives load two ways.  The default is a *saturation*
+benchmark: arrival gaps are not replayed — every request is available up
+front, batches are dispatched as worker inflight slots free, and a request's
 latency is measured from its batch entering the worker's queue to its result
-arriving back.  Makespan and throughput therefore measure the pool at full
-load, the regime the paper's bandwidth argument is about.
+arriving back, so makespan and throughput measure the pool at full load, the
+regime the paper's bandwidth argument is about.
+``run_trace(..., open_loop=True)`` instead *releases* each batch at its
+first request's recorded arrival time (stretchable via ``arrival_scale``)
+and measures latency from that release, so queueing, deadlines and shedding
+reflect the trace's arrival process.
 
 Robustness, because real processes die:
 
 * each worker is health-checked (liveness + a ping heartbeat on spawn and
   respawn) and every inflight batch carries a deadline,
 * a dead or wedged worker is respawned, its matrices re-registered, and its
-  lost batches retried exactly once on the replacement,
-* a batch that fails twice — or the whole pool failing to start — degrades
-  to inline execution in the parent, so no request is ever lost,
-* duplicate results (a worker that replied and *then* died mid-batch) are
-  deduplicated by batch id, so no request is ever double-counted.
+  lost batches re-dispatched under a configurable
+  :class:`~repro.resilience.RetryPolicy` (attempt cap, backoff + jitter,
+  retry budget, optional hedging of stragglers),
+* repeated failures trip a per-worker
+  :class:`~repro.resilience.CircuitBreaker` (closed/open/half-open with
+  probe re-admission) consulted at dispatch, so the pool routes around sick
+  workers instead of feeding them,
+* a batch that exhausts its attempts — or the whole pool failing to start —
+  degrades to inline execution in the parent, so no request is ever lost,
+* duplicate results (a worker that replied and *then* died mid-batch, or a
+  hedge racing its original) are deduplicated by batch id, so no request is
+  ever double-counted,
+* requests whose deadline (``run_trace(..., deadline_s=...)``) has already
+  expired at dispatch time are shed explicitly rather than served late.
+
+Fault injection is declarative: pass a
+:class:`~repro.resilience.FaultPlan` (``fault_plan=``) and each worker gets
+its resolved share of the plan's crash/hang/slow/attach-failure/reply-drop
+specs; the legacy ``fail_on_batch`` mapping is translated into crash specs
+on the same path.  All resilience types are reached lazily (function-scoped
+imports), keeping the layer DAG acyclic.
 
 Per-worker shard :class:`~repro.obs.ResultsStore` databases are merged into
 one store on shutdown via :meth:`~repro.obs.ResultsStore.merge`.
@@ -101,6 +121,10 @@ class WallClockResult:
     y: Optional[np.ndarray]
     latency_seconds: float
     batch_size: int
+    #: Shed (deadline expired before dispatch): ``y`` is None and the
+    #: latency is the age at the shed decision, not a service time.
+    shed: bool = False
+    shed_reason: str = ""
 
 
 @dataclass
@@ -120,9 +144,23 @@ class WallClockReport:
     respawns: int
     inline_requests: int
     prepare_count: int
+    #: Batches that fell back to inline execution in the parent (retry
+    #: attempts exhausted, worker error, or breaker starvation guard).
+    degraded_batches: int = 0
+    #: Requests shed because their deadline expired before dispatch.
+    deadline_misses: int = 0
+    shed_requests: int = 0
+    #: Straggler batches duplicated onto a second worker.
+    hedges: int = 0
+    #: Fault specs in the installed plan (0 = fault-free run).
+    faults_planned: int = 0
 
     def latencies(self) -> List[float]:
-        return [r.latency_seconds for r in self.results]
+        return [r.latency_seconds for r in self.results if not r.shed]
+
+    @property
+    def completed(self) -> List[WallClockResult]:
+        return [r for r in self.results if not r.shed]
 
     def snapshot(self) -> Dict[str, float]:
         """Measured metrics under the telemetry snapshot's names.
@@ -131,7 +169,8 @@ class WallClockReport:
         quantities correspond, so modelled and measured runs land in the same
         columns of a results store.
         """
-        latencies_ms = sorted(r.latency_seconds * 1e3 for r in self.results)
+        completed = self.completed
+        latencies_ms = sorted(r.latency_seconds * 1e3 for r in completed)
         span = max(self.makespan_seconds, 1e-12)
 
         def percentile(fraction: float) -> float:
@@ -140,15 +179,15 @@ class WallClockReport:
             return float(np.percentile(latencies_ms, fraction))
 
         return {
-            "requests": float(len(self.results)),
+            "requests": float(len(completed)),
             "latency_p50_ms": percentile(50),
             "latency_p95_ms": percentile(95),
             "latency_p99_ms": percentile(99),
-            "throughput_rps": len(self.results) / span,
+            "throughput_rps": len(completed) / span,
             "aggregate_mteps": self.traversed_edges / span / 1e6,
             "makespan_seconds": self.makespan_seconds,
             "mean_batch_size": (
-                len(self.results) / self.batches if self.batches else 0.0
+                len(completed) / self.batches if self.batches else 0.0
             ),
             "engine_cycles_total": self.engine_cycles,
             "workers": float(self.num_workers),
@@ -156,6 +195,11 @@ class WallClockReport:
             "respawns": float(self.respawns),
             "inline_requests": float(self.inline_requests),
             "prepare_count": float(self.prepare_count),
+            "degraded_batches": float(self.degraded_batches),
+            "deadline_misses": float(self.deadline_misses),
+            "shed_requests": float(self.shed_requests),
+            "hedges": float(self.hedges),
+            "faults_planned": float(self.faults_planned),
         }
 
 
@@ -201,7 +245,15 @@ class _BatchState:
     requests: List[Tuple[int, str]]  # (request_id, tenant)
     matrix: _Registered
     enqueued_at: float = 0.0
-    retried: bool = False
+    #: Dispatches so far (the RetryPolicy's attempt counter).
+    attempts: int = 0
+    #: Retry backoff: not dispatchable before this ``perf_counter`` time.
+    not_before: float = 0.0
+    #: Open-loop release (absolute ``perf_counter``); 0 = immediately.
+    release_at: float = 0.0
+    #: Absolute deadline; past it the batch is shed instead of dispatched.
+    deadline_at: Optional[float] = None
+    hedged: bool = False
 
 
 def _pump_replies(source, sink: "queue_module.Queue", worker_id: int = -1) -> None:
@@ -242,9 +294,28 @@ class WorkerPool:
         worker at once (backpressure, so a slow worker does not hoard work).
     batch_timeout:
         Seconds after which an unanswered batch declares its worker wedged.
+        A ``fault_plan`` carrying its own ``batch_timeout`` hint tightens
+        this (the plan pins the experiment, not every invocation).
     results_path:
         Merged results database; per-worker shards are written next to it as
         ``<path>.shard<N>`` and folded in on :meth:`shutdown`.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan`; each worker receives
+        its resolved share of the plan's specs.  ``fail_on_batch`` (legacy)
+        is translated into crash specs and merged in.
+    retry_policy:
+        ``"default"`` builds a :class:`~repro.resilience.RetryPolicy` with
+        the historical behaviour (one retry, no backoff); pass a policy to
+        customise attempts/backoff/budget/hedging.
+    breaker:
+        ``"default"`` gives every worker a
+        :class:`~repro.resilience.CircuitBreaker`; ``None`` disables
+        breaking; a mapping ``{worker_id: CircuitBreaker}`` installs custom
+        ones.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` (duck-typed); each
+        :meth:`run_trace` publishes its snapshot (``wallclock_*``) plus
+        per-worker ``breaker_state`` gauges into it.
     """
 
     def __init__(
@@ -262,6 +333,10 @@ class WorkerPool:
         scenario: str = "adhoc",
         start_method: Optional[str] = None,
         fail_on_batch: Optional[Mapping[int, int]] = None,
+        fault_plan=None,
+        retry_policy="default",
+        breaker="default",
+        metrics=None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be non-negative")
@@ -270,6 +345,17 @@ class WorkerPool:
         if isinstance(engines, str):
             engines = [engines]
         names = list(engines) if engines else [DEFAULT_ENGINE]
+        # Function-scoped import: the parallel layer reaches resilience only
+        # through this lazy edge (see analysis/layers.toml).
+        from ..resilience.faults import crash_plan, merge_plans
+        from ..resilience.policy import CircuitBreaker, RetryPolicy
+
+        plan = fault_plan
+        if fail_on_batch:
+            plan = merge_plans(plan, crash_plan(dict(fail_on_batch)))
+        self._plan = plan
+        if plan is not None and plan.batch_timeout is not None:
+            batch_timeout = min(batch_timeout, plan.batch_timeout)
         self.num_workers = num_workers
         self.engine_mode = engine_mode
         self.build_mode = build_mode
@@ -280,7 +366,20 @@ class WorkerPool:
         self.spawn_timeout = spawn_timeout
         self.results_path = results_path
         self.scenario = scenario
-        self._fail_on_batch = dict(fail_on_batch or {})
+        self.retry_policy = (
+            RetryPolicy() if retry_policy == "default" or retry_policy is None
+            else retry_policy
+        )
+        if breaker == "default":
+            self._breakers = {
+                i: CircuitBreaker(
+                    failure_threshold=3, cooldown_seconds=2.0, name=f"worker-{i}"
+                )
+                for i in range(num_workers)
+            }
+        else:
+            self._breakers = dict(breaker or {})
+        self._metrics = metrics
         self._ctx = multiprocessing.get_context(
             start_method
             or ("fork" if "fork" in multiprocessing.get_all_start_methods() else None)
@@ -302,6 +401,10 @@ class WorkerPool:
         self.retries = 0
         self.respawns = 0
         self.inline_requests = 0
+        self.degraded_batches = 0
+        self.deadline_misses = 0
+        self.shed_requests = 0
+        self.hedges = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -340,6 +443,9 @@ class WorkerPool:
 
     def _spawn(self, slot: _Slot) -> None:
         """Start (or restart) the process in a slot and wait until healthy."""
+        faults: Tuple[Any, ...] = ()
+        if self._plan is not None:
+            faults = self._plan.faults_for_worker(slot.worker_id, self.num_workers)
         config = WorkerConfig(
             worker_id=slot.worker_id,
             engine=slot.engine,
@@ -348,7 +454,8 @@ class WorkerPool:
             compute=self.compute,
             results_path=self._shard_path(slot.worker_id),
             scenario=self.scenario,
-            fail_on_batch=self._fail_on_batch.get(slot.worker_id),
+            faults=faults,
+            generation=slot.respawns,
         )
         slot.tasks = self._ctx.Queue()
         slot.reply = self._ctx.Queue()
@@ -411,10 +518,16 @@ class WorkerPool:
                     pass
             for slot in self._slots:
                 if slot.process is not None:
-                    slot.process.join(timeout=5.0)
+                    # Joins share the caller's overall deadline: shutdown of
+                    # a pool of N hung workers must cost ~`timeout`, not 5*N.
+                    slot.process.join(
+                        timeout=min(5.0, max(0.1, deadline - time.monotonic()))
+                    )
                     if slot.process.is_alive():  # pragma: no cover - stragglers
                         slot.process.terminate()
-                        slot.process.join(timeout=5.0)
+                        slot.process.join(
+                            timeout=min(5.0, max(0.1, deadline - time.monotonic()))
+                        )
                 if slot.tasks is not None:
                     # Never block interpreter exit on flushing tasks to a
                     # worker that is no longer reading them.
@@ -492,23 +605,60 @@ class WorkerPool:
         home.placed_nnz += matrix.nnz
         return home.worker_id
 
-    def _register_with_worker(self, slot: _Slot, entry: _Registered) -> None:
+    def _register_with_worker(self, slot: _Slot, entry: _Registered) -> bool:
+        """Register one matrix with one worker; retry once on a reported error.
+
+        A registration error (e.g. an shm attach failure on a respawned
+        worker) is retried once — transient attach failures usually clear —
+        and a second failure marks the worker sick on its breaker so
+        placement routes around it.  Returns whether the worker holds the
+        matrix.
+        """
         program_block = entry.program_blocks.get(slot.engine)
-        with _mon_section("tasks"):
-            slot.tasks.put(
-                (
-                    "register",
-                    entry.key,
-                    entry.name,
-                    entry.coo_block.descriptor,
-                    None if program_block is None else program_block.descriptor,
-                )
-            )
-        self._wait_for(
-            "registered",
-            lambda msg: msg[1] == slot.worker_id and msg[2] == entry.key,
-            self.spawn_timeout,
+        task = (
+            "register",
+            entry.key,
+            entry.name,
+            entry.coo_block.descriptor,
+            None if program_block is None else program_block.descriptor,
         )
+        for _attempt in range(2):
+            with _mon_section("tasks"):
+                slot.tasks.put(task)
+            try:
+                msg = self._wait_for_any(
+                    ("registered", "error"),
+                    lambda m: m[1] == slot.worker_id
+                    and (m[2] == entry.key if m[0] == "registered" else m[2] is None),
+                    self.spawn_timeout,
+                )
+            except TimeoutError:
+                # Crashed (or wedged) during prepare: no reply will ever
+                # come.  Mark it sick and move on — the run loop's health
+                # pass respawns the worker and re-registers everything.
+                break
+            if msg[0] == "registered":
+                return True
+        self._record_worker_failure(slot.worker_id)
+        return False
+
+    # ------------------------------------------------------------------
+    # Circuit breakers
+    # ------------------------------------------------------------------
+    def _record_worker_failure(self, worker_id: int) -> None:
+        breaker = self._breakers.get(worker_id)
+        if breaker is not None:
+            breaker.record_failure(time.monotonic())
+
+    def _record_worker_success(self, worker_id: int) -> None:
+        breaker = self._breakers.get(worker_id)
+        if breaker is not None:
+            breaker.record_success()
+
+    def breaker_state(self, worker_id: int) -> Optional[str]:
+        """The breaker state of one worker (``None`` when breaking is off)."""
+        breaker = self._breakers.get(worker_id)
+        return None if breaker is None else breaker.state
 
     # ------------------------------------------------------------------
     # Control-plane message routing
@@ -519,22 +669,31 @@ class WorkerPool:
         Non-matching messages are buffered for their own consumers, so acks
         and results can interleave freely on the one reply queue.
         """
-        buffered = self._pending.get(kind, [])
-        for index, msg in enumerate(buffered):
-            if predicate(msg):
-                return buffered.pop(index)
+        return self._wait_for_any((kind,), predicate, timeout)
+
+    def _wait_for_any(
+        self, kinds: Tuple[str, ...], predicate, timeout: float
+    ) -> Tuple[Any, ...]:
+        """Next control message whose kind is in ``kinds`` and matches."""
+        for kind in kinds:
+            buffered = self._pending.get(kind, [])
+            for index, msg in enumerate(buffered):
+                if predicate(msg):
+                    return buffered.pop(index)
         deadline = time.monotonic() + timeout
-        token = _mon_wait_start(kind, timeout)
+        token = _mon_wait_start("/".join(kinds), timeout)
         try:
             while True:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    raise TimeoutError(f"timed out waiting for {kind!r} from worker")
+                    raise TimeoutError(
+                        f"timed out waiting for {'/'.join(kinds)!r} from worker"
+                    )
                 try:
                     msg = self._replies.get(timeout=min(remaining, 0.25))
                 except queue_module.Empty:
                     continue
-                if msg[0] == kind and predicate(msg):
+                if msg[0] in kinds and predicate(msg):
                     return msg
                 self._pending.setdefault(msg[0], []).append(msg)
         finally:
@@ -561,14 +720,26 @@ class WorkerPool:
         self,
         trace: LoadTrace,
         hints: Optional[Mapping[str, Sequence[str]]] = None,
+        *,
+        open_loop: bool = False,
+        arrival_scale: float = 1.0,
+        deadline_s: Optional[float] = None,
     ) -> WallClockReport:
         """Serve a load trace and measure it on the wall clock.
 
         ``hints`` optionally maps workload names to router engine-name
-        preference lists (see :meth:`register`).
+        preference lists (see :meth:`register`).  ``open_loop=True`` replays
+        the trace's recorded arrival gaps (stretched by ``arrival_scale``)
+        instead of the saturation drive, and latency is measured from each
+        batch's release.  ``deadline_s`` gives every request that budget
+        from its release; a batch whose deadline has expired at dispatch
+        time is shed (``y=None``, ``shed_reason="deadline"``) instead of
+        served late.
         """
         if self._closed:
             raise RuntimeError("pool is shut down")
+        if arrival_scale <= 0:
+            raise ValueError("arrival_scale must be positive")
         started_ok = True
         if self.num_workers:
             try:
@@ -589,15 +760,24 @@ class WorkerPool:
             keys = [matrix_fingerprint(w.matrix) for w in trace.matrices]
         batches = self._build_batches(trace, keys)
         run_started = time.perf_counter()
+        for state in batches:
+            if open_loop:
+                first = state.batch.request_ids[0]
+                state.release_at = run_started + (
+                    trace.requests[first].arrival_time * arrival_scale
+                )
+            if deadline_s is not None:
+                base = state.release_at if open_loop else run_started
+                state.deadline_at = base + deadline_s
         if not self.num_workers or not started_ok:
             results, cycles, edges = self._run_inline(trace, batches)
-            report_batches = len(batches)
         else:
-            results, cycles, edges = self._run_pooled(trace, batches)
-            report_batches = len(batches)
+            results, cycles, edges = self._run_pooled(
+                trace, batches, open_loop=open_loop
+            )
         makespan = time.perf_counter() - run_started
         results.sort(key=lambda r: r.request_id)
-        return WallClockReport(
+        report = WallClockReport(
             scenario=trace.scenario,
             num_workers=self.num_workers,
             compute=self.compute,
@@ -607,7 +787,7 @@ class WorkerPool:
             makespan_seconds=makespan,
             engine_cycles=cycles,
             traversed_edges=edges,
-            batches=report_batches,
+            batches=len(batches),
             retries=self.retries,
             respawns=self.respawns,
             inline_requests=self.inline_requests,
@@ -616,7 +796,28 @@ class WorkerPool:
             )
             if self._registered
             else len(set(keys)),
+            degraded_batches=self.degraded_batches,
+            deadline_misses=self.deadline_misses,
+            shed_requests=self.shed_requests,
+            hedges=self.hedges,
+            faults_planned=len(self._plan.faults) if self._plan is not None else 0,
         )
+        if self._metrics is not None:
+            self._publish_metrics(report)
+        return report
+
+    def _publish_metrics(self, report: WallClockReport) -> None:
+        """Publish the run snapshot plus breaker states (duck-typed registry)."""
+        registry = self._metrics
+        registry.set_gauges(report.snapshot(), prefix="wallclock_")
+        if self._breakers:
+            state = registry.gauge(
+                "breaker_state", "0=closed 1=half-open 2=open, per worker"
+            )
+            trips = registry.gauge("breaker_trips", "lifetime breaker trips")
+            for worker_id, breaker in sorted(self._breakers.items()):
+                state.set(float(breaker.state_code), worker=worker_id)
+                trips.set(float(breaker.trips), worker=worker_id)
 
     def _build_batches(
         self, trace: LoadTrace, keys: List[str]
@@ -675,7 +876,7 @@ class WorkerPool:
         return states
 
     def _run_pooled(
-        self, trace: LoadTrace, batches: List[_BatchState]
+        self, trace: LoadTrace, batches: List[_BatchState], open_loop: bool = False
     ) -> Tuple[List[WallClockResult], float, float]:
         ready: Dict[int, Deque[_BatchState]] = {
             slot.worker_id: deque() for slot in self._slots
@@ -685,36 +886,82 @@ class WorkerPool:
         inflight: Dict[int, _BatchState] = {}
         completed: Set[int] = set()
         results: List[WallClockResult] = []
+        batch_latencies: List[float] = []
         cycles = 0.0
         edges = 0.0
 
-        def next_batch_for(slot: _Slot) -> Optional[_BatchState]:
-            queue = ready[slot.worker_id]
-            if queue:
-                return queue.popleft()
+        def eligible(state: _BatchState, now: float) -> bool:
+            return state.release_at <= now and state.not_before <= now
+
+        def pop_eligible(
+            queue: Deque[_BatchState], now: float, newest: bool = False
+        ) -> Optional[_BatchState]:
+            for state in reversed(queue) if newest else queue:
+                if eligible(state, now):
+                    queue.remove(state)
+                    return state
+            return None
+
+        def next_batch_for(slot: _Slot, now: float) -> Optional[_BatchState]:
+            state = pop_eligible(ready[slot.worker_id], now)
+            if state is not None:
+                return state
             # Work stealing: every worker has every matrix registered, so an
             # idle worker takes from the deepest backlog — without this a
             # single-matrix trace would serialise onto one home worker.
             victim = max(ready.values(), key=len)
-            if victim:
-                return victim.pop()
-            return None
+            return pop_eligible(victim, now, newest=True)
+
+        def shed(state: _BatchState, reason: str, now: float) -> None:
+            if state.batch.batch_id in completed:
+                return
+            completed.add(state.batch.batch_id)
+            inflight.pop(state.batch.batch_id, None)
+            self.shed_requests += len(state.requests)
+            if reason == "deadline":
+                self.deadline_misses += len(state.requests)
+            base = state.release_at or state.enqueued_at or now
+            for request_id, tenant in state.requests:
+                results.append(
+                    WallClockResult(
+                        request_id=request_id,
+                        matrix_name=state.matrix.name,
+                        tenant=tenant,
+                        worker_id=-1,
+                        y=None,
+                        latency_seconds=max(0.0, now - base),
+                        batch_size=len(state.requests),
+                        shed=True,
+                        shed_reason=reason,
+                    )
+                )
 
         def dispatch() -> None:
+            now = time.perf_counter()
             for slot in self._slots:
                 if not slot.alive:
                     continue
+                breaker = self._breakers.get(slot.worker_id)
                 while (
                     sum(
                         1 for s in inflight.values() if s.worker_id == slot.worker_id
                     )
                     < self.max_inflight
                 ):
-                    state = next_batch_for(slot)
+                    state = next_batch_for(slot, now)
                     if state is None:
                         break
+                    if state.deadline_at is not None and now > state.deadline_at:
+                        # Already doomed: shedding beats serving it late.
+                        shed(state, "deadline", now)
+                        continue
+                    if breaker is not None and not breaker.allow(time.monotonic()):
+                        # Sick worker: hand the batch back for someone else.
+                        ready[slot.worker_id].appendleft(state)
+                        break
                     state.worker_id = slot.worker_id
-                    state.enqueued_at = time.perf_counter()
+                    state.attempts += 1
+                    state.enqueued_at = now
                     inflight[state.batch.batch_id] = state
                     with _mon_section("tasks"):
                         slot.tasks.put(("execute", state.batch))
@@ -722,12 +969,22 @@ class WorkerPool:
         def complete(state: _BatchState, result: BatchResult, worker_id: int) -> None:
             nonlocal cycles, edges
             if state.batch.batch_id in completed:
-                return  # duplicate (worker replied, was declared dead anyway)
+                return  # duplicate (late original racing a hedge, or a
+                # worker that replied and was declared dead anyway)
             completed.add(state.batch.batch_id)
             inflight.pop(state.batch.batch_id, None)
             now = time.perf_counter()
+            if worker_id >= 0:
+                self._record_worker_success(worker_id)
+            if state.enqueued_at:
+                batch_latencies.append(now - state.enqueued_at)
             cycles += result.engine_cycles
             edges += float(len(state.requests)) * state.matrix.matrix.nnz
+            base = (
+                state.release_at
+                if open_loop and state.release_at
+                else state.enqueued_at
+            )
             for (request_id, tenant), y in zip(state.requests, result.ys):
                 results.append(
                     WallClockResult(
@@ -736,15 +993,89 @@ class WorkerPool:
                         tenant=tenant,
                         worker_id=worker_id,
                         y=y,
-                        latency_seconds=now - state.enqueued_at,
+                        latency_seconds=now - base,
                         batch_size=len(state.requests),
                     )
                 )
 
+        def hedge_stragglers(now: float) -> None:
+            """Duplicate over-age inflight batches onto a second worker.
+
+            Dedup-by-batch-id makes the race safe: the first reply wins and
+            the loser is dropped in :func:`complete`.
+            """
+            policy = self.retry_policy
+            if policy.hedge_after_p95 is None or not batch_latencies:
+                return
+            threshold = policy.hedge_deadline(
+                float(np.percentile(batch_latencies, 95))
+            )
+            if threshold is None:
+                return
+            for state in list(inflight.values()):
+                if state.hedged or now - state.enqueued_at < threshold:
+                    continue
+                for slot in self._slots:
+                    if slot.worker_id == state.worker_id or not slot.alive:
+                        continue
+                    breaker = self._breakers.get(slot.worker_id)
+                    if breaker is not None and not breaker.allow(time.monotonic()):
+                        continue
+                    state.hedged = True
+                    self.hedges += 1
+                    with _mon_section("tasks"):
+                        slot.tasks.put(("execute", state.batch))
+                    break
+
+        def degrade_if_starved(now: float) -> None:
+            """Guarantee progress when every breaker refuses traffic.
+
+            With work ready, nothing inflight, and no worker admissible, the
+            oldest ready batch runs inline — waiting out a cooldown must
+            never deadlock the run.
+            """
+            if inflight:
+                return
+            if any(
+                slot.alive
+                and (
+                    self._breakers.get(slot.worker_id) is None
+                    or self._breakers[slot.worker_id].would_allow(time.monotonic())
+                )
+                for slot in self._slots
+            ):
+                return
+            for queue in ready.values():
+                state = pop_eligible(queue, now)
+                if state is not None:
+                    self.degraded_batches += 1
+                    complete(state, self._execute_inline_state(state), worker_id=-1)
+                    return
+
         states_by_id = {state.batch.batch_id: state for state in batches}
+
+        def poll_timeout(now: float) -> float:
+            if not open_loop:
+                return 0.25
+            future = [
+                s.release_at
+                for s in states_by_id.values()
+                if s.batch.batch_id not in completed
+                and s.batch.batch_id not in inflight
+                and s.release_at > now
+            ]
+            if not future:
+                return 0.25
+            return min(0.25, max(0.005, min(future) - now))
+
+        # Health passes must not be starved by a steady reply stream from
+        # healthy workers: a wedged worker's batch would otherwise wait for
+        # total silence before the timeout could fire.
+        health_interval = min(1.0, max(0.05, self.batch_timeout / 4.0))
+        last_health = time.perf_counter()
         while len(completed) < len(batches):
             dispatch()
-            msg = self._next_message(timeout=0.25)
+            msg = self._next_message(timeout=poll_timeout(time.perf_counter()))
             if msg is not None:
                 kind = msg[0]
                 if kind == "result":
@@ -753,16 +1084,26 @@ class WorkerPool:
                     if state is not None:
                         complete(state, result, msg[1])
                 elif kind == "error":
+                    if isinstance(msg[1], int):
+                        self._record_worker_failure(msg[1])
                     state = states_by_id.get(msg[2]) if msg[2] is not None else None
                     if state is not None and state.batch.batch_id not in completed:
                         inflight.pop(state.batch.batch_id, None)
+                        self.degraded_batches += 1
                         complete(
                             state, self._execute_inline_state(state), worker_id=-1
                         )
                 else:
                     self._pending.setdefault(kind, []).append(msg)
-                continue
-            self._recover_dead_workers(inflight, ready, completed, complete)
+                if time.perf_counter() - last_health < health_interval:
+                    continue
+            now = time.perf_counter()
+            last_health = now
+            hedge_stragglers(now)
+            self._recover_dead_workers(
+                inflight, ready, completed, complete, len(batches)
+            )
+            degrade_if_starved(time.perf_counter())
         return results, cycles, edges
 
     def _recover_dead_workers(
@@ -771,8 +1112,10 @@ class WorkerPool:
         ready: Dict[int, Deque[_BatchState]],
         completed: Set[int],
         complete,
+        total_batches: int = 0,
     ) -> None:
-        """Respawn dead/wedged workers; retry their batches once, then inline."""
+        """Respawn dead/wedged workers; re-dispatch their batches under the
+        retry policy (attempt cap + budget + backoff), then degrade inline."""
         now = time.perf_counter()
         for slot in self._slots:
             owned = [
@@ -812,10 +1155,11 @@ class WorkerPool:
                 inflight.pop(state.batch.batch_id, None)
             self.respawns += 1
             slot.respawns += 1
-            # An injected fault fires once: the replacement worker is healthy.
-            self._fail_on_batch.pop(slot.worker_id, None)
+            self._record_worker_failure(slot.worker_id)
             # Abandon the dead worker's queues: nothing must ever block on
-            # flushing tasks into a pipe no one reads again.
+            # flushing tasks into a pipe no one reads again.  (An injected
+            # fault does not re-fire after recovery: the replacement worker's
+            # injector filters specs by generation.)
             slot.tasks.cancel_join_thread()
             slot.tasks.close()
             respawned = True
@@ -828,11 +1172,18 @@ class WorkerPool:
             for state in lost:
                 if state.batch.batch_id in completed:
                     continue
-                if not state.retried and respawned:
-                    state.retried = True
+                if respawned and self.retry_policy.should_retry(
+                    state.attempts, self.retries, total_batches
+                ):
                     self.retries += 1
+                    state.not_before = time.perf_counter() + (
+                        self.retry_policy.retry_delay(
+                            state.attempts, state.batch.batch_id
+                        )
+                    )
                     ready[slot.worker_id].append(state)
                 else:
+                    self.degraded_batches += 1
                     complete(state, self._execute_inline_state(state), worker_id=-1)
 
     # ------------------------------------------------------------------

@@ -22,9 +22,15 @@ On ``stop`` the worker writes its own shard
 can fold per-worker measurements into one database with
 :meth:`~repro.obs.ResultsStore.merge` afterwards.
 
-``fail_on_batch`` is the deterministic fault injector the worker-death tests
-use: the worker exits hard (``os._exit``) just before replying to that batch
-ordinal, exactly the window in which a crash would otherwise lose work.
+Fault injection is declarative: ``WorkerConfig.faults`` carries the resolved
+:class:`~repro.resilience.faults.FaultSpec` tuple for this worker (crash,
+hang, slowdown, shm attach failure, reply drop) and ``generation`` its
+respawn count, from which the worker builds a
+:class:`~repro.resilience.WorkerFaultInjector` and honours it at three
+install points — before each registration's attach, around each execute, and
+between computing a batch and replying (the window in which a crash would
+otherwise lose work).  The legacy ``fail_on_batch`` field survives as
+shorthand for a single crash spec.
 """
 
 from __future__ import annotations
@@ -61,8 +67,14 @@ class WorkerConfig:
     #: Shard results database written at ``stop`` (None = don't record).
     results_path: Optional[str] = None
     scenario: str = "adhoc"
-    #: Exit hard just before replying to this 0-based batch ordinal.
+    #: Exit hard just before replying to this 0-based batch ordinal
+    #: (legacy shorthand for one ``crash`` fault spec).
     fail_on_batch: Optional[int] = None
+    #: Resolved ``repro.resilience`` fault specs for this worker.
+    faults: Tuple[Any, ...] = ()
+    #: Respawn count of this incarnation (0 = original process); the
+    #: injector uses it to decide which specs apply (``on_respawn``).
+    generation: int = 0
 
 
 @dataclass(frozen=True)
@@ -205,8 +217,19 @@ def worker_main(config: WorkerConfig, tasks, results) -> None:
         "busy_seconds": 0.0,
         "engine_cycles": 0.0,
         "registered_matrices": 0.0,
+        "faults_injected": 0.0,
     }
     executed = 0
+    registrations = 0
+    injector = None
+    if config.faults:
+        # Lazy, inside the worker process: the parallel layer only reaches
+        # resilience when a fault plan is actually installed.
+        from ..resilience.faults import WorkerFaultInjector
+
+        injector = WorkerFaultInjector(
+            specs=tuple(config.faults), generation=config.generation
+        )
     results.put(("ready", config.worker_id))
     try:
         while True:
@@ -214,6 +237,8 @@ def worker_main(config: WorkerConfig, tasks, results) -> None:
             kind = task[0]
             if kind == "stop":
                 totals["registered_matrices"] = float(len(served))
+                if injector is not None:
+                    totals["faults_injected"] = float(injector.injected)
                 _write_shard_store(config, engine.name, totals)
                 results.put(("stopped", config.worker_id, config.results_path))
                 return
@@ -223,6 +248,8 @@ def worker_main(config: WorkerConfig, tasks, results) -> None:
             if kind == "register":
                 _, key, name, coo_descriptor, program_descriptor = task
                 try:
+                    if injector is not None:
+                        injector.on_register(registrations)
                     _register(
                         config, engine, served, key, name,
                         coo_descriptor, program_descriptor,
@@ -233,6 +260,7 @@ def worker_main(config: WorkerConfig, tasks, results) -> None:
                     )
                 else:
                     results.put(("registered", config.worker_id, key))
+                registrations += 1
                 continue
             if kind == "execute":
                 batch: WorkBatch = task[1]
@@ -244,18 +272,30 @@ def worker_main(config: WorkerConfig, tasks, results) -> None:
                         ("error", config.worker_id, batch.batch_id, traceback.format_exc())
                     )
                     continue
+                send_reply = True
+                if injector is not None:
+                    factor = injector.execute_factor(executed)
+                    if factor > 1.0:
+                        # A sick-but-alive worker: stretch the measured wall
+                        # time for real so schedulers and breakers see it.
+                        extra = (factor - 1.0) * max(result.wall_seconds, 1e-4)
+                        time.sleep(min(extra, 5.0))
+                        result.wall_seconds *= factor
+                    # Crash/hang/drop between computing and replying — the
+                    # exact window the pool's retry logic has to cover
+                    # without losing or duplicating the requests.
+                    send_reply = injector.before_reply(executed)
                 if config.fail_on_batch is not None and executed == config.fail_on_batch:
-                    # Deterministic injected death: the batch WAS computed but
-                    # the reply is never sent — the exact window the pool's
-                    # retry logic has to cover without losing or duplicating
-                    # the requests.
+                    # Legacy deterministic injected death (kept as shorthand
+                    # for a single crash fault spec).
                     os._exit(FAULT_EXIT_CODE)
                 executed += 1
                 totals["batches"] += 1.0
                 totals["requests"] += float(len(batch))
                 totals["busy_seconds"] += result.wall_seconds
                 totals["engine_cycles"] += result.engine_cycles
-                results.put(("result", config.worker_id, result))
+                if send_reply:
+                    results.put(("result", config.worker_id, result))
                 continue
             results.put(
                 ("error", config.worker_id, None, f"unknown task {kind!r}")

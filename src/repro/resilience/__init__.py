@@ -1,0 +1,68 @@
+"""Resilience subsystem: declarative faults, retry/breaker policies, overload.
+
+Three leaf modules (stdlib + numpy only; this package never imports other
+first-party layers, so ``parallel``/``serve``/``cli`` may reach it lazily
+without creating cycles):
+
+* :mod:`repro.resilience.faults` — typed, seeded fault plans (worker crash /
+  hang / slowdown / shm attach failure / reply drop / engine misestimate)
+  loadable from TOML or JSON, plus the worker-side injector.
+* :mod:`repro.resilience.policy` — :class:`RetryPolicy` (backoff + jitter +
+  retry budget + hedging), per-worker :class:`CircuitBreaker`, and
+  :class:`DeadlineBudget`.
+* :mod:`repro.resilience.overload` — tiered admission control
+  (:class:`OverloadController`) with reasoned shedding and graceful
+  degradation.
+"""
+
+from .faults import (
+    FAULT_EXIT_CODE,
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    ShmAttachFault,
+    WorkerFaultInjector,
+    crash_plan,
+    load_fault_plan,
+    merge_plans,
+)
+from .overload import (
+    TIER_DEGRADED,
+    TIER_NORMAL,
+    TIER_SHEDDING,
+    OverloadController,
+    OverloadDecision,
+)
+from .policy import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    DeadlineBudget,
+    RetryPolicy,
+    breaker_states,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "DeadlineBudget",
+    "FAULT_EXIT_CODE",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "OverloadController",
+    "OverloadDecision",
+    "RetryPolicy",
+    "ShmAttachFault",
+    "TIER_DEGRADED",
+    "TIER_NORMAL",
+    "TIER_SHEDDING",
+    "WorkerFaultInjector",
+    "breaker_states",
+    "crash_plan",
+    "load_fault_plan",
+    "merge_plans",
+]

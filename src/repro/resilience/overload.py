@@ -1,0 +1,154 @@
+"""Admission control and graceful degradation for the serving scheduler.
+
+The scheduler previously had one overload behaviour: a hard queue-depth cap
+that rejected whatever arrived while the queue was full.  This module turns
+that into a tiered policy:
+
+* tier 0 (*normal*): admit everything under ``shed_depth``.
+* tier 1 (*shedding*): between ``shed_depth`` and ``degrade_depth``, shed
+  lowest-priority tenants first, and shed any request whose deadline is
+  already infeasible given a cost estimate (no point queueing doomed work).
+* tier 2 (*degraded*): above ``degrade_depth``, only the highest priority
+  class is admitted and callers are told to execute inline (bypassing the
+  queue) so the backlog stops growing.
+* the hard cap ``max_queue_depth`` still exists as the last line.
+
+Decisions are value objects with a ``reason`` so telemetry can report
+*why* load was shed (``sheds{reason=queue_full|deadline_infeasible|
+low_priority}``) rather than a single opaque rejection count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+__all__ = [
+    "OverloadController",
+    "OverloadDecision",
+    "TIER_DEGRADED",
+    "TIER_NORMAL",
+    "TIER_SHEDDING",
+]
+
+TIER_NORMAL = 0
+TIER_SHEDDING = 1
+TIER_DEGRADED = 2
+
+_TIER_NAMES = {TIER_NORMAL: "normal", TIER_SHEDDING: "shedding", TIER_DEGRADED: "degraded"}
+
+ADMIT = "admit"
+SHED = "shed"
+DEGRADE = "degrade"
+
+
+@dataclass(frozen=True)
+class OverloadDecision:
+    """One admission verdict: what to do and why."""
+
+    action: str  # admit | shed | degrade
+    reason: str = ""
+    tier: int = TIER_NORMAL
+
+    @property
+    def admitted(self) -> bool:
+        return self.action != SHED
+
+
+@dataclass
+class OverloadController:
+    """Queue-depth + deadline-feasibility admission control.
+
+    ``priorities`` maps tenant → priority (higher = more important;
+    unlisted tenants get ``default_priority``).  Thresholds are queue
+    depths; leave ``shed_depth`` / ``degrade_depth`` unset to derive them
+    from ``max_queue_depth`` (60% / 85%).
+    """
+
+    max_queue_depth: Optional[int] = None
+    shed_depth: Optional[int] = None
+    degrade_depth: Optional[int] = None
+    priorities: Mapping[str, int] = field(default_factory=dict)
+    default_priority: int = 0
+    #: Priority strictly below this is sheddable in tier 1.
+    shed_below_priority: int = 1
+    shed_counts: Dict[str, int] = field(default_factory=dict)
+    admitted: int = 0
+    degraded: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth is not None:
+            if self.shed_depth is None:
+                self.shed_depth = max(1, int(self.max_queue_depth * 0.6))
+            if self.degrade_depth is None:
+                self.degrade_depth = max(
+                    self.shed_depth + 1, int(self.max_queue_depth * 0.85)
+                )
+        if (
+            self.shed_depth is not None
+            and self.degrade_depth is not None
+            and self.degrade_depth <= self.shed_depth
+        ):
+            raise ValueError("degrade_depth must exceed shed_depth")
+
+    def priority_of(self, tenant: str) -> int:
+        return int(self.priorities.get(tenant, self.default_priority))
+
+    def tier(self, depth: int) -> int:
+        if self.degrade_depth is not None and depth >= self.degrade_depth:
+            return TIER_DEGRADED
+        if self.shed_depth is not None and depth >= self.shed_depth:
+            return TIER_SHEDDING
+        return TIER_NORMAL
+
+    def admit(
+        self,
+        tenant: str,
+        depth: int,
+        *,
+        now: float = 0.0,
+        deadline: Optional[float] = None,
+        estimated_cost: float = 0.0,
+    ) -> OverloadDecision:
+        """Decide one arrival given current queue depth and its deadline."""
+        tier = self.tier(depth)
+        if self.max_queue_depth is not None and depth >= self.max_queue_depth:
+            return self._shed(tenant, "queue_full", tier)
+        if deadline is not None and now + estimated_cost > deadline:
+            return self._shed(tenant, "deadline_infeasible", tier)
+        priority = self.priority_of(tenant)
+        if tier == TIER_DEGRADED:
+            if priority < self.shed_below_priority:
+                return self._shed(tenant, "low_priority", tier)
+            self.degraded += 1
+            self.admitted += 1
+            return OverloadDecision(DEGRADE, reason=_TIER_NAMES[tier], tier=tier)
+        if tier == TIER_SHEDDING and priority < self.shed_below_priority:
+            return self._shed(tenant, "low_priority", tier)
+        self.admitted += 1
+        return OverloadDecision(ADMIT, tier=tier)
+
+    def _shed(self, tenant: str, reason: str, tier: int) -> OverloadDecision:
+        self.shed_counts[reason] = self.shed_counts.get(reason, 0) + 1
+        return OverloadDecision(SHED, reason=reason, tier=tier)
+
+    def stats(self) -> Dict[str, int]:
+        payload = {"overload_admitted": self.admitted, "overload_degraded": self.degraded}
+        for reason, count in sorted(self.shed_counts.items()):
+            payload[f"sheds_{reason}"] = count
+        return payload
+
+    def publish(self, registry: object) -> None:
+        """Duck-typed metrics publication (``repro.obs`` registry shape)."""
+        gauge = getattr(registry, "gauge", None)
+        counter = getattr(registry, "counter", None)
+        if gauge is not None:
+            gauge("overload_admitted_total").set(float(self.admitted))
+            gauge("overload_degraded_total").set(float(self.degraded))
+        if counter is None:
+            return
+        sheds = counter("sheds_total")
+        for reason, count in sorted(self.shed_counts.items()):
+            already = sheds.value(reason=reason)
+            if count > already:
+                sheds.inc(count - already, reason=reason)

@@ -46,6 +46,10 @@ class Request:
     alpha: float = 1.0
     beta: float = 0.0
     seq: int = field(default=0, compare=False)
+    #: Absolute virtual-time deadline; ``None`` = no latency budget.
+    deadline: Optional[float] = None
+    #: Tenant priority (higher = more important) for tiered shedding.
+    priority: int = 0
 
 
 class Scheduler:
@@ -64,7 +68,15 @@ class Scheduler:
     tracer:
         Optional :class:`repro.obs.Tracer` (duck-typed).  When attached,
         every admission decision emits an instant marker (``admit`` /
-        ``shed``) on the ``scheduler`` track at the request's arrival time.
+        ``shed``) on the ``scheduler`` track at the request's arrival time;
+        shed instants carry the shed reason.
+    overload:
+        Optional :class:`~repro.resilience.OverloadController` (duck-typed:
+        ``admit(tenant, depth, now=, deadline=, estimated_cost=)`` returning
+        a decision with ``admitted``/``reason``/``tier``).  When installed it
+        replaces the bare depth check with tiered admission — queue-full,
+        deadline-infeasibility and low-priority shedding, each counted per
+        reason in :meth:`stats`.
     """
 
     def __init__(
@@ -73,6 +85,7 @@ class Scheduler:
         max_batch: int = 32,
         max_queue_depth: Optional[int] = None,
         tracer=None,
+        overload=None,
     ) -> None:
         if policy not in SCHEDULING_POLICIES:
             raise ValueError(
@@ -86,6 +99,7 @@ class Scheduler:
         self.max_batch = max_batch
         self.max_queue_depth = max_queue_depth
         self.tracer = tracer
+        self.overload = overload
         self._queues: "OrderedDict[str, Deque[Request]]" = OrderedDict()
         self._cost_fn: Optional[Callable[[str], float]] = None
         self._seq = 0
@@ -96,6 +110,15 @@ class Scheduler:
         self.batches = 0
         self.peak_depth = 0
         self.sjf_fallbacks = 0
+        #: Sheds by reason (``queue_full`` / ``deadline_infeasible`` /
+        #: ``deadline_expired`` / ``low_priority``).
+        self.shed_reasons: Dict[str, int] = {}
+        #: Reason of the most recent shed — lets the caller of
+        #: :meth:`admit` attribute a rejection without re-deriving it.
+        self.last_shed_reason = ""
+        #: Whether any admitted request carried a deadline (gates the
+        #: per-event-loop-step expiry scan).
+        self._has_deadlines = False
         #: Requests dispatched per matrix fingerprint — the routing-decision
         #: record telemetry joins against per-engine dispatch counts.
         self.dispatch_counts: Dict[str, int] = {}
@@ -108,22 +131,98 @@ class Scheduler:
         """Requests currently queued."""
         return sum(len(q) for q in self._queues.values())
 
-    def admit(self, request: Request) -> bool:
-        """Queue a request; returns ``False`` when it is shed."""
-        if self.max_queue_depth is not None and self.depth >= self.max_queue_depth:
-            self.rejected += 1
-            self._trace_admission("shed", request)
-            return False
+    def admit(self, request: Request, estimated_cost: float = 0.0) -> bool:
+        """Queue a request; returns ``False`` when it is shed.
+
+        With an overload controller installed, admission is tiered (queue
+        depth, deadline feasibility given ``estimated_cost``, tenant
+        priority); otherwise only the bare ``max_queue_depth`` cap applies.
+        The shed reason lands in :attr:`shed_reasons` and on the trace
+        instant either way.
+        """
+        if self.overload is not None:
+            decision = self.overload.admit(
+                request.tenant,
+                self.depth,
+                now=request.arrival_time,
+                deadline=request.deadline,
+                estimated_cost=estimated_cost,
+            )
+            if not decision.admitted:
+                return self._shed(request, decision.reason or "overload")
+        elif self.max_queue_depth is not None and self.depth >= self.max_queue_depth:
+            return self._shed(request, "queue_full")
         request.seq = self._seq
         self._seq += 1
+        if request.deadline is not None:
+            self._has_deadlines = True
         self._queues.setdefault(request.fingerprint, deque()).append(request)
         self.admitted += 1
         self.peak_depth = max(self.peak_depth, self.depth)
         self._trace_admission("admit", request)
         return True
 
-    def _trace_admission(self, outcome: str, request: Request) -> None:
+    def _shed(self, request: Request, reason: str) -> bool:
+        self.last_shed_reason = reason
+        self.rejected += 1
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+        self._trace_admission("shed", request, reason=reason)
+        return False
+
+    def expire(self, now: float) -> List[Request]:
+        """Pop and return queued requests whose deadline has passed.
+
+        Called by the service's event loop before dispatch so doomed
+        requests stop occupying queue slots; each is counted as a
+        ``deadline_expired`` shed.  Cheap when no admitted request ever
+        carried a deadline.
+        """
+        if not self._has_deadlines:
+            return []
+        expired: List[Request] = []
+        for fingerprint in list(self._queues):
+            queue = self._queues[fingerprint]
+            keep = deque(
+                r for r in queue if r.deadline is None or r.deadline > now
+            )
+            if len(keep) != len(queue):
+                expired.extend(
+                    r for r in queue if r.deadline is not None and r.deadline <= now
+                )
+                if keep:
+                    self._queues[fingerprint] = keep
+                else:
+                    del self._queues[fingerprint]
+        for request in expired:
+            self.rejected += 1
+            self.shed_reasons["deadline_expired"] = (
+                self.shed_reasons.get("deadline_expired", 0) + 1
+            )
+            self._trace_admission("shed", request, reason="deadline_expired")
+        return expired
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest deadline among queued requests, ``None`` when none.
+
+        The service's event loop adds this to its next-wakeup candidates so
+        a doomed request expires at its deadline instead of waiting for the
+        next arrival or completion to advance the clock.
+        """
+        if not self._has_deadlines:
+            return None
+        deadlines = [
+            r.deadline
+            for queue in self._queues.values()
+            for r in queue
+            if r.deadline is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def _trace_admission(
+        self, outcome: str, request: Request, reason: Optional[str] = None
+    ) -> None:
         if self.tracer is not None:
+            extra = {} if reason is None else {"reason": reason}
             self.tracer.instant(
                 outcome,
                 request.arrival_time,
@@ -133,6 +232,7 @@ class Scheduler:
                 tenant=request.tenant,
                 matrix=request.fingerprint[:8],
                 depth=self.depth,
+                **extra,
             )
 
     def set_cost_fn(self, cost_fn: Callable[[str], float]) -> None:
@@ -200,7 +300,7 @@ class Scheduler:
 
     def stats(self) -> Dict[str, float]:
         """Counter snapshot for telemetry."""
-        return {
+        stats = {
             "admitted": float(self.admitted),
             "rejected": float(self.rejected),
             "dispatched": float(self.dispatched),
@@ -214,3 +314,10 @@ class Scheduler:
             "distinct_matrices": float(len(self.dispatch_counts)),
             "has_cost_oracle": 1.0 if self._cost_fn is not None else 0.0,
         }
+        for reason, count in sorted(self.shed_reasons.items()):
+            stats[f"sheds_{reason}"] = float(count)
+        stats["deadline_misses"] = float(
+            self.shed_reasons.get("deadline_expired", 0)
+            + self.shed_reasons.get("deadline_infeasible", 0)
+        )
+        return stats

@@ -209,6 +209,22 @@ class SpMVService:
         into it; in ``compute="simulate"`` mode the engines additionally
         publish per-engine cycles, bytes moved, hazard violations and
         effective bandwidth.
+    deadline_s:
+        Optional per-request latency budget (virtual seconds).  Every
+        submitted request gets ``deadline = arrival_time + deadline_s``;
+        admission sheds infeasible requests and the event loop expires
+        queued requests whose deadline has passed (both counted as
+        ``deadline_*`` sheds in telemetry).
+    overload:
+        Optional :class:`~repro.resilience.OverloadController` (duck-typed)
+        handed to the scheduler: tiered admission by queue depth, deadline
+        feasibility and tenant priority instead of the bare depth cap.
+    fault_plan:
+        Optional :class:`~repro.resilience.FaultPlan` (duck-typed:
+        ``misestimate_factor(name)``).  ``misestimate`` specs multiply the
+        engine estimate a matrix is booked at during registration, so a
+        wrong cost model shows up in the mispredict ratio and in
+        SJF/deadline decisions, exactly like a production estimator bug.
     """
 
     def __init__(
@@ -231,13 +247,20 @@ class SpMVService:
         router=None,
         tracer=None,
         metrics=None,
+        deadline_s: Optional[float] = None,
+        overload=None,
+        fault_plan=None,
     ) -> None:
         if compute not in COMPUTE_MODES:
             raise ValueError(
                 f"unknown compute mode {compute!r}; use one of {COMPUTE_MODES}"
             )
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
         self.tracer = tracer
         self.metrics = metrics
+        self.deadline_s = deadline_s
+        self.fault_plan = fault_plan
         self.pool = pool if pool is not None else AcceleratorPool.homogeneous(
             num_devices, config, engine_mode=engine_mode, build_mode=build_mode
         )
@@ -248,6 +271,7 @@ class SpMVService:
             max_batch=max_batch,
             max_queue_depth=max_queue_depth,
             tracer=tracer,
+            overload=overload,
         )
         self.scheduler.set_cost_fn(self._cost_of)
         self.cache = cache if cache is not None else ProgramCache(
@@ -331,12 +355,18 @@ class SpMVService:
                 estimate = device.engine.estimate(
                     shard_matrix, matrix_name=name, model=self.timing_model
                 )
+                per_launch_seconds = estimate.seconds
+                if self.fault_plan is not None:
+                    # Injected estimator error: the booked per-launch time is
+                    # wrong by the plan's factor, so SJF ordering, deadline
+                    # feasibility and the mispredict ratio all see it.
+                    per_launch_seconds *= self.fault_plan.misestimate_factor(name)
                 shard_rts.append(
                     _ShardRuntime(
                         shard=shard,
                         matrix=shard_matrix,
                         program_key=key,
-                        per_launch_seconds=estimate.seconds,
+                        per_launch_seconds=per_launch_seconds,
                         # The prediction for this shard's own engine — the
                         # hint tolerance lets placement land on any
                         # near-equivalent engine, so the SJF cost and the
@@ -403,8 +433,16 @@ class SpMVService:
         y: Optional[np.ndarray] = None,
         alpha: float = 1.0,
         beta: float = 0.0,
+        priority: int = 0,
+        deadline: Optional[float] = None,
     ) -> int:
-        """Queue one launch request; returns its request id."""
+        """Queue one launch request; returns its request id.
+
+        ``deadline`` is an absolute virtual-time deadline; when ``None``
+        and the service has a ``deadline_s`` budget, the request gets
+        ``arrival_time + deadline_s``.  ``priority`` feeds the overload
+        controller's tiered shedding (higher = kept longer).
+        """
         entry = self._matrices.get(handle.fingerprint)
         if entry is None:
             raise KeyError(f"matrix {handle.name!r} is not registered with this service")
@@ -415,6 +453,8 @@ class SpMVService:
             )
         if arrival_time < 0:
             raise ValueError("arrival_time must be non-negative")
+        if deadline is None and self.deadline_s is not None:
+            deadline = float(arrival_time) + self.deadline_s
         request_id = self._next_request_id
         self._next_request_id += 1
         self._pending.append(
@@ -427,6 +467,8 @@ class SpMVService:
                 y=None if y is None else np.asarray(y, dtype=np.float64),
                 alpha=alpha,
                 beta=beta,
+                deadline=deadline,
+                priority=priority,
             )
         )
         return request_id
@@ -458,19 +500,18 @@ class SpMVService:
             while index < len(arrivals) and arrivals[index].arrival_time <= clock:
                 request = arrivals[index]
                 index += 1
-                if not self.scheduler.admit(request):
-                    telemetry.record_rejection(request.tenant)
-                    entry = self._matrices[request.fingerprint]
-                    results[request.request_id] = RequestResult(
-                        request_id=request.request_id,
-                        tenant=request.tenant,
-                        matrix_name=entry.handle.name,
-                        y=None,
-                        arrival_time=request.arrival_time,
-                        start_time=request.arrival_time,
-                        finish_time=request.arrival_time,
-                        rejected=True,
+                estimated_cost = self._cost_of(request.fingerprint)
+                if not self.scheduler.admit(request, estimated_cost=estimated_cost):
+                    self._record_shed(
+                        request,
+                        self.scheduler.last_shed_reason or "queue_full",
+                        telemetry,
+                        results,
                     )
+            # Deadline-expired requests stop occupying queue slots before
+            # any dispatch decision is made against this clock step.
+            for request in self.scheduler.expire(clock):
+                self._record_shed(request, "deadline_expired", telemetry, results)
             telemetry.record_queue_depth(clock, self.scheduler.depth)
             if self.tracer is not None:
                 self.tracer.counter(
@@ -500,6 +541,9 @@ class SpMVService:
             busy = [d.busy_until for d in self.pool.devices if d.busy_until > clock]
             if busy:
                 next_times.append(min(busy))
+            next_deadline = self.scheduler.next_deadline()
+            if next_deadline is not None and next_deadline > clock:
+                next_times.append(next_deadline)
             if not next_times:
                 if self.scheduler.depth > 0:
                     raise RuntimeError(
@@ -544,6 +588,27 @@ class SpMVService:
                 arrival_time=trace_request.arrival_time,
             )
         return self.drain()
+
+    def _record_shed(
+        self,
+        request: Request,
+        reason: str,
+        telemetry: ServiceTelemetry,
+        results: Dict[int, RequestResult],
+    ) -> None:
+        """Book one shed request: telemetry, reason counter, empty result."""
+        telemetry.record_rejection(request.tenant, reason=reason)
+        entry = self._matrices[request.fingerprint]
+        results[request.request_id] = RequestResult(
+            request_id=request.request_id,
+            tenant=request.tenant,
+            matrix_name=entry.handle.name,
+            y=None,
+            arrival_time=request.arrival_time,
+            start_time=request.arrival_time,
+            finish_time=request.arrival_time,
+            rejected=True,
+        )
 
     # ------------------------------------------------------------------
     # Dispatch internals

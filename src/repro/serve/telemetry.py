@@ -104,6 +104,9 @@ class ServiceTelemetry:
         self._tenant_latency: Dict[str, List[float]] = {}
         self._tenant_queue: Dict[str, List[float]] = {}
         self._tenant_rejected: Dict[str, int] = {}
+        #: Shed counts keyed by reason (``queue_full``, ``deadline_expired``,
+        #: ``deadline_infeasible``, ``low_priority``, ...).
+        self._shed_reasons: Dict[str, int] = {}
         self._devices: Dict[str, _DeviceCounters] = {}
         self._routing: Dict[str, _RoutingCounters] = {}
         self._queue_depth: List[Tuple[float, int]] = []
@@ -130,8 +133,10 @@ class ServiceTelemetry:
         self._tenant_queue.setdefault(tenant, []).append(queue_seconds)
         self.completed += 1
 
-    def record_rejection(self, tenant: str) -> None:
+    def record_rejection(self, tenant: str, reason: str = "queue_full") -> None:
+        """Book one shed request, attributed to why it was shed."""
         self._tenant_rejected[tenant] = self._tenant_rejected.get(tenant, 0) + 1
+        self._shed_reasons[reason] = self._shed_reasons.get(reason, 0) + 1
         self.rejected += 1
 
     def record_batch(
@@ -202,6 +207,10 @@ class ServiceTelemetry:
     def rejections(self, tenant: str) -> int:
         """Requests shed by admission control for one tenant."""
         return self._tenant_rejected.get(tenant, 0)
+
+    def shed_reasons(self) -> Dict[str, int]:
+        """Shed counts keyed by reason."""
+        return dict(self._shed_reasons)
 
     def latency(self, tenant: Optional[str] = None) -> LatencySummary:
         """Latency summary for one tenant, or the whole population."""
@@ -316,6 +325,8 @@ class ServiceTelemetry:
             ),
             "mispredict_ratio": self.mispredict_ratio,
         }
+        for reason, count in sorted(self._shed_reasons.items()):
+            snapshot[f"sheds_{reason}"] = float(count)
         if cache_stats is None:
             cache_stats = self.attached_cache_stats
         if cache_stats is not None:
@@ -357,6 +368,12 @@ class ServiceTelemetry:
                 completed.inc(len(self._tenant_latency[tenant]), tenant=tenant)
             if self.rejections(tenant):
                 shed.inc(self.rejections(tenant), tenant=tenant)
+        if self._shed_reasons:
+            shed_reasons = registry.counter(
+                "serve_sheds_total", "load-shed requests by reason"
+            )
+            for reason, count in sorted(self._shed_reasons.items()):
+                shed_reasons.inc(count, reason=reason)
 
         launches = registry.counter("device_launches_total", "per-device launches")
         busy = registry.counter("device_busy_seconds_total", "per-device busy time")
