@@ -1,6 +1,6 @@
 """`repro.obs`: observability for the serving and tuning stack.
 
-Three complementary pieces:
+Complementary pieces:
 
 * :mod:`repro.obs.tracing` — per-request spans (admit → queue → batch →
   dispatch → prepare → execute → complete) exportable as Chrome
@@ -11,7 +11,14 @@ Three complementary pieces:
   simulator all publish into,
 * :mod:`repro.obs.results` — a SQLite results store keyed by (git rev,
   engine, scenario, config fingerprint), ``BENCH_*.json`` snapshot
-  emission, noise-band-aware run comparison, and the CI regression gate.
+  emission, noise-band-aware run comparison, and the CI regression gate,
+* :mod:`repro.obs.events` — crash-safe per-process JSONL event shards
+  (batch lifecycle + resilience decisions + completed spans + metric
+  snapshots) written by the wall-clock pool and its workers,
+* :mod:`repro.obs.merge` — shard alignment onto one timeline, the merged
+  query feed, and single-file Chrome export across every process,
+* :mod:`repro.obs.live` — the ``top`` terminal dashboard polling those
+  shards while a run is in flight.
 
 Quickstart::
 
@@ -25,6 +32,24 @@ Quickstart::
     print(metrics.render())
 """
 
+from .events import (
+    EVENTS_SCHEMA,
+    EVENT_KINDS,
+    LIFECYCLE_KINDS,
+    RESILIENCE_KINDS,
+    EventLog,
+    read_events,
+    validate_event_files,
+    validate_events,
+)
+from .live import PoolDashboard
+from .merge import (
+    MergedEvents,
+    discover_shards,
+    merge_chrome,
+    to_chrome,
+    validate_chrome_trace,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .results import (
     DEFAULT_NOISE_BANDS,
@@ -49,13 +74,20 @@ __all__ = [
     "Comparison",
     "Counter",
     "DEFAULT_NOISE_BANDS",
+    "EVENTS_SCHEMA",
+    "EVENT_KINDS",
+    "EventLog",
     "Gauge",
     "GateResult",
     "HIGHER_IS_BETTER",
     "HOST_PID",
     "Histogram",
+    "LIFECYCLE_KINDS",
     "LOWER_IS_BETTER",
+    "MergedEvents",
     "MetricsRegistry",
+    "PoolDashboard",
+    "RESILIENCE_KINDS",
     "ResultsStore",
     "RunRecord",
     "Span",
@@ -65,7 +97,14 @@ __all__ = [
     "compare_runs",
     "config_fingerprint",
     "current_git_rev",
+    "discover_shards",
     "emit_bench_snapshot",
     "load_bench_snapshot",
+    "merge_chrome",
+    "read_events",
     "regression_gate",
+    "to_chrome",
+    "validate_chrome_trace",
+    "validate_event_files",
+    "validate_events",
 ]

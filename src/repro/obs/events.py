@@ -1,0 +1,266 @@
+"""Structured, append-only JSONL event log — one shard per process.
+
+The tracer (:mod:`repro.obs.tracing`) sees everything that happens inside
+one process; the wall-clock :class:`~repro.parallel.WorkerPool` is many
+processes, and the interesting moments — a worker crashing between
+computing a batch and replying, a breaker opening, a batch retried onto a
+respawned worker — happen in *different* address spaces, some of which die
+mid-sentence.  An :class:`EventLog` is the cross-process answer:
+
+* one shard file per process (the pool writes ``<prefix>.pool.jsonl``,
+  worker ``N`` in its generation ``G`` incarnation writes
+  ``<prefix>.worker<N>.g<G>.jsonl``),
+* one JSON object per line, written line-buffered and flushed, so every
+  record that was ever `emit`-ed survives ``os._exit`` — a crashed
+  worker's observations up to the crash are on disk,
+* every record carries a monotonic per-shard ``seq`` and a wall-clock
+  ``wall`` epoch (``time.time()``), which is what lets
+  :mod:`repro.obs.merge` align shards from different processes onto one
+  timeline without any cross-process coordination at write time.
+
+The vocabulary is typed: :data:`LIFECYCLE_KINDS` covers the batch
+lifecycle (``enqueue``/``dispatch``/``prepare``/``execute``/``reply``),
+:data:`RESILIENCE_KINDS` makes every resilience decision first-class
+(``retry``/``hedge_fired``/``breaker_open``/``breaker_half_open``/
+``breaker_close``/``deadline_shed``/``overload_shed``/``respawn``/
+``fault_injected``), and three structural kinds carry the plumbing: a
+``shard_header`` opening every shard, completed ``span`` records (a span
+is only ever written *complete* — there is no "open span" on disk, so a
+merged trace can never contain an orphaned one), and point-in-time
+``metrics`` snapshots flushed on heartbeat acks.
+
+Readers are crash-tolerant the same way writers are crash-safe:
+:func:`read_events` drops a truncated final line (the one a dying process
+was mid-write on) instead of failing the whole shard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = [
+    "EVENTS_SCHEMA",
+    "EVENT_KINDS",
+    "EventLog",
+    "LIFECYCLE_KINDS",
+    "RESILIENCE_KINDS",
+    "STRUCTURAL_KINDS",
+    "read_events",
+    "validate_event_files",
+    "validate_events",
+]
+
+#: Schema marker written into every shard header (bump on layout changes).
+EVENTS_SCHEMA = "repro.obs/events-v1"
+
+#: Batch-lifecycle events, in causal order.
+LIFECYCLE_KINDS = ("enqueue", "dispatch", "prepare", "execute", "reply")
+
+#: Resilience decisions, each observable as a first-class event.
+RESILIENCE_KINDS = (
+    "retry",
+    "hedge_fired",
+    "breaker_open",
+    "breaker_half_open",
+    "breaker_close",
+    "deadline_shed",
+    "overload_shed",
+    "respawn",
+    "fault_injected",
+)
+
+#: Structural records: the shard header, completed spans, metric snapshots.
+STRUCTURAL_KINDS = ("shard_header", "span", "metrics")
+
+#: Every kind a record may carry.
+EVENT_KINDS = LIFECYCLE_KINDS + RESILIENCE_KINDS + STRUCTURAL_KINDS
+
+#: Fields every record must carry (the merge key).
+REQUIRED_FIELDS = ("seq", "wall", "kind", "source")
+
+
+class EventLog:
+    """One process's append-only event shard.
+
+    Each :meth:`emit` writes one JSON line carrying a monotonic ``seq``,
+    the wall-clock ``wall`` timestamp, the shard's ``source`` name and the
+    event ``kind``, plus arbitrary JSON-serialisable fields.  The file is
+    opened line-buffered, so every completed line reaches the OS before
+    ``emit`` returns — an ``os._exit`` (an injected crash, say) loses at
+    most the line being written, never an already-emitted record.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        source: str,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.source = source
+        self._seq = 0
+        # buffering=1 = line buffering (text mode): each terminated line is
+        # handed to the OS at the write call, which is the crash-safety
+        # contract everything downstream (merge, chaos tests) relies on.
+        self._handle = open(self.path, "w", buffering=1)
+        header: Dict[str, Any] = {"schema": EVENTS_SCHEMA, "pid": os.getpid()}
+        if meta:
+            header.update(meta)
+        self.emit("shard_header", **header)
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def emit(self, kind: str, _wall: Optional[float] = None, **fields: Any) -> Dict[str, Any]:
+        """Append one event record; returns the written record.
+
+        ``_wall`` overrides the record's wall-clock stamp — used when
+        flushing spans that *ended* earlier than the flush (their timeline
+        position must be the end time, not the flush time).
+        """
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {kind!r}; use one of {EVENT_KINDS}"
+            )
+        record: Dict[str, Any] = {
+            "seq": self._seq,
+            "wall": time.time() if _wall is None else float(_wall),
+            "kind": kind,
+            "source": self.source,
+        }
+        for key, value in fields.items():
+            record.setdefault(key, value)
+        self._seq += 1
+        if not self._handle.closed:
+            self._handle.write(json.dumps(record, default=str) + "\n")
+            self._handle.flush()
+        return record
+
+    def span(
+        self,
+        name: str,
+        duration_s: float,
+        track: Optional[str] = None,
+        **fields: Any,
+    ) -> Dict[str, Any]:
+        """Record one *completed* span ending now (or at ``fields['wall']``).
+
+        ``wall`` on the record is the span's end; ``dur`` its length in
+        seconds — the merge derives the start as ``wall - dur``.  Spans are
+        only ever written complete, which is what guarantees a merged trace
+        has zero orphaned (unclosed) spans by construction.
+        """
+        return self.emit(
+            "span",
+            name=name,
+            dur=max(0.0, float(duration_s)),
+            track=track or self.source,
+            **fields,
+        )
+
+    def metrics(self, values: Mapping[str, float], **fields: Any) -> Dict[str, Any]:
+        """Record one point-in-time metrics snapshot (flat name → value)."""
+        return self.emit(
+            "metrics",
+            values={str(k): float(v) for k, v in values.items()},
+            **fields,
+        )
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Read one shard's records, tolerating a crash-truncated final line.
+
+    A process that died mid-write leaves at most one partial trailing line;
+    that line is dropped.  A malformed line anywhere *else* is real
+    corruption and raises.
+    """
+    path = Path(path)
+    records: List[Dict[str, Any]] = []
+    lines = path.read_text().splitlines()
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn tail of a crashed writer
+            raise ValueError(f"corrupt event record at {path}:{index + 1}") from None
+    return records
+
+
+def validate_events(
+    shards: Mapping[str, Sequence[Mapping[str, Any]]],
+) -> List[str]:
+    """Schema-check shard records; returns findings (empty = valid).
+
+    ``shards`` maps a shard label (usually its path) to the records
+    :func:`read_events` produced.  Checked per shard: a leading
+    ``shard_header`` with the expected schema marker, required fields on
+    every record, known kinds, strictly increasing ``seq``, non-negative
+    span durations, and mapping-valued ``metrics`` payloads.
+    """
+    findings: List[str] = []
+    for label, records in sorted(shards.items()):
+        if not records:
+            findings.append(f"{label}: empty shard (no header record)")
+            continue
+        head = records[0]
+        if head.get("kind") != "shard_header":
+            findings.append(f"{label}: first record is not a shard_header")
+        elif head.get("schema") != EVENTS_SCHEMA:
+            findings.append(
+                f"{label}: unexpected schema {head.get('schema')!r} "
+                f"(want {EVENTS_SCHEMA})"
+            )
+        last_seq = None
+        for index, record in enumerate(records):
+            where = f"{label}[{index}]"
+            missing = [key for key in REQUIRED_FIELDS if key not in record]
+            if missing:
+                findings.append(f"{where}: missing field(s) {missing}")
+                continue
+            if record["kind"] not in EVENT_KINDS:
+                findings.append(f"{where}: unknown kind {record['kind']!r}")
+            if last_seq is not None and record["seq"] <= last_seq:
+                findings.append(
+                    f"{where}: seq {record['seq']} not after {last_seq}"
+                )
+            last_seq = record["seq"]
+            if record["kind"] == "span":
+                if "name" not in record or "dur" not in record:
+                    findings.append(f"{where}: span without name/dur")
+                elif not isinstance(record["dur"], (int, float)) or record["dur"] < 0:
+                    findings.append(f"{where}: span with bad dur {record['dur']!r}")
+            if record["kind"] == "metrics" and not isinstance(
+                record.get("values"), dict
+            ):
+                findings.append(f"{where}: metrics record without a values map")
+    return findings
+
+
+def validate_event_files(paths: Iterable[Union[str, Path]]) -> List[str]:
+    """:func:`validate_events` over shard files on disk."""
+    shards: Dict[str, Sequence[Mapping[str, Any]]] = {}
+    findings: List[str] = []
+    for path in paths:
+        try:
+            shards[str(path)] = read_events(path)
+        except (OSError, ValueError) as error:
+            findings.append(f"{path}: unreadable ({error})")
+    return findings + validate_events(shards)

@@ -1,0 +1,322 @@
+"""Merge per-process event shards onto one timeline.
+
+Each process in a wall-clock run writes its own
+:class:`~repro.obs.events.EventLog` shard with wall-clock (``time.time()``)
+timestamps; nothing coordinates at write time.  :class:`MergedEvents` does
+the alignment after the fact: the merged epoch is the earliest ``wall``
+across every shard, every record gets a derived ``t`` (seconds since that
+epoch), and the result is one time-sorted stream with a query API — the
+live-telemetry feed the ROADMAP's online-routing item consumes, and the
+input to :func:`to_chrome`, which renders the run as a single Chrome trace
+with one *process* track per worker: wall-clock ``prepare``/``execute``/
+``batch`` spans on the worker that ran them, breaker/fault/shed instants
+on the track that owns them.
+
+``merge_chrome`` folds in extra Chrome payloads (the virtual-time service
+tracer's export, say) so `serve-bench --wall-clock --trace` writes ONE
+file: modelled timeline (pids 1/2) next to measured worker processes
+(pids 100+).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from .events import (
+    LIFECYCLE_KINDS,
+    RESILIENCE_KINDS,
+    read_events,
+    validate_events,
+)
+
+__all__ = [
+    "MergedEvents",
+    "POOL_PID",
+    "WORKER_PID_BASE",
+    "discover_shards",
+    "merge_chrome",
+    "to_chrome",
+    "validate_chrome_trace",
+]
+
+#: Chrome pid of the pool's own track (distinct from the tracer's
+#: VIRTUAL_PID=1 / HOST_PID=2 so merged files never collide).
+POOL_PID = 10
+
+#: Worker ``N`` renders as Chrome pid ``WORKER_PID_BASE + N``.
+WORKER_PID_BASE = 100
+
+_WORKER_SOURCE = re.compile(r"^worker-(?P<id>\d+)$")
+
+
+def discover_shards(prefix: Union[str, Path]) -> List[Path]:
+    """Every event shard written under ``prefix`` (pool + all generations)."""
+    prefix = Path(prefix)
+    pattern = f"{prefix.name}.*.jsonl"
+    return sorted(prefix.parent.glob(pattern))
+
+
+class MergedEvents:
+    """Event shards aligned to a common epoch, queryable as one stream."""
+
+    def __init__(self, records: List[Dict[str, Any]]) -> None:
+        walls = [r["wall"] for r in records if "wall" in r]
+        #: The merged timeline's zero: the earliest wall clock seen.
+        self.epoch: float = min(walls) if walls else 0.0
+        for record in records:
+            if "wall" in record:
+                record["t"] = record["wall"] - self.epoch
+        records.sort(key=lambda r: (r.get("wall", 0.0), r.get("seq", 0)))
+        self.records = records
+        self.sources: List[str] = sorted(
+            {r["source"] for r in records if "source" in r}
+        )
+
+    @classmethod
+    def load(cls, paths: Iterable[Union[str, Path]]) -> "MergedEvents":
+        """Read + merge shard files (see :func:`discover_shards`)."""
+        records: List[Dict[str, Any]] = []
+        for path in paths:
+            for record in read_events(path):
+                record["shard"] = str(path)
+                records.append(record)
+        return cls(records)
+
+    @classmethod
+    def from_prefix(cls, prefix: Union[str, Path]) -> "MergedEvents":
+        return cls.load(discover_shards(prefix))
+
+    # ------------------------------------------------------------------
+    # Query API (the live-telemetry feed)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        kind: Optional[Union[str, Sequence[str]]] = None,
+        source: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Records filtered by kind(s), source and ``t`` window, in order."""
+        kinds = (kind,) if isinstance(kind, str) else kind
+        out = []
+        for record in self.records:
+            if kinds is not None and record.get("kind") not in kinds:
+                continue
+            if source is not None and record.get("source") != source:
+                continue
+            t = record.get("t", 0.0)
+            if since is not None and t < since:
+                continue
+            if until is not None and t > until:
+                continue
+            out.append(record)
+        return out
+
+    def spans(self, source: Optional[str] = None) -> List[Dict[str, Any]]:
+        return self.query(kind="span", source=source)
+
+    def instants(self, source: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Lifecycle + resilience events (everything renderable as instants)."""
+        return self.query(kind=LIFECYCLE_KINDS + RESILIENCE_KINDS, source=source)
+
+    def latest_metrics(self, source: str) -> Dict[str, float]:
+        """The newest metrics snapshot one source has flushed ({} if none)."""
+        snapshots = self.query(kind="metrics", source=source)
+        return dict(snapshots[-1]["values"]) if snapshots else {}
+
+    def headers(self) -> Dict[str, Dict[str, Any]]:
+        """source → its (latest-generation) shard header."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for record in self.query(kind="shard_header"):
+            out[record["source"]] = record
+        return out
+
+    def validate(self) -> List[str]:
+        """Per-shard schema findings over the loaded records."""
+        by_shard: Dict[str, List[Dict[str, Any]]] = {}
+        for record in self.records:
+            by_shard.setdefault(record.get("shard", "<memory>"), []).append(record)
+        # The merge sorted globally by wall time, but a flushed span's wall
+        # stamp is its *end* time, which may precede records written before
+        # it.  Per-shard seq order IS file order, so re-sort by seq to give
+        # the validator the on-disk sequence back.
+        for records in by_shard.values():
+            records.sort(key=lambda r: r.get("seq", 0))
+        return validate_events(by_shard)
+
+
+def _pid_for(source: str, extra_pids: Dict[str, int]) -> int:
+    match = _WORKER_SOURCE.match(source)
+    if match is not None:
+        return WORKER_PID_BASE + int(match.group("id"))
+    if source == "pool":
+        return POOL_PID
+    if source not in extra_pids:
+        extra_pids[source] = 50 + len(extra_pids)
+    return extra_pids[source]
+
+
+def to_chrome(merged: MergedEvents) -> Dict[str, Any]:
+    """Render merged events as a Chrome trace-event JSON object.
+
+    One process per source (``worker-N`` → pid ``100+N``, the pool → pid
+    10), span records as complete ``X`` events, lifecycle/resilience
+    events as ``i`` instants on the owning source's track.  Timestamps are
+    microseconds since the merged epoch.
+    """
+    headers = merged.headers()
+    extra_pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    trace_events: List[Dict[str, Any]] = []
+
+    def tid_for(pid: int, track: str) -> int:
+        key = (pid, track)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tids[key],
+                    "args": {"name": track},
+                }
+            )
+        return tids[key]
+
+    for source in merged.sources:
+        pid = _pid_for(source, extra_pids)
+        header = headers.get(source, {})
+        label = source
+        if header.get("engine"):
+            label = f"{source} ({header['engine']})"
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+
+    skip = {"seq", "wall", "t", "kind", "source", "shard", "name", "dur", "track"}
+    for record in merged.records:
+        kind = record.get("kind")
+        source = record.get("source", "pool")
+        pid = _pid_for(source, extra_pids)
+        args = {k: v for k, v in record.items() if k not in skip}
+        if kind == "span":
+            end_us = record.get("t", 0.0) * 1e6
+            dur_us = max(0.0, float(record.get("dur", 0.0))) * 1e6
+            trace_events.append(
+                {
+                    "name": record.get("name", "span"),
+                    "cat": "events",
+                    "ph": "X",
+                    "ts": end_us - dur_us,
+                    "dur": dur_us,
+                    "pid": pid,
+                    "tid": tid_for(pid, str(record.get("track", source))),
+                    "args": args,
+                }
+            )
+        elif kind in LIFECYCLE_KINDS or kind in RESILIENCE_KINDS:
+            trace_events.append(
+                {
+                    "name": kind,
+                    "cat": "events",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": record.get("t", 0.0) * 1e6,
+                    "pid": pid,
+                    "tid": tid_for(pid, source),
+                    "args": args,
+                }
+            )
+        # shard_header / metrics records stay in the JSONL feed only.
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def merge_chrome(*payloads: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Concatenate Chrome trace payloads into one.
+
+    Process-id spaces are disjoint by construction (tracer pids 1/2, pool
+    pid 10, workers 100+), so a plain concatenation is a correct merge.
+    """
+    events: List[Dict[str, Any]] = []
+    for payload in payloads:
+        if payload:
+            events.extend(payload.get("traceEvents", []))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(
+    trace: Union[str, Path, Dict[str, Any]],
+    min_worker_tracks: int = 0,
+) -> List[str]:
+    """Schema-check one Chrome trace payload; returns findings (empty = ok).
+
+    Checks the trace-event container shape, per-event required fields,
+    non-negative ``X`` durations, balanced ``B``/``E`` pairs (our exporters
+    only emit complete ``X`` spans, so any unmatched begin IS an orphaned
+    span), and — when ``min_worker_tracks`` is set — that at least that
+    many ``worker-*`` process tracks are present.
+    """
+    findings: List[str] = []
+    if not isinstance(trace, dict):
+        try:
+            trace = json.loads(Path(trace).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            return [f"unreadable trace: {error}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace has no traceEvents list"]
+    open_spans: Dict[tuple, int] = {}
+    worker_tracks = set()
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            findings.append(f"traceEvents[{index}]: not an object")
+            continue
+        phase = event.get("ph")
+        if phase is None or "pid" not in event:
+            findings.append(f"traceEvents[{index}]: missing ph/pid")
+            continue
+        if phase == "M":
+            if (
+                event.get("name") == "process_name"
+                and str(event.get("args", {}).get("name", "")).startswith("worker-")
+            ):
+                worker_tracks.add(event["pid"])
+            continue
+        if "ts" not in event:
+            findings.append(f"traceEvents[{index}]: {phase!r} event without ts")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                findings.append(
+                    f"traceEvents[{index}]: X span with bad dur {dur!r}"
+                )
+        elif phase == "B":
+            key = (event["pid"], event.get("tid"))
+            open_spans[key] = open_spans.get(key, 0) + 1
+        elif phase == "E":
+            key = (event["pid"], event.get("tid"))
+            if open_spans.get(key, 0) <= 0:
+                findings.append(f"traceEvents[{index}]: E without matching B")
+            else:
+                open_spans[key] -= 1
+    for (pid, tid), count in sorted(open_spans.items()):
+        if count:
+            findings.append(
+                f"{count} orphaned (unclosed) span(s) on pid {pid} tid {tid}"
+            )
+    if min_worker_tracks and len(worker_tracks) < min_worker_tracks:
+        findings.append(
+            f"only {len(worker_tracks)} worker process track(s); "
+            f"expected >= {min_worker_tracks}"
+        )
+    return findings

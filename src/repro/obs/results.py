@@ -435,12 +435,17 @@ def emit_bench_snapshot(
     noise_bands: Optional[Mapping[str, float]] = None,
     gate_metrics: Sequence[str] = ("latency_p95_ms", "throughput_rps"),
     git_rev: Optional[str] = None,
+    variant_noise_bands: Optional[Mapping[str, Mapping[str, float]]] = None,
 ) -> Path:
     """Write one ``BENCH_<topic>.json`` perf-trajectory snapshot.
 
     ``variants`` maps a variant label (e.g. scheduler policy) to its flat
     metrics payload; the stored noise bands and gate metrics make the file
     self-describing, so the CI gate needs no out-of-band configuration.
+    ``variant_noise_bands`` optionally widens (or tightens) the bands for
+    specific variants — measured wall-clock variants are far noisier than
+    modelled ones, and one global band would either mask modelled
+    regressions or flap on measured ones.
     """
     path = Path(path)
     snapshot = {
@@ -463,6 +468,11 @@ def emit_bench_snapshot(
             for label, payload in variants.items()
         },
     }
+    if variant_noise_bands:
+        snapshot["variant_noise_bands"] = {
+            label: {name: float(band) for name, band in bands.items()}
+            for label, bands in variant_noise_bands.items()
+        }
     path.write_text(json.dumps(snapshot, indent=2, sort_keys=True, default=str) + "\n")
     return path
 
@@ -505,21 +515,27 @@ def regression_gate(
     Only the snapshot's ``gate_metrics`` can fail the gate, and only in
     their regressing direction beyond their stored noise band.  A variant
     present in the baseline but missing from the fresh run fails the gate
-    (a silently dropped configuration is itself a regression).
+    (a silently dropped configuration is itself a regression).  Per-variant
+    ``variant_noise_bands`` entries override the global bands for that
+    variant (how measured wall-clock variants get wider tolerances than
+    the deterministic modelled ones).
     """
     gate_metrics = baseline.get("gate_metrics", ["latency_p95_ms", "throughput_rps"])
     noise_bands = baseline.get("noise_bands", {})
+    per_variant = baseline.get("variant_noise_bands", {})
     comparisons: Dict[str, Comparison] = {}
     failures: List[str] = []
     for label, base_payload in baseline.get("variants", {}).items():
         if label not in current_variants:
             failures.append(f"variant {label!r} missing from the current run")
             continue
+        bands = dict(noise_bands)
+        bands.update(per_variant.get(label, {}))
         comparison = compare_runs(
             base_payload,
             current_variants[label],
             metrics=gate_metrics,
-            noise_bands=noise_bands,
+            noise_bands=bands,
         )
         comparison.baseline_label = f"baseline[{label}]"
         comparison.candidate_label = f"current[{label}]"

@@ -179,7 +179,7 @@ class WallClockReport:
             return float(np.percentile(latencies_ms, fraction))
 
         return {
-            "requests": float(len(completed)),
+            "completed": float(len(completed)),
             "latency_p50_ms": percentile(50),
             "latency_p95_ms": percentile(95),
             "latency_p99_ms": percentile(99),
@@ -316,6 +316,15 @@ class WorkerPool:
         Optional :class:`repro.obs.MetricsRegistry` (duck-typed); each
         :meth:`run_trace` publishes its snapshot (``wallclock_*``) plus
         per-worker ``breaker_state`` gauges into it.
+    events_path:
+        Prefix for the run's event shards (see :mod:`repro.obs.events`).
+        The pool writes ``<prefix>.pool.jsonl``; each worker incarnation
+        writes ``<prefix>.worker<N>.g<G>.jsonl`` beside it.  Every batch
+        lifecycle step and resilience decision (retry/hedge/breaker
+        transition/shed/respawn/injected fault) becomes a structured
+        event; :class:`repro.obs.MergedEvents` aligns the shards into one
+        timeline afterwards.  ``None`` (default) disables event logging —
+        the obs layer is then never imported from here.
     """
 
     def __init__(
@@ -337,6 +346,7 @@ class WorkerPool:
         retry_policy="default",
         breaker="default",
         metrics=None,
+        events_path: Optional[str] = None,
     ) -> None:
         if num_workers < 0:
             raise ValueError("num_workers must be non-negative")
@@ -380,6 +390,13 @@ class WorkerPool:
         else:
             self._breakers = dict(breaker or {})
         self._metrics = metrics
+        self.events_path = events_path
+        self._events = None
+        # Breaker transitions become first-class events via the breakers'
+        # duck-typed observer hook (resilience never imports obs for this).
+        for worker_id, brk in self._breakers.items():
+            if getattr(brk, "observer", None) is None:
+                brk.observer = self._breaker_observer(worker_id)
         self._ctx = multiprocessing.get_context(
             start_method
             or ("fork" if "fork" in multiprocessing.get_all_start_methods() else None)
@@ -407,10 +424,68 @@ class WorkerPool:
         self.hedges = 0
 
     # ------------------------------------------------------------------
+    # Event logging (lazy obs edge)
+    # ------------------------------------------------------------------
+    def _open_events(self) -> None:
+        if self._events is not None or self.events_path is None:
+            return
+        # Function-scoped import: obs is only reached when event logging
+        # was actually requested (see analysis/layers.toml).
+        from ..obs.events import EventLog
+
+        self._events = EventLog(
+            f"{self.events_path}.pool.jsonl",
+            source="pool",
+            meta={
+                "scenario": self.scenario,
+                "workers": self.num_workers,
+                "compute": self.compute,
+            },
+        )
+
+    def _emit(self, kind: str, **fields) -> None:
+        if self._events is not None:
+            self._events.emit(kind, **fields)
+
+    def _breaker_observer(self, worker_id: int):
+        kinds = {"open": "breaker_open", "half-open": "breaker_half_open",
+                 "closed": "breaker_close"}
+
+        def observe(breaker, old_state: str, new_state: str) -> None:
+            self._emit(
+                kinds.get(new_state, "breaker_open"),
+                worker=worker_id,
+                old_state=old_state,
+                consecutive_failures=breaker.consecutive_failures,
+                trips=breaker.trips,
+            )
+
+        return observe
+
+    def _worker_events_path(self, worker_id: int, generation: int) -> Optional[str]:
+        """Shard path for one worker incarnation.
+
+        The generation is part of the name so a respawned worker never
+        truncates its dead predecessor's shard — the pre-crash records are
+        evidence the merged timeline must keep.
+        """
+        if self.events_path is None:
+            return None
+        return f"{self.events_path}.worker{worker_id}.g{generation}.jsonl"
+
+    def event_shard_paths(self) -> List[Path]:
+        """Every event shard this run has written so far (pool + workers)."""
+        if self.events_path is None:
+            return []
+        prefix = Path(self.events_path)
+        return sorted(prefix.parent.glob(f"{prefix.name}.*.jsonl"))
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Spawn and health-check every worker (idempotent)."""
+        self._open_events()
         if self._started or not self.num_workers:
             self._started = True
             return
@@ -456,6 +531,7 @@ class WorkerPool:
             scenario=self.scenario,
             faults=faults,
             generation=slot.respawns,
+            events_path=self._worker_events_path(slot.worker_id, slot.respawns),
         )
         slot.tasks = self._ctx.Queue()
         slot.reply = self._ctx.Queue()
@@ -534,6 +610,8 @@ class WorkerPool:
                     slot.tasks.cancel_join_thread()
                     slot.tasks.close()
         self._merge_shards(shard_paths)
+        if self._events is not None:
+            self._events.close()
         for entry in self._registered.values():
             entry.coo_block.unlink()
             for block in entry.program_blocks.values():
@@ -572,6 +650,7 @@ class WorkerPool:
         key = matrix_fingerprint(matrix)
         if key in self._registered:
             return key
+        prepare_started = time.perf_counter()
         entry = _Registered(
             key=key,
             name=name,
@@ -590,6 +669,16 @@ class WorkerPool:
         self._registered[key] = entry
         for slot in self._slots:
             self._register_with_worker(slot, entry)
+        if self._events is not None:
+            # Pool-side prepare: sharing the matrix + building the parent
+            # payloads + fanning registration out to every worker.
+            self._events.span(
+                "prepare",
+                time.perf_counter() - prepare_started,
+                matrix=name,
+                key=key,
+                home=entry.home,
+            )
         return key
 
     def _place(self, matrix: COOMatrix, hint: Optional[Sequence[str]]) -> int:
@@ -759,6 +848,14 @@ class WorkerPool:
         else:
             keys = [matrix_fingerprint(w.matrix) for w in trace.matrices]
         batches = self._build_batches(trace, keys)
+        for state in batches:
+            self._emit(
+                "enqueue",
+                batch=state.batch.batch_id,
+                matrix=state.matrix.name,
+                requests=len(state.requests),
+                home=state.worker_id,
+            )
         run_started = time.perf_counter()
         for state in batches:
             if open_loop:
@@ -804,6 +901,8 @@ class WorkerPool:
         )
         if self._metrics is not None:
             self._publish_metrics(report)
+        if self._events is not None:
+            self._events.metrics(report.snapshot(), on="run_end")
         return report
 
     def _publish_metrics(self, report: WallClockReport) -> None:
@@ -920,6 +1019,12 @@ class WorkerPool:
             self.shed_requests += len(state.requests)
             if reason == "deadline":
                 self.deadline_misses += len(state.requests)
+            self._emit(
+                "deadline_shed" if reason == "deadline" else "overload_shed",
+                batch=state.batch.batch_id,
+                requests=len(state.requests),
+                reason=reason,
+            )
             base = state.release_at or state.enqueued_at or now
             for request_id, tenant in state.requests:
                 results.append(
@@ -965,6 +1070,13 @@ class WorkerPool:
                     inflight[state.batch.batch_id] = state
                     with _mon_section("tasks"):
                         slot.tasks.put(("execute", state.batch))
+                    self._emit(
+                        "dispatch",
+                        batch=state.batch.batch_id,
+                        worker=slot.worker_id,
+                        attempt=state.attempts,
+                        requests=len(state.requests),
+                    )
 
         def complete(state: _BatchState, result: BatchResult, worker_id: int) -> None:
             nonlocal cycles, edges
@@ -978,6 +1090,13 @@ class WorkerPool:
                 self._record_worker_success(worker_id)
             if state.enqueued_at:
                 batch_latencies.append(now - state.enqueued_at)
+            self._emit(
+                "reply",
+                batch=state.batch.batch_id,
+                worker=worker_id,
+                requests=len(state.requests),
+                latency_s=(now - state.enqueued_at) if state.enqueued_at else 0.0,
+            )
             cycles += result.engine_cycles
             edges += float(len(state.requests)) * state.matrix.matrix.nnz
             base = (
@@ -1025,6 +1144,13 @@ class WorkerPool:
                     self.hedges += 1
                     with _mon_section("tasks"):
                         slot.tasks.put(("execute", state.batch))
+                    self._emit(
+                        "hedge_fired",
+                        batch=state.batch.batch_id,
+                        original_worker=state.worker_id,
+                        hedge_worker=slot.worker_id,
+                        age_s=now - state.enqueued_at,
+                    )
                     break
 
         def degrade_if_starved(now: float) -> None:
@@ -1169,6 +1295,13 @@ class WorkerPool:
                     self._register_with_worker(slot, entry)
             except TimeoutError:  # pragma: no cover - respawn failure
                 respawned = False
+            self._emit(
+                "respawn",
+                worker=slot.worker_id,
+                generation=slot.respawns,
+                lost_batches=len(lost),
+                ok=respawned,
+            )
             for state in lost:
                 if state.batch.batch_id in completed:
                     continue
@@ -1182,6 +1315,13 @@ class WorkerPool:
                         )
                     )
                     ready[slot.worker_id].append(state)
+                    self._emit(
+                        "retry",
+                        batch=state.batch.batch_id,
+                        worker=slot.worker_id,
+                        attempt=state.attempts,
+                        delay_s=max(0.0, state.not_before - time.perf_counter()),
+                    )
                 else:
                     self.degraded_batches += 1
                     complete(state, self._execute_inline_state(state), worker_id=-1)

@@ -75,6 +75,8 @@ class WorkerConfig:
     #: Respawn count of this incarnation (0 = original process); the
     #: injector uses it to decide which specs apply (``on_respawn``).
     generation: int = 0
+    #: Event shard written beside the results shard (None = no tracing).
+    events_path: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -151,22 +153,158 @@ def _register(
     return True
 
 
+class _WorkerObs:
+    """This worker's observability kit: tracer + metrics + event shard.
+
+    Built lazily (only when ``WorkerConfig.events_path`` is set) so the
+    parallel layer's obs dependency stays optional.  The worker owns a real
+    :class:`~repro.obs.Tracer` — spans are recorded against a private
+    ``perf_counter`` epoch and flushed to the event shard as *completed*
+    span records with true wall-clock end times, so a crash loses at most
+    the batch in flight, never an already-flushed span (the chaos tests'
+    contract).
+    """
+
+    #: Flush a metrics snapshot at least every this many executed batches.
+    METRICS_EVERY = 8
+
+    def __init__(self, config: WorkerConfig, engine_name: str) -> None:
+        from ..obs.events import EventLog
+        from ..obs.metrics import MetricsRegistry
+        from ..obs.tracing import Tracer
+
+        self.worker_id = config.worker_id
+        self.source = f"worker-{config.worker_id}"
+        self.generation = config.generation
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        # One instant shared between the two clocks: wall time at the perf
+        # epoch lets flushed spans carry absolute end times.
+        self._perf_epoch = time.perf_counter()
+        self._wall0 = time.time()
+        self._flushed_spans = 0
+        self._engine = engine_name
+        self.log = EventLog(
+            config.events_path,
+            source=self.source,
+            meta={
+                "engine": engine_name,
+                "worker": config.worker_id,
+                "generation": config.generation,
+                "scenario": config.scenario,
+            },
+        )
+
+    def record_span(self, name: str, started: float, ended: float, **args: Any) -> None:
+        """Record one wall-clock span (perf_counter endpoints) in the tracer."""
+        self.tracer.span(
+            name,
+            started - self._perf_epoch,
+            max(0.0, ended - started),
+            track=self.source,
+            category="worker",
+            **args,
+        )
+
+    def flush_spans(self) -> None:
+        """Write tracer spans recorded since the last flush to the shard."""
+        new = self.tracer.spans[self._flushed_spans:]
+        self._flushed_spans = len(self.tracer.spans)
+        for span in new:
+            end_s = (span.start_us + span.duration_us) / 1e6
+            self.log.span(
+                span.name,
+                span.duration_us / 1e6,
+                track=span.track,
+                _wall=self._wall0 + end_s,
+                **span.args,
+            )
+
+    def record_launch(self, seconds: float, report: Any) -> None:
+        """Publish one launch into the registry, Session metric names."""
+        engine = self._engine
+        self.metrics.counter(
+            "engine_launches_total", "launches executed per engine"
+        ).inc(1, engine=engine)
+        self.metrics.histogram(
+            "engine_launch_seconds", "measured per-launch wall latency"
+        ).observe(seconds, engine=engine)
+        if report is None:
+            return
+        self.metrics.counter(
+            "engine_cycles_total", "simulated accelerator cycles"
+        ).inc(float(getattr(report, "cycles", 0.0)), engine=engine)
+        self.metrics.counter(
+            "engine_bytes_moved_total", "simulated off-chip traffic"
+        ).inc(float(getattr(report, "bytes_moved", 0.0)), engine=engine)
+        bandwidth = float(getattr(report, "effective_bandwidth_gbps", 0.0) or 0.0)
+        if bandwidth:
+            self.metrics.gauge(
+                "engine_effective_bandwidth_gbps", "bytes moved / simulated seconds"
+            ).set(bandwidth, engine=engine)
+
+    def flush_metrics(self, **fields: Any) -> None:
+        """Write a point-in-time snapshot of the registry to the shard."""
+        snapshot = self.metrics.snapshot()
+        if snapshot:
+            self.log.metrics(snapshot, **fields)
+
+    def on_fault(self, spec: Any, ordinal: int) -> None:
+        """Injector observer: make the injected fault visible *pre-firing*.
+
+        Flushes pending spans first, then emits the instant — for a crash
+        spec both lines are on disk before ``os._exit`` fires.
+        """
+        self.flush_spans()
+        self.log.emit(
+            "fault_injected",
+            fault=getattr(spec, "kind", "?"),
+            name=getattr(spec, "name", ""),
+            worker=self.worker_id,
+            generation=self.generation,
+            ordinal=ordinal,
+        )
+
+    def close(self) -> None:
+        self.flush_spans()
+        self.flush_metrics(final=True)
+        self.log.close()
+
+
 def _execute(
-    config: WorkerConfig, engine, entry: _Served, batch: WorkBatch
+    config: WorkerConfig,
+    engine,
+    entry: _Served,
+    batch: WorkBatch,
+    obs: Optional[_WorkerObs] = None,
 ) -> BatchResult:
     """Run every launch of a batch, measuring wall time and engine cycles."""
     started = time.perf_counter()
     ys: List[Optional[np.ndarray]] = []
     cycles = 0.0
     for x in batch.xs:
+        launch_started = time.perf_counter() if obs is not None else 0.0
+        report = None
         if config.compute == "reference":
             ys.append(spmv(entry.prepared.matrix, x))
         elif config.compute == "simulate":
             result = engine.execute(entry.prepared, x)
             ys.append(result.y)
-            cycles += float(result.report.cycles)
+            report = result.report
+            cycles += float(report.cycles)
         else:
             ys.append(None)
+        if obs is not None:
+            obs.record_launch(time.perf_counter() - launch_started, report)
+    if obs is not None:
+        obs.record_span(
+            "execute",
+            started,
+            time.perf_counter(),
+            batch=batch.batch_id,
+            matrix=batch.matrix_key,
+            requests=len(batch),
+        )
     return BatchResult(
         batch_id=batch.batch_id,
         worker_id=config.worker_id,
@@ -221,6 +359,7 @@ def worker_main(config: WorkerConfig, tasks, results) -> None:
     }
     executed = 0
     registrations = 0
+    obs = _WorkerObs(config, engine.name) if config.events_path else None
     injector = None
     if config.faults:
         # Lazy, inside the worker process: the parallel layer only reaches
@@ -230,6 +369,8 @@ def worker_main(config: WorkerConfig, tasks, results) -> None:
         injector = WorkerFaultInjector(
             specs=tuple(config.faults), generation=config.generation
         )
+        if obs is not None:
+            injector.observer = obs.on_fault
     results.put(("ready", config.worker_id))
     try:
         while True:
@@ -240,17 +381,26 @@ def worker_main(config: WorkerConfig, tasks, results) -> None:
                 if injector is not None:
                     totals["faults_injected"] = float(injector.injected)
                 _write_shard_store(config, engine.name, totals)
+                if obs is not None:
+                    obs.close()
                 results.put(("stopped", config.worker_id, config.results_path))
                 return
             if kind == "ping":
+                if obs is not None:
+                    # Heartbeat ack = incremental flush point: the pool's
+                    # health pass makes metrics land on disk periodically,
+                    # not only at a clean stop.
+                    obs.flush_spans()
+                    obs.flush_metrics(on="ping")
                 results.put(("pong", config.worker_id, task[1]))
                 continue
             if kind == "register":
                 _, key, name, coo_descriptor, program_descriptor = task
+                prepare_started = time.perf_counter()
                 try:
                     if injector is not None:
                         injector.on_register(registrations)
-                    _register(
+                    did_work = _register(
                         config, engine, served, key, name,
                         coo_descriptor, program_descriptor,
                     )
@@ -259,14 +409,32 @@ def worker_main(config: WorkerConfig, tasks, results) -> None:
                         ("error", config.worker_id, None, traceback.format_exc())
                     )
                 else:
+                    if obs is not None:
+                        obs.record_span(
+                            "prepare",
+                            prepare_started,
+                            time.perf_counter(),
+                            matrix=name,
+                            key=key,
+                            built=did_work,
+                        )
+                        obs.log.emit(
+                            "prepare",
+                            matrix=name,
+                            key=key,
+                            ordinal=registrations,
+                            built=did_work,
+                        )
+                        obs.flush_spans()
                     results.put(("registered", config.worker_id, key))
                 registrations += 1
                 continue
             if kind == "execute":
                 batch: WorkBatch = task[1]
+                batch_started = time.perf_counter()
                 try:
                     entry = served[batch.matrix_key]
-                    result = _execute(config, engine, entry, batch)
+                    result = _execute(config, engine, entry, batch, obs)
                 except Exception:  # noqa: BLE001 - reported to the pool
                     results.put(
                         ("error", config.worker_id, batch.batch_id, traceback.format_exc())
@@ -281,6 +449,31 @@ def worker_main(config: WorkerConfig, tasks, results) -> None:
                         extra = (factor - 1.0) * max(result.wall_seconds, 1e-4)
                         time.sleep(min(extra, 5.0))
                         result.wall_seconds *= factor
+                if obs is not None:
+                    # The batch span (compute + injected stretch) and the
+                    # execute event are flushed BEFORE the reply window —
+                    # an injected crash/hang below never loses them.
+                    obs.record_span(
+                        "batch",
+                        batch_started,
+                        time.perf_counter(),
+                        batch=batch.batch_id,
+                        matrix=batch.matrix_key,
+                        requests=len(batch),
+                    )
+                    obs.log.emit(
+                        "execute",
+                        batch=batch.batch_id,
+                        matrix=batch.matrix_key,
+                        requests=len(batch),
+                        wall_seconds=result.wall_seconds,
+                        engine_cycles=result.engine_cycles,
+                        ordinal=executed,
+                    )
+                    obs.flush_spans()
+                    if (executed + 1) % _WorkerObs.METRICS_EVERY == 0:
+                        obs.flush_metrics(on="periodic")
+                if injector is not None:
                     # Crash/hang/drop between computing and replying — the
                     # exact window the pool's retry logic has to cover
                     # without losing or duplicating the requests.
@@ -301,6 +494,8 @@ def worker_main(config: WorkerConfig, tasks, results) -> None:
                 ("error", config.worker_id, None, f"unknown task {kind!r}")
             )
     finally:
+        if obs is not None:
+            obs.close()
         for entry in served.values():
             for block in entry.blocks:
                 block.close()

@@ -371,6 +371,13 @@ class WorkerFaultInjector:
     specs fire only in the first incarnation, ``on_respawn`` specs only in
     replacements — so an injected crash never re-fires after recovery, and
     "the respawned worker is also sick" is expressible.
+
+    ``observer`` is a duck-typed hook called as ``observer(spec, ordinal)``
+    immediately *before* a fault fires — before the ``os._exit`` of a
+    crash, before a hang's sleep — so an event log attached by the worker
+    can record the injection even when the process never returns from it.
+    A persistent ``slow`` notifies once (its first affected batch), not on
+    every stretched execution.
     """
 
     specs: Tuple[FaultSpec, ...] = ()
@@ -378,8 +385,12 @@ class WorkerFaultInjector:
     #: Worker-observable injections (crashes are not observable: the process
     #: is gone before it could count).
     injected: int = 0
+    #: Pre-firing hook, set post-construction by the worker (not pickled
+    #: state): ``observer(spec, ordinal)``; exceptions are swallowed.
+    observer: Optional[object] = field(default=None, repr=False, compare=False)
     _slow_from: Optional[int] = field(default=None, repr=False)
     _slow_factor: float = field(default=1.0, repr=False)
+    _slow_notified: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         self.specs = tuple(
@@ -405,13 +416,24 @@ class WorkerFaultInjector:
                 return spec
         return None
 
+    def _notify(self, spec: FaultSpec, ordinal: int) -> None:
+        if self.observer is None:
+            return
+        try:
+            self.observer(spec, ordinal)
+        except Exception:  # noqa: BLE001 - observability never adds faults
+            pass
+
     def on_register(self, ordinal: int) -> None:
         """Install point before the ``ordinal``-th registration's attach."""
-        if self._firing("crash", ordinal, register=True) is not None:
+        spec = self._firing("crash", ordinal, register=True)
+        if spec is not None:
+            self._notify(spec, ordinal)
             os._exit(FAULT_EXIT_CODE)
         spec = self._firing("shm_attach_fail", ordinal, register=True)
         if spec is not None:
             self.injected += 1
+            self._notify(spec, ordinal)
             raise ShmAttachFault(
                 f"injected shm attach failure at registration {ordinal}"
             )
@@ -420,6 +442,11 @@ class WorkerFaultInjector:
         """Slowdown multiplier for the ``ordinal``-th executed batch."""
         if self._slow_from is not None and ordinal >= self._slow_from:
             self.injected += 1
+            if not self._slow_notified:
+                self._slow_notified = True
+                for spec in self.specs:
+                    if spec.kind == "slow":
+                        self._notify(spec, ordinal)
             return self._slow_factor
         return 1.0
 
@@ -429,14 +456,19 @@ class WorkerFaultInjector:
         Returns whether the reply should be sent; may sleep (hang) or never
         return (crash).
         """
-        if self._firing("crash", ordinal, register=False) is not None:
+        spec = self._firing("crash", ordinal, register=False)
+        if spec is not None:
+            self._notify(spec, ordinal)
             os._exit(FAULT_EXIT_CODE)
         spec = self._firing("hang", ordinal, register=False)
         if spec is not None:
             self.injected += 1
+            self._notify(spec, ordinal)
             time.sleep(spec.seconds)
-        if self._firing("reply_drop", ordinal, register=False) is not None:
+        spec = self._firing("reply_drop", ordinal, register=False)
+        if spec is not None:
             self.injected += 1
+            self._notify(spec, ordinal)
             return False
         return True
 

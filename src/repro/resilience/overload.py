@@ -75,6 +75,9 @@ class OverloadController:
     shed_counts: Dict[str, int] = field(default_factory=dict)
     admitted: int = 0
     degraded: int = 0
+    #: Duck-typed shed hook, called as ``observer(tenant, reason, tier)``
+    #: on every shed decision (event-log wiring without importing obs).
+    observer: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.max_queue_depth is not None:
@@ -130,6 +133,11 @@ class OverloadController:
 
     def _shed(self, tenant: str, reason: str, tier: int) -> OverloadDecision:
         self.shed_counts[reason] = self.shed_counts.get(reason, 0) + 1
+        if self.observer is not None:
+            try:
+                self.observer(tenant, reason, tier)
+            except Exception:  # noqa: BLE001 - observability never sheds harder
+                pass
         return OverloadDecision(SHED, reason=reason, tier=tier)
 
     def stats(self) -> Dict[str, int]:

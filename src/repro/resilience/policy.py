@@ -113,6 +113,11 @@ class CircuitBreaker:
     (no traffic until ``cooldown_seconds`` passed since the trip), and
     *half-open* (exactly one probe admitted; success closes, failure
     re-opens and restarts the cooldown).
+
+    ``observer`` is a duck-typed hook called as ``observer(breaker,
+    old_state, new_state)`` on every state *transition* (never on a
+    no-change success) — the worker pool wires breaker events into its
+    event log through it without resilience ever importing obs.
     """
 
     failure_threshold: int = 3
@@ -125,6 +130,8 @@ class CircuitBreaker:
     probe_inflight: bool = field(default=False, repr=False)
     #: Lifetime trip count, for metrics.
     trips: int = 0
+    #: Optional transition hook: ``observer(breaker, old_state, new_state)``.
+    observer: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.failure_threshold < 1:
@@ -144,13 +151,22 @@ class CircuitBreaker:
             return now - self.opened_at >= self.cooldown_seconds
         return not self.probe_inflight
 
+    def _transition(self, new_state: str) -> None:
+        old_state, self.state = self.state, new_state
+        if old_state == new_state or self.observer is None:
+            return
+        try:
+            self.observer(self, old_state, new_state)
+        except Exception:  # noqa: BLE001 - observability never breaks serving
+            pass
+
     def allow(self, now: float) -> bool:
         """Whether a new dispatch to this target may proceed at ``now``."""
         if self.state == BREAKER_CLOSED:
             return True
         if self.state == BREAKER_OPEN:
             if now - self.opened_at >= self.cooldown_seconds:
-                self.state = BREAKER_HALF_OPEN
+                self._transition(BREAKER_HALF_OPEN)
                 self.probe_inflight = False
             else:
                 return False
@@ -163,7 +179,7 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self.consecutive_failures = 0
         self.probe_inflight = False
-        self.state = BREAKER_CLOSED
+        self._transition(BREAKER_CLOSED)
 
     def record_failure(self, now: float) -> None:
         self.probe_inflight = False
@@ -173,7 +189,7 @@ class CircuitBreaker:
         ):
             if self.state != BREAKER_OPEN:
                 self.trips += 1
-            self.state = BREAKER_OPEN
+            self._transition(BREAKER_OPEN)
             self.opened_at = now
 
     @property

@@ -273,7 +273,7 @@ class TestWallClockServeBench:
         variants = {r.config["variant"] for r in bench}
         assert "wallclock-w1" in variants
         wallclock = next(r for r in bench if r.config["variant"] == "wallclock-w1")
-        assert wallclock.metrics["requests"] == 16.0
+        assert wallclock.metrics["completed"] == 16.0
         assert wallclock.metrics["latency_p95_ms"] > 0.0
         assert wallclock.config["wall_clock"] is True
         assert wallclock.config["workers"] == 1
@@ -286,6 +286,6 @@ class TestWallClockServeBench:
         payload = json.loads(out)
         assert "wallclock-w1" in payload["variants"]
         snapshot = payload["variants"]["wallclock-w1"]
-        assert snapshot["requests"] == 16.0
+        assert snapshot["completed"] == 16.0
         assert snapshot["workers"] == 1.0
         assert payload["config"]["wall_clock"] is True

@@ -1,0 +1,390 @@
+"""Unit tests for the cross-process event log, shard merge and Chrome export.
+
+The wall-clock integration paths (a real pool writing shards, crashes
+surviving on disk) live in ``test_parallel_events.py``; this module pins the
+layer underneath: :class:`repro.obs.events.EventLog` write/read semantics,
+the schema validator, :class:`repro.obs.merge.MergedEvents` alignment and
+query API, and the Chrome render/validate pair.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    EVENT_KINDS,
+    LIFECYCLE_KINDS,
+    RESILIENCE_KINDS,
+    EventLog,
+    read_events,
+    validate_event_files,
+    validate_events,
+)
+from repro.obs.merge import (
+    POOL_PID,
+    WORKER_PID_BASE,
+    MergedEvents,
+    discover_shards,
+    merge_chrome,
+    to_chrome,
+    validate_chrome_trace,
+)
+
+
+class TestEventLog:
+    def test_shard_header_opens_every_shard(self, tmp_path):
+        path = tmp_path / "run.pool.jsonl"
+        with EventLog(path, source="pool", meta={"scenario": "mixed"}) as log:
+            log.emit("enqueue", batch=0)
+        records = read_events(path)
+        head = records[0]
+        assert head["kind"] == "shard_header"
+        assert head["schema"] == EVENTS_SCHEMA
+        assert head["scenario"] == "mixed"
+        assert head["source"] == "pool"
+        assert isinstance(head["pid"], int)
+
+    def test_seq_is_monotonic_and_fields_attach(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with EventLog(path, source="pool") as log:
+            for batch in range(3):
+                log.emit("dispatch", batch=batch, worker=batch % 2)
+        records = read_events(path)
+        assert [r["seq"] for r in records] == [0, 1, 2, 3]
+        assert [r["batch"] for r in records[1:]] == [0, 1, 2]
+        assert all(r["source"] == "pool" for r in records)
+
+    def test_unknown_kind_raises(self, tmp_path):
+        with EventLog(tmp_path / "s.jsonl", source="pool") as log:
+            with pytest.raises(ValueError, match="unknown event kind"):
+                log.emit("frobnicate")
+
+    def test_wall_override_positions_flushed_spans(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with EventLog(path, source="worker-0") as log:
+            log.emit("execute", _wall=123.5, batch=0)
+        record = read_events(path)[-1]
+        assert record["wall"] == 123.5
+
+    def test_span_records_are_always_complete(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with EventLog(path, source="worker-1") as log:
+            log.span("batch", 0.25, batch=4)
+            log.span("prepare", -0.1)  # clock skew clamps to zero, not negative
+        spans = [r for r in read_events(path) if r["kind"] == "span"]
+        assert spans[0]["dur"] == 0.25
+        assert spans[0]["track"] == "worker-1"  # defaults to the source
+        assert spans[1]["dur"] == 0.0
+
+    def test_metrics_values_coerced_to_float(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with EventLog(path, source="pool") as log:
+            log.metrics({"completed": 7, "p95": 1.5}, on="run_end")
+        record = read_events(path)[-1]
+        assert record["values"] == {"completed": 7.0, "p95": 1.5}
+        assert record["on"] == "run_end"
+
+    def test_emit_after_close_is_a_noop_on_disk(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        log = EventLog(path, source="pool")
+        log.close()
+        assert log.closed
+        log.emit("reply", batch=0)
+        assert len(read_events(path)) == 1  # just the header
+
+    def test_torn_tail_is_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        with EventLog(path, source="worker-0") as log:
+            log.emit("execute", batch=0)
+        with open(path, "a") as handle:
+            handle.write('{"seq": 2, "wall": 1.0, "kind": "repl')  # died mid-write
+        records = read_events(path)
+        assert [r["kind"] for r in records] == ["shard_header", "execute"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"seq": 0}\nnot json\n{"seq": 2}\n')
+        with pytest.raises(ValueError, match="corrupt event record"):
+            read_events(path)
+
+
+class TestVocabulary:
+    def test_kind_families_are_disjoint_and_complete(self):
+        assert set(LIFECYCLE_KINDS) == {
+            "enqueue", "dispatch", "prepare", "execute", "reply",
+        }
+        assert set(RESILIENCE_KINDS) == {
+            "retry", "hedge_fired", "breaker_open", "breaker_half_open",
+            "breaker_close", "deadline_shed", "overload_shed", "respawn",
+            "fault_injected",
+        }
+        assert not set(LIFECYCLE_KINDS) & set(RESILIENCE_KINDS)
+        assert set(LIFECYCLE_KINDS) | set(RESILIENCE_KINDS) <= set(EVENT_KINDS)
+
+
+class TestValidateEvents:
+    def shard(self, tmp_path, name="run.pool.jsonl", source="pool"):
+        path = tmp_path / name
+        with EventLog(path, source=source) as log:
+            log.emit("enqueue", batch=0)
+            log.span("batch", 0.1)
+            log.metrics({"completed": 1})
+        return path
+
+    def test_valid_shard_has_no_findings(self, tmp_path):
+        path = self.shard(tmp_path)
+        assert validate_event_files([path]) == []
+
+    def test_empty_shard_flagged(self):
+        assert validate_events({"empty": []}) == [
+            "empty: empty shard (no header record)"
+        ]
+
+    def test_missing_header_and_schema_mismatch(self):
+        record = {"seq": 0, "wall": 1.0, "kind": "enqueue", "source": "pool"}
+        findings = validate_events({"s": [record]})
+        assert any("not a shard_header" in f for f in findings)
+        bad_schema = dict(record, kind="shard_header", schema="other/v9")
+        findings = validate_events({"s": [bad_schema]})
+        assert any("unexpected schema" in f for f in findings)
+
+    def test_seq_regression_unknown_kind_and_missing_fields(self):
+        header = {
+            "seq": 0, "wall": 1.0, "kind": "shard_header",
+            "source": "pool", "schema": EVENTS_SCHEMA,
+        }
+        records = [
+            header,
+            {"seq": 1, "wall": 1.0, "kind": "nonsense", "source": "pool"},
+            {"seq": 1, "wall": 1.0, "kind": "reply", "source": "pool"},
+            {"kind": "reply"},
+        ]
+        findings = validate_events({"s": records})
+        assert any("unknown kind" in f for f in findings)
+        assert any("seq 1 not after 1" in f for f in findings)
+        assert any("missing field(s)" in f for f in findings)
+
+    def test_bad_span_and_bad_metrics(self):
+        header = {
+            "seq": 0, "wall": 1.0, "kind": "shard_header",
+            "source": "pool", "schema": EVENTS_SCHEMA,
+        }
+        records = [
+            header,
+            {"seq": 1, "wall": 1.0, "kind": "span", "source": "pool"},
+            {
+                "seq": 2, "wall": 1.0, "kind": "span", "source": "pool",
+                "name": "x", "dur": -1.0,
+            },
+            {"seq": 3, "wall": 1.0, "kind": "metrics", "source": "pool"},
+        ]
+        findings = validate_events({"s": records})
+        assert any("span without name/dur" in f for f in findings)
+        assert any("bad dur" in f for f in findings)
+        assert any("without a values map" in f for f in findings)
+
+    def test_unreadable_file_reported(self, tmp_path):
+        findings = validate_event_files([tmp_path / "absent.jsonl"])
+        assert len(findings) == 1
+        assert "unreadable" in findings[0]
+
+
+class TestMergedEvents:
+    def write_shards(self, tmp_path):
+        prefix = tmp_path / "run"
+        with EventLog(f"{prefix}.pool.jsonl", source="pool") as pool:
+            pool.emit("enqueue", _wall=100.0, batch=0, requests=4)
+            pool.emit("dispatch", _wall=100.5, batch=0, worker=0)
+            pool.emit("reply", _wall=101.5, batch=0, worker=0, latency_s=1.0)
+            pool.metrics({"completed": 4.0}, _wall=101.6, on="run_end")
+        with EventLog(
+            f"{prefix}.worker0.g0.jsonl",
+            source="worker-0",
+            meta={"engine": "serpens-a16"},
+        ) as worker:
+            worker.emit("execute", _wall=101.0, batch=0)
+            worker.span("batch", 0.4, _wall=101.1, batch=0)
+        return prefix
+
+    def test_discover_finds_all_generations(self, tmp_path):
+        prefix = self.write_shards(tmp_path)
+        (tmp_path / "run.worker0.g1.jsonl").write_text("")
+        names = [p.name for p in discover_shards(prefix)]
+        assert names == [
+            "run.pool.jsonl", "run.worker0.g0.jsonl", "run.worker0.g1.jsonl",
+        ]
+
+    def test_epoch_alignment_and_time_sort(self, tmp_path):
+        merged = MergedEvents.from_prefix(self.write_shards(tmp_path))
+        assert merged.sources == ["pool", "worker-0"]
+        with_wall = [r for r in merged.records if "wall" in r]
+        assert merged.epoch == min(r["wall"] for r in with_wall)
+        stamped = [r for r in merged.records if r["kind"] == "enqueue"]
+        assert stamped[0]["t"] == 0.0
+        ts = [r["t"] for r in with_wall]
+        assert ts == sorted(ts)
+
+    def test_query_filters_kind_source_and_window(self, tmp_path):
+        merged = MergedEvents.from_prefix(self.write_shards(tmp_path))
+        assert [r["kind"] for r in merged.query(kind="reply")] == ["reply"]
+        assert all(
+            r["source"] == "worker-0" for r in merged.query(source="worker-0")
+        )
+        # enqueue t=0.0 and reply t=1.5 fall outside the window; execute
+        # (t=1.0) is inside it but filtered out by kind.
+        windowed = merged.query(
+            kind=("enqueue", "dispatch", "reply"), since=0.25, until=1.25
+        )
+        assert [r["kind"] for r in windowed] == ["dispatch"]
+
+    def test_spans_instants_metrics_headers(self, tmp_path):
+        merged = MergedEvents.from_prefix(self.write_shards(tmp_path))
+        assert [s["name"] for s in merged.spans(source="worker-0")] == ["batch"]
+        kinds = {r["kind"] for r in merged.instants()}
+        assert kinds == {"enqueue", "dispatch", "reply", "execute"}
+        assert merged.latest_metrics("pool") == {"completed": 4.0}
+        assert merged.latest_metrics("worker-0") == {}
+        assert merged.headers()["worker-0"]["engine"] == "serpens-a16"
+
+    def test_validate_tolerates_flushed_span_wall_order(self, tmp_path):
+        """Spans flushed late carry *end* walls that precede neighbours.
+
+        The global merge sorts by wall, which interleaves a flushed span
+        before records that were written (and seq-stamped) earlier; the
+        per-shard validator must see on-disk (seq) order, not merge order.
+        """
+        prefix = tmp_path / "run"
+        with EventLog(f"{prefix}.worker0.g0.jsonl", source="worker-0") as log:
+            log.emit("execute", _wall=200.0, batch=0)
+            log.span("batch", 0.5, _wall=199.5, batch=0)  # ended earlier
+        merged = MergedEvents.from_prefix(prefix)
+        # Merge order (by wall) differs from seq order: the span's end wall
+        # precedes the execute record, and the header's real time.time()
+        # stamp lands last of all.
+        assert [r["kind"] for r in merged.records] == [
+            "span", "execute", "shard_header",
+        ]
+        assert merged.validate() == []
+
+
+class TestChromeExport:
+    def merged(self, tmp_path):
+        prefix = tmp_path / "run"
+        with EventLog(f"{prefix}.pool.jsonl", source="pool") as pool:
+            pool.emit("dispatch", _wall=10.0, batch=0, worker=3)
+            pool.emit("respawn", _wall=12.0, worker=3, generation=1)
+        with EventLog(
+            f"{prefix}.worker3.g0.jsonl",
+            source="worker-3",
+            meta={"engine": "serpens-a16"},
+        ) as worker:
+            worker.span("batch", 0.5, _wall=11.0, batch=0)
+        with EventLog(f"{prefix}.loadgen.jsonl", source="loadgen") as other:
+            other.emit("enqueue", _wall=10.5, batch=0)
+        return MergedEvents.from_prefix(prefix)
+
+    def test_pid_partition_and_track_names(self, tmp_path):
+        trace = to_chrome(self.merged(tmp_path))
+        names = {
+            e["args"]["name"]: e["pid"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names["pool"] == POOL_PID
+        assert names["worker-3 (serpens-a16)"] == WORKER_PID_BASE + 3
+        assert names["loadgen"] == 50  # first extra source
+        # Disjoint from the in-process tracer's pid space (1/2).
+        assert set(names.values()).isdisjoint({1, 2})
+
+    def test_spans_render_as_complete_X_with_end_minus_dur(self, tmp_path):
+        merged = self.merged(tmp_path)
+        trace = to_chrome(merged)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 1
+        span = spans[0]
+        assert span["name"] == "batch"
+        assert span["dur"] == pytest.approx(0.5e6)
+        # wall 11.0 ends 1.0s after epoch 10.0 → starts at t=0.5s
+        assert span["ts"] == pytest.approx(0.5e6)
+        assert span["args"]["batch"] == 0
+
+    def test_instants_land_on_owning_track(self, tmp_path):
+        trace = to_chrome(self.merged(tmp_path))
+        instants = {
+            e["name"]: e for e in trace["traceEvents"] if e["ph"] == "i"
+        }
+        assert instants["respawn"]["pid"] == POOL_PID
+        assert instants["respawn"]["s"] == "t"
+        assert instants["enqueue"]["pid"] == 50
+        # Structural records never render.
+        rendered = {e["name"] for e in trace["traceEvents"]}
+        assert "shard_header" not in rendered
+        assert "metrics" not in rendered
+
+    def test_merge_chrome_concatenates_and_skips_empty(self, tmp_path):
+        events_part = to_chrome(self.merged(tmp_path))
+        tracer_part = {"traceEvents": [{"ph": "M", "pid": 1, "name": "process_name", "args": {"name": "virtual"}}]}
+        merged = merge_chrome(tracer_part, None, events_part)
+        assert len(merged["traceEvents"]) == (
+            1 + len(events_part["traceEvents"])
+        )
+        assert merged["displayTimeUnit"] == "ms"
+
+
+class TestValidateChromeTrace:
+    def test_exported_trace_is_clean(self, tmp_path):
+        prefix = tmp_path / "run"
+        with EventLog(f"{prefix}.worker0.g0.jsonl", source="worker-0") as log:
+            log.span("batch", 0.1, batch=0)
+        trace = to_chrome(MergedEvents.from_prefix(prefix))
+        assert validate_chrome_trace(trace, min_worker_tracks=1) == []
+
+    def test_orphaned_begin_detected(self):
+        trace = {
+            "traceEvents": [
+                {"name": "x", "ph": "B", "pid": 100, "tid": 1, "ts": 0.0},
+            ]
+        }
+        findings = validate_chrome_trace(trace)
+        assert findings == ["1 orphaned (unclosed) span(s) on pid 100 tid 1"]
+
+    def test_unmatched_end_and_bad_dur_detected(self):
+        trace = {
+            "traceEvents": [
+                {"name": "x", "ph": "E", "pid": 1, "tid": 1, "ts": 0.0},
+                {"name": "y", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0, "dur": -5},
+                {"ph": "i", "pid": 1},  # no ts
+                {"pid": 1},  # no ph
+                "not an object",
+            ]
+        }
+        findings = validate_chrome_trace(trace)
+        assert any("E without matching B" in f for f in findings)
+        assert any("bad dur" in f for f in findings)
+        assert any("without ts" in f for f in findings)
+        assert any("missing ph/pid" in f for f in findings)
+        assert any("not an object" in f for f in findings)
+
+    def test_min_worker_tracks_enforced(self, tmp_path):
+        prefix = tmp_path / "run"
+        with EventLog(f"{prefix}.worker0.g0.jsonl", source="worker-0") as log:
+            log.span("batch", 0.1)
+        trace = to_chrome(MergedEvents.from_prefix(prefix))
+        findings = validate_chrome_trace(trace, min_worker_tracks=4)
+        assert findings == [
+            "only 1 worker process track(s); expected >= 4"
+        ]
+
+    def test_file_round_trip_and_unreadable_path(self, tmp_path):
+        prefix = tmp_path / "run"
+        with EventLog(f"{prefix}.pool.jsonl", source="pool") as log:
+            log.emit("reply", batch=0)
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(to_chrome(MergedEvents.from_prefix(prefix))))
+        assert validate_chrome_trace(path) == []
+        findings = validate_chrome_trace(tmp_path / "absent.json")
+        assert len(findings) == 1 and "unreadable trace" in findings[0]
+        assert validate_chrome_trace({"nope": 1}) == [
+            "trace has no traceEvents list"
+        ]

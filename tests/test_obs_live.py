@@ -1,0 +1,135 @@
+"""Headless tests for the ``top`` dashboard (`repro.obs.live`).
+
+The dashboard is a pure function of the event shards on disk — so the
+tests synthesize a run's shards with :class:`EventLog` (controlled wall
+clocks via ``_wall``) and assert on :meth:`PoolDashboard.sample` /
+:meth:`PoolDashboard.render` without any pool, terminal or subprocess.
+"""
+
+import io
+import threading
+
+import pytest
+
+from repro.obs.events import EventLog
+from repro.obs.live import PoolDashboard
+
+
+def write_run_shards(tmp_path):
+    """A small two-worker run: 3 batches done, 1 inflight, 1 queued."""
+    prefix = tmp_path / "run"
+    with EventLog(f"{prefix}.pool.jsonl", source="pool") as pool:
+        for batch in range(5):
+            pool.emit("enqueue", _wall=100.0 + batch * 0.1, batch=batch, requests=4)
+        pool.emit("dispatch", _wall=100.6, batch=0, worker=0)
+        pool.emit("dispatch", _wall=100.7, batch=1, worker=1)
+        pool.emit("dispatch", _wall=100.8, batch=2, worker=0)
+        pool.emit("reply", _wall=101.0, batch=0, worker=0, latency_s=0.4)
+        pool.emit("reply", _wall=101.2, batch=2, worker=0, latency_s=0.4)
+        # batch 1 wedges: retried, redispatched, worker 1 respawns
+        pool.emit("retry", _wall=101.3, batch=1, worker=1, attempt=1)
+        pool.emit("respawn", _wall=101.4, worker=1, generation=1)
+        pool.emit("breaker_open", _wall=101.4, worker=1)
+        pool.emit("dispatch", _wall=101.5, batch=1, worker=0)
+        pool.emit("reply", _wall=101.7, batch=1, worker=0, latency_s=1.0)
+        pool.emit("overload_shed", _wall=101.8, batch=4, requests=4, reason="queue_full")
+        pool.emit("dispatch", _wall=101.9, batch=3, worker=0)
+        pool.emit("hedge_fired", _wall=102.0, batch=3, original_worker=0, hedge_worker=1)
+    with EventLog(
+        f"{prefix}.worker0.g0.jsonl", source="worker-0",
+        meta={"engine": "serpens-a16", "generation": 0},
+    ) as w0:
+        w0.span("batch", 0.4, _wall=101.0, batch=0)
+        w0.span("batch", 0.4, _wall=101.2, batch=2)
+        w0.span("batch", 0.2, _wall=101.7, batch=1)
+    with EventLog(
+        f"{prefix}.worker1.g0.jsonl", source="worker-1",
+        meta={"engine": "serpens-a16", "generation": 0},
+    ) as w1:
+        w1.emit("fault_injected", _wall=100.9, fault="crash", worker=1)
+    return prefix
+
+
+class TestSample:
+    def test_batch_lifecycle_replay(self, tmp_path):
+        snap = PoolDashboard(write_run_shards(tmp_path)).sample()
+        assert snap["done_batches"] == 4  # 3 replies + 1 shed
+        assert snap["inflight"] == 1  # batch 3 dispatched, no reply yet
+        assert snap["queue_depth"] == 0
+        assert snap["total_batches"] == 5
+        assert snap["enqueued_requests"] == 20
+        assert snap["shed_requests"] == 4
+        assert snap["shed_rate"] == pytest.approx(0.2)
+        assert snap["hedges"] == 1
+        assert snap["elapsed"] > 0.0
+
+    def test_per_worker_rows(self, tmp_path):
+        snap = PoolDashboard(write_run_shards(tmp_path)).sample()
+        assert sorted(snap["workers"]) == [0, 1]
+        w0, w1 = snap["workers"][0], snap["workers"][1]
+        assert w0["engine"] == "serpens-a16"
+        assert w0["batches"] == 3
+        assert w0["busy_seconds"] == pytest.approx(1.0)
+        assert w0["inflight"] == 1
+        assert 0.0 < w0["utilisation"] <= 1.0
+        assert w1["faults"] == 1
+        assert w1["generation"] == 1  # respawn observed
+        assert w1["breaker"] == "open"
+        assert w1["batches"] == 0
+
+    def test_latency_percentiles_over_rolling_window(self, tmp_path):
+        dashboard = PoolDashboard(write_run_shards(tmp_path), window=2)
+        snap = dashboard.sample()
+        # window=2 keeps only the last two replies: 0.4s and 1.0s
+        assert snap["latency_p50_ms"] == pytest.approx(700.0)
+        assert snap["latency_p95_ms"] == pytest.approx(970.0)
+
+    def test_empty_prefix_yields_zero_state(self, tmp_path):
+        snap = PoolDashboard(tmp_path / "nothing").sample()
+        assert snap["workers"] == {}
+        assert snap["total_batches"] == 0
+        assert snap["latency_p95_ms"] == 0.0
+
+
+class TestRender:
+    def test_frame_contains_summary_and_worker_table(self, tmp_path):
+        dashboard = PoolDashboard(write_run_shards(tmp_path))
+        frame = dashboard.render()
+        assert "repro top" in frame
+        assert "batches 4/5 done" in frame
+        assert "hedges 1" in frame
+        lines = frame.splitlines()
+        header = next(line for line in lines if line.startswith("worker"))
+        assert header.split() == [
+            "worker", "engine", "gen", "breaker", "inflight",
+            "util%", "batches", "faults",
+        ]
+        row_w1 = next(line for line in lines if line.startswith("1 "))
+        assert "open" in row_w1
+
+    def test_no_shards_placeholder(self, tmp_path):
+        frame = PoolDashboard(tmp_path / "nothing").render()
+        assert "(no worker shards yet)" in frame
+
+    def test_render_accepts_precomputed_snapshot(self, tmp_path):
+        dashboard = PoolDashboard(write_run_shards(tmp_path))
+        snap = dashboard.sample()
+        assert dashboard.render(snap) == dashboard.render(snap)
+
+
+class TestRunLoop:
+    def test_once_writes_single_frame_without_ansi_clear(self, tmp_path):
+        dashboard = PoolDashboard(write_run_shards(tmp_path))
+        stream = io.StringIO()
+        dashboard.run(stream=stream, once=True)
+        out = stream.getvalue()
+        assert out.count("repro top") == 1
+        assert "\x1b[2J" not in out
+
+    def test_stop_event_ends_loop_with_final_frame(self, tmp_path):
+        dashboard = PoolDashboard(write_run_shards(tmp_path), interval=0.05)
+        stream = io.StringIO()
+        stop = threading.Event()
+        stop.set()  # pre-set: one frame, then the loop notices and returns
+        dashboard.run(stream=stream, stop=stop)
+        assert "repro top" in stream.getvalue()

@@ -222,7 +222,7 @@ class TestFaultScenarios:
         assert report.shed_requests == trace.num_requests
         assert report.deadline_misses == trace.num_requests
         snapshot = report.snapshot()
-        assert snapshot["requests"] == 0.0
+        assert snapshot["completed"] == 0.0
         assert snapshot["shed_requests"] == float(trace.num_requests)
 
 

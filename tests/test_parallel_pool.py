@@ -57,7 +57,7 @@ class TestWallClockParity:
         assert report.retries == 0
         assert report.inline_requests == 0
         snapshot = report.snapshot()
-        assert snapshot["requests"] == float(trace.num_requests)
+        assert snapshot["completed"] == float(trace.num_requests)
         assert snapshot["workers"] == 2.0
         assert snapshot["makespan_seconds"] > 0.0
         assert snapshot["latency_p50_ms"] <= snapshot["latency_p99_ms"]
